@@ -1,0 +1,51 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's figures/claims (see
+DESIGN.md's experiment index).  Benchmarks both *time* the relevant
+operation (pytest-benchmark) and *print* the rows/series the paper
+reports, so running ``pytest benchmarks/ --benchmark-only -s`` shows
+the reproduced results next to the timings.
+"""
+
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PLUGIN_DIR = os.path.join(ROOT, "plugins")
+
+os.environ.setdefault("ANDREW_WM", "ascii")
+
+
+def report(title, lines):
+    """Print a result block that survives pytest's capture (via -s) and
+    is easy to grep in bench output."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(f"   {line}")
+
+
+@pytest.fixture
+def ascii_ws():
+    from repro.wm import AsciiWindowSystem
+
+    return AsciiWindowSystem()
+
+
+@pytest.fixture
+def raster_ws():
+    from repro.wm import RasterWindowSystem
+
+    return RasterWindowSystem()
+
+
+@pytest.fixture
+def plugins_on_path():
+    from repro.class_system import default_loader
+
+    loader = default_loader()
+    loader.append_path(PLUGIN_DIR)
+    yield loader
+    loader.remove_path(PLUGIN_DIR)

@@ -1,0 +1,55 @@
+"""E7 — Figure 2: the help-system window.
+
+Regenerates the snapshot: the EZ help document in the left pane, the
+related-tools list and other-topics list on the right, the status line
+below; then times window construction, topic switching, and search.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps import HelpApp
+
+
+def test_bench_build_window(benchmark, ascii_ws):
+    app = benchmark(lambda: HelpApp(window_system=ascii_ws,
+                                    width=90, height=24))
+    snapshot = app.snapshot()
+    for expected in ("EZ: A Document Editor", "What EZ is",
+                     "Starting EZ", "typescript", "console"):
+        assert expected in snapshot, expected
+    report("E7 Figure-2 snapshot", snapshot.splitlines())
+
+
+def test_bench_topic_switch(benchmark, ascii_ws):
+    app = HelpApp(window_system=ascii_ws)
+    topics = ["messages", "console", "ez", "preview"]
+    state = {"i": 0}
+
+    def switch():
+        state["i"] = (state["i"] + 1) % len(topics)
+        app.show_topic(topics[state["i"]])
+
+    benchmark(switch)
+    assert app.current is not None
+
+
+def test_bench_search(benchmark, ascii_ws):
+    app = HelpApp(window_system=ascii_ws)
+    hits = benchmark(lambda: app.database.search("document"))
+    assert "ez" in hits
+    report("E7 search", [f"'document' found in topics: {hits}"])
+
+
+def test_bench_related_navigation(benchmark, ascii_ws):
+    """Clicking through related topics, as a user browses."""
+    app = HelpApp(window_system=ascii_ws)
+
+    def browse():
+        app.show_topic("ez")
+        index = app.related_list.items.index("messages")
+        app.related_list.select_index(index)
+        return app.current.name
+
+    final = benchmark(browse)
+    assert final == "messages"

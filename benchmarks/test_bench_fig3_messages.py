@@ -1,0 +1,99 @@
+"""E8 — Figure 3: the messages reading window.
+
+"The panel on the left gives a list of message folders ... It currently
+contains a list of all the messages folders available on campus [1414].
+The panel at the top [right] contains the list of messages in the
+selected folder.  The message being displayed contains a drawing within
+the text of the message."
+
+Builds a campus-scale folder store (1414 folders, like the snapshot's
+title bar), populates ``andrew.messages`` with 19 messages of which one
+embeds a drawing, and regenerates the three-pane window.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps import FolderStore, Message, MessagesApp
+from repro.components import TextData
+from repro.workloads import build_fig3_message_body
+
+FOLDER_COUNT = 1414
+
+
+def build_campus_store():
+    store = FolderStore()
+    # The snapshot's folder names, then filler up to the campus count.
+    seeds = [
+        "andrew.messages.demo", "andrew.bugs", "andrew.gripes",
+        "andrew.gnu-emacs", "andrew.helpsys", "andrew.kernel",
+        "andrew.unix", "mail.dow-jones", "mail.networks",
+        "andrew.newbboards", "andrew.opinion", "andrew.pcserver",
+        "andrew.picture.animals", "andrew.preview.cartoons",
+    ]
+    for name in seeds:
+        store.folder(name)
+    for index in range(FOLDER_COUNT - len(seeds) - 1):
+        store.folder(f"campus.bboard.{index:04d}")
+    folder = "andrew.messages"
+    for number in range(18):
+        store.deliver(folder, Message(
+            "somebody", "bboard", f"posting {number}",
+            TextData(f"body of posting {number}\n"), "23-Oct-87",
+        ))
+    store.deliver(folder, Message(
+        "Nathaniel Borenstein", "bboard", "The big picture",
+        build_fig3_message_body(), "23-Oct-87",
+    ))
+    return store
+
+
+def test_bench_build_window(benchmark, ascii_ws):
+    store = build_campus_store()
+    app = benchmark(lambda: MessagesApp(store, window_system=ascii_ws))
+    assert store.folder_count() == FOLDER_COUNT
+    app.open_folder("andrew.messages")
+    app.open_message(18)
+    snapshot = app.snapshot()
+    assert "The big picture" in snapshot
+    assert "Nathaniel Borenstein" in snapshot
+    report("E8 Figure-3 snapshot (three panes, drawing in body)",
+           snapshot.splitlines())
+    report("E8 scale", [
+        f"All {store.folder_count()} Folders (the snapshot's title row)",
+        f"folder holds {len(store.folder('andrew.messages').messages)} "
+        "messages, 1 with an embedded drawing",
+    ])
+
+
+def test_bench_open_folder(benchmark, ascii_ws):
+    store = build_campus_store()
+    app = MessagesApp(store, window_system=ascii_ws)
+    benchmark(lambda: app.open_folder("andrew.messages"))
+    assert len(app.caption_list.items) == 19
+
+
+def test_bench_open_drawing_message(benchmark, ascii_ws):
+    """Opening the multi-media message parses its body datastream and
+    realizes the embedded drawing view."""
+    store = build_campus_store()
+    app = MessagesApp(store, window_system=ascii_ws)
+    app.open_folder("andrew.messages")
+    benchmark(lambda: app.open_message(18))
+    body = app.body_view.data
+    assert body.embeds()[0].data.type_tag == "drawing"
+
+
+def test_bench_folder_list_scroll(benchmark, ascii_ws):
+    """Scrolling a 1414-entry list stays cheap (rows drawn, not items)."""
+    store = build_campus_store()
+    app = MessagesApp(store, window_system=ascii_ws)
+    positions = iter(range(0, FOLDER_COUNT, 97))
+    state = {"pos": 0}
+
+    def scroll():
+        state["pos"] = (state["pos"] + 97) % FOLDER_COUNT
+        app.folder_list.set_scroll_pos(state["pos"])
+        app.im.flush_updates()
+
+    benchmark(scroll)

@@ -1,0 +1,113 @@
+"""E3 — §2: multiple views on one data object.
+
+Measures the delayed-update pipeline: one data object, N attached
+views, an edit storm driven through one of them.  Reports notification
+fan-out cost and repaint counts, plus the chart two-hop case (table →
+chart data → chart views).
+"""
+
+import pytest
+
+from conftest import report
+from repro.components import ChartData, PieChartView, TableData, TextData, TextView
+from repro.core import InteractionManager
+from repro.wm import AsciiWindowSystem
+
+
+def build_views(fanout):
+    ws = AsciiWindowSystem()
+    data = TextData("shared buffer\n" * 5)
+    windows = []
+    views = []
+    for _ in range(fanout):
+        im = InteractionManager(ws, width=30, height=8)
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        windows.append(im)
+        views.append(view)
+    return data, windows, views
+
+
+@pytest.mark.parametrize("fanout", [1, 4, 16, 64])
+def test_bench_edit_fanout(benchmark, fanout):
+    data, windows, views = build_views(fanout)
+
+    def edit_and_update():
+        data.insert(0, "x")
+        for im in windows:
+            im.flush_updates()
+        data.delete(0, 1)
+        for im in windows:
+            im.flush_updates()
+
+    benchmark(edit_and_update)
+    assert data.observer_count == fanout
+    report(
+        f"E3 fan-out {fanout}",
+        [f"{fanout} live views observe one text; "
+         "every edit repaints each window once"],
+    )
+
+
+def test_bench_notification_only(benchmark):
+    """Pure observer fan-out without painting: the mechanism's floor."""
+    data = TextData("x")
+    from repro.class_system import FunctionObserver
+
+    hits = []
+    for _ in range(64):
+        data.add_observer(FunctionObserver(lambda c: hits.append(1)))
+
+    benchmark(lambda: data.changed("edit"))
+    assert data.observer_count == 64
+
+
+def test_bench_repaint_counts_are_exact(benchmark):
+    """Each edit repaints each view exactly once (coalescing works)."""
+    data, windows, views = build_views(8)
+    for im in windows:
+        im.redraw()
+    before = [view.draw_count for view in views]
+
+    def five_edits_one_flush():
+        for _ in range(5):
+            data.insert(0, "y")
+        for im in windows:
+            im.flush_updates()
+
+    five_edits_one_flush()
+    after = [view.draw_count for view in views]
+    deltas = [b - a for a, b in zip(before, after)]
+    assert deltas == [1] * 8  # 5 edits coalesced into one repaint each
+    benchmark(five_edits_one_flush)
+    report("E3 coalescing", [
+        "5 edits between flushes -> exactly 1 repaint per view",
+        f"per-view repaint deltas: {deltas}",
+    ])
+
+
+def test_bench_chart_two_hop(benchmark):
+    """Table edit -> chart data recompute -> chart view repaint (§2)."""
+    ws = AsciiWindowSystem()
+    table = TableData(6, 1)
+    for row in range(6):
+        table.set_cell(row, 0, row + 1)
+    chart = ChartData(table, series_axis="col", series_index=0)
+    im = InteractionManager(ws, width=40, height=10)
+    im.set_child(PieChartView(chart))
+    im.process_events()
+
+    toggle = [1.0]
+
+    def edit_through_chain():
+        toggle[0] = 11.0 - toggle[0]
+        table.set_cell(0, 0, toggle[0])
+        im.flush_updates()
+
+    benchmark(edit_through_chain)
+    assert chart.recompute_count > 0
+    report("E3 chart chain", [
+        f"chart recomputed {chart.recompute_count} times, "
+        "one per table edit (the paper's auxiliary-object design)",
+    ])

@@ -1,0 +1,136 @@
+"""E13 — §3: parental authority vs the geometric baseline.
+
+Routes the same event set through the toolkit's parental dispatch and
+through :class:`~repro.baselines.geometric_router.GeometricRouter` (the
+"global, physical model" of the Andrew Base Editor prototype) and
+scores correctness on the paper's two failure cases, then compares
+dispatch cost: the thesis is that parental routing buys correctness at
+comparable (per-event) cost.
+"""
+
+import pytest
+
+from conftest import report
+from repro.baselines import GeometricRouter
+from repro.components import Frame, GRAB_SLOP, TextData, TextView
+from repro.components.drawing import DrawView, DrawingData, LineShape
+from repro.core import InteractionManager
+from repro.graphics import Point, Rect
+from repro.wm import AsciiWindowSystem
+from repro.wm.events import MouseAction, MouseEvent
+
+
+def build_drawing_case():
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, width=50, height=14)
+    drawing = DrawingData(50, 14)
+    drawing.add_text(Rect(5, 2, 30, 4), TextData("text under the line"))
+    line = drawing.add_shape(LineShape(0, 4, 45, 4))
+    view = DrawView(drawing)
+    im.set_child(view)
+    im.process_events()
+    return im, view, line
+
+
+def build_frame_case():
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, width=40, height=12)
+    body = TextView(TextData("frame body\n" * 8))
+    frame = Frame(body)
+    im.set_child(frame)
+    im.process_events()
+    return im, frame, body
+
+
+CASES = [
+    # (label, builder, probe point fn, expected handler fn)
+    ("line over text",
+     build_drawing_case,
+     lambda root, extra: Point(10, 4),
+     lambda root, extra: root),                       # DrawView claims line
+    ("text beside line",
+     build_drawing_case,
+     lambda root, extra: Point(10, 2),
+     lambda root, extra: root.children[0]),           # the TextView
+    ("divider grab zone",
+     build_frame_case,
+     lambda root, extra: Point(5, root.divider_row - GRAB_SLOP),
+     lambda root, extra: root),                       # Frame claims it
+    ("plain body click",
+     build_frame_case,
+     lambda root, extra: Point(5, 1),
+     lambda root, extra: root.body),                  # the TextView
+]
+
+
+def test_bench_correctness_scorecard(benchmark):
+    def score():
+        rows = []
+        parental_correct = geometric_correct = 0
+        for label, builder, probe_fn, expected_fn in CASES:
+            im, root, extra = builder()
+            probe = probe_fn(root, extra)
+            expected = expected_fn(root, extra)
+
+            handled = root.dispatch_mouse(
+                MouseEvent(MouseAction.DOWN, probe)
+            )
+            root.dispatch_mouse(MouseEvent(MouseAction.UP, probe))
+            parental_ok = handled is expected
+            parental_correct += parental_ok
+
+            im2, root2, extra2 = builder()
+            probe2 = probe_fn(root2, extra2)
+            expected2 = expected_fn(root2, extra2)
+            router = GeometricRouter(root2)
+            target = router.target_at(probe2)
+            # Geometric credit: the rectangle target is the right view.
+            geometric_ok = target is expected2
+            geometric_correct += geometric_ok
+            rows.append((label, parental_ok, geometric_ok))
+        return rows, parental_correct, geometric_correct
+
+    rows, parental, geometric = benchmark(score)
+    lines = [f"{'case':22s} {'parental':>9s} {'geometric':>10s}"]
+    for label, p_ok, g_ok in rows:
+        lines.append(f"{label:22s} {str(bool(p_ok)):>9s} "
+                     f"{str(bool(g_ok)):>10s}")
+    lines.append(
+        f"score: parental {parental}/{len(rows)}, "
+        f"geometric {geometric}/{len(rows)} — geometry fails exactly the "
+        "two §3 cases"
+    )
+    report("E13 routing correctness", lines)
+    assert parental == len(rows)
+    assert geometric == len(rows) - 2
+
+
+def test_bench_parental_dispatch_cost(benchmark):
+    im, view, line = build_drawing_case()
+    event = MouseEvent(MouseAction.MOVE, Point(10, 2))
+    benchmark(lambda: view.dispatch_mouse(event))
+
+
+def test_bench_geometric_dispatch_cost(benchmark):
+    im, view, line = build_drawing_case()
+    router = GeometricRouter(view)
+    benchmark(lambda: router.target_at(Point(10, 2)))
+
+
+def test_bench_cost_comparison(benchmark):
+    """Head-to-head over a scripted event mix on the frame case."""
+    im, frame, body = build_frame_case()
+    router = GeometricRouter(frame)
+    points = [Point(x, y) for x in range(2, 38, 7) for y in range(0, 11, 2)]
+
+    def both():
+        for point in points:
+            frame.dispatch_mouse(MouseEvent(MouseAction.MOVE, point))
+            router.target_at(point)
+
+    benchmark(both)
+    report("E13 cost", [
+        "parental dispatch is one routing decision per tree level;",
+        "the geometric router flattens the whole tree per event —",
+        "correctness was never bought with dispatch cost",
+    ])

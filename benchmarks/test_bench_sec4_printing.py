@@ -1,0 +1,81 @@
+"""E11 — §4: printing by drawable swap.
+
+"When a view receives a print request for a specific type of printer it
+can temporarily shift its pointer to a drawable for that printer type
+and do a redraw of its image."
+
+Times printing a compound document against redrawing it on screen —
+the same code path through a different drawable — and verifies the
+screen image is untouched by the print.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps import EZApp
+from repro.components import TextView
+from repro.core import InteractionManager
+from repro.wm import AsciiWindowSystem, PrinterJob
+from repro.workloads import build_expense_letter, build_fig5_document
+
+
+def test_bench_print_letter(benchmark, ascii_ws):
+    im = InteractionManager(ascii_ws, width=70, height=20)
+    view = TextView(build_expense_letter())
+    im.set_child(view)
+    im.process_events()
+
+    def print_it():
+        job = PrinterJob(title="expenses")
+        view.print_to(job.new_page().child(job.page_bounds()))
+        return job
+
+    job = benchmark(print_it)
+    text = job.render()
+    assert "Dear David," in text
+    assert "800" in text  # the spreadsheet total printed too
+    report("E11 printed page (excerpt)", text.splitlines()[:14])
+
+
+def test_bench_screen_redraw_baseline(benchmark, ascii_ws):
+    """The comparison: same view, same draw code, screen drawable."""
+    im = InteractionManager(ascii_ws, width=70, height=20)
+    view = TextView(build_expense_letter())
+    im.set_child(view)
+    im.process_events()
+    benchmark(im.redraw)
+
+
+def test_bench_print_fig5(benchmark, ascii_ws):
+    ez = EZApp(document=build_fig5_document(), window_system=ascii_ws,
+               width=90, height=50)
+    ez.process()
+
+    def print_document():
+        job = PrinterJob(title="pascal", page_width=90, page_height=60)
+        ez.textview.print_to(job.new_page().child(job.page_bounds()))
+        return job
+
+    job = benchmark(print_document)
+    printed = "\n".join(job.page_lines(0))
+    assert "Pascal's Triangle" in printed
+
+
+def test_bench_screen_untouched_by_printing(benchmark, ascii_ws):
+    im = InteractionManager(ascii_ws, width=40, height=10)
+    view = TextView(build_expense_letter())
+    im.set_child(view)
+    im.redraw()
+    before = list(im.snapshot_lines())
+
+    def print_once():
+        job = PrinterJob()
+        view.print_to(job.new_page())
+
+    benchmark(print_once)
+    im.redraw()
+    assert im.snapshot_lines() == before
+    report("E11 isolation", [
+        "printing redrew through a printer drawable; the window's",
+        "cells were never written — the view held no screen pointer",
+    ])

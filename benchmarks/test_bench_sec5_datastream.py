@@ -1,0 +1,108 @@
+"""E2 — §5: the external representation.
+
+Reproduces the section's example shape, then measures the three paths:
+writing, full parsing, and the marker-only scan that locates every
+object's extent *without parsing bodies* — which must be much cheaper
+than parsing and linear in bytes.
+"""
+
+import pytest
+
+from conftest import report
+from repro.components.table import TableData
+from repro.components.text import TextData
+from repro.core import read_document, scan_extents, write_document
+
+
+def build_document(paragraphs=40, embed_depth=3):
+    """A text document with a chain of nested embedded texts + a table."""
+    root = TextData(
+        "\n".join(f"paragraph {i}: " + "words " * 10
+                  for i in range(paragraphs)) + "\n"
+    )
+    node = root
+    for level in range(embed_depth):
+        child = TextData(f"nested level {level}\n" + "filler " * 20)
+        node.append_object(child, "textview")
+        node = child
+    table = TableData(6, 4)
+    for row in range(6):
+        table.set_cell(row, 0, row * 1.5)
+    table.set_cell(0, 3, "=SUM(A1:A6)")
+    root.append_object(table, "spread")
+    return root
+
+
+def test_bench_write(benchmark):
+    doc = build_document()
+    stream = benchmark(lambda: write_document(doc))
+    lines = stream.splitlines()
+    assert all(len(l) <= 80 for l in lines)
+    report("E2 write", [
+        f"document -> {len(stream)} bytes, {len(lines)} lines",
+        "all lines <= 80 columns, 7-bit ASCII (the §5 guidelines)",
+    ])
+
+
+def test_bench_read(benchmark):
+    stream = write_document(build_document())
+    doc = benchmark(lambda: read_document(stream))
+    assert write_document(doc) == stream
+
+
+def test_bench_scan_without_parsing(benchmark):
+    stream = write_document(build_document())
+    extents = benchmark(lambda: scan_extents(stream))
+    assert len(extents) == 5  # root + 3 nested texts + table
+    report("E2 scan vs parse", [
+        f"{len(extents)} object extents located",
+        "scanner touches markers only; no component code runs",
+    ])
+
+
+@pytest.mark.parametrize("depth", [1, 4, 16, 64])
+def test_bench_scan_depth(benchmark, depth):
+    """Scan cost is linear in bytes, not in nesting depth."""
+    root = TextData("top\n")
+    node = root
+    for level in range(depth):
+        child = TextData(f"level {level}\n")
+        node.append_object(child, "textview")
+        node = child
+    stream = write_document(root)
+    extents = benchmark(lambda: scan_extents(stream))
+    assert len(extents) == depth + 1
+    assert max(e.depth for e in extents) == depth
+
+
+def test_bench_roundtrip_fidelity(benchmark):
+    """Timed full cycle; byte-stable on the second write."""
+    doc = build_document(paragraphs=10, embed_depth=2)
+
+    def cycle():
+        stream = write_document(doc)
+        return write_document(read_document(stream))
+
+    second = benchmark(cycle)
+    assert second == write_document(doc)
+    report("E2 roundtrip", ["write -> read -> write is byte-stable"])
+
+
+def test_bench_section5_example_shape(benchmark):
+    """The exact example from §5: text embedding a table."""
+    doc = TextData("text data ...\nmore text data ...\n")
+    table = TableData(2, 2)
+    table.set_cell(0, 0, "the table data goes here ...")
+    doc.insert_object(doc.search("more"), table, "spread")
+    doc.append("rest of text data ...\n")
+    stream = benchmark(lambda: write_document(doc))
+    lines = stream.splitlines()
+    shape = [
+        lines[0].startswith("\\begindata{text, 1}"),
+        "\\begindata{table, 2}" in lines,
+        "\\enddata{table, 2}" in lines,
+        "\\view{spread, 2}" in lines,
+        lines[-1] == "\\enddata{text, 1}",
+    ]
+    assert all(shape)
+    report("E2 the §5 example stream", lines)

@@ -1,0 +1,84 @@
+"""E4 — §7: runapp vs static linking, the five performance bullets.
+
+"paging activity is reduced; key portions of the code are almost always
+paged in ...; virtual memory use decreases; file fetch time decreases
+if running under a distributed file system; the file size of an
+application is reduced."
+
+Regenerates the comparison as a table over 1-6 concurrent applications.
+Expected shape: runapp ~breaks even at one application and wins on all
+five bullets from two applications up, with the margin growing.
+"""
+
+import pytest
+
+from conftest import report
+from repro.sim import compare
+
+APPS = ["ez", "messages", "help", "console", "typescript", "preview"]
+STEPS = 250
+
+
+def run_comparison(count):
+    return compare(APPS[:count], steps=STEPS)
+
+
+@pytest.mark.parametrize("count", [1, 2, 4, 6])
+def test_bench_runapp_vs_static(benchmark, count):
+    static, runapp = benchmark(lambda: run_comparison(count))
+
+    rows = [
+        f"{'metric':16s} {'static':>10s} {'runapp':>10s} {'runapp wins':>12s}",
+    ]
+    bullets = [
+        ("faults", "paging activity", True),
+        ("key_residency", "key residency", False),   # higher is better
+        ("virtual_kb", "virtual memory", True),
+        ("fetch_ms", "file fetch time", True),
+        ("mean_binary_kb", "binary size", True),
+    ]
+    wins = 0
+    for key, label, lower_is_better in bullets:
+        s, r = static[key], runapp[key]
+        win = r < s if lower_is_better else r > s
+        wins += win
+        rows.append(f"{label:16s} {s:10.1f} {r:10.1f} {str(win):>12s}")
+    report(f"E4 runapp vs static, {count} concurrent app(s)", rows)
+
+    if count >= 2:
+        # The paper's claim: all five bullets favour runapp.
+        assert wins == 5, rows
+
+
+def test_bench_scaling_shape(benchmark):
+    """The win grows with concurrency (the sharing argument)."""
+    def sweep():
+        out = []
+        for count in (2, 4, 6):
+            static, runapp = run_comparison(count)
+            out.append(static["faults"] / max(1.0, runapp["faults"]))
+        return out
+
+    ratios = benchmark(sweep)
+    assert ratios == sorted(ratios)
+    report("E4 fault-ratio scaling", [
+        f"{count} apps: static/runapp faults = {ratio:.2f}x"
+        for count, ratio in zip((2, 4, 6), ratios)
+    ])
+
+
+def test_bench_binary_size_bullet(benchmark):
+    """Bullet five in install-size terms: what the file server stores."""
+    from repro.sim import build_runapp_world, build_static_world
+
+    apps = APPS
+    static_world = benchmark(lambda: build_static_world(apps))
+    runapp_world = build_runapp_world(apps)
+    static_total = static_world.store.total_published_kb()
+    runapp_total = runapp_world.store.total_published_kb()
+    assert runapp_total < static_total
+    report("E4 published binaries on the file server", [
+        f"static : {static_total} KB across {len(apps)} binaries",
+        f"runapp : {runapp_total} KB (one base + {len(apps)} modules)",
+        f"savings: {100 * (1 - runapp_total / static_total):.0f}%",
+    ])

@@ -1,0 +1,110 @@
+"""E12 — §9: the adoption claim.
+
+"While we were developing that system ... programmers at the ITC used
+emacs to edit programs.  Since the release of EZ, use of emacs has
+dramatically decreased.  This has been accomplished without sacrificing
+the usability of the system by our campus user community."
+
+We can't resurvey the 1988 campus; the measurable shape is *capability
+coverage*: replay the same mixed editing sessions (typing, styling,
+embedding — the campus task mix) against EZ's text view and against a
+plain-text-only editor model, and score what fraction of the intended
+work each completes, plus the editing throughput EZ sustains.
+"""
+
+import pytest
+
+from conftest import report
+from repro.components import TextData, TextView
+from repro.core import InteractionManager
+from repro.wm import AsciiWindowSystem
+from repro.workloads import (
+    generate_session,
+    replay_on_textview,
+    score_editor_capabilities,
+)
+
+SESSION_LENGTH = 300
+USERS = 5
+
+
+def fresh_view():
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, width=60, height=16)
+    view = TextView(TextData())
+    im.set_child(view)
+    im.process_events()
+    return im, view
+
+
+def test_bench_ez_full_capability(benchmark):
+    def one_user():
+        _im, view = fresh_view()
+        return replay_on_textview(view, generate_session(SESSION_LENGTH, 7))
+
+    counts = benchmark(one_user)
+    assert counts["unsupported"] == 0
+    assert score_editor_capabilities(counts) == 1.0
+
+
+def test_bench_plain_editor_baseline(benchmark):
+    def one_user():
+        _im, view = fresh_view()
+        return replay_on_textview(
+            view, generate_session(SESSION_LENGTH, 7),
+            allow_styles=False, allow_embeds=False,
+        )
+
+    counts = benchmark(one_user)
+    assert counts["unsupported"] > 0
+    assert score_editor_capabilities(counts) < 1.0
+
+
+def test_bench_population_comparison(benchmark):
+    def survey():
+        rows = []
+        for user in range(USERS):
+            session = generate_session(SESSION_LENGTH, seed=100 + user)
+            _im, ez_view = fresh_view()
+            ez_counts = replay_on_textview(ez_view, session)
+            _im2, plain_view = fresh_view()
+            plain_counts = replay_on_textview(
+                plain_view, session,
+                allow_styles=False, allow_embeds=False,
+            )
+            rows.append((
+                user,
+                score_editor_capabilities(ez_counts),
+                score_editor_capabilities(plain_counts),
+                ez_counts["embeds"],
+            ))
+        return rows
+
+    rows = benchmark(survey)
+    lines = [f"{'user':>4s} {'EZ coverage':>12s} {'plain editor':>13s} "
+             f"{'embeds':>7s}"]
+    for user, ez_score, plain_score, embeds in rows:
+        lines.append(
+            f"{user:4d} {ez_score:12.2%} {plain_score:13.2%} {embeds:7d}"
+        )
+        assert ez_score == 1.0
+        assert plain_score < ez_score
+    mean_plain = sum(r[2] for r in rows) / len(rows)
+    lines.append(
+        f"mean plain-editor coverage {mean_plain:.1%}: the work users "
+        "could only do in EZ is why emacs use dropped (§9)"
+    )
+    report("E12 capability coverage, EZ vs plain editor", lines)
+
+
+def test_bench_keystroke_throughput(benchmark):
+    """Raw interactive typing rate through the full event path."""
+    im, view = fresh_view()
+    burst = "the quick brown fox "
+
+    def type_burst():
+        im.window.inject_keys(burst)
+        im.process_events()
+
+    benchmark(type_burst)
+    assert burst in view.data.text()

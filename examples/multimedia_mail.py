@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-media mail, Figures 3 and 4: compose, send, and read messages
+whose bodies carry embedded components.
+
+"Since both the mail and help applications use the text component for
+the display of information, they automatically inherit the multi-media
+functionality of the text component" — a raster "can be sent in a mail
+message as easily as edited in a document."
+
+Run:  python examples/multimedia_mail.py
+"""
+
+from repro import AsciiWindowSystem
+from repro.apps import ComposeApp, FolderStore, Message, MessagesApp
+from repro.components import TextData
+from repro.workloads import big_cat_raster, build_fig3_message_body
+
+
+def main():
+    ws = AsciiWindowSystem()
+    store = FolderStore()
+
+    # Seed a campus bulletin board with the Figure-3 message (a drawing
+    # embedded in the body).
+    store.deliver("andrew.messages", Message(
+        "Nathaniel Borenstein", "bboard", "The big picture",
+        build_fig3_message_body(), "23-Oct-87",
+    ))
+
+    # --- Figure 4: compose a message with a raster image -------------
+    compose = ComposeApp(store, sender="palay", window_system=ws,
+                         width=70, height=22)
+    compose.set_to("david")
+    compose.set_subject("Big Cat")
+    compose.body_data.append(
+        "Knowing your fondness for big cats, here's a picture I "
+        "recently found.\n\n"
+    )
+    compose.body_data.append_object(big_cat_raster(), "rasterview")
+    print("The composition window (note the raster in the body):")
+    print(compose.snapshot())
+
+    message = compose.send()
+    print(f"\nSent message #{message.id}; on the wire it is "
+          f"{len(message.body_stream)} bytes of printable 7-bit ASCII:")
+    print("\n".join(message.body_stream.splitlines()[:6]))
+    print("   ...")
+
+    # --- Figure 3: the reading window ---------------------------------
+    reader = MessagesApp(store, window_system=ws, width=100, height=28)
+    reader.open_folder("mail.david")
+    reader.open_message(0)
+    print("\nThe reading window (folders | captions / body):")
+    print(reader.snapshot())
+
+    raster = reader.body_view.data.embeds()[0].data
+    print(f"\nThe raster survived transport: "
+          f"{raster.width}x{raster.height}, "
+          f"{raster.bitmap.ink_count()} ink pixels — identical to what "
+          "was composed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Window system independence (§8): one application, two displays.
+
+Runs the identical application code on the ascii (cell) and raster
+(pixel) window systems, selected the way the paper describes — by an
+environment variable — and shows both windows plus the porting-surface
+inventory ("six classes ... approximately 70 routines").
+
+Run:  python examples/two_window_systems.py
+"""
+
+import os
+
+from repro import EZApp
+from repro.wm import PORTING_CLASSES, get_window_system, porting_surface
+from repro.wm.ascii_ws import (
+    AsciiGraphic, AsciiOffscreen, AsciiWindow, AsciiWindowSystem,
+)
+from repro.wm.raster_ws import (
+    RasterGraphic, RasterOffscreen, RasterWindow, RasterWindowSystem,
+)
+
+
+def run_app_on(backend_name, width, height):
+    os.environ["ANDREW_WM"] = backend_name          # the §8 switch
+    ez = EZApp(width=width, height=height)          # no backend passed!
+    ez.type_text("The same application,\nany window system.")
+    table = ez.insert_component("table")
+    table.set_cell(0, 0, "=2^10")
+    ez.process()
+    return ez
+
+
+def main():
+    print("Porting surface (the §8 'six classes, ~70 routines'):")
+    for name, classes in (
+        ("ascii", (AsciiWindowSystem, AsciiWindow, AsciiGraphic,
+                   AsciiOffscreen)),
+        ("raster", (RasterWindowSystem, RasterWindow, RasterGraphic,
+                    RasterOffscreen)),
+    ):
+        surface = porting_surface(*classes)
+        total = sum(len(v) for v in surface.values())
+        counts = ", ".join(f"{c}={len(surface[c])}" for c in PORTING_CLASSES)
+        print(f"   {name:7s}: {total} routines ({counts})")
+
+    print("\nANDREW_WM=ascii")
+    ascii_ez = run_app_on("ascii", 48, 12)
+    print(ascii_ez.snapshot())
+
+    print("\nANDREW_WM=raster (pixel framebuffer, downsampled to text):")
+    raster_ez = run_app_on("raster", 300, 100)
+    print("\n".join(raster_ez.render()))
+    stats = raster_ez.window_system.stats()
+    print(f"\nraster backend protocol requests: "
+          f"{stats.get('requests_total', 0)} "
+          f"(fill={stats.get('fill_rect', 0)}, "
+          f"text={stats.get('draw_text', 0)})")
+
+    print("\nSame toolkit, same application code, no recompilation — "
+          "only the\nenvironment variable changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""A circuit-diagram component — the paper's other wished-for plugin.
+
+"Members of the electrical engineering department will want to include
+circuit diagrams inside of text just as easily as others include
+tables.  The list is essentially limitless."
+
+A second never-imported plugin, used by tests to show that the plugin
+mechanism is generic rather than special-cased for one example.
+"""
+
+from repro.core.dataobject import DataObject
+from repro.core.datastream import BodyLine, DataStreamError, EndObject
+from repro.core.view import View
+
+_GLYPHS = {
+    "resistor": "-/\\/\\/-",
+    "capacitor": "-| |-",
+    "battery": "-|i|-",
+    "wire": "-------",
+}
+
+
+class CircuitData(DataObject):
+    """A series circuit: an ordered list of element names."""
+
+    atk_name = "circuit"
+
+    def __init__(self):
+        super().__init__()
+        self.elements = []
+
+    def add_element(self, kind):
+        if kind not in _GLYPHS:
+            raise ValueError(f"unknown circuit element {kind!r}")
+        self.elements.append(kind)
+        self.changed("elements", where=len(self.elements) - 1)
+
+    def write_body(self, writer):
+        for kind in self.elements:
+            writer.write_body_line(f"@element {kind}")
+
+    def read_body(self, reader):
+        self.elements = []
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                if not event.text.strip():
+                    continue
+                if not event.text.startswith("@element "):
+                    raise DataStreamError(
+                        f"bad circuit line {event.text!r}", event.line
+                    )
+                self.elements.append(event.text.split()[1])
+            elif isinstance(event, EndObject):
+                break
+        self.changed("elements")
+
+
+class CircuitView(View):
+    """Draws the series loop."""
+
+    atk_name = "circuitview"
+
+    def __init__(self, dataobject=None):
+        super().__init__(dataobject)
+
+    def desired_size(self, width, height):
+        elements = self.dataobject.elements if self.dataobject else []
+        want = sum(len(_GLYPHS[e]) for e in elements) + 4
+        return (min(width, max(10, want)), min(height, 3))
+
+    def draw(self, graphic):
+        if self.dataobject is None:
+            return
+        x = 1
+        graphic.draw_string(0, 1, "+")
+        for kind in self.dataobject.elements:
+            glyph = _GLYPHS[kind]
+            graphic.draw_string(x, 1, glyph)
+            x += len(glyph)
+        graphic.draw_string(x, 1, "+")

@@ -1,0 +1,92 @@
+"""The music component — the paper's dynamic-loading example, as a plugin.
+
+"If a member of the music department creates a music component and
+embeds that component into a text component ... the code for the music
+component will be dynamically loaded into the application.  ...  The
+editor did not have to be recompiled, relinked, or otherwise modified
+to use the new music component."
+
+This file lives *outside* the installed package, in a plugin directory
+on the class path.  Nothing in ``repro`` imports it; it is compiled and
+executed by the class loader the first time something asks for the
+``music`` component — opening a document that embeds one, or choosing
+``Insert > Other... music`` in EZ.  Executing the module registers the
+classes (a side effect of the ATK metaclass), exactly as loading a
+``.do`` file registered classes with the original runtime.
+"""
+
+from repro.core.dataobject import DataObject
+from repro.core.datastream import BodyLine, DataStreamError, EndObject
+from repro.core.view import View
+from repro.graphics.geometry import Rect
+
+#: Scale positions for note names (C4 at the bottom line).
+_SCALE = ["C", "D", "E", "F", "G", "A", "B"]
+
+
+class MusicData(DataObject):
+    """A melody: a list of (note, octave, duration) triples."""
+
+    atk_name = "music"
+
+    def __init__(self):
+        super().__init__()
+        self.notes = []  # [(name, octave, beats)]
+
+    def add_note(self, name, octave=4, beats=1):
+        if name not in _SCALE:
+            raise ValueError(f"unknown note {name!r}")
+        self.notes.append((name, int(octave), int(beats)))
+        self.changed("notes", where=len(self.notes) - 1)
+
+    def write_body(self, writer):
+        for name, octave, beats in self.notes:
+            writer.write_body_line(f"@note {name} {octave} {beats}")
+
+    def read_body(self, reader):
+        self.notes = []
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                if not event.text.strip():
+                    continue
+                parts = event.text.split()
+                if parts[0] != "@note" or len(parts) != 4:
+                    raise DataStreamError(
+                        f"bad music line {event.text!r}", event.line
+                    )
+                self.notes.append((parts[1], int(parts[2]), int(parts[3])))
+            elif isinstance(event, EndObject):
+                break
+        self.changed("notes")
+
+
+class MusicView(View):
+    """Renders the melody on a five-line staff."""
+
+    atk_name = "musicview"
+
+    STAFF_LINES = 5
+
+    def __init__(self, dataobject=None):
+        super().__init__(dataobject)
+
+    def desired_size(self, width, height):
+        notes = self.dataobject.notes if self.dataobject else []
+        return (min(width, max(12, 3 * len(notes) + 4)),
+                min(height, self.STAFF_LINES + 2))
+
+    def draw(self, graphic):
+        for line in range(self.STAFF_LINES):
+            graphic.draw_hline(0, self.width - 1, 1 + line)
+        if self.dataobject is None:
+            return
+        x = 2
+        for name, octave, beats in self.dataobject.notes:
+            # Staff row: higher notes higher on the staff.
+            degree = _SCALE.index(name) + 7 * (octave - 4)
+            row = (self.STAFF_LINES + 1) - degree // 2 - 1
+            row = max(0, min(self.STAFF_LINES + 1, row))
+            graphic.draw_string(x, row, "o" if beats < 2 else "O")
+            x += 3
+            if x >= self.width - 1:
+                break

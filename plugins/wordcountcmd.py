@@ -1,0 +1,35 @@
+"""A user-written editor command, loaded on first keystroke (§7).
+
+"Sophisticated users can write code (using the class system) to
+implement new commands.  These commands can be bound either to key
+sequences or to menus.  When invoked, the code is loaded and executed."
+
+Bind it with::
+
+    from repro.ext.proctable import bind_command_key
+    bind_command_key(textview, "M-=", "wordcount")
+
+The command counts the words in the focused text view's buffer and
+posts the result to the enclosing frame's message line.
+"""
+
+from repro.class_system import ATKObject, classprocedure
+
+
+class WordCountCmd(ATKObject):
+    atk_name = "wordcountcmd"
+
+    @classprocedure
+    def invoke(cls, view, event):
+        data = getattr(view, "data", None)
+        if data is None:
+            return
+        words = len(data.plain_text().split())
+        # Walk up for a frame to post the answer to.
+        node = view
+        while node is not None and not hasattr(node, "post_message"):
+            node = node.parent
+        message = f"Document contains {words} word{'s' * (words != 1)}"
+        if node is not None:
+            node.post_message(message)
+        view.last_wordcount = words  # introspectable for tests

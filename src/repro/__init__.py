@@ -1,0 +1,154 @@
+"""repro: a Python reproduction of the Andrew Toolkit (USENIX 1988).
+
+The package mirrors the paper's architecture:
+
+* :mod:`repro.class_system` — the Andrew Class System: registry,
+  single inheritance, class procedures, observers, dynamic loading,
+  and the ``.ch`` preprocessor (§6);
+* :mod:`repro.graphics` — geometry, fonts, images, and the drawable (§4);
+* :mod:`repro.wm` — the six-class window-system porting layer with two
+  complete backends, selected by ``ANDREW_WM`` (§8);
+* :mod:`repro.core` — data objects, views, the view tree with its
+  interaction manager, delayed updates, keymaps/menus, the external
+  representation, applications and runapp (§§2-5, 7);
+* :mod:`repro.components` — text, table/spreadsheet (+charts), drawing,
+  equation, raster, animation, and the simple widgets (§1);
+* :mod:`repro.apps` — EZ, messages, help, typescript, console,
+  preview (§1, Figures 2-5);
+* :mod:`repro.ext` — the extension packages (§1);
+* :mod:`repro.sim`, :mod:`repro.baselines`, :mod:`repro.workloads` —
+  the experimental apparatus (see DESIGN.md's experiment index).
+
+Quickstart::
+
+    from repro import AsciiWindowSystem, EZApp
+    ez = EZApp(window_system=AsciiWindowSystem())
+    ez.type_text("Hello, Andrew!")
+    print(ez.snapshot())
+"""
+
+from .class_system import (
+    ATKObject,
+    ClassLoader,
+    Observable,
+    Observer,
+    classprocedure,
+    load_class,
+    lookup,
+)
+from .core import (
+    Application,
+    DataObject,
+    InteractionManager,
+    RunApp,
+    View,
+    read_document,
+    scan_extents,
+    write_document,
+)
+from .graphics import Bitmap, FontDesc, Graphic, Point, Rect, Region
+from .wm import (
+    AsciiWindowSystem,
+    PrinterJob,
+    RasterWindowSystem,
+    get_window_system,
+)
+from .components import (
+    AnimationData,
+    AnimationView,
+    Button,
+    ChartData,
+    DrawView,
+    DrawingData,
+    EquationData,
+    EquationView,
+    Frame,
+    Label,
+    ListView,
+    PageView,
+    PieChartView,
+    RasterData,
+    RasterView,
+    ScrollBar,
+    SplitView,
+    TableData,
+    TableView,
+    TextData,
+    TextView,
+)
+from .apps import (
+    ComposeApp,
+    ConsoleApp,
+    EZApp,
+    FolderStore,
+    HelpApp,
+    MessagesApp,
+    PreviewApp,
+    TypescriptApp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # class system
+    "ATKObject",
+    "classprocedure",
+    "Observable",
+    "Observer",
+    "ClassLoader",
+    "load_class",
+    "lookup",
+    # graphics
+    "Point",
+    "Rect",
+    "Region",
+    "Bitmap",
+    "FontDesc",
+    "Graphic",
+    # wm
+    "AsciiWindowSystem",
+    "RasterWindowSystem",
+    "get_window_system",
+    "PrinterJob",
+    # core
+    "DataObject",
+    "View",
+    "InteractionManager",
+    "Application",
+    "RunApp",
+    "write_document",
+    "read_document",
+    "scan_extents",
+    # components
+    "TextData",
+    "TextView",
+    "PageView",
+    "TableData",
+    "TableView",
+    "ChartData",
+    "PieChartView",
+    "DrawingData",
+    "DrawView",
+    "EquationData",
+    "EquationView",
+    "RasterData",
+    "RasterView",
+    "AnimationData",
+    "AnimationView",
+    "Label",
+    "Button",
+    "ListView",
+    "SplitView",
+    "ScrollBar",
+    "Frame",
+    # apps
+    "EZApp",
+    "MessagesApp",
+    "ComposeApp",
+    "HelpApp",
+    "TypescriptApp",
+    "ConsoleApp",
+    "PreviewApp",
+    "FolderStore",
+]

@@ -1,0 +1,42 @@
+"""The basic toolkit applications (paper sections 1 and 9).
+
+"The basic toolkit applications (editor, mail, help, preview,
+typescript, console) have been in general use on the Carnegie Mellon
+campus for the past four months."
+
+Importing this package registers every application with the class
+system (as ``<name>app``), which is how
+:class:`~repro.core.runapp.RunApp` finds them; an application shipped
+only as a plugin file launches the same way via the dynamic loader.
+"""
+
+from .console import ConsoleApp, GaugeView, StatsData, SystemStats
+from .ez import EZApp
+from .help import HelpApp, HelpDatabase, HelpTopic, standard_help_database
+from .messages import ComposeApp, Folder, FolderStore, Message, MessagesApp
+from .preview import FormattedPage, PreviewApp, PreviewView, TroffFormatter
+from .typescript import MiniShell, TypescriptApp, TypescriptView
+
+__all__ = [
+    "EZApp",
+    "MessagesApp",
+    "ComposeApp",
+    "Message",
+    "Folder",
+    "FolderStore",
+    "HelpApp",
+    "HelpDatabase",
+    "HelpTopic",
+    "standard_help_database",
+    "TypescriptApp",
+    "TypescriptView",
+    "MiniShell",
+    "ConsoleApp",
+    "SystemStats",
+    "StatsData",
+    "GaugeView",
+    "PreviewApp",
+    "PreviewView",
+    "TroffFormatter",
+    "FormattedPage",
+]

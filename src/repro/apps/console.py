@@ -1,0 +1,186 @@
+"""Console: the system monitor (paper §1).
+
+"... a system monitor (console) that displays status information such
+as the time, date, CPU load and file system information."
+
+The substrate is :class:`SystemStats`, a deterministic simulated
+machine (clock, load average, filesystem fill levels) advanced by timer
+ticks, so the console's display machinery — labels and little bar
+gauges updating from an observable data object — runs identically every
+time.  :class:`StatsData` is a proper data object: the console *views*
+observe it, so the console is one more example of the §2 architecture
+rather than a special case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.application import Application
+from ..core.dataobject import DataObject
+from ..core.view import View
+from ..components.frame import Frame
+from ..components.label import Label
+from ..graphics.geometry import Rect
+from ..graphics.graphic import Graphic
+from ..sim.paging import Lcg
+from ..wm.events import TimerEvent
+
+__all__ = ["SystemStats", "StatsData", "GaugeView", "ConsoleApp"]
+
+
+class SystemStats:
+    """A simulated workstation's instruments."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = Lcg(seed)
+        self.minutes = 9 * 60 + 30          # 09:30
+        self.day = 11
+        self.load = 0.42
+        self.filesystems: Dict[str, float] = {"/": 0.63, "/usr": 0.81,
+                                              "/afs cache": 0.37}
+        self.mail_waiting = 0
+
+    def advance(self) -> None:
+        """One tick = one simulated minute."""
+        self.minutes += 1
+        if self.minutes >= 24 * 60:
+            self.minutes = 0
+            self.day += 1
+        # Load drifts; filesystems creep up and occasionally get cleaned.
+        drift = (self._rng.randint(0, 20) - 10) / 100.0
+        self.load = min(4.0, max(0.05, self.load + drift))
+        for name in self.filesystems:
+            fill = self.filesystems[name] + self._rng.randint(0, 3) / 1000.0
+            if fill > 0.98:
+                fill = 0.55
+            self.filesystems[name] = fill
+        if self._rng.chance(1, 10):
+            self.mail_waiting += 1
+
+    def clock(self) -> str:
+        hours, minutes = divmod(self.minutes, 60)
+        return f"{hours:02}:{minutes:02}"
+
+    def date(self) -> str:
+        return f"February {self.day}, 1988"
+
+
+class StatsData(DataObject):
+    """Observable wrapper so console views follow the §2 protocol."""
+
+    atk_name = "consolestats"
+
+    def __init__(self, stats: Optional[SystemStats] = None) -> None:
+        super().__init__()
+        self.stats = stats if stats is not None else SystemStats()
+
+    def tick(self) -> None:
+        self.stats.advance()
+        self.changed("stats")
+
+
+class GaugeView(View):
+    """A labelled horizontal gauge showing a 0..1 value."""
+
+    atk_name = "gaugeview"
+
+    def __init__(self, dataobject: StatsData, label: str,
+                 probe) -> None:
+        super().__init__(dataobject)
+        self.label = label
+        self.probe = probe  # StatsData -> float in 0..1
+
+    def draw(self, graphic: Graphic) -> None:
+        value = max(0.0, min(1.0, self.probe(self.dataobject)))
+        label_width = 11
+        graphic.draw_string(0, 0, f"{self.label:<10}"[:label_width])
+        track = max(1, self.width - label_width - 6)
+        filled = round(value * track)
+        graphic.draw_rect(Rect(label_width, 0, track, 1))
+        graphic.fill_rect(Rect(label_width, 0, filled, 1), 1)
+        graphic.draw_string(label_width + track + 1, 0, f"{value:4.0%}")
+
+
+class ConsoleApp(Application):
+    """The console window: clock, load, filesystems, mail."""
+
+    atk_name = "consoleapp"
+    app_name = "console"
+    default_size = (48, 10)
+
+    def __init__(self, stats: Optional[SystemStats] = None, **kwargs) -> None:
+        self._initial_stats = stats
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.stats_data = StatsData(self._initial_stats)
+        body = _ConsoleBody(self.stats_data)
+        self.frame = Frame(body)
+        self.im.set_child(self.frame)
+        self.im.add_timer_subscriber(body)
+
+    def tick(self, count: int = 1) -> None:
+        """Advance simulated time and let the views repaint."""
+        self.im.tick(count)
+        self.process()
+
+
+class _ConsoleBody(View):
+    """Stacks the console's instrument views."""
+
+    atk_name = "consolebody"
+
+    def __init__(self, stats_data: StatsData) -> None:
+        super().__init__(stats_data)
+        self.clock_label = Label("", centered=True)
+        self.add_child(self.clock_label)
+        self.gauges: List[GaugeView] = [
+            GaugeView(stats_data, "CPU load",
+                      lambda d: d.stats.load / 4.0),
+        ]
+        for name in sorted(stats_data.stats.filesystems):
+            self.gauges.append(
+                GaugeView(stats_data, name,
+                          lambda d, _n=name: d.stats.filesystems[_n])
+            )
+        for gauge in self.gauges:
+            self.add_child(gauge)
+        self.mail_label = Label("")
+        self.add_child(self.mail_label)
+        self._refresh_labels()
+
+    @property
+    def stats_data(self) -> StatsData:
+        return self.dataobject
+
+    def _refresh_labels(self) -> None:
+        stats = self.stats_data.stats
+        self.clock_label.set_text(
+            f"{stats.date()}   {stats.clock()}"
+        )
+        self.mail_label.set_text(
+            f"Mail waiting: {stats.mail_waiting}"
+            if stats.mail_waiting else "No new mail"
+        )
+
+    def layout(self) -> None:
+        row = 0
+        self.clock_label.set_bounds(Rect(0, row, self.width, 1))
+        row += 2
+        for gauge in self.gauges:
+            if row >= self.height:
+                gauge.set_bounds(Rect(0, 0, 0, 0))
+                continue
+            gauge.set_bounds(Rect(1, row, max(0, self.width - 2), 1))
+            row += 1
+        self.mail_label.set_bounds(
+            Rect(0, min(row, max(0, self.height - 1)), self.width, 1)
+        )
+
+    def handle_timer(self, event: TimerEvent) -> None:
+        self.stats_data.tick()
+
+    def on_data_changed(self, change) -> None:
+        self._refresh_labels()
+        self.want_update()

@@ -1,0 +1,144 @@
+"""EZ: the generic multi-media editor (paper sections 1, 7, 9, Fig. 5).
+
+"We have already used this feature to build a generic multi-media
+editor (EZ) that can edit a wide variety of components by loading the
+appropriate code when needed."
+
+EZ is deliberately thin: a frame around a scroll bar around a text view
+on a document.  Everything interesting — embedding tables, drawings,
+equations, rasters, animations, or a component EZ has never heard of —
+comes from the toolkit.  ``Insert Object`` takes a *component name* and
+resolves it through the dynamic loader, so inserting ``music`` works
+the moment someone drops ``music.py`` into a plugin directory, without
+EZ being recompiled, relinked, or otherwise modified (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..class_system.dynamic import default_loader
+from ..class_system.errors import DynamicLoadError
+from ..core.application import Application
+from ..core.dataobject import DataObject
+from ..components.frame import Frame
+from ..components.scrollbar import ScrollBar
+from ..components.text import TextData, TextView
+
+__all__ = ["EZApp"]
+
+
+class EZApp(Application):
+    """The multi-media document editor."""
+
+    atk_name = "ezapp"
+    app_name = "ez"
+    default_size = (78, 22)
+
+    def __init__(self, document: Optional[TextData] = None, **kwargs) -> None:
+        self._initial_document = document
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.document = (
+            self._initial_document
+            if self._initial_document is not None else TextData()
+        )
+        self.textview = TextView(self.document)
+        self.frame = Frame(ScrollBar(self.textview))
+        self.im.set_child(self.frame)
+        self._build_menus()
+
+    def _build_menus(self) -> None:
+        card = self.frame.menu_card("File")
+        card.add("Open...", self._menu_open)
+        card.add("Save", self._menu_save)
+        card.add("Quit", lambda view, event: self.destroy())
+        insert = self.frame.menu_card("Insert")
+        for name in ("table", "drawing", "equation", "raster", "animation"):
+            insert.add(
+                name.capitalize(),
+                lambda view, event, _n=name: self.insert_component(_n),
+            )
+        insert.add("Other...", self._menu_insert_other)
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+
+    def set_document(self, document: TextData) -> None:
+        """Edit a different document in place."""
+        self.document = document
+        self.textview.set_dataobject(document)
+        self.im.flush_updates()
+
+    def open(self, path) -> TextData:
+        """Open a datastream file; embedded component code loads on
+        demand inside :func:`~repro.core.datastream.read_document`."""
+        document = self.open_document(path)
+        if not isinstance(document, TextData):
+            # Any component is editable: wrap non-text roots in a text
+            # document so EZ's frame/scroll machinery applies.
+            wrapper = TextData()
+            wrapper.append_object(document)
+            document = wrapper
+        self.set_document(document)
+        return self.document
+
+    def save(self, path) -> None:
+        self.save_document(self.document, path)
+        self.frame.post_message(f"Wrote {path}")
+
+    def _menu_save(self, view, event) -> None:
+        self.frame.ask("Write file: ", lambda path: self.save(path))
+
+    def _menu_open(self, view, event) -> None:
+        def open_path(path: str) -> None:
+            try:
+                self.open(path)
+                self.frame.post_message(f"Read {path}")
+            except Exception as exc:  # surface in the message line
+                self.frame.post_message(f"Cannot open {path}: {exc}")
+
+        self.frame.ask("Read file: ", open_path)
+
+    # ------------------------------------------------------------------
+    # Component insertion (the §1 extension story)
+    # ------------------------------------------------------------------
+
+    def insert_component(self, name: str) -> Optional[DataObject]:
+        """Embed a new component of type ``name`` at the caret.
+
+        The data class is resolved through the dynamic loader: a
+        statically present component binds from the registry, an
+        unknown one triggers a plugin search — the paper's music
+        department scenario.
+        """
+        try:
+            cls = default_loader().load(name)
+        except DynamicLoadError as exc:
+            self.frame.post_message(f"Cannot load component {name!r}: {exc}")
+            return None
+        if not (isinstance(cls, type) and issubclass(cls, DataObject)):
+            self.frame.post_message(f"{name!r} is not a data object")
+            return None
+        data = cls()
+        self.textview.insert_object(data)
+        self.frame.post_message(f"Inserted {name}")
+        self.im.flush_updates()
+        return data
+
+    def _menu_insert_other(self, view, event) -> None:
+        self.frame.ask(
+            "Insert object of type: ",
+            lambda name: self.insert_component(name.strip()),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience for tests/examples
+    # ------------------------------------------------------------------
+
+    def type_text(self, text: str) -> None:
+        """Inject keystrokes and process them."""
+        self.im.window.inject_keys(text)
+        self.process()

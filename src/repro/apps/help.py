@@ -1,0 +1,225 @@
+"""Help: the campus help system (paper §1, Figure 2).
+
+Figure 2 shows the help window: the document pane on the left showing
+"EZ: A Document Editor", a "Related tools" list on the right, and an
+"Other topics" overview.  Because the document pane is a text view,
+help documents are multi-media for free (§1).
+
+The substrate is :class:`HelpDatabase`: named topics whose bodies are
+datastream text documents, with related-topic links — standing in for
+the ``/usr/andy/help`` directory tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.application import Application
+from ..core.datastream import read_document, write_document
+from ..components.frame import Frame
+from ..components.listview import ListView
+from ..components.scrollbar import ScrollBar
+from ..components.split import SplitView
+from ..components.text import TextData, TextView
+
+__all__ = ["HelpTopic", "HelpDatabase", "HelpApp", "standard_help_database"]
+
+
+class HelpTopic:
+    """One help document plus its cross references."""
+
+    def __init__(self, name: str, title: str, body: TextData,
+                 related: Optional[List[str]] = None) -> None:
+        self.name = name
+        self.title = title
+        self.body_stream = write_document(body)
+        self.related = list(related or [])
+
+    def body(self) -> TextData:
+        document = read_document(self.body_stream)
+        assert isinstance(document, TextData)
+        return document
+
+
+class HelpDatabase:
+    """Topic storage with lookup and related-topic links."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, HelpTopic] = {}
+
+    def add_topic(self, name: str, title: str, text: str,
+                  related: Optional[List[str]] = None,
+                  body: Optional[TextData] = None) -> HelpTopic:
+        if body is None:
+            body = TextData(text)
+            body.add_style(0, min(len(title), body.length), "bold")
+        topic = HelpTopic(name, title, body, related)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Optional[HelpTopic]:
+        return self._topics.get(name)
+
+    def topic_names(self) -> List[str]:
+        return sorted(self._topics)
+
+    def search(self, needle: str) -> List[str]:
+        """Topics whose name, title or body mention ``needle``."""
+        needle = needle.lower()
+        hits = []
+        for name, topic in sorted(self._topics.items()):
+            haystack = f"{name} {topic.title} {topic.body_stream}".lower()
+            if needle in haystack:
+                hits.append(name)
+        return hits
+
+
+def standard_help_database() -> HelpDatabase:
+    """The Fig. 2 content: EZ's help page and its neighbours."""
+    db = HelpDatabase()
+    db.add_topic(
+        "ez", "EZ: A Document Editor",
+        "EZ: A Document Editor\n\n"
+        "What EZ is\n"
+        "EZ is an editing program that you can use to create, edit,\n"
+        "and format many different types of documents.  This help\n"
+        "document introduces EZ and explains how you can use it to\n"
+        "create and edit text documents.\n\n"
+        "1 Related information about EZ\n"
+        "2 Starting EZ\n"
+        "3 Selecting text and using menus\n"
+        "4 Previewing and printing your documents\n"
+        "5 Quitting EZ\n"
+        "6 Advice\n",
+        related=["andrew-tour", "bulletin-boards", "messages", "typescript",
+                 "preview", "console"],
+    )
+    db.add_topic(
+        "andrew-tour", "Andrew Tour",
+        "A guided tour of the Andrew system: the window manager,\n"
+        "the file system, and the standard applications.\n",
+        related=["ez", "messages"],
+    )
+    db.add_topic(
+        "bulletin-boards", "Bulletin Boards",
+        "Campus bulletin boards are message folders everyone can read.\n"
+        "Use the messages program to subscribe and post.\n",
+        related=["messages"],
+    )
+    db.add_topic(
+        "messages", "Messages",
+        "Messages reads and sends multi-media mail.  Because message\n"
+        "bodies are toolkit documents, a message can contain drawings,\n"
+        "rasters, spreadsheets, or animations.\n",
+        related=["ez", "bulletin-boards"],
+    )
+    db.add_topic(
+        "typescript", "Typescript",
+        "Typescript provides an enhanced interface to the shell.\n",
+        related=["console"],
+    )
+    db.add_topic(
+        "preview", "Preview",
+        "Preview displays formatted ditroff output on the screen.\n",
+        related=["ez"],
+    )
+    db.add_topic(
+        "console", "Console",
+        "Console displays status information such as the time, date,\n"
+        "CPU load and file system information.\n",
+        related=["typescript"],
+    )
+    # A multi-media topic: help documents are text documents, so they
+    # "automatically inherit the multi-media functionality" (§1).
+    keys_body = TextData(
+        "Standard editing keys\n\n"
+        "The table below lists the keys every text view understands.\n\n"
+    )
+    keys_body.add_style(0, len("Standard editing keys"), "heading")
+    from ..components.table import TableData
+
+    keys = TableData(5, 2)
+    for row, (key, action) in enumerate([
+        ("C-a / C-e", "start / end of line"),
+        ("C-k / C-y", "kill line / yank"),
+        ("C-s", "search"),
+        ("C-w", "cut selection"),
+        ("Backspace", "delete backwards"),
+    ]):
+        keys.set_cell(row, 0, key)
+        keys.set_cell(row, 1, action)
+    keys_body.append_object(keys, "spread")
+    keys_body.append("\nSee also the pop-up menus.\n")
+    db.add_topic("editing-keys", "Standard Editing Keys", "",
+                 related=["ez"], body=keys_body)
+    return db
+
+
+class HelpApp(Application):
+    """The Fig. 2 window: document pane | topic lists."""
+
+    atk_name = "helpapp"
+    app_name = "help"
+    default_size = (90, 24)
+
+    def __init__(self, database: Optional[HelpDatabase] = None, **kwargs):
+        self._initial_db = database
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.database = (
+            self._initial_db if self._initial_db is not None
+            else standard_help_database()
+        )
+        self.current: Optional[HelpTopic] = None
+        self.body_view = TextView(TextData(), read_only=True)
+        self.related_list = ListView(on_select=self._related_selected)
+        self.topics_list = ListView(on_select=self._topic_selected)
+        right = SplitView(
+            first=ScrollBar(self.related_list),
+            second=ScrollBar(self.topics_list),
+            vertical=False, ratio=40,
+        )
+        self.split = SplitView(
+            first=ScrollBar(self.body_view),
+            second=right,
+            vertical=True, ratio=65,
+        )
+        self.frame = Frame(self.split)
+        self.im.set_child(self.frame)
+        card = self.frame.menu_card("Help")
+        card.add("Search...", lambda v, e: self.frame.ask(
+            "Search for: ", lambda needle: self.search(needle)))
+        card.add("Quit", lambda v, e: self.destroy())
+        self.topics_list.set_items(self.database.topic_names())
+        self.show_topic("ez")
+
+    # -- topic display -----------------------------------------------------
+
+    def show_topic(self, name: str) -> None:
+        topic = self.database.topic(name)
+        if topic is None:
+            self.frame.post_message(f"No help on {name!r}")
+            return
+        self.current = topic
+        self.body_view.set_dataobject(topic.body())
+        self.body_view.set_dot(0)
+        self.related_list.set_items(topic.related)
+        self.frame.post_message(f"helping you with: {topic.title}")
+        self.im.flush_updates()
+
+    def _related_selected(self, index: int, item: str) -> None:
+        self.show_topic(item)
+
+    def _topic_selected(self, index: int, item: str) -> None:
+        self.show_topic(item)
+
+    def search(self, needle: str) -> List[str]:
+        hits = self.database.search(needle)
+        self.topics_list.set_items(hits if hits else self.database.topic_names())
+        self.frame.post_message(
+            f"{len(hits)} topics mention {needle!r}" if hits
+            else f"nothing mentions {needle!r}"
+        )
+        self.im.flush_updates()
+        return hits

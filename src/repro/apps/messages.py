@@ -1,0 +1,373 @@
+"""Messages: the multi-media mail system (paper §1, Figures 3 and 4).
+
+"Since both the mail and help applications use the text component for
+the display of information, they automatically inherit the multi-media
+functionality of the text component" — a message body is a text
+document, so it can carry drawings (Fig. 3's displayed message),
+rasters (Fig. 4's big cat), tables, or any dynamically loaded
+component, and "it can be sent in a mail message as easily as edited in
+a document."
+
+The substrate is :class:`FolderStore`, an in-memory message database
+standing in for the campus bulletin-board/mail servers: folders hold
+messages whose bodies are datastream text.  Bodies are stored *as
+datastream text* and parsed on read, so mail transport really exercises
+the 7-bit external representation (§5's "transport files across almost
+all networks (especially as mail)").
+
+:class:`MessagesApp` is the Fig. 3 reading window — folder panel on the
+left, captions over the message body on the right.  :class:`ComposeApp`
+is the Fig. 4 composition window.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..core.application import Application
+from ..core.datastream import read_document, write_document
+from ..components.frame import Frame
+from ..components.label import Label
+from ..components.listview import ListView
+from ..components.scrollbar import ScrollBar
+from ..components.split import SplitView
+from ..components.text import TextData, TextView
+
+__all__ = ["Message", "Folder", "FolderStore", "MessagesApp", "ComposeApp"]
+
+_message_ids = itertools.count(1)
+
+
+class Message:
+    """One mail message: headers + a datastream body."""
+
+    def __init__(self, sender: str, to: str, subject: str,
+                 body: TextData, date: str = "11-Feb-88") -> None:
+        self.id = next(_message_ids)
+        self.sender = sender
+        self.to = to
+        self.subject = subject
+        self.date = date
+        self.read = False
+        # Transport form: the body travels as 7-bit datastream text.
+        self.body_stream = write_document(body)
+
+    def body(self) -> TextData:
+        """Parse the transported body back into a document."""
+        document = read_document(self.body_stream)
+        if not isinstance(document, TextData):
+            wrapper = TextData()
+            wrapper.append_object(document)
+            return wrapper
+        return document
+
+    def caption(self) -> str:
+        """The caption-panel line: date, subject, sender, size."""
+        return (
+            f"{self.date}  {self.subject} - {self.sender} "
+            f"({len(self.body_stream)})"
+        )
+
+    def __repr__(self) -> str:
+        return f"<message #{self.id} {self.subject!r}>"
+
+
+class Folder:
+    """An ordered list of messages."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.messages: List[Message] = []
+
+    def add(self, message: Message) -> None:
+        self.messages.append(message)
+
+    @property
+    def unread_count(self) -> int:
+        return sum(1 for m in self.messages if not m.read)
+
+    def caption_line(self) -> str:
+        """The folder-panel line, Fig. 3 style."""
+        marker = f"{self.unread_count} new" if self.unread_count else "none"
+        return f"{self.name} ({marker})"
+
+    def __repr__(self) -> str:
+        return f"<folder {self.name} ({len(self.messages)})>"
+
+
+class FolderStore:
+    """The message database: all folders on 'campus'.
+
+    Tracks per-user subscriptions so the reading window's folder panel
+    "can also be set to display the folders a user is subscribed to or
+    just the user's personal folders" (Figure 3's caption).
+    """
+
+    def __init__(self) -> None:
+        self._folders: Dict[str, Folder] = {}
+        self._subscriptions: Dict[str, List[str]] = {}
+
+    def folder(self, name: str) -> Folder:
+        """The named folder, created on first use."""
+        if name not in self._folders:
+            self._folders[name] = Folder(name)
+        return self._folders[name]
+
+    def folder_names(self) -> List[str]:
+        return sorted(self._folders)
+
+    def folder_count(self) -> int:
+        return len(self._folders)
+
+    # -- subscriptions (the Fig. 3 panel modes) -------------------------
+
+    def subscribe(self, user: str, folder_name: str) -> None:
+        names = self._subscriptions.setdefault(user, [])
+        if folder_name not in names:
+            names.append(folder_name)
+
+    def unsubscribe(self, user: str, folder_name: str) -> None:
+        names = self._subscriptions.get(user, [])
+        if folder_name in names:
+            names.remove(folder_name)
+
+    def subscribed_folders(self, user: str) -> List[str]:
+        return sorted(self._subscriptions.get(user, []))
+
+    def personal_folders(self, user: str) -> List[str]:
+        """The user's own folders: their mailbox tree."""
+        prefix = f"mail.{user}"
+        return sorted(
+            name for name in self._folders
+            if name == prefix or name.startswith(prefix + ".")
+        )
+
+    def deliver(self, folder_name: str, message: Message) -> None:
+        self.folder(folder_name).add(message)
+
+    def send(self, sender: str, to: str, subject: str, body: TextData,
+             date: str = "11-Feb-88") -> Message:
+        """Compose-and-send: the recipient's mailbox folder gets it."""
+        message = Message(sender, to, subject, body, date)
+        self.deliver(f"mail.{to}", message)
+        return message
+
+
+class MessagesApp(Application):
+    """The Fig. 3 reading window: folders | (captions / body)."""
+
+    atk_name = "messagesapp"
+    app_name = "messages"
+    default_size = (100, 30)
+
+    #: Folder-panel modes (Fig. 3 caption): every folder on campus, the
+    #: user's subscriptions, or just the user's personal folders.
+    FOLDER_MODES = ("all", "subscribed", "personal")
+
+    def __init__(self, store: Optional[FolderStore] = None,
+                 user: str = "user", **kwargs) -> None:
+        self._initial_store = store
+        self.user = user
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.store = (
+            self._initial_store if self._initial_store is not None
+            else FolderStore()
+        )
+        self.folder_mode = "all"
+        self.current_folder: Optional[Folder] = None
+        self.current_message: Optional[Message] = None
+
+        self.folder_list = ListView(on_select=self._folder_selected)
+        self.caption_list = ListView(on_select=self._caption_selected)
+        self.body_data = TextData()
+        self.body_view = TextView(self.body_data, read_only=True)
+
+        right = SplitView(
+            first=ScrollBar(self.caption_list),
+            second=ScrollBar(self.body_view),
+            vertical=False, ratio=30,
+        )
+        self.split = SplitView(
+            first=ScrollBar(self.folder_list),
+            second=right,
+            vertical=True, ratio=35,
+        )
+        self.frame = Frame(self.split)
+        self.im.set_child(self.frame)
+        self.refresh_folders()
+        self._build_menus()
+
+    def _build_menus(self) -> None:
+        card = self.frame.menu_card("Messages")
+        card.add("Update", lambda v, e: self.refresh_folders())
+        card.add("All Folders", lambda v, e: self.set_folder_mode("all"))
+        card.add("Subscribed",
+                 lambda v, e: self.set_folder_mode("subscribed"))
+        card.add("Personal", lambda v, e: self.set_folder_mode("personal"))
+        card.add("Reply", lambda v, e: self.reply())
+        card.add("Quit", lambda v, e: self.destroy())
+
+    def reply(self) -> Optional["ComposeApp"]:
+        """Open a composition window answering the displayed message.
+
+        Headers are pre-filled and the original's plain text is quoted
+        ``> `` style; embedded components are not copied (quoting a
+        raster made no sense in 1988 either).
+        """
+        message = self.current_message
+        if message is None:
+            self.frame.post_message("No message selected")
+            return None
+        compose = ComposeApp(self.store, sender=self.user,
+                             window_system=self.window_system)
+        compose.set_to(message.sender)
+        subject = message.subject
+        if not subject.lower().startswith("re:"):
+            subject = f"Re: {subject}"
+        compose.set_subject(subject)
+        quoted = "".join(
+            f"> {line}\n" for line in message.body().plain_text().splitlines()
+        )
+        compose.body_data.append(
+            f"In your message of {message.date} you wrote:\n{quoted}\n"
+        )
+        compose.body_view.set_dot(compose.body_data.length)
+        compose.im.flush_updates()
+        return compose
+
+    # -- navigation ------------------------------------------------------
+
+    def set_folder_mode(self, mode: str) -> None:
+        """Switch the folder panel between all/subscribed/personal."""
+        if mode not in self.FOLDER_MODES:
+            raise ValueError(
+                f"folder mode must be one of {self.FOLDER_MODES}, "
+                f"not {mode!r}"
+            )
+        self.folder_mode = mode
+        self.refresh_folders()
+
+    def visible_folder_names(self) -> List[str]:
+        if self.folder_mode == "subscribed":
+            return self.store.subscribed_folders(self.user)
+        if self.folder_mode == "personal":
+            return self.store.personal_folders(self.user)
+        return self.store.folder_names()
+
+    def refresh_folders(self) -> None:
+        names = self.visible_folder_names()
+        self.folder_list.set_items(
+            [self.store.folder(n).caption_line() for n in names],
+            keep_selection=True,
+        )
+        if self.folder_mode == "all":
+            status = f"All {self.store.folder_count()} Folders"
+        else:
+            status = (
+                f"{len(names)} {self.folder_mode} folder"
+                f"{'s' if len(names) != 1 else ''}"
+            )
+        self.frame.post_message(status)
+        self.im.flush_updates()
+
+    def open_folder(self, name: str) -> None:
+        self.current_folder = self.store.folder(name)
+        self.caption_list.set_items(
+            [m.caption() for m in self.current_folder.messages]
+        )
+        self.frame.post_message(
+            f"{name} ({self.current_folder.unread_count} new "
+            f"of {len(self.current_folder.messages)})"
+        )
+        self.im.flush_updates()
+
+    def _folder_selected(self, index: int, item: str) -> None:
+        name = self.visible_folder_names()[index]
+        self.open_folder(name)
+
+    def open_message(self, index: int) -> None:
+        if self.current_folder is None:
+            return
+        message = self.current_folder.messages[index]
+        message.read = True
+        self.current_message = message
+        body = message.body()
+        header = (
+            f"From: {message.sender}\nTo: {message.to}\n"
+            f"Subject: {message.subject}\nDate: {message.date}\n\n"
+        )
+        body.insert(0, header)
+        self.body_view.set_dataobject(body)
+        self.body_view.set_dot(0)
+        self.refresh_folders()
+        self.im.flush_updates()
+
+    def _caption_selected(self, index: int, item: str) -> None:
+        self.open_message(index)
+
+
+class ComposeApp(Application):
+    """The Fig. 4 composition window: headers + multi-media body."""
+
+    atk_name = "composeapp"
+    app_name = "compose"
+    default_size = (70, 20)
+
+    def __init__(self, store: Optional[FolderStore] = None,
+                 sender: str = "user", **kwargs) -> None:
+        self._initial_store = store
+        self.sender = sender
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.store = (
+            self._initial_store if self._initial_store is not None
+            else FolderStore()
+        )
+        self.to = ""
+        self.subject = ""
+        self.header_label = Label(self._header_text())
+        self.body_data = TextData()
+        self.body_view = TextView(self.body_data)
+        split = SplitView(
+            first=self.header_label,
+            second=ScrollBar(self.body_view),
+            vertical=False, ratio=15,
+        )
+        self.frame = Frame(split)
+        self.im.set_child(self.frame)
+        card = self.frame.menu_card("Compose")
+        card.add("Send", lambda v, e: self.send())
+        card.add("Set To...", lambda v, e: self.frame.ask(
+            "To: ", lambda answer: self.set_to(answer)))
+        card.add("Set Subject...", lambda v, e: self.frame.ask(
+            "Subject: ", lambda answer: self.set_subject(answer)))
+
+    def _header_text(self) -> str:
+        return f"To: {self.to}   Subject: {self.subject}"
+
+    def set_to(self, to: str) -> None:
+        self.to = to
+        self.header_label.set_text(self._header_text())
+        self.im.flush_updates()
+
+    def set_subject(self, subject: str) -> None:
+        self.subject = subject
+        self.header_label.set_text(self._header_text())
+        self.im.flush_updates()
+
+    def send(self) -> Optional[Message]:
+        """Serialize the body to the 7-bit transport form and deliver."""
+        if not self.to:
+            self.frame.post_message("No recipient (use Set To...)")
+            return None
+        message = self.store.send(
+            self.sender, self.to, self.subject or "(no subject)",
+            self.body_data,
+        )
+        self.frame.post_message(f"Sent to {self.to} (#{message.id})")
+        self.im.flush_updates()
+        return message

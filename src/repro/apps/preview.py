@@ -1,0 +1,263 @@
+r"""Preview: the ditroff previewer (paper §1).
+
+"... a ditroff previewer ..." — the application that showed formatted
+troff output on screen.  The substrate is :class:`TroffFormatter`, a
+miniature troff: it understands the requests a campus paper actually
+leaned on (breaks, spacing, centering, indentation, page control, and
+``\fB``/``\fI``/``\fR`` inline font switches) and produces fixed-size
+pages of text.  :class:`PreviewApp` pages through the result with a
+page view, drawing through the same graphics layer as everything else.
+
+Supported requests::
+
+    .br          break line        .sp [n]     blank lines
+    .ce [n]      center next n     .in [n]     set indent
+    .ti [n]      indent next line  .ll [n]     line length
+    .bp          page break        .pp / .lp   new paragraph
+    .nf / .fi    no-fill / fill mode
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.application import Application
+from ..components.frame import Frame
+from ..components.scrollbar import ScrollBar, Scrollable
+from ..core.view import View
+from ..graphics.graphic import Graphic
+
+__all__ = ["TroffFormatter", "FormattedPage", "PreviewApp", "PreviewView"]
+
+PAGE_LINES = 18
+DEFAULT_LINE_LENGTH = 60
+
+
+class FormattedPage:
+    """One output page: (text, bold?) runs per line, flattened to text."""
+
+    def __init__(self, number: int) -> None:
+        self.number = number
+        self.lines: List[str] = []
+
+    def full(self) -> bool:
+        return len(self.lines) >= PAGE_LINES
+
+
+class TroffFormatter:
+    """Formats troff-subset source into pages."""
+
+    def __init__(self, line_length: int = DEFAULT_LINE_LENGTH) -> None:
+        self.line_length = line_length
+        self.indent = 0
+        self.temp_indent: Optional[int] = None
+        self.center_count = 0
+        self.fill = True
+        self.pages: List[FormattedPage] = []
+        self._page: Optional[FormattedPage] = None
+        self._pending_words: List[str] = []
+
+    # -- output plumbing -------------------------------------------------
+
+    def _current_page(self) -> FormattedPage:
+        if self._page is None or self._page.full():
+            self._page = FormattedPage(len(self.pages) + 1)
+            self.pages.append(self._page)
+        return self._page
+
+    def _emit(self, text: str) -> None:
+        indent = self.indent
+        if self.temp_indent is not None:
+            indent = self.temp_indent
+            self.temp_indent = None
+        if self.center_count > 0:
+            pad = max(0, (self.line_length - len(text)) // 2)
+            text = " " * pad + text
+            self.center_count -= 1
+        else:
+            text = " " * indent + text
+        self._current_page().lines.append(text.rstrip())
+
+    def _flush(self) -> None:
+        """Break the current fill: emit pending words as wrapped lines."""
+        if not self._pending_words:
+            return
+        width = max(8, self.line_length - self.indent)
+        line = ""
+        for word in self._pending_words:
+            candidate = f"{line} {word}".strip()
+            if len(candidate) > width and line:
+                self._emit(line)
+                line = word
+            else:
+                line = candidate
+        if line:
+            self._emit(line)
+        self._pending_words = []
+
+    # -- inline escapes -----------------------------------------------------
+
+    @staticmethod
+    def strip_fonts(text: str) -> Tuple[str, List[Tuple[int, int]]]:
+        r"""Remove ``\fB``/``\fI``/``\fR`` escapes.
+
+        Returns the plain text and the [start, end) emphasis spans
+        (bold or italic — the cell display treats them alike).
+        """
+        out: List[str] = []
+        spans: List[Tuple[int, int]] = []
+        open_at: Optional[int] = None
+        i = 0
+        while i < len(text):
+            if text.startswith(("\\fB", "\\fI"), i):
+                if open_at is None:
+                    open_at = len(out)
+                i += 3
+            elif text.startswith("\\fR", i) or text.startswith("\\fP", i):
+                if open_at is not None:
+                    spans.append((open_at, len(out)))
+                    open_at = None
+                i += 3
+            else:
+                out.append(text[i])
+                i += 1
+        if open_at is not None:
+            spans.append((open_at, len(out)))
+        return ("".join(out), spans)
+
+    # -- the formatter ---------------------------------------------------------
+
+    def format(self, source: str) -> List[FormattedPage]:
+        """Format ``source``; returns the page list (also kept on self)."""
+        self.pages = []
+        self._page = None
+        self._pending_words = []
+        for raw_line in source.splitlines():
+            if raw_line.startswith("."):
+                self._request(raw_line)
+                continue
+            text, _spans = self.strip_fonts(raw_line)
+            if not self.fill:
+                self._emit(text)
+            elif not text.strip():
+                self._flush()
+                self._emit("")
+            else:
+                self._pending_words.extend(text.split())
+        self._flush()
+        if not self.pages:
+            self._current_page()
+        return self.pages
+
+    def _request(self, line: str) -> None:
+        parts = line.split()
+        name = parts[0][1:]
+        arg = int(parts[1]) if len(parts) > 1 and parts[1].lstrip("-").isdigit() else None
+        if name == "br":
+            self._flush()
+        elif name == "sp":
+            self._flush()
+            for _ in range(arg if arg is not None else 1):
+                self._emit("")
+        elif name == "ce":
+            self._flush()
+            self.center_count = arg if arg is not None else 1
+        elif name == "in":
+            self._flush()
+            self.indent = max(0, arg if arg is not None else 0)
+        elif name == "ti":
+            self._flush()
+            self.temp_indent = max(0, arg if arg is not None else 0)
+        elif name == "ll":
+            self._flush()
+            if arg:
+                self.line_length = max(16, arg)
+        elif name == "bp":
+            self._flush()
+            self._page = None  # next emit opens a fresh page
+        elif name in ("pp", "lp", "para"):
+            self._flush()
+            self._emit("")
+            self.temp_indent = self.indent + 3 if name == "pp" else None
+        elif name in ("nf", "fi"):
+            self._flush()
+            self.fill = name == "fi"
+        # Unknown requests are ignored, as real previewers did.
+
+
+class PreviewView(View, Scrollable):
+    """Shows formatted pages with rules between them."""
+
+    atk_name = "previewview"
+
+    def __init__(self, pages: Optional[List[FormattedPage]] = None) -> None:
+        super().__init__()
+        self.pages: List[FormattedPage] = list(pages or [])
+        self._top = 0
+
+    def set_pages(self, pages: List[FormattedPage]) -> None:
+        self.pages = list(pages)
+        self._top = 0
+        self.want_update()
+
+    def _page_height(self) -> int:
+        return PAGE_LINES + 2
+
+    def scroll_total(self) -> int:
+        return len(self.pages) * self._page_height()
+
+    def scroll_pos(self) -> int:
+        return self._top
+
+    def scroll_visible(self) -> int:
+        return self.height
+
+    def set_scroll_pos(self, pos: int) -> None:
+        self._top = max(0, min(pos, max(0, self.scroll_total() - 1)))
+        self.want_update()
+
+    def draw(self, graphic: Graphic) -> None:
+        y = -self._top
+        for page in self.pages:
+            header = f"--- page {page.number} ---"
+            if 0 <= y < self.height:
+                graphic.draw_string(
+                    max(0, (self.width - len(header)) // 2), y, header
+                )
+            y += 1
+            for line in page.lines:
+                if 0 <= y < self.height:
+                    graphic.draw_string(1, y, line)
+                y += 1
+            y += self._page_height() - 1 - len(page.lines)
+            if y >= self.height:
+                break
+
+
+class PreviewApp(Application):
+    """The previewer window."""
+
+    atk_name = "previewapp"
+    app_name = "preview"
+    default_size = (70, 24)
+
+    def __init__(self, source: str = "", **kwargs) -> None:
+        self._initial_source = source
+        super().__init__(**kwargs)
+
+    def build(self) -> None:
+        self.formatter = TroffFormatter()
+        self.view = PreviewView()
+        self.frame = Frame(ScrollBar(self.view))
+        self.im.set_child(self.frame)
+        if self._initial_source:
+            self.show(self._initial_source)
+
+    def show(self, source: str) -> List[FormattedPage]:
+        pages = self.formatter.format(source)
+        self.view.set_pages(pages)
+        self.frame.post_message(
+            f"{len(pages)} page{'s' if len(pages) != 1 else ''}"
+        )
+        self.im.flush_updates()
+        return pages

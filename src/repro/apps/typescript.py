@@ -1,0 +1,242 @@
+"""Typescript: "an enhanced interface to the C-shell" (paper §1).
+
+The substrate is :class:`MiniShell` — a small in-process command
+interpreter with a virtual file tree, environment variables and command
+history — standing in for ``csh`` so the typescript machinery (a text
+document that is simultaneously a transcript and an input line) is
+exercised without touching the host system.
+
+The enhancement typescript added over a terminal was exactly that the
+transcript is an editable text document: you can scroll it, select and
+copy from it, and edit the pending command line with the full editor.
+All of that falls out of building on the text component.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from ..core.application import Application
+from ..components.frame import Frame
+from ..components.scrollbar import ScrollBar
+from ..components.text import TextData, TextView
+
+__all__ = ["MiniShell", "TypescriptView", "TypescriptApp"]
+
+PROMPT = "% "
+
+
+class MiniShell:
+    """A tiny shell: virtual files, env, history, pipeable built-ins."""
+
+    def __init__(self) -> None:
+        self.env: Dict[str, str] = {"USER": "wjh", "HOME": "/afs/andrew/wjh"}
+        self.cwd = self.env["HOME"]
+        self.files: Dict[str, str] = {
+            "/afs/andrew/wjh/paper.d": "\\begindata{text, 1}\n...\n",
+            "/afs/andrew/wjh/notes": "remember to convert campus to X.11\n",
+            "/afs/andrew/wjh/src/main.c": "#include <class.h>\n",
+        }
+        self.history: List[str] = []
+        self._builtins: Dict[str, Callable[[List[str]], str]] = {
+            "echo": self._cmd_echo,
+            "pwd": self._cmd_pwd,
+            "cd": self._cmd_cd,
+            "ls": self._cmd_ls,
+            "cat": self._cmd_cat,
+            "setenv": self._cmd_setenv,
+            "printenv": self._cmd_printenv,
+            "history": self._cmd_history,
+            "date": self._cmd_date,
+            "whoami": self._cmd_whoami,
+            "wc": self._cmd_wc,
+        }
+
+    def run(self, line: str) -> str:
+        """Execute one command line; returns its output (may be '')."""
+        line = line.strip()
+        if not line:
+            return ""
+        self.history.append(line)
+        try:
+            argv = shlex.split(line)
+        except ValueError as exc:
+            return f"syntax error: {exc}\n"
+        command = self._builtins.get(argv[0])
+        if command is None:
+            return f"{argv[0]}: command not found\n"
+        try:
+            return command(argv[1:])
+        except Exception as exc:  # a shell survives its commands
+            return f"{argv[0]}: {exc}\n"
+
+    # -- built-ins ----------------------------------------------------------
+
+    def _expand(self, token: str) -> str:
+        if token.startswith("$"):
+            return self.env.get(token[1:], "")
+        return token
+
+    def _resolve(self, path: str) -> str:
+        path = self._expand(path)
+        if not path.startswith("/"):
+            path = f"{self.cwd.rstrip('/')}/{path}"
+        return path
+
+    def _cmd_echo(self, args: List[str]) -> str:
+        return " ".join(self._expand(a) for a in args) + "\n"
+
+    def _cmd_pwd(self, args: List[str]) -> str:
+        return self.cwd + "\n"
+
+    def _cmd_cd(self, args: List[str]) -> str:
+        self.cwd = self._resolve(args[0]) if args else self.env["HOME"]
+        return ""
+
+    def _cmd_ls(self, args: List[str]) -> str:
+        base = self._resolve(args[0]) if args else self.cwd
+        base = base.rstrip("/") + "/"
+        names = set()
+        for path in self.files:
+            if path.startswith(base):
+                rest = path[len(base):]
+                names.add(rest.split("/")[0])
+        return "".join(f"{name}\n" for name in sorted(names))
+
+    def _cmd_cat(self, args: List[str]) -> str:
+        out = []
+        for arg in args:
+            path = self._resolve(arg)
+            if path in self.files:
+                out.append(self.files[path])
+            else:
+                out.append(f"cat: {arg}: no such file\n")
+        return "".join(out)
+
+    def _cmd_setenv(self, args: List[str]) -> str:
+        if len(args) >= 2:
+            self.env[args[0]] = args[1]
+        return ""
+
+    def _cmd_printenv(self, args: List[str]) -> str:
+        if args:
+            return self.env.get(args[0], "") + "\n"
+        return "".join(f"{k}={v}\n" for k, v in sorted(self.env.items()))
+
+    def _cmd_history(self, args: List[str]) -> str:
+        return "".join(
+            f"{i + 1:4}  {line}\n" for i, line in enumerate(self.history)
+        )
+
+    def _cmd_date(self, args: List[str]) -> str:
+        return "Thu Feb 11 09:30:00 EST 1988\n"
+
+    def _cmd_whoami(self, args: List[str]) -> str:
+        return self.env.get("USER", "nobody") + "\n"
+
+    def _cmd_wc(self, args: List[str]) -> str:
+        out = []
+        for arg in args:
+            path = self._resolve(arg)
+            if path in self.files:
+                text = self.files[path]
+                out.append(
+                    f"{len(text.splitlines()):7} "
+                    f"{len(text.split()):7} {len(text):7} {arg}\n"
+                )
+            else:
+                out.append(f"wc: {arg}: no such file\n")
+        return "".join(out)
+
+
+class TypescriptView(TextView):
+    """A text view whose document is a live shell transcript.
+
+    Everything before the *input mark* is history (editable for
+    copying, but Return in history re-executes nothing); everything
+    after it is the pending command line.  Return ships the pending
+    line to the shell and appends the output plus a new prompt.
+    """
+
+    atk_name = "typescriptview"
+
+    def __init__(self, shell: Optional[MiniShell] = None) -> None:
+        self.shell = shell if shell is not None else MiniShell()
+        transcript = TextData(PROMPT)
+        super().__init__(transcript)
+        self._input_start = transcript.length
+        self._history_index: Optional[int] = None
+        self.set_dot(transcript.length)
+        self.keymap.bind("Return", self._cmd_run_line)
+        self.keymap.bind("M-p", self._cmd_history_previous)
+        self.keymap.bind("M-n", self._cmd_history_next)
+
+    def pending_line(self) -> str:
+        return self.data.text(self._input_start, self.data.length)
+
+    def _cmd_run_line(self, view, key) -> None:
+        line = self.pending_line()
+        self.data.append("\n")
+        output = self.shell.run(line)
+        if output:
+            self.data.append(output)
+        self.data.append(PROMPT)
+        self._input_start = self.data.length
+        self._history_index = None
+        self.set_dot(self.data.length)
+
+    def _replace_pending(self, text: str) -> None:
+        self.data.delete(self._input_start,
+                         self.data.length - self._input_start)
+        self.data.append(text)
+        self.set_dot(self.data.length)
+
+    def _cmd_history_previous(self, view, key) -> None:
+        """M-p: recall earlier commands into the pending line."""
+        history = self.shell.history
+        if not history:
+            return
+        if self._history_index is None:
+            self._history_index = len(history) - 1
+        else:
+            self._history_index = max(0, self._history_index - 1)
+        self._replace_pending(history[self._history_index])
+
+    def _cmd_history_next(self, view, key) -> None:
+        """M-n: move back toward the newest command (past it: empty)."""
+        history = self.shell.history
+        if self._history_index is None:
+            return
+        self._history_index += 1
+        if self._history_index >= len(history):
+            self._history_index = None
+            self._replace_pending("")
+        else:
+            self._replace_pending(history[self._history_index])
+
+    def run_command(self, line: str) -> str:
+        """Drive the typescript programmatically (tests/examples)."""
+        self.set_dot(self.data.length)
+        self.data.insert(self.data.length, line)
+        self.set_dot(self.data.length)
+        output = self.shell.run(line)
+        self.data.append("\n" + output + PROMPT)
+        self._input_start = self.data.length
+        self.set_dot(self.data.length)
+        return output
+
+
+class TypescriptApp(Application):
+    """The typescript window: frame + scroll bar + transcript."""
+
+    atk_name = "typescriptapp"
+    app_name = "typescript"
+    default_size = (72, 20)
+
+    def build(self) -> None:
+        self.shell = MiniShell()
+        self.typescript = TypescriptView(self.shell)
+        self.frame = Frame(ScrollBar(self.typescript))
+        self.im.set_child(self.frame)
+        self.frame.post_message(f"typescript: {self.shell.cwd}")

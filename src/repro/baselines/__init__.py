@@ -1,0 +1,5 @@
+"""Baselines the paper compares its design against."""
+
+from .geometric_router import GeometricRouter
+
+__all__ = ["GeometricRouter"]

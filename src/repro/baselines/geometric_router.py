@@ -1,0 +1,89 @@
+"""The geometric event router: the baseline section 3 argues against.
+
+"Other systems closely tie the handling of events to the physical
+relationship of components on the screen.  If a component is physically
+on top of another component it will block the transmission of certain
+events to the lower component ... Further, many toolkits use a global
+analysis of all views in order to process and distribute events."
+
+:class:`GeometricRouter` is that model, reimplemented over the same
+view tree: it flattens the tree to screen rectangles and delivers every
+mouse event to the *smallest/deepest rectangle containing the point* —
+no parent is consulted.  It reproduces the two §3 failure cases:
+
+* clicking a line drawn over embedded text goes to the text (the
+  drawing's shape list is semantics the router cannot see);
+* grabbing just beside the frame's divider goes to a child (the
+  enlarged grab zone overlaps child rectangles, which geometry cannot
+  honour).
+
+Experiment E13 routes the same event set through this router and the
+toolkit's parental dispatch and scores the outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.view import View
+from ..graphics.geometry import Point, Rect
+from ..wm.events import MouseEvent
+
+__all__ = ["GeometricRouter"]
+
+
+class GeometricRouter:
+    """Global, physical-model event distribution over a view tree."""
+
+    def __init__(self, root: View) -> None:
+        self.root = root
+        self.dispatch_count = 0
+
+    def _flatten(self) -> List[Tuple[View, Rect, int]]:
+        """Every view with its window-space rectangle and depth."""
+        out: List[Tuple[View, Rect, int]] = []
+
+        def walk(view: View, origin: Point, depth: int) -> None:
+            view.ensure_layout()
+            rect = Rect(
+                origin.x + view.bounds.left,
+                origin.y + view.bounds.top,
+                view.bounds.width,
+                view.bounds.height,
+            )
+            out.append((view, rect, depth))
+            child_origin = Point(rect.left, rect.top)
+            for child in view.children:
+                walk(child, child_origin, depth + 1)
+
+        walk(self.root, Point(0, 0), 0)
+        return out
+
+    def target_at(self, point: Point) -> Optional[View]:
+        """The deepest (then topmost) view whose rectangle holds the point.
+
+        This is the "global analysis": one table of rectangles, one
+        containment query, no view gets a say.
+        """
+        best: Optional[Tuple[View, Rect, int]] = None
+        for view, rect, depth in self._flatten():
+            if rect.is_empty() or not rect.contains_point(point):
+                continue
+            if best is None or depth >= best[2]:
+                best = (view, rect, depth)
+        return None if best is None else best[0]
+
+    def dispatch(self, event: MouseEvent) -> Optional[View]:
+        """Deliver ``event`` (window coordinates) geometrically.
+
+        The chosen view's ``handle_mouse`` is called with coordinates
+        translated into its space; no parent can intercept, no child
+        can decline upward.
+        """
+        self.dispatch_count += 1
+        target = self.target_at(event.point)
+        if target is None:
+            return None
+        origin = target.origin_in_window()
+        target.handle_mouse(event.offset(-origin.x, -origin.y))
+        return target

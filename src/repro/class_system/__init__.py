@@ -1,0 +1,94 @@
+"""The Andrew Class System reproduction (paper section 6).
+
+Provides the object-oriented substrate the toolkit is built on:
+
+* :mod:`~repro.class_system.registry` — single-inheritance class
+  registry with class procedures (:class:`ATKObject`, :func:`lookup`);
+* :mod:`~repro.class_system.observable` — the observer/delayed-update
+  protocol (:class:`Observable`, :class:`ChangeRecord`);
+* :mod:`~repro.class_system.dynamic` — dynamic loading of component
+  code by name (:class:`ClassLoader`, :func:`load_class`);
+* :mod:`~repro.class_system.preprocessor` — the miniature ``.ch``
+  class-description preprocessor.
+"""
+
+from .errors import (
+    ClassLookupError,
+    ClassProcedureOverrideError,
+    ClassRegistrationError,
+    ClassSystemError,
+    DynamicLoadError,
+    MultipleInheritanceError,
+    PluginNotFoundError,
+    PluginSyntaxError,
+    PreprocessorError,
+)
+from .registry import (
+    ATKMeta,
+    ATKObject,
+    ClassInfo,
+    class_info,
+    classprocedure,
+    is_registered,
+    lookup,
+    register,
+    register_alias,
+    registered_names,
+    subclasses_of,
+    unregister,
+)
+from .observable import ChangeRecord, FunctionObserver, Observable, Observer
+from .dynamic import ClassLoader, LoadRecord, default_loader, load_class
+from .preprocessor import (
+    ClassDescription,
+    FieldDescription,
+    MethodDescription,
+    emit_export_header,
+    emit_import_header,
+    parse_ch,
+    realize_class,
+)
+
+__all__ = [
+    # errors
+    "ClassSystemError",
+    "ClassRegistrationError",
+    "ClassLookupError",
+    "ClassProcedureOverrideError",
+    "MultipleInheritanceError",
+    "DynamicLoadError",
+    "PluginNotFoundError",
+    "PluginSyntaxError",
+    "PreprocessorError",
+    # registry
+    "ATKObject",
+    "ATKMeta",
+    "classprocedure",
+    "ClassInfo",
+    "register",
+    "register_alias",
+    "lookup",
+    "class_info",
+    "is_registered",
+    "registered_names",
+    "unregister",
+    "subclasses_of",
+    # observable
+    "Observable",
+    "Observer",
+    "FunctionObserver",
+    "ChangeRecord",
+    # dynamic
+    "ClassLoader",
+    "LoadRecord",
+    "default_loader",
+    "load_class",
+    # preprocessor
+    "parse_ch",
+    "realize_class",
+    "ClassDescription",
+    "MethodDescription",
+    "FieldDescription",
+    "emit_export_header",
+    "emit_import_header",
+]

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the Andrew Class System reproduction.
+
+The original Class runtime signalled failures through NULL returns and
+``fprintf`` diagnostics; a Python reproduction gets to use a proper
+exception hierarchy instead.  Every error raised by ``repro.class_system``
+derives from :class:`ClassSystemError` so callers can catch the whole
+family with a single clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClassSystemError",
+    "ClassRegistrationError",
+    "ClassLookupError",
+    "ClassProcedureOverrideError",
+    "MultipleInheritanceError",
+    "DynamicLoadError",
+    "PluginNotFoundError",
+    "PluginSyntaxError",
+    "PreprocessorError",
+]
+
+
+class ClassSystemError(Exception):
+    """Base class for every error raised by the class system."""
+
+
+class ClassRegistrationError(ClassSystemError):
+    """A class could not be registered (e.g. duplicate name)."""
+
+
+class ClassLookupError(ClassSystemError, KeyError):
+    """A class name could not be resolved in the registry.
+
+    Also a :class:`KeyError` because lookup failure is fundamentally a
+    missing-key condition; code that treats the registry as a mapping can
+    catch ``KeyError`` and still work.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its argument; we want prose.
+        return Exception.__str__(self)
+
+
+class ClassProcedureOverrideError(ClassSystemError, TypeError):
+    """A subclass attempted to override a class procedure.
+
+    In the Andrew Class System, *class procedures* (analogous to
+    Smalltalk class methods) may not be overridden, unlike ordinary
+    object methods.  The registry enforces this at class-creation time.
+    """
+
+
+class MultipleInheritanceError(ClassSystemError, TypeError):
+    """A toolkit class declared more than one toolkit base class.
+
+    The Andrew Class System provides *single* inheritance only (paper
+    section 6); we enforce the same restriction for fidelity.
+    """
+
+
+class DynamicLoadError(ClassSystemError):
+    """Dynamic loading of a component failed."""
+
+
+class PluginNotFoundError(DynamicLoadError):
+    """No plugin file for the requested component exists on the load path."""
+
+    def __init__(self, name: str, searched: list) -> None:
+        self.name = name
+        self.searched = list(searched)
+        paths = ", ".join(str(p) for p in self.searched) or "<empty path>"
+        super().__init__(
+            f"no dynamically loadable component named {name!r} "
+            f"(searched: {paths})"
+        )
+
+
+class PluginSyntaxError(DynamicLoadError):
+    """A plugin file was found but could not be compiled or executed."""
+
+
+class PreprocessorError(ClassSystemError):
+    """A ``.ch`` class description could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)

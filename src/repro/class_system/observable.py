@@ -1,0 +1,213 @@
+"""The observer mechanism (paper section 2).
+
+The Andrew Toolkit's update system is built on *observers*: a data
+object may be observed by any number of other data objects and views.
+When the data object changes, every observer is notified and repairs its
+own state.  The paper's chart example — a chart data object observing a
+table data object, with the chart view observing the chart data object —
+is reproduced verbatim in ``repro/components/table/chart.py`` on top of
+this module.
+
+Two deliberate fidelity points:
+
+* Notification is **explicit**: mutating a data object does not notify
+  anyone until ``notify_observers`` is called.  This mirrors the paper's
+  delayed-update design, where a view "first requests that the data
+  object modify itself and then requests the data object to inform all
+  of its views that it has changed".
+* Observers receive a *change record* describing what changed, because
+  "the developer must develop some mechanism with which the view can
+  determine which portion of the data object has changed"; the base
+  record carries an opaque ``what``/``where``/``extent`` triple that
+  concrete data objects refine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, List, Optional
+
+__all__ = ["ChangeRecord", "Observable", "Observer", "FunctionObserver"]
+
+_change_counter = itertools.count(1)
+
+
+class ChangeRecord:
+    """Describes one modification of an :class:`Observable`.
+
+    Attributes
+    ----------
+    source:
+        The observable that changed.
+    what:
+        A short string naming the kind of change (``"insert"``,
+        ``"delete"``, ``"cell"``, ``"style"`` ...).  Concrete data
+        objects document their vocabulary.
+    where:
+        A component-specific position (character offset, (row, col), ...).
+    extent:
+        A component-specific size of the affected region.
+    serial:
+        A globally increasing serial number; views compare it with the
+        serial of their last repaint to decide whether work is needed —
+        the reproduction of the toolkit's "modified timestamp" scheme.
+    """
+
+    __slots__ = ("source", "what", "where", "extent", "serial", "detail")
+
+    def __init__(
+        self,
+        source: "Observable",
+        what: str = "changed",
+        where: Any = None,
+        extent: Any = None,
+        detail: Any = None,
+    ) -> None:
+        self.source = source
+        self.what = what
+        self.where = where
+        self.extent = extent
+        self.detail = detail
+        self.serial = next(_change_counter)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChangeRecord(what={self.what!r}, where={self.where!r}, "
+            f"extent={self.extent!r}, serial={self.serial})"
+        )
+
+
+class Observer:
+    """Interface for things that observe an :class:`Observable`.
+
+    Subclasses override :meth:`observed_changed`.  Views and auxiliary
+    data objects both implement this interface — the paper stresses that
+    *data objects* can observe other data objects, not just views.
+    """
+
+    def observed_changed(self, change: ChangeRecord) -> None:
+        """Called after an observed object announces a change."""
+        raise NotImplementedError
+
+    def observed_destroyed(self, source: "Observable") -> None:
+        """Called when an observed object is destroyed.  Optional."""
+
+
+class FunctionObserver(Observer):
+    """Adapter wrapping a plain callable as an :class:`Observer`."""
+
+    def __init__(self, func: Callable[[ChangeRecord], None]) -> None:
+        self._func = func
+
+    def observed_changed(self, change: ChangeRecord) -> None:
+        self._func(change)
+
+
+class Observable:
+    """Mixin giving a class the Andrew observer protocol.
+
+    Maintains an ordered observer list (notification order is the order
+    of attachment, matching the original's linked-list behaviour), a
+    modification serial, and re-entrancy-safe notification: observers
+    attached or detached *during* a notification take effect for the next
+    notification, not the current one.
+    """
+
+    def __init__(self) -> None:
+        self._observers: List[Observer] = []
+        self._modified_serial = 0
+        self._notifying = 0
+
+    # -- attachment ----------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach ``observer``; duplicate attachments are ignored."""
+        if observer not in self._observers:
+            if self._notifying:
+                # Copy-on-write under notification so iteration stays safe.
+                self._observers = self._observers + [observer]
+            else:
+                self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Detach ``observer`` (no-op if not attached)."""
+        if observer in self._observers:
+            if self._notifying:
+                observers = list(self._observers)
+                observers.remove(observer)
+                self._observers = observers
+            else:
+                self._observers.remove(observer)
+
+    def observers(self) -> Iterator[Observer]:
+        """Iterate over the currently attached observers."""
+        return iter(self._observers)
+
+    @property
+    def observer_count(self) -> int:
+        return len(self._observers)
+
+    # -- notification --------------------------------------------------
+
+    @property
+    def modified_serial(self) -> int:
+        """Serial of the most recent announced change (0 = never)."""
+        return self._modified_serial
+
+    def set_modified(
+        self,
+        what: str = "changed",
+        where: Any = None,
+        extent: Any = None,
+        detail: Any = None,
+    ) -> ChangeRecord:
+        """Record a modification *without* notifying observers.
+
+        Data objects call this from their mutators; the caller decides
+        when to flush with :meth:`notify_observers`.  Returns the change
+        record so callers may batch or coalesce records themselves.
+        """
+        change = ChangeRecord(self, what, where, extent, detail)
+        self._modified_serial = change.serial
+        self._pending_change = change
+        return change
+
+    def notify_observers(self, change: Optional[ChangeRecord] = None) -> int:
+        """Deliver ``change`` (or the pending record) to every observer.
+
+        Returns the number of observers notified.  If there is neither an
+        explicit nor a pending change record, a generic one is created so
+        "something changed, look for yourself" notifications still work.
+        """
+        if change is None:
+            change = getattr(self, "_pending_change", None)
+            if change is None:
+                change = ChangeRecord(self)
+                self._modified_serial = change.serial
+        self._pending_change = None
+        snapshot = self._observers
+        self._notifying += 1
+        try:
+            for observer in snapshot:
+                observer.observed_changed(change)
+        finally:
+            self._notifying -= 1
+        return len(snapshot)
+
+    def changed(
+        self,
+        what: str = "changed",
+        where: Any = None,
+        extent: Any = None,
+        detail: Any = None,
+    ) -> int:
+        """Convenience: :meth:`set_modified` then :meth:`notify_observers`."""
+        change = self.set_modified(what, where, extent, detail)
+        return self.notify_observers(change)
+
+    def destroy_observable(self) -> None:
+        """Tell observers this object is going away, then detach them."""
+        snapshot = self._observers
+        self._observers = []
+        for observer in snapshot:
+            observer.observed_destroyed(self)

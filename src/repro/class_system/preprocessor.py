@@ -1,0 +1,280 @@
+"""A miniature Class preprocessor (paper section 6).
+
+The original toolkit described classes in ``.ch`` header files; a simple
+preprocessor turned each into an export header (``.eh``, used by the
+class's implementation) and an import header (``.ih``, used by clients).
+The ``.ch`` grammar distinguished *class procedures*, *methods*,
+*overrides* of superclass methods, and *data* (instance fields).
+
+This module parses the same surface syntax (trimmed of C type noise) and
+realizes descriptions as live Python classes registered with the class
+system.  It exists for fidelity — the reproduction's components are
+ordinary Python classes — but it is fully functional: the test suite
+defines working components from ``.ch`` text, and
+:func:`emit_export_header` / :func:`emit_import_header` regenerate
+``.eh``/``.ih``-style artifacts.
+
+Accepted grammar (one class per source)::
+
+    class <Name>[<registryname>] : <SuperName> {
+      classprocedures:
+        <name>(<params>) [returns <type>];
+      methods:
+        <name>(<params>) [returns <type>];
+      overrides:
+        <name>(<params>) [returns <type>];
+      data:
+        <type> <name>;
+    };
+
+Comments run from ``/*`` to ``*/`` or from ``//`` to end of line.  The
+``[registryname]`` part is optional and defaults to the lowercased class
+name, as with the metaclass.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Type
+
+from .errors import PreprocessorError
+from .registry import ATKObject, classprocedure, lookup
+
+__all__ = [
+    "MethodDescription",
+    "FieldDescription",
+    "ClassDescription",
+    "parse_ch",
+    "realize_class",
+    "emit_export_header",
+    "emit_import_header",
+]
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+_CLASS_RE = re.compile(
+    r"class\s+(?P<name>\w+)\s*(?:\[\s*(?P<reg>\w+)\s*\])?\s*"
+    r"(?::\s*(?P<super>\w+)\s*(?:\[\s*\w+\s*\])?)?\s*\{(?P<body>.*)\}\s*;?\s*$",
+    re.DOTALL,
+)
+_SECTION_NAMES = ("classprocedures", "methods", "overrides", "data")
+_METHOD_RE = re.compile(
+    r"^(?P<name>[A-Za-z_]\w*)\s*\((?P<params>[^)]*)\)\s*"
+    r"(?:returns\s+(?P<ret>[\w\s*]+?))?\s*$"
+)
+_FIELD_RE = re.compile(r"^(?P<type>[\w\s*]+?)\s*[\s*](?P<name>\w+)\s*$")
+
+
+class MethodDescription:
+    """One method/classprocedure/override declaration from a ``.ch``."""
+
+    __slots__ = ("name", "params", "returns", "kind")
+
+    def __init__(self, name: str, params: List[str], returns: Optional[str], kind: str):
+        self.name = name
+        self.params = params
+        self.returns = returns
+        self.kind = kind  # "classprocedure" | "method" | "override"
+
+    def signature(self) -> str:
+        ret = f" returns {self.returns}" if self.returns else ""
+        return f"{self.name}({', '.join(self.params)}){ret}"
+
+    def __repr__(self) -> str:
+        return f"MethodDescription({self.signature()!r}, kind={self.kind!r})"
+
+
+class FieldDescription:
+    """One ``data:`` field declaration from a ``.ch``."""
+
+    __slots__ = ("ctype", "name")
+
+    def __init__(self, ctype: str, name: str):
+        self.ctype = ctype
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"FieldDescription({self.ctype!r}, {self.name!r})"
+
+
+class ClassDescription:
+    """Parsed form of one ``.ch`` class description."""
+
+    def __init__(
+        self,
+        name: str,
+        registry_name: str,
+        superclass: Optional[str],
+        methods: List[MethodDescription],
+        fields: List[FieldDescription],
+    ) -> None:
+        self.name = name
+        self.registry_name = registry_name
+        self.superclass = superclass
+        self.methods = methods
+        self.fields = fields
+
+    def methods_of_kind(self, kind: str) -> List[MethodDescription]:
+        return [m for m in self.methods if m.kind == kind]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassDescription(name={self.name!r}, super={self.superclass!r}, "
+            f"methods={len(self.methods)}, fields={len(self.fields)})"
+        )
+
+
+def _strip_comments(source: str) -> str:
+    return _COMMENT_RE.sub("", source)
+
+
+def _split_params(raw: str) -> List[str]:
+    raw = raw.strip()
+    if not raw or raw == "void":
+        return []
+    return [p.strip() for p in raw.split(",") if p.strip()]
+
+
+def parse_ch(source: str) -> ClassDescription:
+    """Parse ``.ch`` text into a :class:`ClassDescription`.
+
+    Raises :class:`PreprocessorError` with a line number on malformed
+    input.
+    """
+    cleaned = _strip_comments(source).strip()
+    match = _CLASS_RE.match(cleaned)
+    if match is None:
+        raise PreprocessorError(
+            "source does not match 'class Name[reg] : Super { ... };'"
+        )
+    name = match.group("name")
+    registry_name = match.group("reg") or name.lower()
+    superclass = match.group("super")
+    body = match.group("body")
+
+    methods: List[MethodDescription] = []
+    fields: List[FieldDescription] = []
+    section: Optional[str] = None
+    section_re = re.compile(
+        r"^(?P<name>" + "|".join(_SECTION_NAMES) + r")\s*:\s*(?P<rest>.*)$",
+        re.IGNORECASE,
+    )
+    for lineno, raw_line in enumerate(body.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        for decl in filter(None, (d.strip() for d in line.split(";"))):
+            header = section_re.match(decl)
+            if header is not None:
+                section = header.group("name").lower()
+                decl = header.group("rest").strip()
+                if not decl:
+                    continue
+            if section is None:
+                raise PreprocessorError(
+                    f"declaration {decl!r} outside any section", lineno
+                )
+            if section == "data":
+                fmatch = _FIELD_RE.match(decl)
+                if fmatch is None:
+                    raise PreprocessorError(f"bad field {decl!r}", lineno)
+                fields.append(
+                    FieldDescription(fmatch.group("type").strip(), fmatch.group("name"))
+                )
+            else:
+                mmatch = _METHOD_RE.match(decl)
+                if mmatch is None:
+                    raise PreprocessorError(f"bad method {decl!r}", lineno)
+                kind = "classprocedure" if section == "classprocedures" else (
+                    "override" if section == "overrides" else "method"
+                )
+                methods.append(
+                    MethodDescription(
+                        mmatch.group("name"),
+                        _split_params(mmatch.group("params")),
+                        (mmatch.group("ret") or "").strip() or None,
+                        kind,
+                    )
+                )
+    return ClassDescription(name, registry_name, superclass, methods, fields)
+
+
+def _make_stub(desc: ClassDescription, method: MethodDescription) -> Callable:
+    def stub(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{desc.name}.{method.name} declared in .ch but not implemented"
+        )
+
+    stub.__name__ = method.name
+    stub.__doc__ = f"Declared in .ch as ``{method.signature()}``."
+    return stub
+
+
+def realize_class(
+    desc: ClassDescription,
+    implementations: Optional[Dict[str, Callable]] = None,
+    base: Optional[Type[ATKObject]] = None,
+) -> Type[ATKObject]:
+    """Turn a parsed description into a live, registered toolkit class.
+
+    ``implementations`` maps method names to callables; declared methods
+    without an implementation become :exc:`NotImplementedError` stubs.
+    ``base`` overrides superclass resolution (otherwise the declared
+    superclass is looked up in the registry; no superclass means
+    :class:`ATKObject`).  Declared ``data:`` fields are initialized to
+    ``None`` by a generated ``__init__`` that first calls the base.
+    """
+    implementations = dict(implementations or {})
+    if base is None:
+        base = lookup(desc.superclass) if desc.superclass else ATKObject
+
+    field_names = [f.name for f in desc.fields]
+
+    def generated_init(self, *args, **kwargs):
+        base.__init__(self, *args, **kwargs)
+        for fname in field_names:
+            if not hasattr(self, fname):
+                setattr(self, fname, None)
+
+    namespace: Dict[str, object] = {
+        "atk_name": desc.registry_name,
+        "__doc__": f"Generated from .ch description of {desc.name}.",
+        "__ch_description__": desc,
+        "__init__": implementations.pop("__init__", generated_init),
+    }
+    for method in desc.methods:
+        impl = implementations.pop(method.name, None) or _make_stub(desc, method)
+        if method.kind == "classprocedure":
+            namespace[method.name] = classprocedure(impl)
+        else:
+            namespace[method.name] = impl
+    if implementations:
+        extra = ", ".join(sorted(implementations))
+        raise PreprocessorError(
+            f"implementations provided for undeclared methods: {extra}"
+        )
+    return type(desc.name, (base,), namespace)
+
+
+def emit_export_header(desc: ClassDescription) -> str:
+    """Regenerate an ``.eh``-style export header from a description."""
+    lines = [f"/* {desc.name}.eh -- generated export header */"]
+    lines.append(f"#define {desc.registry_name}_VERSION 1")
+    for field in desc.fields:
+        lines.append(f"    {field.ctype} {field.name};")
+    for method in desc.methods:
+        macro = f"{desc.registry_name}_{method.name}"
+        lines.append(f"#define {macro}(self) /* {method.signature()} */")
+    return "\n".join(lines) + "\n"
+
+
+def emit_import_header(desc: ClassDescription) -> str:
+    """Regenerate an ``.ih``-style import header from a description."""
+    lines = [f"/* {desc.name}.ih -- generated import header */"]
+    sup = desc.superclass or "base"
+    lines.append(f"/* class {desc.registry_name} : {sup} */")
+    for method in desc.methods:
+        if method.kind == "classprocedure":
+            lines.append(f"extern {desc.registry_name}__{method.name}();")
+        else:
+            lines.append(f"/* method {method.signature()} */")
+    return "\n".join(lines) + "\n"

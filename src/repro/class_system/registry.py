@@ -1,0 +1,314 @@
+"""The Andrew Class System: registry, single inheritance, class procedures.
+
+The Andrew Toolkit was written in C with a small preprocessor ("Class")
+that provided an object-oriented environment with:
+
+* **single inheritance** — each class has at most one superclass;
+* **object methods** — overridable in subclasses (like C++ virtuals);
+* **class procedures** — like Smalltalk class methods, but *not*
+  overridable in subclasses;
+* a **run-time registry** mapping class names to implementations, which
+  is what made dynamic loading by name possible.
+
+This module reproduces those semantics on top of Python's class
+machinery.  Toolkit classes derive from :class:`ATKObject`, whose
+metaclass registers every subclass by name, rejects multiple toolkit
+inheritance, and rejects overrides of members marked with
+:func:`classprocedure`.
+
+Example
+-------
+>>> class Fruit(ATKObject):
+...     @classprocedure
+...     def kingdom(cls):
+...         return "plantae"
+...     def name(self):
+...         return "fruit"
+>>> class Apple(Fruit):
+...     def name(self):          # object methods may be overridden
+...         return "apple"
+>>> lookup("apple") is Apple
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Type
+
+from .errors import (
+    ClassLookupError,
+    ClassProcedureOverrideError,
+    ClassRegistrationError,
+    MultipleInheritanceError,
+)
+
+__all__ = [
+    "ATKObject",
+    "ATKMeta",
+    "classprocedure",
+    "ClassInfo",
+    "register",
+    "lookup",
+    "is_registered",
+    "registered_names",
+    "unregister",
+    "subclasses_of",
+    "class_info",
+]
+
+
+class classprocedure:
+    """Mark a callable as an Andrew *class procedure*.
+
+    Class procedures behave like Python ``classmethod``s when called, but
+    the metaclass forbids subclasses from overriding them — mirroring the
+    paper's distinction between overridable object methods and
+    non-overridable class procedures (section 6).
+    """
+
+    def __init__(self, func: Callable) -> None:
+        self.__func__ = func
+        self.__doc__ = func.__doc__
+        self.__name__ = func.__name__
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.__name__ = name
+
+    def __get__(self, instance, owner=None):
+        owner = owner if owner is not None else type(instance)
+        return self.__func__.__get__(owner, type(owner))
+
+
+class ClassInfo:
+    """Metadata the registry keeps for each toolkit class.
+
+    Stores the class name (the key used for by-name lookup and for
+    datastream type tags), its superclass, where it was loaded from, and
+    the set of class-procedure names — information the original Class
+    runtime kept in its ``classinfo`` structures.
+    """
+
+    __slots__ = ("name", "cls", "superclass", "origin", "class_procedures", "versions")
+
+    def __init__(
+        self,
+        name: str,
+        cls: type,
+        superclass: Optional[type],
+        origin: str,
+        class_procedures: frozenset,
+    ) -> None:
+        self.name = name
+        self.cls = cls
+        self.superclass = superclass
+        self.origin = origin
+        self.class_procedures = class_procedures
+        self.versions = 1
+
+    def __repr__(self) -> str:
+        sup = self.superclass.__name__ if self.superclass else None
+        return (
+            f"ClassInfo(name={self.name!r}, cls={self.cls.__name__}, "
+            f"superclass={sup}, origin={self.origin!r})"
+        )
+
+
+_registry_lock = threading.RLock()
+_registry: Dict[str, ClassInfo] = {}
+
+
+def _atk_bases(bases) -> List[type]:
+    """Return the toolkit (ATKObject-derived) bases among ``bases``."""
+    return [b for b in bases if isinstance(b, ATKMeta)]
+
+
+def _collect_class_procedures(cls: type) -> frozenset:
+    names = set()
+    for klass in cls.__mro__:
+        for attr, value in vars(klass).items():
+            if isinstance(value, classprocedure):
+                names.add(attr)
+    return frozenset(names)
+
+
+class ATKMeta(type):
+    """Metaclass enforcing Andrew Class System semantics.
+
+    Responsibilities, in class-creation order:
+
+    1. reject multiple toolkit inheritance (single inheritance only);
+    2. reject overrides of inherited class procedures;
+    3. register the new class by its Andrew name (``atk_name`` attribute
+       if present, else the lowercased class name), unless the class sets
+       ``atk_register = False`` (used for abstract bases).
+    """
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        toolkit_bases = _atk_bases(bases)
+        if len(toolkit_bases) > 1:
+            raise MultipleInheritanceError(
+                f"class {name!r} declares {len(toolkit_bases)} toolkit base "
+                "classes; the Andrew Class System permits single "
+                "inheritance only"
+            )
+
+        # Forbid overriding inherited class procedures.
+        inherited_procs = set()
+        for base in toolkit_bases:
+            info = getattr(base, "__atk_info__", None)
+            if info is not None:
+                inherited_procs.update(info.class_procedures)
+            else:
+                inherited_procs.update(_collect_class_procedures(base))
+        for attr in namespace:
+            if attr in inherited_procs:
+                raise ClassProcedureOverrideError(
+                    f"class {name!r} overrides class procedure {attr!r}; "
+                    "class procedures may not be overridden"
+                )
+
+        cls = super().__new__(mcls, name, bases, namespace, **kwargs)
+
+        should_register = namespace.get("atk_register", True)
+        atk_name = namespace.get("atk_name") or name.lower()
+        superclass = toolkit_bases[0] if toolkit_bases else None
+        info = ClassInfo(
+            name=atk_name,
+            cls=cls,
+            superclass=superclass,
+            origin=namespace.get("__module__", "<unknown>"),
+            class_procedures=_collect_class_procedures(cls),
+        )
+        cls.__atk_info__ = info
+        if should_register and toolkit_bases:
+            register(info, replace=namespace.get("atk_replace", False))
+        return cls
+
+
+class ATKObject(metaclass=ATKMeta):
+    """Root of the toolkit class hierarchy.
+
+    Provides the lifecycle protocol the Class runtime generated for every
+    class: allocation + ``InitializeObject`` (our ``__init__``) and
+    ``FinalizeObject`` (our :meth:`destroy`).  ``destroy`` is idempotent
+    and walks no references afterwards; views and data objects extend it
+    to detach observers.
+    """
+
+    atk_register = False  # the root itself is not a loadable component
+
+    def __init__(self) -> None:
+        self._destroyed = False
+
+    @property
+    def destroyed(self) -> bool:
+        """True once :meth:`destroy` has run."""
+        return getattr(self, "_destroyed", False)
+
+    def destroy(self) -> None:
+        """Finalize the object.  Safe to call more than once."""
+        self._destroyed = True
+
+    @classprocedure
+    def atk_class_name(cls) -> str:
+        """Return the registry name of this class."""
+        return cls.__atk_info__.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__atk_info__.name} at {id(self):#x}>"
+
+
+def register(info: ClassInfo, replace: bool = False) -> None:
+    """Register ``info`` in the global class registry.
+
+    ``replace=True`` allows re-registration under an existing name, which
+    the dynamic loader uses when a plugin is reloaded; the version counter
+    on the surviving :class:`ClassInfo` is bumped so callers can detect
+    reloads.
+    """
+    with _registry_lock:
+        existing = _registry.get(info.name)
+        if existing is not None and not replace:
+            if existing.cls is info.cls:
+                return  # re-registering the identical class is harmless
+            raise ClassRegistrationError(
+                f"class name {info.name!r} already registered by "
+                f"{existing.origin}; pass atk_replace=True to supersede it"
+            )
+        if existing is not None:
+            info.versions = existing.versions + 1
+        _registry[info.name] = info
+
+
+def lookup(name: str) -> Type[ATKObject]:
+    """Return the class registered under ``name``.
+
+    Raises :class:`ClassLookupError` if the name is unknown; dynamic
+    loading (``repro.class_system.dynamic``) catches this to decide when
+    a plugin search is needed.
+    """
+    with _registry_lock:
+        info = _registry.get(name)
+    if info is None:
+        raise ClassLookupError(f"no toolkit class registered under {name!r}")
+    return info.cls
+
+
+def class_info(name: str) -> ClassInfo:
+    """Return the :class:`ClassInfo` registered under ``name``."""
+    with _registry_lock:
+        info = _registry.get(name)
+    if info is None:
+        raise ClassLookupError(f"no toolkit class registered under {name!r}")
+    return info
+
+
+def is_registered(name: str) -> bool:
+    """True if ``name`` resolves in the registry."""
+    with _registry_lock:
+        return name in _registry
+
+
+def registered_names() -> List[str]:
+    """Return a sorted snapshot of all registered class names."""
+    with _registry_lock:
+        return sorted(_registry)
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent).
+
+    Exists mainly for test isolation; the original runtime had no
+    unloading, and production code never needs this.
+    """
+    with _registry_lock:
+        _registry.pop(name, None)
+
+
+def register_alias(name: str, cls: Type[ATKObject]) -> None:
+    """Register ``cls`` under an additional name.
+
+    Components use this where the paper's vocabulary has two names for
+    one implementation — e.g. the table's standard view is requested in
+    datastreams as ``spread`` (the paper's §5 example) but the class
+    itself is named ``tableview``.
+    """
+    info = ClassInfo(
+        name=name,
+        cls=cls,
+        superclass=cls.__atk_info__.superclass,
+        origin=cls.__atk_info__.origin,
+        class_procedures=cls.__atk_info__.class_procedures,
+    )
+    register(info)
+
+
+def subclasses_of(name: str) -> Iterator[ClassInfo]:
+    """Yield registry entries whose class derives from the named class."""
+    base = lookup(name)
+    with _registry_lock:
+        entries = list(_registry.values())
+    for info in entries:
+        if info.cls is not base and issubclass(info.cls, base):
+            yield info

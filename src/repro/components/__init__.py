@@ -1,0 +1,99 @@
+"""The component library (paper section 1).
+
+"The toolkit provides the usual set of simple components (menu, scroll
+bars, etc) and a number of higher-level editable components including
+multi-font text, tables/spreadsheets, drawings, equations, rasters and
+simple animations."
+
+Importing this package registers every component class with the class
+system, which is what a statically linked application image contained;
+components left *out* of an image load dynamically on first reference
+(see ``plugins/`` at the repository root for the music example).
+"""
+
+from .animation import AnimationData, AnimationView, pascal_triangle_frames
+from .button import Button
+from .drawing import (
+    DrawView,
+    DrawingData,
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    PolylineShape,
+    RectShape,
+    Shape,
+    TextShape,
+)
+from .equation import EquationData, EquationView, render_equation
+from .frame import Frame, GRAB_SLOP, MessageLine
+from .label import Label
+from .listview import ListView
+from .menuview import MenuPopupView, menu_snapshot
+from .pagelayout import PageLayoutData, PageLayoutView, Placement
+from .split import SplitView
+from .raster import RasterData, RasterView
+from .scrollbar import ScrollBar, Scrollable
+from .table import (
+    BarChartView,
+    ChartData,
+    Formula,
+    FormulaError,
+    PieChartView,
+    TableData,
+    TableView,
+)
+from .text import (
+    EmbeddedObject,
+    OBJECT_CHAR,
+    PageView,
+    StyleSpan,
+    TextData,
+    TextView,
+)
+
+__all__ = [
+    "Label",
+    "ListView",
+    "MenuPopupView",
+    "menu_snapshot",
+    "PageLayoutData",
+    "PageLayoutView",
+    "Placement",
+    "SplitView",
+    "Button",
+    "ScrollBar",
+    "Scrollable",
+    "Frame",
+    "MessageLine",
+    "GRAB_SLOP",
+    "TextData",
+    "TextView",
+    "PageView",
+    "EmbeddedObject",
+    "OBJECT_CHAR",
+    "StyleSpan",
+    "TableData",
+    "TableView",
+    "Formula",
+    "FormulaError",
+    "ChartData",
+    "PieChartView",
+    "BarChartView",
+    "DrawingData",
+    "DrawView",
+    "Shape",
+    "LineShape",
+    "RectShape",
+    "EllipseShape",
+    "GroupShape",
+    "PolylineShape",
+    "TextShape",
+    "EquationData",
+    "EquationView",
+    "render_equation",
+    "RasterData",
+    "RasterView",
+    "AnimationData",
+    "AnimationView",
+    "pascal_triangle_frames",
+]

@@ -1,0 +1,6 @@
+"""The animation component: timed bitmap frame sequences."""
+
+from .animdata import AnimationData, pascal_triangle_frames
+from .animview import AnimationView
+
+__all__ = ["AnimationData", "AnimationView", "pascal_triangle_frames"]

@@ -1,0 +1,128 @@
+r"""The animation data object: a timed sequence of bitmap frames.
+
+"Some of the components included in the toolkit are ... simple
+animations" — and the Figure-5 document embeds "an animation showing
+the building of [Pascal's] triangle".  :class:`AnimationData` stores
+frames (reusing the raster component's row encoding) plus a tick period;
+the view plays them against the interaction manager's timer.
+
+External representation body::
+
+    @frames <count> <period>
+    @frame <width> <height>
+    r <pixels>
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...core.dataobject import DataObject
+from ...core.datastream import BodyLine, DataStreamError, EndObject
+from ...graphics.image import Bitmap
+from ..raster.rasterdata import decode_rows, encode_rows
+
+__all__ = ["AnimationData", "pascal_triangle_frames"]
+
+
+class AnimationData(DataObject):
+    """An ordered list of frames with a tick period."""
+
+    atk_name = "animation"
+
+    def __init__(self, frames: Optional[List[Bitmap]] = None,
+                 period: int = 1) -> None:
+        super().__init__()
+        self.frames: List[Bitmap] = list(frames or [])
+        self.period = max(1, period)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    def add_frame(self, frame: Bitmap) -> None:
+        self.frames.append(frame)
+        self.changed("frames", where=len(self.frames) - 1)
+
+    def frame(self, index: int) -> Bitmap:
+        return self.frames[index % max(1, len(self.frames))]
+
+    def max_size(self) -> tuple:
+        width = max((f.width for f in self.frames), default=1)
+        height = max((f.height for f in self.frames), default=1)
+        return (width, height)
+
+    # -- external representation ----------------------------------------
+
+    def write_body(self, writer) -> None:
+        writer.write_body_line(f"@frames {len(self.frames)} {self.period}")
+        for frame in self.frames:
+            writer.write_body_line(f"@frame {frame.width} {frame.height}")
+            for line in encode_rows(frame):
+                writer.write_body_line(line)
+
+    def read_body(self, reader) -> None:
+        self.frames = []
+        current_rows: List[str] = []
+        current_size = (0, 0)
+        in_frame = False
+
+        def close_frame() -> None:
+            nonlocal in_frame
+            if in_frame:
+                self.frames.append(
+                    decode_rows(current_rows, *current_size)
+                )
+                current_rows.clear()
+                in_frame = False
+
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                text = event.text
+                if not text.strip():
+                    continue
+                if text.startswith("@frames "):
+                    parts = text.split()
+                    self.period = max(1, int(parts[2]))
+                elif text.startswith("@frame "):
+                    close_frame()
+                    parts = text.split()
+                    current_size = (int(parts[1]), int(parts[2]))
+                    in_frame = True
+                elif text.startswith(("r ", "+ ")):
+                    if not in_frame:
+                        raise DataStreamError(
+                            "frame rows before @frame", event.line
+                        )
+                    current_rows.append(text)
+                else:
+                    raise DataStreamError(
+                        f"unknown animation directive {text!r}", event.line
+                    )
+            elif isinstance(event, EndObject):
+                break
+        close_frame()
+        self.changed("frames")
+
+
+def pascal_triangle_frames(levels: int = 5) -> List[Bitmap]:
+    """Frames showing Pascal's triangle being built row by row —
+    the Figure-5 animation, generated rather than hand-drawn."""
+    triangle: List[List[int]] = []
+    for level in range(levels):
+        row = [1] * (level + 1)
+        for k in range(1, level):
+            row[k] = triangle[level - 1][k - 1] + triangle[level - 1][k]
+        triangle.append(row)
+    width = 4 * levels + 2
+    frames: List[Bitmap] = []
+    for shown in range(1, levels + 1):
+        rows = []
+        for level in range(shown):
+            numbers = " ".join(str(n) for n in triangle[level])
+            dots = "".join("*" if ch != " " else " " for ch in numbers)
+            pad = max(0, (width - len(dots)) // 2)
+            rows.append(" " * pad + dots)
+        frames.append(Bitmap.from_rows(rows, ink="*"))
+    return frames

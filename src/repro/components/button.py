@@ -1,0 +1,87 @@
+"""Button: a pressable labelled view.
+
+One of the paper's "usual set of simple components".  A button is a
+view without a data object: its label and callback are transient UI
+state.  Pressing flashes the button (transfer-mode inversion) and
+invokes the callback on release *inside* the button — releasing
+elsewhere cancels, the standard button interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..core.view import View
+from ..graphics.fontdesc import FontDesc
+from ..graphics.graphic import Graphic
+from ..wm.events import MouseAction, MouseEvent
+
+__all__ = ["Button"]
+
+
+class Button(View):
+    """A click target with a text label."""
+
+    atk_name = "button"
+
+    def __init__(self, label: str = "button",
+                 on_press: Optional[Callable[["Button"], None]] = None,
+                 font: FontDesc = None) -> None:
+        super().__init__()
+        self.label = label
+        self.on_press = on_press
+        self.font = font if font is not None else FontDesc("andy", 12)
+        self.pressed = False
+        self.press_count = 0
+
+    def set_label(self, label: str) -> None:
+        if label != self.label:
+            self.label = label
+            self.want_update()
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        im = self.interaction_manager()
+        if im is not None:
+            metrics = im.window_system.font_metrics(self.font)
+            return (
+                min(width, metrics.string_width(self.label) + 4 * metrics.char_width),
+                min(height, metrics.height + 2),
+            )
+        return (min(width, len(self.label) + 4), min(height, 1))
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.set_font(self.font)
+        bounds = self.local_bounds
+        if bounds.height >= 3:
+            graphic.draw_rect(bounds)
+            graphic.draw_string_centered(bounds, self.label)
+        else:
+            graphic.draw_string_centered(bounds, f"[{self.label}]")
+        if self.pressed:
+            graphic.invert_rect(bounds)
+
+    # -- interaction ---------------------------------------------------
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        inside = self.local_bounds.contains_point(event.point)
+        if event.action == MouseAction.DOWN and inside:
+            self._set_pressed(True)
+            return True
+        if event.action in (MouseAction.DRAG, MouseAction.MOVE):
+            if self.pressed != inside:
+                self._set_pressed(inside)
+            return True
+        if event.action == MouseAction.UP:
+            fired = self.pressed and inside
+            self._set_pressed(False)
+            if fired:
+                self.press_count += 1
+                if self.on_press is not None:
+                    self.on_press(self)
+            return True
+        return False
+
+    def _set_pressed(self, pressed: bool) -> None:
+        if pressed != self.pressed:
+            self.pressed = pressed
+            self.want_update()

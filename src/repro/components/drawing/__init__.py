@@ -1,0 +1,25 @@
+"""The drawing component: shapes, data object, and the routing view."""
+
+from .drawdata import DrawingData
+from .drawview import DrawView
+from .shapes import (
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    PolylineShape,
+    RectShape,
+    Shape,
+    TextShape,
+)
+
+__all__ = [
+    "DrawingData",
+    "DrawView",
+    "Shape",
+    "LineShape",
+    "RectShape",
+    "EllipseShape",
+    "GroupShape",
+    "PolylineShape",
+    "TextShape",
+]

@@ -1,0 +1,187 @@
+"""The drawing view: the section-3 routing case, done right.
+
+"The user of the drawing editor might first enter some text and then
+place a line over the text.  When a mouse event occurs near that line
+only the drawing component could determine whether the user was
+selecting the line or the underlying text.  This was impossible to
+accomplish since the [prototype] toolkit maintained strict, global
+control over the distribution of input events."
+
+:meth:`DrawView.route_mouse` is that determination: the drawing
+interrogates its *shape list* (semantics) before its *child rectangles*
+(geometry).  A click near a line's ink selects the line even where the
+line crosses an embedded text's rectangle; a click inside the text but
+away from any line ink routes to the text view.  Experiment E13 runs
+exactly this configuration against a geometry-only router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...class_system.dynamic import load_class
+from ...class_system.errors import DynamicLoadError
+from ...core.view import View
+from ...graphics.geometry import Point, Rect
+from ...graphics.graphic import Graphic
+from ...wm.events import MouseAction, MouseEvent
+from .drawdata import DrawingData
+from .shapes import Shape, TextShape
+
+__all__ = ["DrawView"]
+
+HIT_SLOP = 1
+
+
+class DrawView(View):
+    """Interactive view over a :class:`DrawingData`."""
+
+    atk_name = "drawingview"
+
+    def __init__(self, dataobject: Optional[DrawingData] = None) -> None:
+        super().__init__()
+        self.selected: Optional[Shape] = None
+        self._drag_from: Optional[Point] = None
+        self._text_views: Dict[int, View] = {}
+        self._build_menus()
+        if dataobject is not None:
+            self.set_dataobject(dataobject)
+
+    @property
+    def data(self) -> Optional[DrawingData]:
+        return self.dataobject
+
+    def on_data_changed(self, change) -> None:
+        self._needs_layout = True
+        self.want_update()
+
+    # ------------------------------------------------------------------
+    # Children: embedded text views
+    # ------------------------------------------------------------------
+
+    def layout(self) -> None:
+        if self.data is None:
+            return
+        live = set()
+        for shape in self.data.text_shapes():
+            if shape.data is None:
+                continue
+            live.add(id(shape))
+            view = self._text_views.get(id(shape))
+            if view is None:
+                try:
+                    cls = load_class(shape.view_type)
+                except DynamicLoadError:
+                    from ..text.textview import _UnknownComponentView
+
+                    cls = _UnknownComponentView
+                view = cls(shape.data)
+                self._text_views[id(shape)] = view
+                self.add_child(view)
+            view.set_bounds(shape.bounds().intersection(self.local_bounds))
+        for key, view in list(self._text_views.items()):
+            if key not in live:
+                self.remove_child(view)
+                del self._text_views[key]
+
+    def view_for_shape(self, shape: TextShape) -> Optional[View]:
+        self.ensure_layout()
+        return self._text_views.get(id(shape))
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.data is None:
+            return
+        for shape in self.data.shapes:
+            shape.draw(graphic)
+        if self.selected is not None:
+            # Selection feedback: invert the shape's bounds corners.
+            box = self.selected.bounds()
+            for corner in (
+                Point(box.left, box.top),
+                Point(box.right - 1, box.top),
+                Point(box.left, box.bottom - 1),
+                Point(box.right - 1, box.bottom - 1),
+            ):
+                graphic.invert_rect(Rect(corner.x, corner.y, 1, 1))
+
+    # ------------------------------------------------------------------
+    # Routing: semantics before geometry (the §3 anecdote)
+    # ------------------------------------------------------------------
+
+    def route_mouse(self, event: MouseEvent) -> Optional[View]:
+        if self.data is None:
+            return None
+        if self._drag_from is not None:
+            return None  # mid-drag: keep the interaction
+        hit = self.data.shape_at(event.point, HIT_SLOP)
+        if isinstance(hit, TextShape):
+            return self.view_for_shape(hit)
+        if hit is not None:
+            return None  # a line/rect/... claims the event — handle here
+        # No ink hit: a click inside a text rectangle still belongs to
+        # the text (caret placement in blank space).
+        for shape in reversed(self.data.text_shapes()):
+            if shape.bounds().contains_point(event.point):
+                return self.view_for_shape(shape)
+        return None
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if self.data is None:
+            return False
+        if event.action == MouseAction.DOWN:
+            hit = self.data.shape_at(event.point, HIT_SLOP)
+            self.select(hit)
+            self._drag_from = event.point if hit is not None else None
+            self.want_input_focus()
+            return True
+        if event.action == MouseAction.DRAG and self._drag_from is not None:
+            if self.selected is not None:
+                dx = event.point.x - self._drag_from.x
+                dy = event.point.y - self._drag_from.y
+                if dx or dy:
+                    self.data.move_shape(self.selected, dx, dy)
+                self._drag_from = event.point
+            return True
+        if event.action == MouseAction.UP:
+            self._drag_from = None
+            return True
+        return False
+
+    def select(self, shape: Optional[Shape]) -> None:
+        if shape is not self.selected:
+            self.selected = shape
+            self.want_update()
+
+    # ------------------------------------------------------------------
+    # Menus
+    # ------------------------------------------------------------------
+
+    def _build_menus(self) -> None:
+        card = self.menu_card("Draw")
+        card.add("Delete", lambda v, e: self._delete_selected())
+        card.add("Raise", lambda v, e: self._raise_selected())
+
+    def _delete_selected(self) -> None:
+        if self.data is not None and self.selected is not None:
+            self.data.remove_shape(self.selected)
+            self.selected = None
+
+    def _raise_selected(self) -> None:
+        if self.data is not None and self.selected is not None:
+            self.data.raise_shape(self.selected)
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        if self.data is None:
+            return (width, 5)
+        return (
+            min(width, self.data.canvas_width),
+            min(height, self.data.canvas_height),
+        )

@@ -1,0 +1,274 @@
+"""Shapes for the drawing component.
+
+Each shape knows its bounds, how to draw itself into a drawable, and
+how to *hit test* a point with a slop distance — the semantic
+information the drawing view uses to decide whether a mouse event
+selects a shape or falls through to an embedded component (the
+section-3 drawing-editor anecdote).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ...graphics.geometry import Point, Rect
+from ...graphics.graphic import Graphic
+
+__all__ = ["Shape", "LineShape", "RectShape", "EllipseShape", "PolylineShape",
+           "TextShape"]
+
+
+class Shape:
+    """Base class for drawing elements."""
+
+    kind = "shape"
+
+    def bounds(self) -> Rect:
+        raise NotImplementedError
+
+    def draw(self, graphic: Graphic) -> None:
+        raise NotImplementedError
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        """True if ``point`` is within ``slop`` of the shape's ink."""
+        raise NotImplementedError
+
+    def move_by(self, dx: int, dy: int) -> None:
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """One-line external representation payload."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {tuple(self.bounds())}>"
+
+
+def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Euclidean distance from ``p`` to segment ``ab``."""
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    if dx == 0 and dy == 0:
+        return math.hypot(p.x - ax, p.y - ay)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / (dx * dx + dy * dy)
+    t = max(0.0, min(1.0, t))
+    return math.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy))
+
+
+class LineShape(Shape):
+    """A line segment."""
+
+    kind = "line"
+
+    def __init__(self, x0: int, y0: int, x1: int, y1: int) -> None:
+        self.x0, self.y0, self.x1, self.y1 = x0, y0, x1, y1
+
+    def bounds(self) -> Rect:
+        rect = Rect.from_corners(self.x0, self.y0, self.x1, self.y1)
+        # A horizontal/vertical line still covers one row/column.
+        return Rect(rect.left, rect.top, max(1, rect.width), max(1, rect.height))
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.draw_line(self.x0, self.y0, self.x1, self.y1)
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        return _point_segment_distance(
+            point, Point(self.x0, self.y0), Point(self.x1, self.y1)
+        ) <= slop
+
+    def move_by(self, dx: int, dy: int) -> None:
+        self.x0 += dx
+        self.y0 += dy
+        self.x1 += dx
+        self.y1 += dy
+
+    def spec(self) -> str:
+        return f"line {self.x0} {self.y0} {self.x1} {self.y1}"
+
+
+class RectShape(Shape):
+    """A rectangle outline (or filled)."""
+
+    kind = "rect"
+
+    def __init__(self, rect: Rect, filled: bool = False) -> None:
+        self.rect = rect
+        self.filled = filled
+
+    def bounds(self) -> Rect:
+        return self.rect
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.filled:
+            graphic.fill_rect(self.rect, 1)
+        else:
+            graphic.draw_rect(self.rect)
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        outer = self.rect.inset(-slop, -slop)
+        if self.filled:
+            return outer.contains_point(point)
+        inner = self.rect.inset(slop + 1, slop + 1)
+        return outer.contains_point(point) and not inner.contains_point(point)
+
+    def move_by(self, dx: int, dy: int) -> None:
+        self.rect = self.rect.offset(dx, dy)
+
+    def spec(self) -> str:
+        fill = 1 if self.filled else 0
+        r = self.rect
+        return f"rect {r.left} {r.top} {r.width} {r.height} {fill}"
+
+
+class EllipseShape(Shape):
+    """An ellipse inscribed in a rectangle."""
+
+    kind = "ellipse"
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+
+    def bounds(self) -> Rect:
+        return self.rect
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.draw_ellipse(self.rect)
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        a = max(1.0, self.rect.width / 2)
+        b = max(1.0, self.rect.height / 2)
+        cx = self.rect.left + self.rect.width / 2
+        cy = self.rect.top + self.rect.height / 2
+        norm = math.hypot((point.x - cx) / a, (point.y - cy) / b)
+        tolerance = slop / min(a, b) + 0.35
+        return abs(norm - 1.0) <= tolerance
+
+    def move_by(self, dx: int, dy: int) -> None:
+        self.rect = self.rect.offset(dx, dy)
+
+    def spec(self) -> str:
+        r = self.rect
+        return f"ellipse {r.left} {r.top} {r.width} {r.height}"
+
+
+class PolylineShape(Shape):
+    """A connected sequence of segments."""
+
+    kind = "poly"
+
+    def __init__(self, points: List[Point], closed: bool = False) -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs at least two points")
+        self.points = list(points)
+        self.closed = closed
+
+    def bounds(self) -> Rect:
+        box = Rect.empty()
+        for point in self.points:
+            box = box.union(Rect(point.x, point.y, 1, 1))
+        return box
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.draw_polyline(self.points, closed=self.closed)
+
+    def _segments(self):
+        yield from zip(self.points, self.points[1:])
+        if self.closed:
+            yield (self.points[-1], self.points[0])
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        return any(
+            _point_segment_distance(point, a, b) <= slop
+            for a, b in self._segments()
+        )
+
+    def move_by(self, dx: int, dy: int) -> None:
+        self.points = [p.offset(dx, dy) for p in self.points]
+
+    def spec(self) -> str:
+        closed = 1 if self.closed else 0
+        coords = " ".join(f"{p.x} {p.y}" for p in self.points)
+        return f"poly {closed} {len(self.points)} {coords}"
+
+
+class GroupShape(Shape):
+    """A composite of shapes moved/selected as one.
+
+    The Figure-3 message was drawn with "the zip hierarchical drawing
+    editor": diagrams are trees of grouped parts.  A group hit-tests
+    and moves as a unit, and draws its children in order.
+    """
+
+    kind = "group"
+
+    def __init__(self, children: List[Shape]) -> None:
+        if not children:
+            raise ValueError("a group needs at least one shape")
+        self.children = list(children)
+
+    def bounds(self) -> Rect:
+        box = Rect.empty()
+        for child in self.children:
+            box = box.union(child.bounds())
+        return box
+
+    def draw(self, graphic: Graphic) -> None:
+        for child in self.children:
+            child.draw(graphic)
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        return any(child.hit_test(point, slop) for child in self.children)
+
+    def move_by(self, dx: int, dy: int) -> None:
+        for child in self.children:
+            child.move_by(dx, dy)
+
+    def flatten(self) -> List[Shape]:
+        """All leaf shapes, depth-first."""
+        leaves: List[Shape] = []
+        for child in self.children:
+            if isinstance(child, GroupShape):
+                leaves.extend(child.flatten())
+            else:
+                leaves.append(child)
+        return leaves
+
+    def spec(self) -> str:
+        # Groups serialize as their child count; children follow as
+        # consecutive @shape lines consumed by the reader.
+        return f"group {len(self.children)}"
+
+
+class TextShape(Shape):
+    """An embedded text component inside a drawing (section 3).
+
+    "The drawing editor used the text component to display and edit
+    text within the drawings."  The shape holds the embedded TextData
+    and the rectangle allocated to its view; the drawing view realizes
+    the child view, and the line-over-text routing decision (E13) is
+    made against this shape's rect.
+    """
+
+    kind = "text"
+
+    def __init__(self, rect: Rect, data, view_type: str = "textview") -> None:
+        self.rect = rect
+        self.data = data
+        self.view_type = view_type
+
+    def bounds(self) -> Rect:
+        return self.rect
+
+    def draw(self, graphic: Graphic) -> None:
+        pass  # the embedded view draws itself as a child of the drawing view
+
+    def hit_test(self, point: Point, slop: int = 1) -> bool:
+        return self.rect.inset(-slop, -slop).contains_point(point)
+
+    def move_by(self, dx: int, dy: int) -> None:
+        self.rect = self.rect.offset(dx, dy)
+
+    def spec(self) -> str:
+        r = self.rect
+        return f"text {r.left} {r.top} {r.width} {r.height}"

@@ -1,0 +1,19 @@
+"""The equation component: TeX-flavoured source, box layout, view."""
+
+from .eqdata import EquationData
+from .eqview import EquationView
+from .layout import (
+    Box,
+    EquationSyntaxError,
+    parse_equation,
+    render_equation,
+)
+
+__all__ = [
+    "EquationData",
+    "EquationView",
+    "Box",
+    "EquationSyntaxError",
+    "parse_equation",
+    "render_equation",
+]

@@ -1,0 +1,81 @@
+r"""The equation data object.
+
+Holds one or more equation source lines in the little TeX-flavoured
+language of :mod:`repro.components.equation.layout`.  The Figure-5
+document stores Pascal's-triangle recurrences in one of these, embedded
+in a table cell, embedded in text.
+
+External representation body: one ``@eq <source>`` line per equation.
+(The source language uses backslash commands; the datastream writer's
+leading-backslash escaping keeps marker scanning sound.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...core.dataobject import DataObject
+from ...core.datastream import BodyLine, DataStreamError, EndObject
+from .layout import EquationSyntaxError, render_equation
+
+__all__ = ["EquationData"]
+
+
+class EquationData(DataObject):
+    """A list of equation source lines."""
+
+    atk_name = "equation"
+
+    def __init__(self, *equations: str) -> None:
+        super().__init__()
+        self.equations: List[str] = list(equations)
+
+    def add_equation(self, source: str) -> None:
+        """Append an equation; raises on syntax errors immediately so
+        bad input never reaches a saved document."""
+        render_equation(source)  # validate
+        self.equations.append(source)
+        self.changed("equation", where=len(self.equations) - 1)
+
+    def set_equation(self, index: int, source: str) -> None:
+        render_equation(source)
+        self.equations[index] = source
+        self.changed("equation", where=index)
+
+    def remove_equation(self, index: int) -> None:
+        del self.equations[index]
+        self.changed("equation", where=index)
+
+    def rendered(self) -> List[str]:
+        """All equations rendered to rows, blank row between them."""
+        rows: List[str] = []
+        for index, source in enumerate(self.equations):
+            if index:
+                rows.append("")
+            try:
+                rows.extend(render_equation(source))
+            except EquationSyntaxError as exc:
+                rows.append(f"<bad equation: {exc}>")
+        return rows
+
+    # -- external representation ----------------------------------------
+
+    def write_body(self, writer) -> None:
+        for source in self.equations:
+            writer.write_body_line(f"@eq {source}")
+
+    def read_body(self, reader) -> None:
+        self.equations = []
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                if not event.text.strip():
+                    continue
+                if not event.text.startswith("@eq "):
+                    raise DataStreamError(
+                        f"unknown equation directive {event.text!r}",
+                        event.line,
+                    )
+                self.equations.append(event.text[len("@eq "):])
+            elif isinstance(event, EndObject):
+                break
+        self.changed("equation")

@@ -1,0 +1,57 @@
+"""The equation view: draws rendered equation rows.
+
+Read-mostly; editing happens by replacing the source through the data
+object (EZ binds a dialog for it).  Like every component view it can be
+embedded anywhere, printed by drawable swap, and shown by several
+windows at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...core.view import View
+from ...graphics.fontdesc import FontDesc
+from ...graphics.graphic import Graphic
+from .eqdata import EquationData
+
+__all__ = ["EquationView"]
+
+
+class EquationView(View):
+    """Displays an :class:`EquationData`."""
+
+    atk_name = "equationview"
+
+    font = FontDesc("andy", 12, ("fixed",))
+
+    def __init__(self, dataobject: Optional[EquationData] = None) -> None:
+        super().__init__(dataobject)
+
+    @property
+    def data(self) -> Optional[EquationData]:
+        return self.dataobject
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        rows = self.data.rendered() if self.data is not None else []
+        want_w = max((len(r) for r in rows), default=8)
+        im = self.interaction_manager()
+        if im is not None:
+            metrics = im.window_system.font_metrics(self.font)
+            want_w *= metrics.char_width
+            want_h = max(1, len(rows)) * metrics.height
+        else:
+            want_h = max(1, len(rows))
+        return (min(width, want_w), min(height, want_h))
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.data is None:
+            return
+        graphic.set_font(self.font)
+        line_height = graphic.line_height()
+        y = 0
+        for row in self.data.rendered():
+            if y >= self.height:
+                break
+            graphic.draw_string(0, y, row)
+            y += line_height

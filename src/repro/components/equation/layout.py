@@ -1,0 +1,301 @@
+r"""Box-and-glue layout for equations.
+
+The equation component lays out a small TeX-flavoured language:
+
+* symbol runs: ``v``, ``ij``, ``+``, ``=``, numbers;
+* grouping: ``{...}``;
+* subscripts/superscripts: ``x_{i,j}``, ``x^2`` (either order, both);
+* fractions: ``\frac{num}{den}``;
+* radicals: ``\sqrt{...}``;
+* big operators: ``\sum``, ``\prod`` (rendered as their ASCII art).
+
+Parsing produces a box tree; every box computes ``(width, height,
+baseline)`` and renders itself into a character grid, which the
+equation view then draws through the ordinary drawable.  The Figure-5
+Pascal's-triangle recurrences are the acceptance test:
+``v_{i,j} = v_{i-1,j} + v_{i,j-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["EquationSyntaxError", "Box", "parse_equation", "render_equation"]
+
+
+class EquationSyntaxError(ValueError):
+    """Malformed equation source."""
+
+
+# ---------------------------------------------------------------------------
+# Boxes
+# ---------------------------------------------------------------------------
+
+class Box:
+    """A laid-out equation element.
+
+    ``baseline`` is the row (0-based from the top of the box) that
+    aligns with sibling boxes' baselines.
+    """
+
+    width = 0
+    height = 1
+    baseline = 0
+
+    def paint(self, grid: "Grid", x: int, y: int) -> None:
+        """Render with the box's top-left at (x, y)."""
+        raise NotImplementedError
+
+
+class Grid:
+    """A character grid the boxes render into."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.rows = [[" "] * width for _ in range(height)]
+
+    def put(self, x: int, y: int, text: str) -> None:
+        for i, char in enumerate(text):
+            if 0 <= y < self.height and 0 <= x + i < self.width:
+                self.rows[y][x + i] = char
+
+    def lines(self) -> List[str]:
+        return ["".join(row) for row in self.rows]
+
+
+class SymbolBox(Box):
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.width = len(text)
+        self.height = 1
+        self.baseline = 0
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        grid.put(x, y, self.text)
+
+
+class RowBox(Box):
+    """Horizontal concatenation with baseline alignment."""
+
+    def __init__(self, children: List[Box]) -> None:
+        self.children = children
+        above = max((c.baseline for c in children), default=0)
+        below = max((c.height - c.baseline for c in children), default=1)
+        self.baseline = above
+        self.height = above + below
+        self.width = sum(c.width for c in children)
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        cursor = x
+        for child in self.children:
+            child.paint(grid, cursor, y + self.baseline - child.baseline)
+            cursor += child.width
+
+
+class ScriptBox(Box):
+    """A nucleus with optional superscript and subscript."""
+
+    def __init__(self, nucleus: Box, sup: Optional[Box], sub: Optional[Box]):
+        self.nucleus = nucleus
+        self.sup = sup
+        self.sub = sub
+        script_width = max(sup.width if sup else 0, sub.width if sub else 0)
+        self.width = nucleus.width + script_width
+        sup_rows = sup.height if sup else 0
+        sub_rows = sub.height if sub else 0
+        self.baseline = nucleus.baseline + sup_rows
+        self.height = sup_rows + nucleus.height + sub_rows
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        sup_rows = self.sup.height if self.sup else 0
+        if self.sup is not None:
+            grid_y = y
+            self.sup.paint(grid, x + self.nucleus.width, grid_y)
+        self.nucleus.paint(grid, x, y + sup_rows)
+        if self.sub is not None:
+            self.sub.paint(
+                grid, x + self.nucleus.width, y + sup_rows + self.nucleus.height
+            )
+
+
+class FracBox(Box):
+    def __init__(self, numerator: Box, denominator: Box) -> None:
+        self.numerator = numerator
+        self.denominator = denominator
+        self.width = max(numerator.width, denominator.width) + 2
+        self.height = numerator.height + 1 + denominator.height
+        self.baseline = numerator.height  # the rule row
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        num_x = x + (self.width - self.numerator.width) // 2
+        self.numerator.paint(grid, num_x, y)
+        grid.put(x, y + self.numerator.height, "-" * self.width)
+        den_x = x + (self.width - self.denominator.width) // 2
+        self.denominator.paint(
+            grid, den_x, y + self.numerator.height + 1
+        )
+
+
+class SqrtBox(Box):
+    def __init__(self, radicand: Box) -> None:
+        self.radicand = radicand
+        self.width = radicand.width + 2
+        self.height = radicand.height + 1
+        self.baseline = radicand.baseline + 1
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        grid.put(x, y + self.height - 1, "V")
+        grid.put(x + 1, y, "_" * (self.width - 1))
+        for row in range(1, self.height):
+            grid.put(x + 1, y + row, "|")
+        self.radicand.paint(grid, x + 2, y + 1)
+
+
+class BigOpBox(Box):
+    """A display-size operator (sum, product)."""
+
+    ART = {
+        "sum": ["___", "\\  ", "/__"],
+        "prod": ["___", "| |", "| |"],
+    }
+
+    def __init__(self, name: str) -> None:
+        art = self.ART.get(name)
+        if art is None:
+            raise EquationSyntaxError(f"unknown big operator {name!r}")
+        self.art = art
+        self.width = max(len(row) for row in art)
+        self.height = len(art)
+        self.baseline = self.height // 2
+
+    def paint(self, grid: Grid, x: int, y: int) -> None:
+        for row, text in enumerate(self.art):
+            grid.put(x, y + row, text)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+#: Greek commands rendered as transliterations on the cell device.
+_GREEK = {
+    "alpha": "alpha", "beta": "beta", "gamma": "gamma", "delta": "delta",
+    "pi": "pi", "sigma": "sigma", "theta": "theta", "lambda": "lambda",
+    "mu": "mu", "epsilon": "eps", "infty": "oo",
+}
+
+_SYMBOL_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    ",.!?'"
+)
+_OPERATORS = set("+-=<>*/|")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.source[self.pos] if self.pos < len(self.source) else None
+
+    def parse_sequence(self, stop: Optional[str] = None) -> Box:
+        children: List[Box] = []
+        while True:
+            char = self.peek()
+            if char is None or char == stop:
+                break
+            children.append(self.parse_scripted())
+        if len(children) == 1:
+            return children[0]
+        return RowBox(children)
+
+    def parse_scripted(self) -> Box:
+        nucleus = self.parse_atom()
+        sup: Optional[Box] = None
+        sub: Optional[Box] = None
+        while self.peek() in ("_", "^"):
+            marker = self.source[self.pos]
+            self.pos += 1
+            script = self.parse_atom()
+            if marker == "_":
+                if sub is not None:
+                    raise EquationSyntaxError("double subscript")
+                sub = script
+            else:
+                if sup is not None:
+                    raise EquationSyntaxError("double superscript")
+                sup = script
+        if sup is None and sub is None:
+            return nucleus
+        return ScriptBox(nucleus, sup, sub)
+
+    def parse_atom(self) -> Box:
+        char = self.peek()
+        if char is None:
+            raise EquationSyntaxError("unexpected end of equation")
+        if char == "{":
+            self.pos += 1
+            box = self.parse_sequence(stop="}")
+            if self.peek() != "}":
+                raise EquationSyntaxError("unbalanced '{'")
+            self.pos += 1
+            return box
+        if char == "}":
+            raise EquationSyntaxError("unbalanced '}'")
+        if char == "\\":
+            return self.parse_command()
+        if char == " ":
+            self.pos += 1
+            return SymbolBox(" ")
+        if char in _OPERATORS:
+            self.pos += 1
+            return SymbolBox(f" {char} " if char in "+-=<>" else char)
+        if char in ("(", ")", "[", "]"):
+            self.pos += 1
+            return SymbolBox(char)
+        if char in _SYMBOL_CHARS:
+            start = self.pos
+            while self.peek() is not None and self.source[self.pos] in _SYMBOL_CHARS:
+                self.pos += 1
+            return SymbolBox(self.source[start:self.pos])
+        raise EquationSyntaxError(f"unexpected character {char!r}")
+
+    def parse_command(self) -> Box:
+        assert self.source[self.pos] == "\\"
+        self.pos += 1
+        start = self.pos
+        while self.peek() is not None and self.source[self.pos].isalpha():
+            self.pos += 1
+        name = self.source[start:self.pos]
+        if name == "frac":
+            numerator = self.parse_atom()
+            denominator = self.parse_atom()
+            return FracBox(numerator, denominator)
+        if name == "sqrt":
+            return SqrtBox(self.parse_atom())
+        if name in BigOpBox.ART:
+            return BigOpBox(name)
+        if name in _GREEK:
+            return SymbolBox(_GREEK[name])
+        raise EquationSyntaxError(f"unknown command \\{name}")
+
+
+def parse_equation(source: str) -> Box:
+    """Parse equation source into a laid-out box tree."""
+    parser = _Parser(source)
+    box = parser.parse_sequence()
+    if parser.peek() is not None:
+        raise EquationSyntaxError(
+            f"trailing input at {parser.source[parser.pos:]!r}"
+        )
+    return box
+
+
+def render_equation(source: str) -> List[str]:
+    """Parse + render to text rows (trailing blanks stripped)."""
+    box = parse_equation(source)
+    grid = Grid(box.width, box.height)
+    box.paint(grid, 0, 0)
+    return [line.rstrip() for line in grid.lines()]

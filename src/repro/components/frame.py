@@ -1,0 +1,228 @@
+"""Frame and message line (paper section 3, Figure 1).
+
+"The text view is surrounded by a scroll bar, which is surrounded by a
+frame.  The frame provides a message line view."  And later: "The frame
+physically divides its image into two areas separated by a thin line.
+In order to allow the user to easily drag that line, the frame
+allocates a slightly larger area to accept mouse events.  That area
+overlaps the space allocated to the frame's children."
+
+:class:`Frame` reproduces exactly that: a body view on top, a divider
+row, and a :class:`MessageLine` at the bottom.  Its
+:meth:`Frame.route_mouse` claims events within ``GRAB_SLOP`` rows of
+the divider *even though they lie over the children* — the canonical
+demonstration of parental authority over geometric routing (experiment
+E13 measures it against a geometric baseline).  The frame, "in
+conjunction with the message line, also provides a dialog box
+facility": :meth:`Frame.ask` prompts in the message line and reads a
+queued reply.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..core.view import View
+from ..graphics.geometry import Point, Rect
+from ..graphics.graphic import Graphic
+from ..wm.base import Cursor, HORIZONTAL_BARS
+from ..wm.events import KeyEvent, MouseAction, MouseEvent
+
+__all__ = ["Frame", "MessageLine", "GRAB_SLOP"]
+
+#: Extra rows on each side of the divider that the frame claims (§3).
+GRAB_SLOP = 1
+
+
+class MessageLine(View):
+    """The frame's bottom strip: transient messages and dialog prompts."""
+
+    atk_name = "messageline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.message = ""
+        self.prompt = ""
+        self.input_buffer = ""
+        self._collecting = False
+        self._on_answer: Optional[Callable[[str], None]] = None
+
+    def post(self, message: str) -> None:
+        """Show ``message`` (replacing any previous one)."""
+        self.message = message
+        self.want_update()
+
+    def clear(self) -> None:
+        self.post("")
+
+    def begin_prompt(self, prompt: str,
+                     on_answer: Callable[[str], None]) -> None:
+        """Start collecting a line of input after ``prompt``."""
+        self.prompt = prompt
+        self.input_buffer = ""
+        self._collecting = True
+        self._on_answer = on_answer
+        self.want_input_focus()
+        self.want_update()
+
+    @property
+    def collecting(self) -> bool:
+        return self._collecting
+
+    def handle_key(self, event: KeyEvent) -> bool:
+        if not self._collecting:
+            return super().handle_key(event)
+        if event.char == "Return":
+            answer = self.input_buffer
+            callback = self._on_answer
+            self.prompt = ""
+            self.input_buffer = ""
+            self._collecting = False
+            self._on_answer = None
+            self.want_update()
+            if callback is not None:
+                callback(answer)
+            return True
+        if event.char == "Backspace":
+            self.input_buffer = self.input_buffer[:-1]
+            self.want_update()
+            return True
+        if event.is_printable:
+            self.input_buffer += event.char
+            self.want_update()
+            return True
+        return True  # swallow everything else while collecting
+
+    def draw(self, graphic: Graphic) -> None:
+        if self._collecting:
+            graphic.draw_string(0, 0, f"{self.prompt}{self.input_buffer}_")
+        else:
+            graphic.draw_string(0, 0, self.message)
+
+
+class Frame(View):
+    """Body + divider + message line, with a draggable divider."""
+
+    atk_name = "frame"
+
+    def __init__(self, body: Optional[View] = None,
+                 message_rows: int = 1) -> None:
+        super().__init__()
+        self.body: Optional[View] = None
+        self.message_line = MessageLine()
+        self.add_child(self.message_line)
+        self.message_rows = max(1, message_rows)
+        self._dragging_divider = False
+        self.divider_grabs = 0           # E13 reads this
+        self._queued_answers: Deque[str] = deque()
+        if body is not None:
+            self.set_body(body)
+
+    def set_body(self, body: View) -> None:
+        if self.body is not None:
+            self.remove_child(self.body)
+        self.body = body
+        self.add_child(body)
+        self._needs_layout = True
+
+    def initial_focus(self):
+        if self.message_line.collecting:
+            return self.message_line
+        return self.body.initial_focus() if self.body is not None else self
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def divider_row(self) -> int:
+        """The row the divider line occupies (frame coordinates)."""
+        return max(0, self.height - self.message_rows - 1)
+
+    def _clamp_message_rows(self) -> None:
+        self.message_rows = max(1, min(self.message_rows, self.height - 2))
+
+    def layout(self) -> None:
+        if self.height < 3 or self.width <= 0:
+            return
+        self._clamp_message_rows()
+        divider = self.divider_row
+        if self.body is not None:
+            self.body.set_bounds(Rect(0, 0, self.width, divider))
+        self.message_line.set_bounds(
+            Rect(0, divider + 1, self.width, self.message_rows)
+        )
+
+    def near_divider(self, point: Point) -> bool:
+        """Inside the enlarged grab zone around the divider (§3)."""
+        return abs(point.y - self.divider_row) <= GRAB_SLOP
+
+    # -- drawing ----------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.height >= 3:
+            graphic.draw_hline(0, self.width - 1, self.divider_row)
+
+    # -- routing: the paper's overlapping grab zone (§3) -----------------------
+
+    def route_mouse(self, event: MouseEvent) -> Optional[View]:
+        if self.near_divider(event.point) or self._dragging_divider:
+            return None  # claim it, even though it overlaps the children
+        return self.child_at(event.point)
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if event.action == MouseAction.DOWN and self.near_divider(event.point):
+            self._dragging_divider = True
+            self.divider_grabs += 1
+            return True
+        if event.action == MouseAction.DRAG and self._dragging_divider:
+            self._move_divider_to(event.point.y)
+            return True
+        if event.action == MouseAction.UP and self._dragging_divider:
+            self._move_divider_to(event.point.y)
+            self._dragging_divider = False
+            return True
+        return False
+
+    def _move_divider_to(self, row: int) -> None:
+        """Reposition the divider, i.e. resize the message area."""
+        rows = self.height - row - 1
+        new_rows = max(1, min(rows, self.height - 2))
+        if new_rows != self.message_rows:
+            self.message_rows = new_rows
+            self._needs_layout = True
+            self.want_update()
+
+    def cursor_for(self, point: Point) -> Optional[Cursor]:
+        """Show the adjust cursor over the whole grab zone (§3 cursor
+        arbitration: the parent overrides the children)."""
+        if self.near_divider(point):
+            return Cursor(HORIZONTAL_BARS)
+        return None
+
+    # -- messages & dialogs -------------------------------------------------------
+
+    def post_message(self, message: str) -> None:
+        self.message_line.post(message)
+
+    def queue_answer(self, answer: str) -> None:
+        """Pre-load a reply for the next :meth:`ask` (synthetic input)."""
+        self._queued_answers.append(answer)
+
+    def ask(self, prompt: str,
+            on_answer: Optional[Callable[[str], None]] = None) -> Optional[str]:
+        """The dialog facility (§3 footnote).
+
+        If a reply was queued, it is consumed and returned immediately
+        (and ``on_answer`` called).  Otherwise the message line starts
+        collecting keyboard input and the eventual answer goes to
+        ``on_answer``; returns None in that case.
+        """
+        if self._queued_answers:
+            answer = self._queued_answers.popleft()
+            if on_answer is not None:
+                on_answer(answer)
+            return answer
+        self.message_line.begin_prompt(
+            prompt, on_answer if on_answer is not None else lambda a: None
+        )
+        return None

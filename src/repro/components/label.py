@@ -1,0 +1,62 @@
+"""Label: a static one-line text view.
+
+The simplest view in the library, and the standard example of a view
+with no data object.  Used by the console, dialogs, and the message
+line.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.view import View
+from ..graphics.fontdesc import FontDesc
+from ..graphics.graphic import Graphic
+
+__all__ = ["Label"]
+
+
+class Label(View):
+    """Displays ``text`` left-aligned or centered in its rectangle."""
+
+    atk_name = "label"
+
+    def __init__(self, text: str = "", font: FontDesc = None,
+                 centered: bool = False, inverse: bool = False) -> None:
+        super().__init__()
+        self._text = text
+        self.font = font if font is not None else FontDesc("andy", 12)
+        self.centered = centered
+        self.inverse = inverse
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    def set_text(self, text: str) -> None:
+        if text != self._text:
+            self._text = text
+            self.want_update()
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        """One line, as wide as the text (clamped to the offer)."""
+        im = self.interaction_manager()
+        if im is not None:
+            metrics = im.window_system.font_metrics(self.font)
+        else:  # unattached: estimate with cell metrics
+            from ..graphics.fontdesc import FontMetrics
+
+            metrics = FontMetrics(self.font, 1, 1, 0)
+        return (
+            min(width, metrics.string_width(self._text)),
+            min(height, metrics.height),
+        )
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.set_font(self.font)
+        if self.centered:
+            graphic.draw_string_centered(self.local_bounds, self._text)
+        else:
+            graphic.draw_string(0, 0, self._text)
+        if self.inverse:
+            graphic.invert_rect(self.local_bounds)

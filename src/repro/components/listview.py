@@ -1,0 +1,129 @@
+"""ListView: a scrollable, selectable list of text items.
+
+Not one of the paper's named components, but the building block its
+application snapshots are made of: the 1414-folder panel and the
+message-caption panel of Figure 3, and the related-tools panel of
+Figure 2, are all lists with a selection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.view import View
+from ..graphics.geometry import Rect
+from ..graphics.graphic import Graphic
+from ..wm.events import KeyEvent, MouseAction, MouseEvent
+from .scrollbar import Scrollable
+
+__all__ = ["ListView"]
+
+
+class ListView(View, Scrollable):
+    """Displays ``items`` one per row; click or arrow-key to select."""
+
+    atk_name = "listview"
+
+    def __init__(self, items: Optional[List[str]] = None,
+                 on_select: Optional[Callable[[int, str], None]] = None,
+                 on_activate: Optional[Callable[[int, str], None]] = None):
+        super().__init__()
+        self._items: List[str] = list(items or [])
+        self.selected: Optional[int] = None
+        self.on_select = on_select        # selection moved
+        self.on_activate = on_activate    # double-click / Return
+        self._top = 0
+        self.keymap.bind("Up", lambda v, k: self.move_selection(-1))
+        self.keymap.bind("Down", lambda v, k: self.move_selection(1))
+        self.keymap.bind("Return", self._cmd_activate)
+
+    # -- items ------------------------------------------------------------
+
+    @property
+    def items(self) -> List[str]:
+        return list(self._items)
+
+    def set_items(self, items: List[str], keep_selection: bool = False):
+        old = self.selected_item() if keep_selection else None
+        self._items = list(items)
+        self.selected = (
+            self._items.index(old) if old in self._items else None
+        )
+        self._top = min(self._top, max(0, len(self._items) - 1))
+        self.want_update()
+
+    def selected_item(self) -> Optional[str]:
+        if self.selected is None or self.selected >= len(self._items):
+            return None
+        return self._items[self.selected]
+
+    def select_index(self, index: Optional[int], notify: bool = True) -> None:
+        if index is not None:
+            index = max(0, min(index, len(self._items) - 1))
+        if index == self.selected:
+            return
+        self.selected = index
+        if index is not None:
+            if index < self._top:
+                self._top = index
+            elif self.height > 0 and index >= self._top + self.height:
+                self._top = index - self.height + 1
+        self.want_update()
+        if notify and index is not None and self.on_select is not None:
+            self.on_select(index, self._items[index])
+
+    def move_selection(self, delta: int) -> None:
+        if not self._items:
+            return
+        current = self.selected if self.selected is not None else -1
+        self.select_index(current + delta)
+
+    def _cmd_activate(self, view, key: KeyEvent) -> None:
+        self.activate()
+
+    def activate(self) -> None:
+        item = self.selected_item()
+        if item is not None and self.on_activate is not None:
+            self.on_activate(self.selected, item)
+
+    # -- Scrollable -----------------------------------------------------------
+
+    def scroll_total(self) -> int:
+        return len(self._items)
+
+    def scroll_pos(self) -> int:
+        return self._top
+
+    def scroll_visible(self) -> int:
+        return max(1, self.height)
+
+    def set_scroll_pos(self, pos: int) -> None:
+        self._top = max(0, min(pos, max(0, len(self._items) - 1)))
+        self.want_update()
+
+    # -- drawing ----------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        for row in range(self.height):
+            index = self._top + row
+            if index >= len(self._items):
+                break
+            graphic.draw_string(0, row, self._items[index][:self.width])
+            if index == self.selected:
+                graphic.invert_rect(Rect(0, row, self.width, 1))
+
+    # -- interaction ---------------------------------------------------------------
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if event.action == MouseAction.DOWN:
+            index = self._top + event.point.y
+            if 0 <= index < len(self._items):
+                already = index == self.selected
+                self.select_index(index)
+                if already and event.clicks >= 1:
+                    pass  # single re-click does not activate
+                if event.clicks >= 2:
+                    self.activate()
+            self.want_input_focus()
+            return True
+        return event.action in (MouseAction.DRAG, MouseAction.UP)

@@ -1,0 +1,117 @@
+"""Pop-up menu rendering.
+
+The window snapshots in the paper show pop-up menu cards (Figure 4's
+"Send / Checkpoint / ..." card).  The interaction manager already
+*composes* the effective :class:`~repro.core.menus.MenuSet` by parental
+negotiation; this module renders it: :class:`MenuPopupView` draws the
+cards as an overlay view, and :func:`menu_snapshot` formats a window's
+current menus as text for examples and tests.
+
+Choosing an item dispatches the same :class:`MenuEvent` the backend's
+``inject_menu`` would, so the popup is pure presentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.im import InteractionManager
+from ..core.menus import MenuSet
+from ..core.view import View
+from ..graphics.geometry import Point, Rect
+from ..graphics.graphic import Graphic
+from ..wm.events import MenuEvent, MouseAction, MouseEvent
+
+__all__ = ["MenuPopupView", "menu_snapshot"]
+
+
+class MenuPopupView(View):
+    """Draws a menu set as stacked cards; click an item to choose it."""
+
+    atk_name = "menupopupview"
+
+    def __init__(self, im: Optional[InteractionManager] = None) -> None:
+        super().__init__()
+        self._im = None  # not the view-tree root link; just a reference
+        self.source_im = im
+        self.menus: Optional[MenuSet] = None
+        self.visible = False
+
+    def show(self, menus: Optional[MenuSet] = None) -> None:
+        """Populate from ``menus`` (default: the source IM's set)."""
+        if menus is None and self.source_im is not None:
+            menus = self.source_im.menu_set()
+        self.menus = menus
+        self.visible = True
+        self.want_update()
+
+    def hide(self) -> None:
+        self.visible = False
+        self.want_update()
+
+    # -- geometry -----------------------------------------------------------
+
+    def _card_layout(self) -> List[Tuple[Rect, str, List[str]]]:
+        """[(rect, card name, labels)] stacked left to right."""
+        if self.menus is None:
+            return []
+        layout = []
+        x = 0
+        for card in self.menus.cards():
+            labels = card.labels()
+            width = max(
+                [len(card.name)] + [len(label) for label in labels]
+            ) + 2
+            height = len(labels) + 2
+            layout.append((Rect(x, 0, width + 2, height), card.name, labels))
+            x += width + 3
+        return layout
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        layout = self._card_layout()
+        if not layout:
+            return (1, 1)
+        want_w = max(rect.right for rect, _n, _l in layout)
+        want_h = max(rect.bottom for rect, _n, _l in layout)
+        return (min(width, want_w), min(height, want_h))
+
+    # -- drawing ---------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        if not self.visible:
+            return
+        for rect, name, labels in self._card_layout():
+            graphic.erase_rect(rect)
+            graphic.draw_rect(rect)
+            graphic.draw_string(rect.left + 1, rect.top, f" {name} ")
+            for row, label in enumerate(labels):
+                graphic.draw_string(rect.left + 2, rect.top + 1 + row, label)
+
+    # -- interaction ----------------------------------------------------------
+
+    def item_at(self, point: Point) -> Optional[Tuple[str, str]]:
+        for rect, name, labels in self._card_layout():
+            if rect.contains_point(point):
+                row = point.y - rect.top - 1
+                if 0 <= row < len(labels):
+                    return (name, labels[row])
+        return None
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if not self.visible:
+            return False
+        if event.action == MouseAction.DOWN:
+            return True
+        if event.action == MouseAction.UP:
+            choice = self.item_at(event.point)
+            self.hide()
+            if choice is not None and self.source_im is not None:
+                self.source_im.window.post_event(MenuEvent(*choice))
+                self.source_im.process_events()
+            return True
+        return event.action == MouseAction.DRAG
+
+
+def menu_snapshot(im: InteractionManager) -> List[str]:
+    """The window's current effective menus, one card per line."""
+    return im.menu_set().describe()

@@ -1,0 +1,230 @@
+r"""Page layout: the section-2 PageMaker scenario.
+
+"A system like Aldus' PageMaker(TM) could be built under the Andrew
+Toolkit by allowing the user to specify a set of views and their
+placement on a page.  Some of those views (for example, the text views)
+would be examining different sections of the same data object."
+
+:class:`PageLayoutData` stores a page's *placements*: a rectangle, a
+component data object, a view type, and (for text) an optional buffer
+section.  :class:`PageLayoutView` realizes each placement as a child
+view — text placements get a region-restricted
+:class:`~repro.components.text.textview.TextView`, so two frames can
+flow different sections of one story, and editing the story updates
+every frame.
+
+External representation body::
+
+    @page <w> <h>
+    @place <x> <y> <w> <h> <viewtype> [<region-start> <region-end>]
+    \begindata{...}...\enddata{...}
+    \view{<viewtype>, <id>}
+
+Placements referring to the *same* data object write it once and
+reference it by id thereafter — exercising the datastream's id
+semantics beyond simple containment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..class_system.dynamic import load_class
+from ..class_system.errors import DynamicLoadError
+from ..core.dataobject import DataObject
+from ..core.datastream import (
+    BeginObject,
+    BodyLine,
+    DataStreamError,
+    EndObject,
+    ViewRef,
+)
+from ..core.view import View
+from ..graphics.geometry import Rect
+from ..graphics.graphic import Graphic
+
+__all__ = ["Placement", "PageLayoutData", "PageLayoutView"]
+
+
+class Placement:
+    """One framed view on the page."""
+
+    __slots__ = ("rect", "data", "view_type", "region")
+
+    def __init__(self, rect: Rect, data: DataObject, view_type: str,
+                 region: Optional[Tuple[int, int]] = None) -> None:
+        self.rect = rect
+        self.data = data
+        self.view_type = view_type
+        self.region = region
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement({tuple(self.rect)}, {self.data.type_tag}, "
+            f"{self.view_type!r}, region={self.region})"
+        )
+
+
+class PageLayoutData(DataObject):
+    """A page: an ordered list of placements."""
+
+    atk_name = "pagelayout"
+
+    def __init__(self, width: int = 80, height: int = 40) -> None:
+        super().__init__()
+        self.page_width = width
+        self.page_height = height
+        self.placements: List[Placement] = []
+
+    def place(self, rect: Rect, data: DataObject,
+              view_type: Optional[str] = None,
+              region: Optional[Tuple[int, int]] = None) -> Placement:
+        """Add a frame showing ``data`` (optionally a text section)."""
+        placement = Placement(
+            rect, data, view_type or f"{data.type_tag}view", region
+        )
+        self.placements.append(placement)
+        self.changed("placement", detail=placement)
+        return placement
+
+    def remove(self, placement: Placement) -> None:
+        if placement in self.placements:
+            self.placements.remove(placement)
+            self.changed("placement", detail=placement)
+
+    def move(self, placement: Placement, rect: Rect) -> None:
+        placement.rect = rect
+        self.changed("placement", detail=placement)
+
+    def embedded_objects(self) -> List[DataObject]:
+        seen: List[DataObject] = []
+        for placement in self.placements:
+            if placement.data not in seen:
+                seen.append(placement.data)
+        return seen
+
+    # -- external representation ------------------------------------------
+
+    def write_body(self, writer) -> None:
+        writer.write_body_line(
+            f"@page {self.page_width} {self.page_height}"
+        )
+        for placement in self.placements:
+            r = placement.rect
+            region = (
+                f" {placement.region[0]} {placement.region[1]}"
+                if placement.region is not None else ""
+            )
+            writer.write_body_line(
+                f"@place {r.left} {r.top} {r.width} {r.height} "
+                f"{placement.view_type}{region}"
+            )
+            if not writer.is_written(placement.data):
+                writer.write_object(placement.data)
+            writer.write_view_ref(
+                placement.view_type, writer.id_for(placement.data)
+            )
+
+    def read_body(self, reader) -> None:
+        self.placements = []
+        pending: Optional[Tuple[Rect, str, Optional[Tuple[int, int]]]] = None
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                text = event.text
+                if not text.strip():
+                    continue
+                parts = text.split()
+                if parts[0] == "@page":
+                    self.page_width, self.page_height = (
+                        int(parts[1]), int(parts[2])
+                    )
+                elif parts[0] == "@place":
+                    rect = Rect(*map(int, parts[1:5]))
+                    view_type = parts[5]
+                    region = (
+                        (int(parts[6]), int(parts[7]))
+                        if len(parts) >= 8 else None
+                    )
+                    pending = (rect, view_type, region)
+                else:
+                    raise DataStreamError(
+                        f"unknown pagelayout directive {text!r}", event.line
+                    )
+            elif isinstance(event, BeginObject):
+                reader.read_object(event)
+            elif isinstance(event, ViewRef):
+                if pending is None:
+                    raise DataStreamError(
+                        "\\view without @place in pagelayout", event.line
+                    )
+                data = reader.objects_by_id.get(event.object_id)
+                if data is None:
+                    raise DataStreamError(
+                        f"unknown object id {event.object_id}", event.line
+                    )
+                rect, view_type, region = pending
+                self.placements.append(
+                    Placement(rect, data, view_type, region)
+                )
+                pending = None
+            elif isinstance(event, EndObject):
+                break
+        self.changed("placement")
+
+
+class PageLayoutView(View):
+    """Realizes a page's placements as live child views."""
+
+    atk_name = "pagelayoutview"
+
+    def __init__(self, dataobject: Optional[PageLayoutData] = None) -> None:
+        super().__init__()
+        self._frames: Dict[int, View] = {}
+        if dataobject is not None:
+            self.set_dataobject(dataobject)
+
+    @property
+    def data(self) -> Optional[PageLayoutData]:
+        return self.dataobject
+
+    def on_data_changed(self, change) -> None:
+        self._needs_layout = True
+        self.want_update()
+
+    def view_for(self, placement: Placement) -> Optional[View]:
+        self.ensure_layout()
+        return self._frames.get(id(placement))
+
+    def layout(self) -> None:
+        if self.data is None:
+            return
+        live = set()
+        for placement in self.data.placements:
+            live.add(id(placement))
+            view = self._frames.get(id(placement))
+            if view is None:
+                try:
+                    cls = load_class(placement.view_type)
+                except DynamicLoadError:
+                    from .text.textview import _UnknownComponentView
+
+                    cls = _UnknownComponentView
+                view = cls(placement.data)
+                if placement.region is not None and hasattr(view, "set_region"):
+                    view.set_region(*placement.region)
+                self._frames[id(placement)] = view
+                self.add_child(view)
+            view.set_bounds(
+                placement.rect.intersection(self.local_bounds)
+            )
+        for key, view in list(self._frames.items()):
+            if key not in live:
+                self.remove_child(view)
+                del self._frames[key]
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.data is None:
+            return
+        # Frame rules around each placement, PageMaker style.
+        for placement in self.data.placements:
+            graphic.draw_rect(placement.rect.inset(-1, -1))

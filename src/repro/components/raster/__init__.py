@@ -1,0 +1,6 @@
+"""The raster component: 1-bit images as embeddable documents."""
+
+from .rasterdata import RasterData, decode_rows, encode_rows
+from .rasterview import RasterView
+
+__all__ = ["RasterData", "RasterView", "encode_rows", "decode_rows"]

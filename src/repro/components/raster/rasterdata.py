@@ -1,0 +1,154 @@
+r"""The raster data object: an editable 1-bit image.
+
+Wraps a :class:`~repro.graphics.image.Bitmap` with the mutation and
+observer discipline of a data object, plus the image operations the
+original raster component offered (invert, crop, scale).
+
+External representation follows the paper's own §5 advice for rasters:
+"the raster format could make sure the bits representing a new row
+always begin on a new line."  Body format::
+
+    @size <width> <height>
+    r <row pixels as . and *>
+    + <continuation of the same row, for rows wider than the 80-col limit>
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...core.dataobject import DataObject
+from ...core.datastream import BodyLine, DataStreamError, EndObject
+from ...graphics.geometry import Rect
+from ...graphics.image import Bitmap
+
+__all__ = ["RasterData", "encode_rows", "decode_rows"]
+
+_CHUNK = 72
+_INK = "*"
+_BLANK = "."
+
+
+def encode_rows(bitmap: Bitmap) -> List[str]:
+    """Encode a bitmap as body lines (``r``/``+`` row chunking)."""
+    lines: List[str] = []
+    for row in bitmap.to_rows(ink=_INK, blank=_BLANK):
+        marker = "r"
+        while True:
+            chunk, row = row[:_CHUNK], row[_CHUNK:]
+            lines.append(f"{marker} {chunk}")
+            marker = "+"
+            if not row:
+                break
+    return lines
+
+
+def decode_rows(lines: List[str], width: int, height: int) -> Bitmap:
+    """Inverse of :func:`encode_rows`."""
+    rows: List[str] = []
+    for line in lines:
+        if line.startswith("r "):
+            rows.append(line[2:])
+        elif line.startswith("+ "):
+            if not rows:
+                raise DataStreamError("raster continuation before any row")
+            rows[-1] += line[2:]
+        else:
+            raise DataStreamError(f"bad raster row line {line!r}")
+    bitmap = Bitmap.from_rows(rows, ink=_INK)
+    if bitmap.width != width or bitmap.height != height:
+        # Pad/crop to the declared size (trailing blank pixels are legal).
+        fixed = Bitmap(width, height)
+        fixed.blit(bitmap, 0, 0, mode="copy")
+        return fixed
+    return bitmap
+
+
+class RasterData(DataObject):
+    """A 1-bit image as a toolkit component."""
+
+    atk_name = "raster"
+
+    def __init__(self, width: int = 16, height: int = 8) -> None:
+        super().__init__()
+        self.bitmap = Bitmap(width, height)
+
+    @classmethod
+    def from_bitmap(cls, bitmap: Bitmap) -> "RasterData":
+        data = cls(bitmap.width, bitmap.height)
+        data.bitmap = bitmap.copy()
+        return data
+
+    @classmethod
+    def from_rows(cls, rows: List[str], ink: str = "*") -> "RasterData":
+        return cls.from_bitmap(Bitmap.from_rows(rows, ink=ink))
+
+    @property
+    def width(self) -> int:
+        return self.bitmap.width
+
+    @property
+    def height(self) -> int:
+        return self.bitmap.height
+
+    # -- mutations -------------------------------------------------------
+
+    def set_pixel(self, x: int, y: int, value: int = 1) -> None:
+        self.bitmap.set(x, y, value)
+        self.changed("pixels", where=(x, y), extent=1)
+
+    def toggle_pixel(self, x: int, y: int) -> None:
+        self.bitmap.set(x, y, 0 if self.bitmap.get(x, y) else 1)
+        self.changed("pixels", where=(x, y), extent=1)
+
+    def invert(self) -> None:
+        self.bitmap.invert()
+        self.changed("pixels")
+
+    def fill_rect(self, rect: Rect, value: int = 1) -> None:
+        self.bitmap.fill_rect(rect, value)
+        self.changed("pixels", where=(rect.left, rect.top))
+
+    def crop(self, rect: Rect) -> None:
+        self.bitmap = self.bitmap.crop(rect)
+        self.changed("size")
+
+    def scale(self, width: int, height: int) -> None:
+        self.bitmap = self.bitmap.scaled(width, height)
+        self.changed("size")
+
+    def replace_bitmap(self, bitmap: Bitmap) -> None:
+        self.bitmap = bitmap
+        self.changed("size")
+
+    # -- external representation ----------------------------------------
+
+    def write_body(self, writer) -> None:
+        writer.write_body_line(f"@size {self.width} {self.height}")
+        for line in encode_rows(self.bitmap):
+            writer.write_body_line(line)
+
+    def read_body(self, reader) -> None:
+        width = height = 0
+        row_lines: List[str] = []
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                text = event.text
+                if not text.strip():
+                    continue
+                if text.startswith("@size "):
+                    parts = text.split()
+                    width, height = int(parts[1]), int(parts[2])
+                elif text.startswith(("r ", "+ ")) or text in ("r", "+"):
+                    row_lines.append(text if " " in text else text + " ")
+                else:
+                    raise DataStreamError(
+                        f"unknown raster directive {text!r}", event.line
+                    )
+            elif isinstance(event, EndObject):
+                break
+        self.bitmap = decode_rows(row_lines, width, height)
+        self.changed("size")
+
+    def __repr__(self) -> str:
+        return f"<raster {self.width}x{self.height}>"

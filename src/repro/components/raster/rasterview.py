@@ -1,0 +1,68 @@
+"""The raster view: displays and pokes at a RasterData.
+
+Clicking toggles the pixel under the mouse (the original raster editor
+in miniature); the Raster menu card carries whole-image operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...core.view import View
+from ...graphics.graphic import Graphic
+from ...wm.events import MouseAction, MouseEvent
+from .rasterdata import RasterData
+
+__all__ = ["RasterView"]
+
+
+class RasterView(View):
+    """Direct view of the bitmap, 1 pixel per device unit."""
+
+    atk_name = "rasterview"
+
+    def __init__(self, dataobject: Optional[RasterData] = None,
+                 editable: bool = True) -> None:
+        super().__init__(dataobject)
+        self.editable = editable
+        self._build_menus()
+
+    @property
+    def data(self) -> Optional[RasterData]:
+        return self.dataobject
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        if self.data is None:
+            return (min(width, 8), min(height, 4))
+        return (min(width, self.data.width), min(height, self.data.height))
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.data is not None:
+            graphic.draw_bitmap(self.data.bitmap, 0, 0)
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if self.data is None:
+            return False
+        if event.action == MouseAction.DOWN and self.editable:
+            x, y = event.point.x, event.point.y
+            if 0 <= x < self.data.width and 0 <= y < self.data.height:
+                self.data.toggle_pixel(x, y)
+            self.want_input_focus()
+            return True
+        return event.action in (MouseAction.DRAG, MouseAction.UP)
+
+    def _build_menus(self) -> None:
+        card = self.menu_card("Raster")
+        card.add("Invert", lambda v, e: self.data and self.data.invert())
+        card.add(
+            "Double Size",
+            lambda v, e: self.data and self.data.scale(
+                self.data.width * 2, self.data.height * 2
+            ),
+        )
+        card.add(
+            "Halve Size",
+            lambda v, e: self.data and self.data.scale(
+                max(1, self.data.width // 2), max(1, self.data.height // 2)
+            ),
+        )

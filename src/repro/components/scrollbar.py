@@ -1,0 +1,160 @@
+"""Scroll bar (paper sections 2 and 3).
+
+"While it is often the case that a view has an underlying data object,
+there are many cases when a view will be used to solely provide a user
+interface function.  In such a case there is no underlying data object.
+The scroll bar is one such example.  It only adjusts the information
+contained in another view."
+
+:class:`ScrollBar` wraps one *body* view (in Figure 1 the text view)
+and draws an Andrew-style scroll bar in a column on the left edge.
+The body advertises its scroll state through the :class:`Scrollable`
+protocol; the bar has no data object of its own.
+
+Routing (§3): the bar claims mouse events in its own column and passes
+everything else to the body — a parental decision, not a geometric one,
+since the bar could equally claim events anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.view import View
+from ..graphics.geometry import Rect
+from ..graphics.graphic import Graphic
+from ..wm.events import MouseAction, MouseEvent
+
+__all__ = ["Scrollable", "ScrollBar"]
+
+BAR_WIDTH = 2  # one column of bar, one of separation
+
+
+class Scrollable:
+    """Protocol a view implements to be adjusted by a scroll bar.
+
+    Positions are in the scrollee's own units (wrapped display lines
+    for the text view, rows for the table view).
+    """
+
+    def scroll_total(self) -> int:
+        """Total extent of the content."""
+        raise NotImplementedError
+
+    def scroll_pos(self) -> int:
+        """First visible position."""
+        raise NotImplementedError
+
+    def scroll_visible(self) -> int:
+        """How many positions are visible at once."""
+        raise NotImplementedError
+
+    def set_scroll_pos(self, pos: int) -> None:
+        """Jump so ``pos`` is the first visible position (clamped)."""
+        raise NotImplementedError
+
+
+class ScrollBar(View):
+    """A vertical scroll bar wrapping a scrollable body view."""
+
+    atk_name = "scrollbar"
+
+    def __init__(self, body: Optional[View] = None) -> None:
+        super().__init__()
+        self.body: Optional[View] = None
+        self._dragging = False
+        if body is not None:
+            self.set_body(body)
+
+    def set_body(self, body: View) -> None:
+        if self.body is not None:
+            self.remove_child(self.body)
+        self.body = body
+        self.add_child(body)
+        self._needs_layout = True
+
+    def initial_focus(self):
+        return self.body.initial_focus() if self.body is not None else self
+
+    def layout(self) -> None:
+        if self.body is not None:
+            self.body.set_bounds(
+                Rect(BAR_WIDTH, 0,
+                     max(0, self.width - BAR_WIDTH), self.height)
+            )
+
+    # -- scroll arithmetic ------------------------------------------------
+
+    def _scrollable(self) -> Optional[Scrollable]:
+        if isinstance(self.body, Scrollable):
+            return self.body
+        return None
+
+    def thumb_extent(self) -> Tuple[int, int]:
+        """(top, height) of the thumb in bar rows."""
+        body = self._scrollable()
+        track = max(1, self.height)
+        if body is None:
+            return (0, track)
+        total = max(1, body.scroll_total())
+        visible = min(body.scroll_visible(), total)
+        height = max(1, visible * track // total)
+        top = min(body.scroll_pos() * track // total, track - height)
+        return (top, height)
+
+    def _pos_for_row(self, row: int) -> int:
+        body = self._scrollable()
+        if body is None:
+            return 0
+        track = max(1, self.height)
+        return max(0, min(row, track)) * body.scroll_total() // track
+
+    # -- drawing --------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.height <= 0:
+            return
+        graphic.draw_vline(0, 0, self.height - 1)
+        top, height = self.thumb_extent()
+        graphic.fill_rect(Rect(0, top, 1, height), 1)
+
+    # -- routing (§3) -------------------------------------------------------------
+
+    def route_mouse(self, event: MouseEvent) -> Optional[View]:
+        if event.point.x < BAR_WIDTH:
+            return None  # the bar's own column: handle here
+        return self.body
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        body = self._scrollable()
+        if body is None:
+            return False
+        if event.action == MouseAction.DOWN:
+            self._dragging = True
+            body.set_scroll_pos(self._pos_for_row(event.point.y))
+            self.want_update()
+            return True
+        if event.action == MouseAction.DRAG and self._dragging:
+            body.set_scroll_pos(self._pos_for_row(event.point.y))
+            self.want_update()
+            return True
+        if event.action == MouseAction.UP:
+            self._dragging = False
+            return True
+        return False
+
+    # -- keyboard paging: the bar adds Page bindings for its body ------------
+
+    def handle_key(self, event) -> bool:
+        body = self._scrollable()
+        if body is None:
+            return super().handle_key(event)
+        if event.keysym() in ("Next", "C-v"):
+            body.set_scroll_pos(body.scroll_pos() + max(1, body.scroll_visible() - 1))
+            self.want_update()
+            return True
+        if event.keysym() in ("Prior", "M-v"):
+            body.set_scroll_pos(body.scroll_pos() - max(1, body.scroll_visible() - 1))
+            self.want_update()
+            return True
+        return super().handle_key(event)

@@ -1,0 +1,138 @@
+"""SplitView: two children side by side (or stacked) with a draggable
+divider.
+
+The application windows of Figures 2 and 3 are built from these: the
+messages window is a vertical split (folders | a horizontal split of
+captions over the message body).  The divider uses the same enlarged
+grab zone and cursor-override machinery as the frame (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.view import View
+from ..graphics.geometry import Point, Rect
+from ..graphics.graphic import Graphic
+from ..wm.base import Cursor, HORIZONTAL_BARS
+from ..wm.events import MouseAction, MouseEvent
+
+__all__ = ["SplitView"]
+
+GRAB_SLOP = 1
+
+
+class SplitView(View):
+    """Splits its rectangle between ``first`` and ``second``.
+
+    ``vertical=True`` puts them left|right; ``False`` stacks them
+    top/bottom.  ``ratio`` is the first child's share in percent.
+    """
+
+    atk_name = "splitview"
+
+    def __init__(self, first: Optional[View] = None,
+                 second: Optional[View] = None,
+                 vertical: bool = True, ratio: int = 50) -> None:
+        super().__init__()
+        self.vertical = vertical
+        self.ratio = max(5, min(95, ratio))
+        self.first: Optional[View] = None
+        self.second: Optional[View] = None
+        self._dragging = False
+        if first is not None:
+            self.set_first(first)
+        if second is not None:
+            self.set_second(second)
+
+    def set_first(self, view: View) -> None:
+        if self.first is not None:
+            self.remove_child(self.first)
+        self.first = view
+        self.add_child(view)
+        self._needs_layout = True
+
+    def set_second(self, view: View) -> None:
+        if self.second is not None:
+            self.remove_child(self.second)
+        self.second = view
+        self.add_child(view)
+        self._needs_layout = True
+
+    def initial_focus(self):
+        target = self.second if self.second is not None else self.first
+        return target.initial_focus() if target is not None else self
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def divider_pos(self) -> int:
+        """Column (vertical) or row (horizontal) of the divider line."""
+        extent = self.width if self.vertical else self.height
+        return max(1, min(extent - 2, extent * self.ratio // 100))
+
+    def layout(self) -> None:
+        if self.width < 3 or self.height < 3:
+            return
+        divider = self.divider_pos
+        if self.vertical:
+            first_rect = Rect(0, 0, divider, self.height)
+            second_rect = Rect(
+                divider + 1, 0, self.width - divider - 1, self.height
+            )
+        else:
+            first_rect = Rect(0, 0, self.width, divider)
+            second_rect = Rect(
+                0, divider + 1, self.width, self.height - divider - 1
+            )
+        if self.first is not None:
+            self.first.set_bounds(first_rect)
+        if self.second is not None:
+            self.second.set_bounds(second_rect)
+
+    def near_divider(self, point: Point) -> bool:
+        axis = point.x if self.vertical else point.y
+        return abs(axis - self.divider_pos) <= GRAB_SLOP
+
+    # -- drawing ----------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        divider = self.divider_pos
+        if self.vertical:
+            graphic.draw_vline(divider, 0, self.height - 1)
+        else:
+            graphic.draw_hline(0, self.width - 1, divider)
+
+    # -- routing: same parental claim as the frame (§3) ------------------------
+
+    def route_mouse(self, event: MouseEvent) -> Optional[View]:
+        if self.near_divider(event.point) or self._dragging:
+            return None
+        return self.child_at(event.point)
+
+    def handle_mouse(self, event: MouseEvent) -> bool:
+        if event.action == MouseAction.DOWN and self.near_divider(event.point):
+            self._dragging = True
+            return True
+        if event.action == MouseAction.DRAG and self._dragging:
+            self._drag_to(event.point)
+            return True
+        if event.action == MouseAction.UP and self._dragging:
+            self._drag_to(event.point)
+            self._dragging = False
+            return True
+        return False
+
+    def _drag_to(self, point: Point) -> None:
+        extent = self.width if self.vertical else self.height
+        if extent <= 0:
+            return
+        axis = point.x if self.vertical else point.y
+        self.ratio = max(5, min(95, axis * 100 // extent))
+        self._needs_layout = True
+        self.want_update()
+
+    def cursor_for(self, point: Point) -> Optional[Cursor]:
+        if self.near_divider(point):
+            return Cursor(HORIZONTAL_BARS)
+        return None

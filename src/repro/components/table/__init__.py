@@ -1,0 +1,36 @@
+"""The table/spreadsheet component, its views, and the chart example."""
+
+from .chart import BarChartView, ChartData, PieChartView
+from .formula import (
+    CellRef,
+    Formula,
+    FormulaError,
+    col_name,
+    evaluate,
+    extract_refs,
+    parse_col,
+    parse_ref,
+    ref_name,
+)
+from .tabledata import CYCLE_ERROR, Cell, TableData, VALUE_ERROR
+from .tableview import TableView
+
+__all__ = [
+    "TableData",
+    "TableView",
+    "Cell",
+    "CYCLE_ERROR",
+    "VALUE_ERROR",
+    "Formula",
+    "FormulaError",
+    "CellRef",
+    "parse_ref",
+    "ref_name",
+    "col_name",
+    "parse_col",
+    "evaluate",
+    "extract_refs",
+    "ChartData",
+    "PieChartView",
+    "BarChartView",
+]

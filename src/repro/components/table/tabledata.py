@@ -1,0 +1,449 @@
+r"""The table/spreadsheet data object (paper sections 1, 2, 5, Fig. 5).
+
+A :class:`TableData` is a rows x cols grid whose cells hold text,
+numbers, formulas, or **embedded data objects** — the table is a
+multi-media component just like text: "The text and table components
+are multi-media components, in that they allow the embedding [of] other
+components within their description."
+
+Formulas recalculate through a dependency graph with cycle detection
+(cycles display as ``#CYCLE``); every mutation follows the
+delayed-update discipline, announcing ``("cell", (row, col))`` changes
+so any number of views — the table view, the pie chart's auxiliary data
+object (§2's observer example) — repair themselves afterwards.
+
+External representation body::
+
+    @dims <rows> <cols>
+    @cell <row> <col> n <number>
+    @cell <row> <col> t <escaped text>
+    @cell <row> <col> f <formula>
+    @cell <row> <col> o
+    \begindata{...}...\enddata{...}
+    \view{<viewtype>, <id>}
+
+Text cells escape backslash as ``\\`` and newline as ``\n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ...core.dataobject import DataObject
+from ...core.datastream import (
+    BeginObject,
+    BodyLine,
+    DataStreamError,
+    EndObject,
+    ViewRef,
+)
+from .formula import Formula, FormulaError, ref_name
+
+__all__ = ["TableData", "Cell", "CYCLE_ERROR", "VALUE_ERROR"]
+
+CYCLE_ERROR = "#CYCLE"
+VALUE_ERROR = "#VALUE"
+
+
+class Cell:
+    """One table cell.
+
+    ``content`` is one of: ``None`` (empty), ``str`` (text), ``float``
+    (number), :class:`Formula`, or a :class:`DataObject` with its view
+    type in ``view_type``.
+    """
+
+    __slots__ = ("content", "view_type")
+
+    def __init__(self, content=None, view_type: Optional[str] = None) -> None:
+        self.content = content
+        self.view_type = view_type
+
+    @property
+    def kind(self) -> str:
+        if self.content is None:
+            return "empty"
+        if isinstance(self.content, Formula):
+            return "formula"
+        if isinstance(self.content, float):
+            return "number"
+        if isinstance(self.content, DataObject):
+            return "object"
+        return "text"
+
+    def __repr__(self) -> str:
+        return f"Cell({self.kind}: {self.content!r})"
+
+
+class TableData(DataObject):
+    """A grid of cells with spreadsheet recalculation."""
+
+    atk_name = "table"
+
+    def __init__(self, rows: int = 4, cols: int = 4) -> None:
+        super().__init__()
+        if rows < 1 or cols < 1:
+            raise ValueError(f"table must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._cells: Dict[Tuple[int, int], Cell] = {}
+        self._values: Dict[Tuple[int, int], Union[float, str]] = {}
+        self._values_valid = False
+        self.recalc_count = 0  # full recalculations (benches read this)
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(
+                f"cell ({row}, {col}) outside {self.rows}x{self.cols} table"
+            )
+
+    def cell(self, row: int, col: int) -> Cell:
+        self._check(row, col)
+        return self._cells.get((row, col), Cell())
+
+    def set_cell(self, row: int, col: int, value) -> None:
+        """Assign a cell from a Python value or user-typed string.
+
+        Strings are interpreted the way the original spreadsheet did at
+        entry time: ``=...`` parses as a formula, numeric literals
+        become numbers, everything else is text.  Pass a
+        :class:`DataObject` to embed a component (default view type
+        ``<tag>view``).
+        """
+        self._check(row, col)
+        cell = self._coerce(value)
+        if cell.content is None:
+            self._cells.pop((row, col), None)
+        else:
+            self._cells[(row, col)] = cell
+        self._values_valid = False
+        self.changed("cell", where=(row, col))
+
+    @staticmethod
+    def _coerce(value) -> Cell:
+        if value is None or value == "":
+            return Cell()
+        if isinstance(value, Cell):
+            return value
+        if isinstance(value, Formula):
+            return Cell(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return Cell(float(value))
+        if isinstance(value, DataObject):
+            return Cell(value, view_type=f"{value.type_tag}view")
+        if isinstance(value, str):
+            if value.startswith("="):
+                try:
+                    return Cell(Formula(value))
+                except FormulaError:
+                    return Cell(value)  # keep the bad formula as text
+            try:
+                return Cell(float(value))
+            except ValueError:
+                return Cell(value)
+        raise TypeError(f"cannot store {value!r} in a table cell")
+
+    def embed_object(self, row: int, col: int, data: DataObject,
+                     view_type: Optional[str] = None) -> None:
+        """Embed a component in a cell (the Fig. 5 pattern)."""
+        self._check(row, col)
+        cell = Cell(data, view_type or f"{data.type_tag}view")
+        self._cells[(row, col)] = cell
+        self._values_valid = False
+        self.changed("cell", where=(row, col))
+
+    def clear_cell(self, row: int, col: int) -> None:
+        self.set_cell(row, col, None)
+
+    def cells(self) -> Iterator[Tuple[int, int, Cell]]:
+        """All non-empty cells, row-major."""
+        for (row, col) in sorted(self._cells):
+            yield (row, col, self._cells[(row, col)])
+
+    def embedded_objects(self) -> List[DataObject]:
+        return [
+            cell.content
+            for _, _, cell in self.cells()
+            if isinstance(cell.content, DataObject)
+        ]
+
+    # ------------------------------------------------------------------
+    # Recalculation
+    # ------------------------------------------------------------------
+
+    def value_at(self, row: int, col: int) -> Union[float, str]:
+        """The computed value: numbers/formula results as float, text
+        as str, errors as ``#CYCLE``/``#VALUE``, empty as 0.0 for
+        formula reads but ``""`` here."""
+        self._check(row, col)
+        if not self._values_valid:
+            self._recalculate()
+        return self._values.get((row, col), "")
+
+    def display_at(self, row: int, col: int) -> str:
+        """The string a view shows for the cell."""
+        value = self.value_at(row, col)
+        if isinstance(value, float):
+            return f"{value:g}"
+        cell = self.cell(row, col)
+        if cell.kind == "object":
+            return ""  # the embedded view draws itself
+        return str(value)
+
+    def _recalculate(self) -> None:
+        """Full-table recalc with cycle detection (DFS, three colors)."""
+        self.recalc_count += 1
+        self._values = {}
+        states: Dict[Tuple[int, int], int] = {}  # 1=in progress, 2=done
+
+        def resolve(row: int, col: int) -> float:
+            if not (0 <= row < self.rows and 0 <= col < self.cols):
+                raise FormulaError(f"reference {ref_name(row, col)} off table")
+            value = compute(row, col)
+            if isinstance(value, float):
+                return value
+            if value in (CYCLE_ERROR, VALUE_ERROR):
+                raise FormulaError(value)
+            return 0.0  # text/objects/empty read as 0 in formulas
+
+        def compute(row: int, col: int) -> Union[float, str]:
+            key = (row, col)
+            if key in self._values:
+                return self._values[key]
+            cell = self._cells.get(key)
+            if cell is None or cell.content is None:
+                return ""
+            if states.get(key) == 1:
+                self._values[key] = CYCLE_ERROR
+                return CYCLE_ERROR
+            if isinstance(cell.content, float):
+                self._values[key] = cell.content
+                return cell.content
+            if isinstance(cell.content, Formula):
+                states[key] = 1
+                try:
+                    value: Union[float, str] = cell.content.evaluate(resolve)
+                except FormulaError as exc:
+                    value = (
+                        CYCLE_ERROR if CYCLE_ERROR in str(exc) else VALUE_ERROR
+                    )
+                states[key] = 2
+                # A cycle may have already stamped this cell; keep that.
+                self._values.setdefault(key, value)
+                return self._values[key]
+            if isinstance(cell.content, str):
+                self._values[key] = cell.content
+                return cell.content
+            self._values[key] = ""  # embedded object: no scalar value
+            return ""
+
+        for (row, col) in list(self._cells):
+            compute(row, col)
+        self._values_valid = True
+
+    def column_values(self, col: int) -> List[float]:
+        """The numeric values down a column (non-numbers skipped)."""
+        out = []
+        for row in range(self.rows):
+            value = self.value_at(row, col)
+            if isinstance(value, float):
+                out.append(value)
+        return out
+
+    def row_values(self, row: int) -> List[float]:
+        out = []
+        for col in range(self.cols):
+            value = self.value_at(row, col)
+            if isinstance(value, float):
+                out.append(value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure edits
+    # ------------------------------------------------------------------
+
+    def insert_row(self, at: int) -> None:
+        """Insert an empty row before ``at`` (0..rows)."""
+        if not 0 <= at <= self.rows:
+            raise IndexError(f"row {at} outside 0..{self.rows}")
+        moved = {}
+        for (row, col), cell in self._cells.items():
+            moved[(row + 1 if row >= at else row, col)] = cell
+        self._cells = moved
+        self.rows += 1
+        self._values_valid = False
+        self.changed("shape", where=("row", at), extent=1)
+
+    def delete_row(self, at: int) -> None:
+        if not 0 <= at < self.rows:
+            raise IndexError(f"row {at} outside 0..{self.rows - 1}")
+        if self.rows == 1:
+            raise ValueError("cannot delete the last row")
+        moved = {}
+        for (row, col), cell in self._cells.items():
+            if row == at:
+                continue
+            moved[(row - 1 if row > at else row, col)] = cell
+        self._cells = moved
+        self.rows -= 1
+        self._values_valid = False
+        self.changed("shape", where=("row", at), extent=-1)
+
+    def insert_col(self, at: int) -> None:
+        if not 0 <= at <= self.cols:
+            raise IndexError(f"column {at} outside 0..{self.cols}")
+        moved = {}
+        for (row, col), cell in self._cells.items():
+            moved[(row, col + 1 if col >= at else col)] = cell
+        self._cells = moved
+        self.cols += 1
+        self._values_valid = False
+        self.changed("shape", where=("col", at), extent=1)
+
+    def delete_col(self, at: int) -> None:
+        if not 0 <= at < self.cols:
+            raise IndexError(f"column {at} outside 0..{self.cols - 1}")
+        if self.cols == 1:
+            raise ValueError("cannot delete the last column")
+        moved = {}
+        for (row, col), cell in self._cells.items():
+            if col == at:
+                continue
+            moved[(row, col - 1 if col > at else col)] = cell
+        self._cells = moved
+        self.cols -= 1
+        self._values_valid = False
+        self.changed("shape", where=("col", at), extent=-1)
+
+    # ------------------------------------------------------------------
+    # External representation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _escape(text: str) -> str:
+        return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+    @staticmethod
+    def _unescape(text: str) -> str:
+        out: List[str] = []
+        i = 0
+        while i < len(text):
+            if text[i] == "\\" and i + 1 < len(text):
+                nxt = text[i + 1]
+                out.append("\n" if nxt == "n" else nxt)
+                i += 2
+            else:
+                out.append(text[i])
+                i += 1
+        return "".join(out)
+
+    def write_body(self, writer) -> None:
+        writer.write_body_line(f"@dims {self.rows} {self.cols}")
+        for row, col, cell in self.cells():
+            prefix = f"@cell {row} {col}"
+            if cell.kind == "number":
+                writer.write_body_line(f"{prefix} n {cell.content:g}")
+            elif cell.kind == "formula":
+                writer.write_body_line(f"{prefix} f {cell.content.source}")
+            elif cell.kind == "text":
+                encoded = self._escape(cell.content)
+                # Long text cells wrap as repeated '+'-continuation lines;
+                # never split in the middle of an escape pair.
+                first = True
+                while True:
+                    room = 74 - len(prefix)
+                    chunk = encoded[:room]
+                    trailing = len(chunk) - len(chunk.rstrip("\\"))
+                    if trailing % 2 == 1 and len(chunk) < len(encoded):
+                        chunk = chunk[:-1]
+                    encoded = encoded[len(chunk):]
+                    marker = "t" if first else "+"
+                    writer.write_body_line(f"{prefix} {marker} {chunk}")
+                    first = False
+                    if not encoded:
+                        break
+            elif cell.kind == "object":
+                writer.write_body_line(f"{prefix} o")
+                object_id = writer.write_object(cell.content)
+                writer.write_view_ref(cell.view_type or "unknown", object_id)
+
+    def read_body(self, reader) -> None:
+        self._cells = {}
+        self._values_valid = False
+        pending_object_cell: Optional[Tuple[int, int]] = None
+        last_text_cell: Optional[Tuple[int, int]] = None
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                pending_object_cell, last_text_cell = self._read_line(
+                    event, pending_object_cell, last_text_cell
+                )
+            elif isinstance(event, BeginObject):
+                reader.read_object(event)
+            elif isinstance(event, ViewRef):
+                if pending_object_cell is None:
+                    raise DataStreamError(
+                        "\\view in table body without an 'o' cell",
+                        event.line,
+                    )
+                data = reader.objects_by_id.get(event.object_id)
+                if data is None:
+                    raise DataStreamError(
+                        f"unknown object id {event.object_id}", event.line
+                    )
+                self._cells[pending_object_cell] = Cell(
+                    data, view_type=event.view_type
+                )
+                pending_object_cell = None
+            elif isinstance(event, EndObject):
+                break
+        self.changed("shape", where=("all", 0))
+
+    def _read_line(self, event: BodyLine, pending, last_text):
+        parts = event.text.split(" ", 4)
+        if not parts or not parts[0]:
+            return pending, last_text
+        if parts[0] == "@dims":
+            self.rows, self.cols = int(parts[1]), int(parts[2])
+            return pending, last_text
+        if parts[0] != "@cell":
+            raise DataStreamError(
+                f"unknown table directive {event.text!r}", event.line
+            )
+        if len(parts) < 4:
+            raise DataStreamError(f"malformed cell {event.text!r}", event.line)
+        row, col, kind = int(parts[1]), int(parts[2]), parts[3]
+        payload = parts[4] if len(parts) > 4 else ""
+        key = (row, col)
+        if kind == "n":
+            self._cells[key] = Cell(float(payload))
+        elif kind == "f":
+            try:
+                self._cells[key] = Cell(Formula(payload))
+            except FormulaError:
+                self._cells[key] = Cell(payload)
+        elif kind == "t":
+            self._cells[key] = Cell(self._unescape(payload))
+            return pending, key
+        elif kind == "+":
+            if last_text != key or key not in self._cells:
+                raise DataStreamError(
+                    f"continuation for non-open text cell {event.text!r}",
+                    event.line,
+                )
+            cell = self._cells[key]
+            self._cells[key] = Cell(cell.content + self._unescape(payload))
+            return pending, key
+        elif kind == "o":
+            return key, None
+        else:
+            raise DataStreamError(
+                f"unknown cell kind {kind!r} in {event.text!r}", event.line
+            )
+        return pending, None
+
+    def __repr__(self) -> str:
+        return f"<table {self.rows}x{self.cols}, {len(self._cells)} cells>"

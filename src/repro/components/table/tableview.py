@@ -1,0 +1,382 @@
+"""The table view ("spread"): an editable grid on a TableData.
+
+Displays a spreadsheet-style grid — lettered columns, numbered rows —
+and edits cells in place.  Cells holding embedded data objects realize
+child views by name through the dynamic loader, exactly like the text
+view; a cell's row grows to give the embedded view room (the Fig. 5
+document embeds text, an equation and an animation inside table cells).
+
+The datastream view-type tag for this class is ``spread`` (the paper's
+section-5 example places ``\\view{spread, 2}`` on a table), registered
+as an alias alongside ``tableview``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...class_system.dynamic import load_class
+from ...class_system.errors import DynamicLoadError
+from ...class_system.registry import register_alias
+from ...core.view import View
+from ...graphics.geometry import Point, Rect
+from ...graphics.graphic import Graphic
+from ..scrollbar import Scrollable
+from .formula import col_name
+from .tabledata import Cell, TableData
+
+__all__ = ["TableView"]
+
+DEFAULT_COL_WIDTH = 9
+ROW_LABEL_WIDTH = 4
+HEADER_ROWS = 2  # column letters + rule
+
+
+class TableView(View, Scrollable):
+    """Editable grid view over a :class:`TableData`."""
+
+    atk_name = "tableview"
+
+    def __init__(self, dataobject: Optional[TableData] = None) -> None:
+        super().__init__()
+        self.selected: Tuple[int, int] = (0, 0)
+        self.editing: Optional[str] = None  # the in-progress cell entry
+        self._top_row = 0
+        self.col_widths: Dict[int, int] = {}
+        self._embed_views: Dict[Tuple[int, int], View] = {}
+        self._dragging_col: Optional[int] = None
+        self._bind_keys()
+        self._build_menus()
+        if dataobject is not None:
+            self.set_dataobject(dataobject)
+
+    @property
+    def data(self) -> Optional[TableData]:
+        return self.dataobject
+
+    def on_data_changed(self, change) -> None:
+        self._needs_layout = True
+        if self.data is not None:
+            rows, cols = self.data.rows, self.data.cols
+            self.selected = (
+                min(self.selected[0], rows - 1),
+                min(self.selected[1], cols - 1),
+            )
+        self.want_update()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def col_width(self, col: int) -> int:
+        return self.col_widths.get(col, DEFAULT_COL_WIDTH)
+
+    def set_col_width(self, col: int, width: int) -> None:
+        self.col_widths[col] = max(3, width)
+        self._needs_layout = True
+        self.want_update()
+
+    def _col_x(self, col: int) -> int:
+        """X of the left edge of a column's cell area."""
+        x = ROW_LABEL_WIDTH
+        for c in range(col):
+            x += self.col_width(c) + 1  # +1 for the separator bar
+        return x
+
+    def row_height(self, row: int) -> int:
+        """Rows grow to fit their tallest embedded view."""
+        if self.data is None:
+            return 1
+        height = 1
+        # Before this view has been allocated space (height 0), size
+        # rows purely by content so desired_size reports honest needs.
+        cap = (
+            self.height - HEADER_ROWS
+            if self.height > HEADER_ROWS else 10 ** 6
+        )
+        for col in range(self.data.cols):
+            cell = self.data.cell(row, col)
+            if cell.kind == "object":
+                view = self._view_for_cell(row, col, cell)
+                _, h = view.desired_size(self.col_width(col),
+                                         self.height or 24)
+                height = max(height, max(1, min(h, cap)))
+        return height
+
+    def _row_y(self, row: int) -> int:
+        """Y of a data row relative to the view (may be negative)."""
+        y = HEADER_ROWS
+        for r in range(self._top_row, row):
+            y += self.row_height(r)
+        return y
+
+    def cell_rect(self, row: int, col: int) -> Rect:
+        return Rect(
+            self._col_x(col), self._row_y(row),
+            self.col_width(col), self.row_height(row),
+        )
+
+    def cell_at(self, point: Point) -> Optional[Tuple[int, int]]:
+        """Hit test a view-local point to a (row, col)."""
+        if self.data is None or point.y < HEADER_ROWS:
+            return None
+        y = HEADER_ROWS
+        for row in range(self._top_row, self.data.rows):
+            height = self.row_height(row)
+            if y <= point.y < y + height:
+                for col in range(self.data.cols):
+                    x = self._col_x(col)
+                    if x <= point.x < x + self.col_width(col):
+                        return (row, col)
+                return None
+            y += height
+        return None
+
+    # ------------------------------------------------------------------
+    # Embedded-cell views
+    # ------------------------------------------------------------------
+
+    def _view_for_cell(self, row: int, col: int, cell: Cell) -> View:
+        view = self._embed_views.get((row, col))
+        if view is None or view.dataobject is not cell.content:
+            if view is not None:
+                self.remove_child(view)
+            try:
+                cls = load_class(cell.view_type or "label")
+            except DynamicLoadError:
+                from ..text.textview import _UnknownComponentView
+
+                cls = _UnknownComponentView
+            view = cls(cell.content)
+            self._embed_views[(row, col)] = view
+            self.add_child(view)
+        return view
+
+    def layout(self) -> None:
+        if self.data is None:
+            return
+        live = set()
+        for row in range(self.data.rows):
+            for col in range(self.data.cols):
+                cell = self.data.cell(row, col)
+                if cell.kind != "object":
+                    continue
+                live.add((row, col))
+                view = self._view_for_cell(row, col, cell)
+                rect = self.cell_rect(row, col).intersection(self.local_bounds)
+                view.set_bounds(rect)
+        for key, view in list(self._embed_views.items()):
+            if key not in live:
+                self.remove_child(view)
+                del self._embed_views[key]
+
+    # ------------------------------------------------------------------
+    # Scrollable (by rows)
+    # ------------------------------------------------------------------
+
+    def scroll_total(self) -> int:
+        return self.data.rows if self.data is not None else 0
+
+    def scroll_pos(self) -> int:
+        return self._top_row
+
+    def scroll_visible(self) -> int:
+        visible = 0
+        y = HEADER_ROWS
+        if self.data is None:
+            return 0
+        for row in range(self._top_row, self.data.rows):
+            y += self.row_height(row)
+            if y > self.height:
+                break
+            visible += 1
+        return max(1, visible)
+
+    def set_scroll_pos(self, pos: int) -> None:
+        if self.data is None:
+            return
+        self._top_row = max(0, min(pos, self.data.rows - 1))
+        self._needs_layout = True
+        self.want_update()
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        if self.data is None:
+            return
+        data = self.data
+        # Column headers.
+        for col in range(data.cols):
+            x = self._col_x(col)
+            if x >= self.width:
+                break
+            graphic.draw_string_centered(
+                Rect(x, 0, self.col_width(col), 1), col_name(col)
+            )
+            graphic.draw_vline(x - 1, 0, self.height - 1)
+        graphic.draw_hline(0, self.width - 1, 1)
+        # Rows.
+        y = HEADER_ROWS
+        for row in range(self._top_row, data.rows):
+            if y >= self.height:
+                break
+            graphic.draw_string(0, y, f"{row + 1:>3}")
+            for col in range(data.cols):
+                x = self._col_x(col)
+                if x >= self.width:
+                    break
+                width = self.col_width(col)
+                if (row, col) == self.selected and self.editing is not None:
+                    text = self.editing[-width:]
+                else:
+                    text = data.display_at(row, col)[:width]
+                graphic.draw_string(x, y, text)
+                if (row, col) == self.selected:
+                    graphic.invert_rect(Rect(x, y, width, 1))
+            y += self.row_height(row)
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+
+    def separator_col_at(self, point: Point) -> Optional[int]:
+        """Which column's right-edge separator a header click grabs.
+
+        Grabbing in the header rows within one cell of the rule between
+        columns starts a width drag — the same enlarged-grab-zone idea
+        as the frame's divider (§3).
+        """
+        if self.data is None or point.y >= HEADER_ROWS:
+            return None
+        for col in range(self.data.cols):
+            separator_x = self._col_x(col + 1) - 1
+            if abs(point.x - separator_x) <= 1:
+                return col
+        return None
+
+    def handle_mouse(self, event) -> bool:
+        from ...wm.events import MouseAction
+
+        if event.action == MouseAction.DOWN:
+            grab = self.separator_col_at(event.point)
+            if grab is not None:
+                self._dragging_col = grab
+                return True
+            hit = self.cell_at(event.point)
+            if hit is not None:
+                self._commit_edit()
+                self.selected = hit
+                self.want_update()
+            self.want_input_focus()
+            return True
+        if event.action == MouseAction.DRAG and self._dragging_col is not None:
+            new_width = event.point.x - self._col_x(self._dragging_col)
+            self.set_col_width(self._dragging_col, new_width)
+            return True
+        if event.action == MouseAction.UP:
+            self._dragging_col = None
+            return True
+        return event.action == MouseAction.DRAG
+
+    def select(self, row: int, col: int) -> None:
+        if self.data is None:
+            return
+        self._commit_edit()
+        self.selected = (
+            max(0, min(row, self.data.rows - 1)),
+            max(0, min(col, self.data.cols - 1)),
+        )
+        if self.selected[0] < self._top_row:
+            self._top_row = self.selected[0]
+            self._needs_layout = True
+        while self.selected[0] >= self._top_row + self.scroll_visible():
+            self._top_row += 1
+            self._needs_layout = True
+        self.want_update()
+
+    def _commit_edit(self) -> None:
+        if self.editing is not None and self.data is not None:
+            row, col = self.selected
+            self.data.set_cell(row, col, self.editing)
+            self.editing = None
+
+    def _cancel_edit(self) -> None:
+        self.editing = None
+        self.want_update()
+
+    # -- keymap commands ----------------------------------------------------
+
+    def _cmd_type(self, view, key) -> None:
+        self.editing = (self.editing or "") + key.char
+        self.want_update()
+
+    def _cmd_backspace(self, view, key) -> None:
+        if self.editing:
+            self.editing = self.editing[:-1]
+        elif self.data is not None:
+            self.data.clear_cell(*self.selected)
+        self.want_update()
+
+    def _cmd_commit(self, view, key) -> None:
+        self._commit_edit()
+        self.select(self.selected[0] + 1, self.selected[1])
+
+    def _cmd_cancel(self, view, key) -> None:
+        self._cancel_edit()
+
+    def _move(self, dr: int, dc: int) -> None:
+        self.select(self.selected[0] + dr, self.selected[1] + dc)
+
+    def _bind_keys(self) -> None:
+        keymap = self.keymap
+        keymap.bind_printables(self._cmd_type)
+        keymap.bind("Return", self._cmd_commit)
+        keymap.bind("Backspace", self._cmd_backspace)
+        keymap.bind("Escape", self._cmd_cancel)
+        keymap.bind("Up", lambda v, k: self._move(-1, 0))
+        keymap.bind("Down", lambda v, k: self._move(1, 0))
+        keymap.bind("Left", lambda v, k: self._move(0, -1))
+        keymap.bind("Right", lambda v, k: self._move(0, 1))
+        keymap.bind("Tab", lambda v, k: self._move(0, 1))
+
+    def _build_menus(self) -> None:
+        card = self.menu_card("Table")
+        card.add("Insert Row", lambda v, e: self._insert_row())
+        card.add("Delete Row", lambda v, e: self._delete_row())
+        card.add("Insert Column", lambda v, e: self._insert_col())
+        card.add("Delete Column", lambda v, e: self._delete_col())
+
+    def _insert_row(self) -> None:
+        if self.data is not None:
+            self.data.insert_row(self.selected[0])
+
+    def _delete_row(self) -> None:
+        if self.data is not None and self.data.rows > 1:
+            self.data.delete_row(self.selected[0])
+
+    def _insert_col(self) -> None:
+        if self.data is not None:
+            self.data.insert_col(self.selected[1])
+
+    def _delete_col(self) -> None:
+        if self.data is not None and self.data.cols > 1:
+            self.data.delete_col(self.selected[1])
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        if self.data is None:
+            return (width, 3)
+        want_w = self._col_x(self.data.cols)
+        want_h = HEADER_ROWS + sum(
+            self.row_height(r) for r in range(self.data.rows)
+        )
+        return (min(width, want_w), min(height, want_h))
+
+
+# The paper's §5 example places a view of type "spread" on a table.
+register_alias("spread", TableView)

@@ -1,0 +1,30 @@
+"""The multi-font text component (data object, editor view, page view)."""
+
+from .marks import LEFT, Mark, MarkSet, RIGHT
+from .styles import (
+    STANDARD_STYLES,
+    Style,
+    StyleSpan,
+    effective_styles,
+    style_named,
+)
+from .textdata import EmbeddedObject, OBJECT_CHAR, TextData
+from .textview import TextView
+from .wysiwyg import PageView
+
+__all__ = [
+    "TextData",
+    "TextView",
+    "PageView",
+    "EmbeddedObject",
+    "OBJECT_CHAR",
+    "Mark",
+    "MarkSet",
+    "LEFT",
+    "RIGHT",
+    "Style",
+    "StyleSpan",
+    "STANDARD_STYLES",
+    "style_named",
+    "effective_styles",
+]

@@ -1,0 +1,85 @@
+"""Sticky positions in editable text.
+
+Everything that refers into a text buffer — style spans, embedded
+object placements, view carets — must survive edits made elsewhere in
+the buffer.  A :class:`Mark` is a position with *gravity*: when text is
+inserted exactly at the mark, left gravity keeps the mark before the
+insertion and right gravity moves it after.  The text data object owns
+a :class:`MarkSet` and adjusts it inside every mutation, so observers
+reading marks after a change notification always see consistent
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = ["Mark", "MarkSet", "LEFT", "RIGHT"]
+
+LEFT = "left"
+RIGHT = "right"
+
+
+class Mark:
+    """A position in a text buffer that moves with edits."""
+
+    __slots__ = ("pos", "gravity")
+
+    def __init__(self, pos: int, gravity: str = LEFT) -> None:
+        if gravity not in (LEFT, RIGHT):
+            raise ValueError(f"gravity must be 'left' or 'right', got {gravity!r}")
+        self.pos = int(pos)
+        self.gravity = gravity
+
+    def adjust_insert(self, at: int, length: int) -> None:
+        """Shift for an insertion of ``length`` characters at ``at``."""
+        if self.pos > at or (self.pos == at and self.gravity == RIGHT):
+            self.pos += length
+
+    def adjust_delete(self, at: int, length: int) -> None:
+        """Shift for a deletion of ``length`` characters at ``at``.
+
+        A mark inside the deleted range collapses to its start.
+        """
+        if self.pos >= at + length:
+            self.pos -= length
+        elif self.pos > at:
+            self.pos = at
+
+    def __repr__(self) -> str:
+        return f"Mark({self.pos}, {self.gravity})"
+
+
+class MarkSet:
+    """All the marks registered against one buffer."""
+
+    def __init__(self) -> None:
+        self._marks: List[Mark] = []
+
+    def create(self, pos: int, gravity: str = LEFT) -> Mark:
+        mark = Mark(pos, gravity)
+        self._marks.append(mark)
+        return mark
+
+    def adopt(self, mark: Mark) -> Mark:
+        if mark not in self._marks:
+            self._marks.append(mark)
+        return mark
+
+    def release(self, mark: Mark) -> None:
+        if mark in self._marks:
+            self._marks.remove(mark)
+
+    def adjust_insert(self, at: int, length: int) -> None:
+        for mark in self._marks:
+            mark.adjust_insert(at, length)
+
+    def adjust_delete(self, at: int, length: int) -> None:
+        for mark in self._marks:
+            mark.adjust_delete(at, length)
+
+    def __iter__(self) -> Iterator[Mark]:
+        return iter(self._marks)
+
+    def __len__(self) -> int:
+        return len(self._marks)

@@ -1,0 +1,129 @@
+"""Text styles (paper sections 1-2: "multi-font text").
+
+A :class:`Style` bundles the display properties the Andrew text
+component supported: font changes (bold, italic, fixed, size), layout
+changes (indentation, centering).  Styles are applied to regions as
+:class:`StyleSpan` s, which behave like paired marks: they stretch and
+shrink as the buffer is edited.
+
+Span gravity follows the usual editor convention: an insertion exactly
+at a span's start lands *outside* it, and an insertion exactly at its
+end also lands outside, so typing at a bold word's edge produces plain
+text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["Style", "StyleSpan", "STANDARD_STYLES", "style_named",
+           "effective_styles"]
+
+
+class Style:
+    """A named bundle of character/paragraph display attributes."""
+
+    __slots__ = ("name", "bold", "italic", "fixed", "size_delta",
+                 "indent", "centered")
+
+    def __init__(self, name: str, bold: bool = False, italic: bool = False,
+                 fixed: bool = False, size_delta: int = 0,
+                 indent: int = 0, centered: bool = False) -> None:
+        self.name = name
+        self.bold = bold
+        self.italic = italic
+        self.fixed = fixed
+        self.size_delta = size_delta
+        self.indent = indent
+        self.centered = centered
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Style) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("style", self.name))
+
+    def __repr__(self) -> str:
+        return f"Style({self.name!r})"
+
+
+#: The styles the original editor menus offered.
+STANDARD_STYLES: Dict[str, Style] = {
+    style.name: style
+    for style in (
+        Style("bold", bold=True),
+        Style("italic", italic=True),
+        Style("bolditalic", bold=True, italic=True),
+        Style("typewriter", fixed=True),
+        Style("bigger", size_delta=4),
+        Style("smaller", size_delta=-2),
+        Style("chapter", bold=True, size_delta=8),
+        Style("section", bold=True, size_delta=4),
+        Style("subsection", bold=True, size_delta=2),
+        Style("quotation", indent=4, italic=True),
+        Style("indent", indent=4),
+        Style("center", centered=True),
+        Style("majorheading", bold=True, size_delta=8, centered=True),
+        Style("heading", bold=True, size_delta=4),
+    )
+}
+
+
+def style_named(name: str) -> Style:
+    """Resolve a style name; unknown names become inert styles so
+    documents written by richer editors still open."""
+    style = STANDARD_STYLES.get(name)
+    if style is None:
+        style = Style(name)
+    return style
+
+
+class StyleSpan:
+    """A style applied to the half-open region ``[start, end)``."""
+
+    __slots__ = ("start", "end", "style")
+
+    def __init__(self, start: int, end: int, style: Style) -> None:
+        if end < start:
+            raise ValueError(f"span end {end} before start {start}")
+        self.start = int(start)
+        self.end = int(end)
+        self.style = style
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        return self.end <= self.start
+
+    def covers(self, pos: int) -> bool:
+        return self.start <= pos < self.end
+
+    def adjust_insert(self, at: int, length: int) -> None:
+        if at <= self.start:  # at the start edge: new text lands outside
+            self.start += length
+            self.end += length
+        elif at < self.end:   # strictly inside: the span stretches
+            self.end += length
+
+    def adjust_delete(self, at: int, length: int) -> None:
+        cut_end = at + length
+
+        def shift(pos: int) -> int:
+            if pos >= cut_end:
+                return pos - length
+            if pos > at:
+                return at
+            return pos
+
+        self.start = shift(self.start)
+        self.end = shift(self.end)
+
+    def __repr__(self) -> str:
+        return f"StyleSpan({self.start}, {self.end}, {self.style.name})"
+
+
+def effective_styles(spans: Iterable[StyleSpan], pos: int) -> List[Style]:
+    """The styles covering ``pos``, in application order."""
+    return [span.style for span in spans if span.covers(pos)]

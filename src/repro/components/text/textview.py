@@ -1,0 +1,807 @@
+"""The text view: a display-based (WYSLRN) editor on a TextData.
+
+"Currently the text view is a display-based text processing system ...
+It displays text with multiple fonts, indentations, etc. but makes no
+attempt to display the information as it would appear on a piece of
+paper."  (The paper-based companion is
+:mod:`repro.components.text.wysiwyg`, which views the *same* data
+object — the section-2 two-views example.)
+
+Responsibilities:
+
+* wrap the buffer to the view width, honouring per-style fonts and
+  paragraph indentation/centering;
+* realize each embedded object as a child view, created **by name
+  through the dynamic loader** — the text view has no compiled-in
+  knowledge of any embedded component's type;
+* edit the data object through its mutators only, letting change
+  notifications drive repaints (the delayed-update discipline), so any
+  number of other views on the same buffer stay correct;
+* expose the :class:`~repro.components.scrollbar.Scrollable` protocol
+  so a scroll bar can adjust it (Figure 1's arrangement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...class_system.dynamic import load_class
+from ...class_system.errors import DynamicLoadError
+from ...class_system.observable import ChangeRecord
+from ...core.view import View
+from ...graphics.fontdesc import FontDesc, FontMetrics
+from ...graphics.geometry import Point, Rect
+from ...graphics.graphic import Graphic
+from ..scrollbar import Scrollable
+from .marks import LEFT, Mark, RIGHT
+from .styles import Style
+from .textdata import EmbeddedObject, OBJECT_CHAR, TextData
+
+__all__ = ["TextView"]
+
+# One shared kill buffer, like the original's cut buffer.
+_clipboard: List[str] = [""]
+
+
+class _TextLine:
+    """One wrapped display line of character cells."""
+
+    __slots__ = ("doc_start", "chars", "indent", "centered", "height")
+
+    def __init__(self, doc_start: int, chars: List[Tuple[int, str]],
+                 indent: int, centered: bool, height: int) -> None:
+        self.doc_start = doc_start
+        self.chars = chars          # [(doc_pos, char)]
+        self.indent = indent
+        self.centered = centered
+        self.height = height
+
+    @property
+    def doc_end(self) -> int:
+        """One past the last position on this line."""
+        if self.chars:
+            return self.chars[-1][0] + 1
+        return self.doc_start
+
+
+class _EmbedLine:
+    """A display block occupied by an embedded component's view."""
+
+    __slots__ = ("embed", "indent", "width", "height")
+
+    def __init__(self, embed: EmbeddedObject, indent: int,
+                 width: int, height: int) -> None:
+        self.embed = embed
+        self.indent = indent
+        self.width = width
+        self.height = height
+
+    @property
+    def doc_start(self) -> int:
+        return self.embed.pos
+
+    @property
+    def doc_end(self) -> int:
+        return self.embed.pos + 1
+
+
+class TextView(View, Scrollable):
+    """Interactive multi-font text editor view."""
+
+    atk_name = "textview"
+
+    base_font = FontDesc("andy", 12)
+
+    def __init__(self, dataobject: Optional[TextData] = None,
+                 read_only: bool = False) -> None:
+        View.__init__(self)
+        self.read_only = read_only
+        self._dot: Optional[Mark] = None       # the caret
+        self._anchor: Optional[Mark] = None    # selection anchor (or None)
+        self._region_start: Optional[Mark] = None
+        self._region_end: Optional[Mark] = None
+        self._top = 0                          # first visible display line
+        self._lines: List[object] = []
+        self._embed_views: Dict[int, View] = {}
+        self._bind_keys()
+        self._build_menus()
+        if dataobject is not None:
+            self.set_dataobject(dataobject)
+
+    # ------------------------------------------------------------------
+    # Data linkage
+    # ------------------------------------------------------------------
+
+    def set_dataobject(self, dataobject) -> None:
+        if self.dataobject is not None:
+            if self._dot is not None:
+                self.dataobject.marks.release(self._dot)
+                self._dot = None
+            self.clear_region()
+        super().set_dataobject(dataobject)
+        if dataobject is not None:
+            self._dot = dataobject.marks.create(0, RIGHT)
+        self._anchor = None
+        self._region_start = None
+        self._region_end = None
+        self._needs_layout = True
+
+    def set_region(self, start: int, end: int) -> None:
+        """Restrict this view to the buffer section ``[start, end)``.
+
+        The section-2 PageMaker scenario: several views examining
+        *different sections of the same data object*.  The bounds are
+        marks, so they follow edits; the caret is clamped inside.
+        """
+        if self.data is None:
+            raise ValueError("set_region requires a data object")
+        self.clear_region()
+        self._region_start = self.data.marks.create(start, LEFT)
+        self._region_end = self.data.marks.create(end, RIGHT)
+        self.set_dot(max(start, min(self.dot, end)))
+        self._needs_layout = True
+        self.want_update()
+
+    def clear_region(self) -> None:
+        """Show the whole buffer again."""
+        if self.data is not None:
+            if self._region_start is not None:
+                self.data.marks.release(self._region_start)
+            if self._region_end is not None:
+                self.data.marks.release(self._region_end)
+        self._region_start = self._region_end = None
+        self._needs_layout = True
+
+    def region(self) -> Tuple[int, int]:
+        """The visible section ``(start, end)`` (whole buffer if unset)."""
+        if self.data is None:
+            return (0, 0)
+        if self._region_start is None or self._region_end is None:
+            return (0, self.data.length)
+        start = max(0, min(self._region_start.pos, self.data.length))
+        end = max(start, min(self._region_end.pos, self.data.length))
+        return (start, end)
+
+    @property
+    def data(self) -> Optional[TextData]:
+        return self.dataobject
+
+    @property
+    def dot(self) -> int:
+        """The caret position."""
+        return self._dot.pos if self._dot is not None else 0
+
+    def set_dot(self, pos: int, extend: bool = False) -> None:
+        """Move the caret; ``extend`` grows the selection instead."""
+        if self.data is None or self._dot is None:
+            return
+        lo, hi = self.region()
+        pos = max(lo, min(pos, hi))
+        if extend:
+            if self._anchor is None:
+                self._anchor = self.data.marks.create(self._dot.pos)
+        else:
+            self._clear_selection()
+        self._dot.pos = pos
+        self._scroll_dot_visible()
+        self.want_update()
+
+    def selection(self) -> Optional[Tuple[int, int]]:
+        """The selected range (start, end), or None."""
+        if self._anchor is None or self._dot is None:
+            return None
+        a, b = self._anchor.pos, self._dot.pos
+        if a == b:
+            return None
+        return (min(a, b), max(a, b))
+
+    def selected_text(self) -> str:
+        span = self.selection()
+        if span is None or self.data is None:
+            return ""
+        return self.data.text(span[0], span[1])
+
+    def _clear_selection(self) -> None:
+        if self._anchor is not None and self.data is not None:
+            self.data.marks.release(self._anchor)
+        self._anchor = None
+
+    def on_data_changed(self, change: ChangeRecord) -> None:
+        """Repair incrementally: "the view must determine what the
+        change is and update its visual representation appropriately"
+        (§2).  An edit can only move content on its own display line
+        and below (wrap is per-paragraph, top-down), so the damage is
+        the changed line's row to the bottom of the view; changes above
+        or below the visible region damage everything / nothing."""
+        damage_top = self._damage_row_for(change)
+        self._needs_layout = True
+        if damage_top is None:
+            self.want_update()
+        elif damage_top < self.height:
+            self.want_update(
+                Rect(0, damage_top, self.width, self.height - damage_top)
+            )
+
+    def _damage_row_for(self, change: ChangeRecord) -> Optional[int]:
+        """First view row affected by ``change``, or None for 'all'."""
+        if change.what not in ("insert", "delete", "style") or not isinstance(
+            change.where, int
+        ):
+            return None
+        if not self._lines or self._top >= len(self._lines):
+            return None
+        visible = self._lines[self._top:]
+        if change.where < visible[0].doc_start:
+            return 0  # content above the window moved: repaint all
+        y = 0
+        for line in visible:
+            if y >= self.height:
+                return self.height  # change below the window: no damage
+            if change.where < line.doc_end or line is self._lines[-1]:
+                return y
+            y += line.height
+        return self.height
+
+    # ------------------------------------------------------------------
+    # Metrics & layout
+    # ------------------------------------------------------------------
+
+    def _metrics(self, font: FontDesc) -> FontMetrics:
+        im = self.interaction_manager()
+        if im is not None:
+            return im.window_system.font_metrics(font)
+        return FontMetrics(font, 1, 1, 0)
+
+    def font_for_styles(self, styles: List[Style]) -> FontDesc:
+        font = self.base_font
+        size = font.size
+        flags = set(font.styles)
+        for style in styles:
+            size += style.size_delta
+            if style.bold:
+                flags.add("bold")
+            if style.italic:
+                flags.add("italic")
+            if style.fixed:
+                flags.add("fixed")
+        return FontDesc(font.family, max(4, size), flags)
+
+    def _font_at(self, pos: int) -> FontDesc:
+        assert self.data is not None
+        return self.font_for_styles(self.data.styles_at(pos))
+
+    def _paragraph_props(self, pos: int) -> Tuple[int, bool]:
+        """(indent, centered) from the styles covering ``pos``."""
+        indent = 0
+        centered = False
+        if self.data is not None:
+            for style in self.data.styles_at(pos):
+                indent += style.indent
+                centered = centered or style.centered
+        return (indent, centered)
+
+    def layout(self) -> None:
+        """Rebuild the wrapped display-line list and place embeds."""
+        self._lines = []
+        if self.data is None or self.width <= 0:
+            self._place_embed_views()
+            return
+        region_start, region_end = self.region()
+        base_height = self._metrics(self.base_font).height
+        current: List[Tuple[int, str]] = []
+        current_start = region_start
+        current_width = 0
+        line_height = base_height
+        indent, centered = self._paragraph_props(region_start)
+        avail = max(1, self.width - indent - 1)
+
+        def flush(next_start: int) -> None:
+            nonlocal current, current_start, current_width, line_height
+            self._lines.append(
+                _TextLine(current_start, current, indent, centered,
+                          max(1, line_height))
+            )
+            current = []
+            current_start = next_start
+            current_width = 0
+            line_height = base_height
+
+        for pos in range(region_start, region_end):
+            char = self.data.char_at(pos)
+            if not current:
+                current_start = pos
+                indent, centered = self._paragraph_props(pos)
+                avail = max(1, self.width - indent - 1)
+            if char == "\n":
+                flush(pos + 1)
+                continue
+            if char == OBJECT_CHAR:
+                embed = self.data.embedded_at(pos)
+                if current:
+                    flush(pos + 1)
+                if embed is not None:
+                    view = self._view_for_embed(embed)
+                    offer_w = max(1, self.width - indent - 1)
+                    offer_h = max(1, self.height - 1) if self.height else 8
+                    w, h = view.desired_size(offer_w, offer_h)
+                    self._lines.append(
+                        _EmbedLine(embed, indent, max(1, w), max(1, h))
+                    )
+                continue
+            metrics = self._metrics(self._font_at(pos))
+            advance = metrics.char_width * (4 if char == "\t" else 1)
+            if current and current_width + advance > avail * self._metrics(
+                self.base_font
+            ).char_width:
+                flush(pos)
+                indent, centered = self._paragraph_props(pos)
+                avail = max(1, self.width - indent - 1)
+            current.append((pos, char))
+            current_width += advance
+            line_height = max(line_height, metrics.height)
+        # The final line exists even when empty (caret home of empty doc).
+        self._lines.append(
+            _TextLine(current_start, current, indent, centered,
+                      max(1, line_height))
+        )
+        self._clamp_top()
+        self._place_embed_views()
+
+    def _view_for_embed(self, embed: EmbeddedObject) -> View:
+        """The child view displaying ``embed``, created on demand.
+
+        The view class is resolved by name through the dynamic loader —
+        this line is where a never-linked component's code gets pulled
+        into a running editor.
+        """
+        view = self._embed_views.get(id(embed))
+        if view is None:
+            try:
+                cls = load_class(embed.view_type)
+            except DynamicLoadError:
+                cls = _UnknownComponentView
+            view = cls(embed.data) if issubclass(cls, View) else _UnknownComponentView(embed.data)
+            self._embed_views[id(embed)] = view
+            self.add_child(view)
+        return view
+
+    def _place_embed_views(self) -> None:
+        """Assign window space to embedded views for the current scroll."""
+        y = 0
+        for index, line in enumerate(self._lines):
+            if index < self._top:
+                if isinstance(line, _EmbedLine):
+                    self._embed_views_bounds(line.embed, Rect(0, 0, 0, 0))
+                continue
+            if isinstance(line, _EmbedLine):
+                visible_h = min(line.height, max(0, self.height - y))
+                rect = (
+                    Rect(line.indent + 1, y, line.width, visible_h)
+                    if visible_h > 0 else Rect(0, 0, 0, 0)
+                )
+                self._embed_views_bounds(line.embed, rect)
+            y += line.height
+        # Views whose embeds were deleted leave the tree.
+        current = (
+            {id(e) for e in self.data.embeds()} if self.data is not None else set()
+        )
+        for key, view in list(self._embed_views.items()):
+            if key not in current:
+                self.remove_child(view)
+                del self._embed_views[key]
+
+    def _embed_views_bounds(self, embed: EmbeddedObject, rect: Rect) -> None:
+        view = self._embed_views.get(id(embed))
+        if view is not None:
+            clipped = self.local_bounds.intersection(rect)
+            view.set_bounds(clipped if not rect.is_empty() else rect)
+
+    # ------------------------------------------------------------------
+    # Scrollable protocol
+    # ------------------------------------------------------------------
+
+    def scroll_total(self) -> int:
+        self.ensure_layout()
+        return sum(line.height for line in self._lines)
+
+    def scroll_pos(self) -> int:
+        return sum(line.height for line in self._lines[:self._top])
+
+    def scroll_visible(self) -> int:
+        return self.height
+
+    def set_scroll_pos(self, pos: int) -> None:
+        self.ensure_layout()
+        y = 0
+        index = 0
+        for index, line in enumerate(self._lines):
+            if y + line.height > max(0, pos):
+                break
+            y += line.height
+        self._top = index
+        self._clamp_top()
+        self._needs_layout = True
+        self.want_update()
+
+    def _clamp_top(self) -> None:
+        self._top = max(0, min(self._top, max(0, len(self._lines) - 1)))
+
+    def _scroll_dot_visible(self) -> None:
+        index = self._line_index_of(self.dot)
+        if index is None:
+            return
+        if index < self._top:
+            self._top = index
+            self._needs_layout = True
+        else:
+            # Walk down until the dot line fits in the window.
+            while True:
+                y = sum(
+                    line.height for line in self._lines[self._top:index]
+                )
+                if y < max(1, self.height) or self._top >= index:
+                    break
+                self._top += 1
+                self._needs_layout = True
+
+    # ------------------------------------------------------------------
+    # Position mapping
+    # ------------------------------------------------------------------
+
+    def _line_index_of(self, pos: int) -> Optional[int]:
+        self.ensure_layout()
+        for index, line in enumerate(self._lines):
+            if line.doc_start <= pos < line.doc_end:
+                return index
+            if isinstance(line, _TextLine) and pos == line.doc_end and (
+                index == len(self._lines) - 1
+                or self._lines[index + 1].doc_start > pos
+            ):
+                return index
+        return len(self._lines) - 1 if self._lines else None
+
+    def position_at(self, point: Point) -> int:
+        """Document position under a view-local point (hit test)."""
+        self.ensure_layout()
+        if self.data is None:
+            return 0
+        y = 0
+        for line in self._lines[self._top:]:
+            if y <= point.y < y + line.height:
+                if isinstance(line, _EmbedLine):
+                    return line.embed.pos
+                x = line.indent
+                if line.centered:
+                    x += self._center_pad(line)
+                for pos, char in line.chars:
+                    width = self._metrics(self._font_at(pos)).char_width * (
+                        4 if char == "\t" else 1
+                    )
+                    if point.x < x + width:
+                        return pos
+                    x += width
+                return line.doc_end
+            y += line.height
+        return self.region()[1]
+
+    def _center_pad(self, line: _TextLine) -> int:
+        used = 0
+        for pos, char in line.chars:
+            used += self._metrics(self._font_at(pos)).char_width * (
+                4 if char == "\t" else 1
+            )
+        return max(0, (self.width - line.indent - used) // 2)
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        self.ensure_layout()
+        if self.data is None:
+            return
+        selection = self.selection()
+        y = 0
+        for line in self._lines[self._top:]:
+            if y >= self.height:
+                break
+            if isinstance(line, _EmbedLine):
+                # A marker column so embedded blocks are findable in
+                # snapshots; the child view draws itself after us.
+                graphic.draw_string(line.indent, y, "")
+                y += line.height
+                continue
+            x = line.indent + (self._center_pad(line) if line.centered else 0)
+            for pos, char in line.chars:
+                font = self._font_at(pos)
+                metrics = self._metrics(font)
+                graphic.set_font(font)
+                width = metrics.char_width * (4 if char == "\t" else 1)
+                if char != "\t":
+                    graphic.draw_string(x, y, char)
+                if selection is not None and selection[0] <= pos < selection[1]:
+                    graphic.invert_rect(Rect(x, y, width, line.height))
+                x += width
+            if selection is None and self._caret_on(line):
+                caret_x = self._caret_x(line)
+                graphic.invert_rect(
+                    Rect(caret_x, y,
+                         self._metrics(self.base_font).char_width,
+                         line.height)
+                )
+            y += line.height
+
+    def _caret_on(self, line: _TextLine) -> bool:
+        index = self._line_index_of(self.dot)
+        if index is None:
+            return False
+        return self._lines[index] is line
+
+    def _caret_x(self, line: _TextLine) -> int:
+        x = line.indent + (self._center_pad(line) if line.centered else 0)
+        for pos, char in line.chars:
+            if pos >= self.dot:
+                break
+            x += self._metrics(self._font_at(pos)).char_width * (
+                4 if char == "\t" else 1
+            )
+        return x
+
+    # ------------------------------------------------------------------
+    # Mouse
+    # ------------------------------------------------------------------
+
+    def handle_mouse(self, event) -> bool:
+        from ...wm.events import MouseAction
+
+        if event.action == MouseAction.DOWN:
+            self.set_dot(self.position_at(event.point))
+            self.want_input_focus()
+            return True
+        if event.action == MouseAction.DRAG:
+            self.set_dot(self.position_at(event.point), extend=True)
+            return True
+        if event.action == MouseAction.UP:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Editing commands
+    # ------------------------------------------------------------------
+
+    def insert_text(self, text: str) -> None:
+        """Type ``text`` at the caret (replacing any selection)."""
+        if self.data is None or self.read_only:
+            return
+        span = self.selection()
+        if span is not None:
+            self.data.delete(span[0], span[1] - span[0])
+            self._clear_selection()
+        at = self.dot
+        self.data.insert(at, text)
+        self._dot.pos = at + len(text)
+
+    def insert_object(self, data, view_type: Optional[str] = None):
+        """Embed a component at the caret."""
+        if self.data is None or self.read_only:
+            return None
+        at = self.dot
+        embed = self.data.insert_object(at, data, view_type)
+        self._dot.pos = at + 1
+        return embed
+
+    def delete_selection_or(self, fallback_start: int, fallback_len: int) -> None:
+        if self.data is None or self.read_only:
+            return
+        span = self.selection()
+        if span is not None:
+            self.data.delete(span[0], span[1] - span[0])
+            self._clear_selection()
+        elif 0 <= fallback_start and fallback_start + fallback_len <= self.data.length:
+            self.data.delete(fallback_start, fallback_len)
+
+    # -- command implementations (bound in the keymap) ----------------------
+
+    def _cmd_self_insert(self, view, key) -> None:
+        self.insert_text(key.char)
+
+    def _cmd_newline(self, view, key) -> None:
+        self.insert_text("\n")
+
+    def _cmd_tab(self, view, key) -> None:
+        self.insert_text("\t")
+
+    def _cmd_backspace(self, view, key) -> None:
+        if self.selection() is not None:
+            self.delete_selection_or(0, 0)
+        elif self.dot > 0:
+            at = self.dot - 1
+            self.delete_selection_or(at, 1)
+
+    def _cmd_delete(self, view, key) -> None:
+        self.delete_selection_or(self.dot, 1)
+
+    def _cmd_left(self, view, key) -> None:
+        self.set_dot(self.dot - 1)
+
+    def _cmd_right(self, view, key) -> None:
+        self.set_dot(self.dot + 1)
+
+    def _vertical_move(self, delta: int) -> None:
+        index = self._line_index_of(self.dot)
+        if index is None:
+            return
+        target = max(0, min(index + delta, len(self._lines) - 1))
+        line = self._lines[target]
+        offset = self.dot - self._lines[index].doc_start
+        if isinstance(line, _TextLine):
+            self.set_dot(min(line.doc_start + offset, line.doc_end))
+        else:
+            self.set_dot(line.doc_start)
+
+    def _cmd_up(self, view, key) -> None:
+        self._vertical_move(-1)
+
+    def _cmd_down(self, view, key) -> None:
+        self._vertical_move(1)
+
+    def _line_bounds(self) -> Tuple[int, int]:
+        """(start, end) of the logical line around the caret."""
+        assert self.data is not None
+        text = self.data.text()
+        start = text.rfind("\n", 0, self.dot) + 1
+        end = text.find("\n", self.dot)
+        return (start, len(text) if end < 0 else end)
+
+    def _cmd_line_start(self, view, key) -> None:
+        self.set_dot(self._line_bounds()[0])
+
+    def _cmd_line_end(self, view, key) -> None:
+        self.set_dot(self._line_bounds()[1])
+
+    def _cmd_kill_line(self, view, key) -> None:
+        if self.data is None or self.read_only:
+            return
+        start, end = self._line_bounds()
+        if self.dot == end and end < self.data.length:
+            end += 1  # at EOL: kill the newline
+        if end > self.dot:
+            _clipboard[0] = self.data.text(self.dot, end)
+            self.data.delete(self.dot, end - self.dot)
+
+    def _cmd_yank(self, view, key) -> None:
+        self.insert_text(_clipboard[0])
+
+    def search_forward(self, needle: str) -> int:
+        """Move the caret to the next occurrence of ``needle``.
+
+        Searches from just past the caret, wrapping to the start;
+        returns the match position or -1.  Used by C-s via the frame's
+        dialog facility.
+        """
+        if self.data is None or not needle:
+            return -1
+        pos = self.data.search(needle, self.dot + 1)
+        if pos < 0:
+            pos = self.data.search(needle, 0)
+        if pos >= 0:
+            self.set_dot(pos)
+        return pos
+
+    def _enclosing_frame(self):
+        node = self.parent
+        while node is not None and not hasattr(node, "ask"):
+            node = node.parent
+        return node
+
+    def _cmd_search(self, view, key) -> None:
+        frame = self._enclosing_frame()
+        if frame is None:
+            return
+
+        def do_search(needle: str) -> None:
+            if self.search_forward(needle) < 0 and hasattr(
+                frame, "post_message"
+            ):
+                frame.post_message(f"Can't find {needle!r}")
+            self.want_input_focus()
+
+        frame.ask("Search for: ", do_search)
+
+    def _cmd_copy(self, view, event) -> None:
+        text = self.selected_text()
+        if text:
+            _clipboard[0] = text.replace(OBJECT_CHAR, "")
+
+    def _cmd_cut(self, view, event) -> None:
+        self._cmd_copy(view, event)
+        self.delete_selection_or(0, 0)
+
+    def _cmd_paste(self, view, event) -> None:
+        self.insert_text(_clipboard[0])
+
+    def _apply_style(self, name: str) -> None:
+        span = self.selection()
+        if span is not None and self.data is not None and not self.read_only:
+            self.data.add_style(span[0], span[1], name)
+
+    def _cmd_plainer(self, view, event) -> None:
+        span = self.selection()
+        if span is not None and self.data is not None:
+            self.data.clear_styles(span[0], span[1])
+
+    def _bind_keys(self) -> None:
+        keymap = self.keymap
+        keymap.bind_printables(self._cmd_self_insert)
+        keymap.bind("Return", self._cmd_newline)
+        keymap.bind("Tab", self._cmd_tab)
+        keymap.bind("Backspace", self._cmd_backspace)
+        keymap.bind("Delete", self._cmd_delete)
+        keymap.bind("C-d", self._cmd_delete)
+        keymap.bind("Left", self._cmd_left)
+        keymap.bind("Right", self._cmd_right)
+        keymap.bind("Up", self._cmd_up)
+        keymap.bind("Down", self._cmd_down)
+        keymap.bind("C-b", self._cmd_left)
+        keymap.bind("C-f", self._cmd_right)
+        keymap.bind("C-p", self._cmd_up)
+        keymap.bind("C-n", self._cmd_down)
+        keymap.bind("C-a", self._cmd_line_start)
+        keymap.bind("C-e", self._cmd_line_end)
+        keymap.bind("C-k", self._cmd_kill_line)
+        keymap.bind("C-y", self._cmd_yank)
+        keymap.bind("C-w", self._cmd_cut)
+        keymap.bind("C-s", self._cmd_search)
+
+    def _build_menus(self) -> None:
+        card = self.menu_card("Text")
+        card.add("Cut", lambda v, e: self._cmd_cut(v, e), keys="C-w")
+        card.add("Copy", lambda v, e: self._cmd_copy(v, e))
+        card.add("Paste", lambda v, e: self._cmd_paste(v, e), keys="C-y")
+        card.add("Search...", lambda v, e: self._cmd_search(v, e),
+                 keys="C-s")
+        style_card = self.menu_card("Style")
+        for name in ("bold", "italic", "bigger", "center", "typewriter"):
+            style_card.add(
+                name.capitalize(),
+                lambda v, e, _n=name: self._apply_style(_n),
+            )
+        style_card.add("Plainer", self._cmd_plainer)
+
+    # ------------------------------------------------------------------
+    # Sizing for embedding (text inside tables, drawings, ...)
+    # ------------------------------------------------------------------
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        """Enough lines to show the content at the offered width."""
+        if self.data is None:
+            return (width, 1)
+        base = self._metrics(self.base_font)
+        rows = 0
+        for paragraph in self.data.text().split("\n"):
+            cells = max(1, len(paragraph))
+            per_row = max(1, width // max(1, base.char_width))
+            rows += (cells + per_row - 1) // per_row
+        rows += sum(1 for e in self.data.embeds())
+        return (width, min(height, max(1, rows) * base.height))
+
+
+class _UnknownComponentView(View):
+    """Placeholder shown when a component's code cannot be found.
+
+    The original editor showed an empty box for unloadable components;
+    this keeps documents usable when a plugin is missing.
+    """
+
+    atk_name = "unknowncomponentview"
+
+    def __init__(self, dataobject=None) -> None:
+        super().__init__(dataobject)
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        return (min(width, 20), min(height, 3))
+
+    def draw(self, graphic: Graphic) -> None:
+        graphic.draw_rect(self.local_bounds)
+        tag = self.dataobject.type_tag if self.dataobject else "?"
+        graphic.draw_string_centered(self.local_bounds, f"<{tag}>")

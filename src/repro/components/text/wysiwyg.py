@@ -1,0 +1,151 @@
+"""The paper-based (WYSIWYG) text view (paper section 2).
+
+"In this case we plan on providing a full WYSIWYG text view.  This
+paper-based text view will be designed to use the same text data
+object.  The user of the system will be able to choose to use either
+view or perhaps have one window using the normal text view and the
+other using the WYSIWYG text view.  Again changes made in one window
+will automatically be reflected in the other window."
+
+:class:`PageView` is that second view type: it formats the *same*
+:class:`~repro.components.text.textdata.TextData` into fixed-size pages
+with margins and page rules, entirely independent of the editing view's
+wrap.  It is read-only (a proofing view) but fully live: it observes
+the data object, so edits made through a TextView in another window
+re-paginate here automatically — the experiment-E3 "two different types
+of views displaying information contained in the one data object" case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...core.view import View
+from ...graphics.geometry import Rect
+from ...graphics.graphic import Graphic
+from ..scrollbar import Scrollable
+from .textdata import OBJECT_CHAR, TextData
+
+__all__ = ["PageView"]
+
+PAGE_TEXT_WIDTH = 56
+PAGE_TEXT_HEIGHT = 16
+MARGIN = 2
+
+
+class _Page:
+    """One formatted page: a list of text rows."""
+
+    __slots__ = ("rows", "number")
+
+    def __init__(self, number: int) -> None:
+        self.rows: List[str] = []
+        self.number = number
+
+
+class PageView(View, Scrollable):
+    """Proof view: the buffer formatted as printed pages."""
+
+    atk_name = "pageview"
+
+    def __init__(self, dataobject: Optional[TextData] = None) -> None:
+        super().__init__(dataobject)
+        self._pages: List[_Page] = []
+        self._top = 0  # first visible row across the page stack
+
+    @property
+    def data(self) -> Optional[TextData]:
+        return self.dataobject
+
+    def on_data_changed(self, change) -> None:
+        self._needs_layout = True
+        self.want_update()
+
+    # -- pagination -------------------------------------------------------
+
+    def paginate(self) -> List[_Page]:
+        """Format the buffer into pages (word wrap, centered headings)."""
+        pages: List[_Page] = []
+        if self.data is None:
+            return pages
+
+        page = _Page(1)
+        pages.append(page)
+
+        def new_row(text: str) -> None:
+            nonlocal page
+            if len(page.rows) >= PAGE_TEXT_HEIGHT:
+                page = _Page(page.number + 1)
+                pages.append(page)
+            page.rows.append(text)
+
+        for paragraph in self.data.text().split("\n"):
+            paragraph = paragraph.replace(OBJECT_CHAR, "[embedded object]")
+            if not paragraph:
+                new_row("")
+                continue
+            words = paragraph.split(" ")
+            line = ""
+            for word in words:
+                candidate = f"{line} {word}".strip()
+                if len(candidate) > PAGE_TEXT_WIDTH and line:
+                    new_row(line)
+                    line = word
+                else:
+                    line = candidate
+            if line:
+                new_row(line)
+        return pages
+
+    def layout(self) -> None:
+        self._pages = self.paginate()
+
+    # -- Scrollable ----------------------------------------------------------
+
+    def _page_display_height(self) -> int:
+        return PAGE_TEXT_HEIGHT + 2 * MARGIN + 1  # rule between pages
+
+    def scroll_total(self) -> int:
+        self.ensure_layout()
+        return len(self._pages) * self._page_display_height()
+
+    def scroll_pos(self) -> int:
+        return self._top
+
+    def scroll_visible(self) -> int:
+        return self.height
+
+    def set_scroll_pos(self, pos: int) -> None:
+        self._top = max(0, min(pos, max(0, self.scroll_total() - 1)))
+        self.want_update()
+
+    # -- drawing ----------------------------------------------------------------
+
+    def draw(self, graphic: Graphic) -> None:
+        self.ensure_layout()
+        page_h = self._page_display_height()
+        y = -self._top
+        page_width = min(self.width, PAGE_TEXT_WIDTH + 2 * MARGIN)
+        for page in self._pages:
+            if y + page_h > 0 and y < self.height:
+                frame = Rect(0, y, page_width, page_h - 1)
+                graphic.draw_rect(frame)
+                graphic.draw_string(
+                    page_width - MARGIN - 6, y + page_h - 2,
+                    f"- {page.number} -",
+                )
+                for row, text in enumerate(page.rows):
+                    graphic.draw_string(MARGIN, y + MARGIN + row, text)
+            y += page_h
+            if y >= self.height:
+                break
+
+    def page_count(self) -> int:
+        self.ensure_layout()
+        return len(self._pages)
+
+    def desired_size(self, width: int, height: int) -> Tuple[int, int]:
+        return (
+            min(width, PAGE_TEXT_WIDTH + 2 * MARGIN),
+            min(height, self._page_display_height()),
+        )

@@ -1,0 +1,53 @@
+"""The toolkit core (paper sections 2-5): data objects, views, the view
+tree with its interaction manager, the delayed-update queue, keyboard
+and menu arbitration, the external representation, and runapp.
+"""
+
+from .application import Application
+from .dataobject import DataObject
+from .datastream import (
+    BeginObject,
+    BodyLine,
+    DataStreamError,
+    DataStreamReader,
+    DataStreamWriter,
+    EndObject,
+    MAX_LINE,
+    ObjectExtent,
+    ViewRef,
+    read_document,
+    scan_extents,
+    write_document,
+)
+from .im import InteractionManager
+from .keymap import Keymap
+from .menus import MenuCard, MenuItem, MenuSet
+from .runapp import LaunchRecord, RunApp
+from .update import UpdateQueue
+from .view import View
+
+__all__ = [
+    "DataObject",
+    "View",
+    "InteractionManager",
+    "Application",
+    "RunApp",
+    "LaunchRecord",
+    "UpdateQueue",
+    "Keymap",
+    "MenuItem",
+    "MenuCard",
+    "MenuSet",
+    "DataStreamError",
+    "DataStreamWriter",
+    "DataStreamReader",
+    "BeginObject",
+    "EndObject",
+    "ViewRef",
+    "BodyLine",
+    "ObjectExtent",
+    "write_document",
+    "read_document",
+    "scan_extents",
+    "MAX_LINE",
+]

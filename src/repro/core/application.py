@@ -1,0 +1,95 @@
+"""Application base class.
+
+Every Andrew application (EZ, messages, help, typescript, console,
+preview) is a thin shell: create an interaction manager, build a view
+tree, translate events.  :class:`Application` captures that shape.
+
+Applications are themselves toolkit classes registered by name (as
+``<name>app``), which is what lets :mod:`repro.core.runapp` launch them
+dynamically from a single base program.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..class_system.registry import ATKObject
+from ..wm.base import WindowSystem
+from ..wm.switch import get_window_system
+from .dataobject import DataObject
+from .datastream import read_document, write_document
+from .im import InteractionManager
+from .view import View
+
+__all__ = ["Application"]
+
+
+class Application(ATKObject):
+    """One running application: a window system, an IM, a view tree."""
+
+    atk_register = False
+
+    #: Short name; the class registers as ``<app_name>app``.
+    app_name = "application"
+    #: Default window size in device units (cells for the ascii backend).
+    default_size: Tuple[int, int] = (80, 24)
+
+    def __init__(self, window_system: Optional[WindowSystem] = None,
+                 width: Optional[int] = None,
+                 height: Optional[int] = None) -> None:
+        super().__init__()
+        self.window_system = (
+            window_system if window_system is not None else get_window_system()
+        )
+        w = width if width is not None else self.default_size[0]
+        h = height if height is not None else self.default_size[1]
+        self.im = InteractionManager(
+            self.window_system, title=self.app_name, width=w, height=h
+        )
+        self.build()
+        self.im.flush_updates()
+
+    # -- construction -------------------------------------------------------
+
+    def build(self) -> None:
+        """Create the view tree and install it with ``im.set_child``."""
+        raise NotImplementedError
+
+    @property
+    def root_view(self) -> Optional[View]:
+        return self.im.child
+
+    # -- event pump ----------------------------------------------------------
+
+    def process(self) -> int:
+        """Handle all pending input; returns the event count."""
+        return self.im.process_events()
+
+    def render(self) -> List[str]:
+        """Force a full repaint and return the window snapshot."""
+        self.im.redraw()
+        return self.im.snapshot_lines()
+
+    def snapshot(self) -> str:
+        return "\n".join(self.render())
+
+    # -- documents -----------------------------------------------------------
+
+    def save_document(self, obj: DataObject, path) -> None:
+        """Write ``obj`` to ``path`` in the external representation."""
+        Path(path).write_text(write_document(obj), encoding="ascii")
+
+    def open_document(self, path) -> DataObject:
+        """Read a document; embedded component code loads on demand."""
+        return read_document(Path(path).read_text(encoding="ascii"))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def destroy(self) -> None:
+        if not self.destroyed:
+            self.im.close()
+        super().destroy()
+
+    def __repr__(self) -> str:
+        return f"<application {self.app_name}>"

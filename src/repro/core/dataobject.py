@@ -1,0 +1,119 @@
+"""Data objects (paper section 2).
+
+"The data object contains the information that is to be displayed ...
+The contents of a data object can be saved in a file, but the contents
+of the view cannot."
+
+:class:`DataObject` is the persistent half of every toolkit component:
+it is observable (views and other data objects attach as observers), it
+can write itself to and read itself from the external representation
+(:mod:`repro.core.datastream`), and it may *embed* other data objects —
+the architecture's central feature.
+
+Subclasses implement:
+
+``write_body(writer)``
+    Emit the object's body between the ``\\begindata``/``\\enddata``
+    markers the writer brackets it with.  Embedded children are written
+    with ``writer.write_object(child)`` followed by
+    ``writer.write_view_ref(...)`` at the placement point.
+
+``read_body(reader)``
+    Consume body events from the reader until it reports the matching
+    end marker.
+
+Both have working defaults (an opaque line-preserving body) so even a
+bare DataObject round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..class_system.observable import Observable
+from ..class_system.registry import ATKObject
+
+__all__ = ["DataObject"]
+
+
+class DataObject(ATKObject, Observable):
+    """Base class for all persistent component state."""
+
+    atk_register = False
+
+    def __init__(self) -> None:
+        ATKObject.__init__(self)
+        Observable.__init__(self)
+        # Opaque body for the default read/write implementation.
+        self._raw_lines: List[str] = []
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def type_tag(self) -> str:
+        """The datastream type tag: the registry name of this class."""
+        return type(self).__atk_info__.name
+
+    # -- embedding ----------------------------------------------------------
+
+    def embedded_objects(self) -> List["DataObject"]:
+        """Data objects embedded inside this one (for traversal).
+
+        Components that support embedding override this; it drives
+        recursive operations such as collecting the component types a
+        document needs (used by EZ to pre-load plugins).
+        """
+        return []
+
+    def transitive_types(self) -> List[str]:
+        """All type tags reachable from this object, depth-first, unique."""
+        seen: List[str] = []
+
+        def walk(obj: "DataObject") -> None:
+            if obj.type_tag not in seen:
+                seen.append(obj.type_tag)
+            for child in obj.embedded_objects():
+                walk(child)
+
+        walk(self)
+        return seen
+
+    # -- external representation ----------------------------------------------
+
+    def write_body(self, writer) -> None:
+        """Write this object's body to a datastream writer.
+
+        Default: replay the opaque lines captured by the default
+        :meth:`read_body`, making unknown-but-preserved round-trips work.
+        """
+        for line in self._raw_lines:
+            writer.write_body_line(line)
+
+    def read_body(self, reader) -> None:
+        """Read this object's body from a datastream reader.
+
+        Default: store every body line verbatim and skip embedded
+        objects (they are still constructed, so their types register).
+        """
+        from .datastream import BeginObject, BodyLine, EndObject, ViewRef
+
+        self._raw_lines = []
+        for event in reader.body_events():
+            if isinstance(event, BodyLine):
+                self._raw_lines.append(event.text)
+            elif isinstance(event, BeginObject):
+                reader.read_object(event)  # parse and discard placement
+            elif isinstance(event, ViewRef):
+                pass
+            elif isinstance(event, EndObject):
+                break
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def destroy(self) -> None:
+        if not self.destroyed:
+            self.destroy_observable()
+        super().destroy()
+
+    def __repr__(self) -> str:
+        return f"<dataobject {self.type_tag} at {id(self):#x}>"

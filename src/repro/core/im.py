@@ -1,0 +1,292 @@
+"""The interaction manager: root of the view tree (paper section 3).
+
+"At the top of the tree is a view called the interaction manager which
+is a window provided by the underlying window system.  The interaction
+manager has the responsibility of translating input events such as key
+strokes, mouse events, menu events and exposure events from the window
+system to the rest of the view tree.  The interaction manager is also
+responsible for synchronizing drawing requests between views.  By
+design, it has one child view, of arbitrary type."
+
+:class:`InteractionManager` wraps a backend window, owns the single
+child view, translates the backend's event queue into view-tree
+protocol, maintains the mouse grab, the keyboard focus and pending
+chord state, arbitrates the cursor and the menu set, and runs the
+delayed-update queue (requests up, update pass back down).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graphics.geometry import Point, Rect
+from ..wm.base import BackendWindow, Cursor, WindowSystem
+from ..wm.events import (
+    Event,
+    KeyEvent,
+    MenuEvent,
+    MouseAction,
+    MouseEvent,
+    ResizeEvent,
+    TimerEvent,
+    UpdateEvent,
+)
+from .keymap import Keymap
+from .menus import MenuSet
+from .update import UpdateQueue
+from .view import View
+
+__all__ = ["InteractionManager"]
+
+
+class InteractionManager:
+    """One window's worth of toolkit: the view-tree root."""
+
+    def __init__(self, window_system: WindowSystem, title: str = "andrew",
+                 width: int = 80, height: int = 24) -> None:
+        self.window_system = window_system
+        self.window: BackendWindow = window_system.create_window(
+            title, width, height
+        )
+        self.child: Optional[View] = None
+        self.updates = UpdateQueue()
+        self.focus: Optional[View] = None
+        self._grab: Optional[View] = None
+        self._pending_keymap: Optional[Keymap] = None
+        self._pending_owner: Optional[View] = None
+        self._timer_subscribers: List[View] = []
+        self._tick = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Tree root management
+    # ------------------------------------------------------------------
+
+    def set_child(self, view: View) -> View:
+        """Install the IM's single child view, filling the window."""
+        if self.child is not None:
+            self.child._im = None
+        self.child = view
+        view.parent = None
+        view._im = self
+        view.set_bounds(self.window.bounds)
+        self.set_focus(view)
+        self.post_update(view, None)
+        return view
+
+    @property
+    def bounds(self) -> Rect:
+        return self.window.bounds
+
+    # ------------------------------------------------------------------
+    # Event translation (the §3 responsibility)
+    # ------------------------------------------------------------------
+
+    def process_events(self, limit: Optional[int] = None) -> int:
+        """Drain the window's queue, then flush pending updates.
+
+        Returns the number of events handled.  This is the reproduction
+        of the main loop: applications inject synthetic input into the
+        backend window and call this to let the toolkit react.
+        """
+        handled = 0
+        while limit is None or handled < limit:
+            event = self.window.next_event()
+            if event is None:
+                break
+            self.handle_event(event)
+            handled += 1
+        self.flush_updates()
+        self.events_processed += handled
+        return handled
+
+    def handle_event(self, event: Event) -> None:
+        if isinstance(event, MouseEvent):
+            self._handle_mouse(event)
+        elif isinstance(event, KeyEvent):
+            self._handle_key(event)
+        elif isinstance(event, MenuEvent):
+            self._handle_menu(event)
+        elif isinstance(event, UpdateEvent):
+            self._repaint(event.area)
+        elif isinstance(event, ResizeEvent):
+            if self.child is not None:
+                self.child.set_bounds(Rect(0, 0, event.width, event.height))
+        elif isinstance(event, TimerEvent):
+            for view in list(self._timer_subscribers):
+                view.handle_timer(event)
+
+    # -- mouse ------------------------------------------------------------
+
+    def _handle_mouse(self, event: MouseEvent) -> None:
+        if self.child is None:
+            return
+        if self._grab is not None and event.action in (
+            MouseAction.DRAG, MouseAction.UP, MouseAction.MOVE
+        ):
+            # Once a view accepts a DOWN it owns the interaction until UP.
+            origin = self._grab.origin_in_window()
+            self._grab.handle_mouse(event.offset(-origin.x, -origin.y))
+            if event.action == MouseAction.UP:
+                self._grab = None
+        else:
+            target = self.child.dispatch_mouse(
+                event.offset(-self.child.bounds.left, -self.child.bounds.top)
+            )
+            if event.action == MouseAction.DOWN:
+                self._grab = target
+        self._update_cursor(event.point)
+
+    def _update_cursor(self, point: Point) -> None:
+        """Cursor arbitration (§3): ask the tree, parents first."""
+        if self.child is None:
+            return
+        cursor = self.child.effective_cursor(
+            point.offset(-self.child.bounds.left, -self.child.bounds.top)
+        )
+        if cursor is not None and cursor != self.window.cursor:
+            self.window.set_cursor(cursor)
+
+    # -- keyboard -----------------------------------------------------------
+
+    def _handle_key(self, event: KeyEvent) -> None:
+        if self._pending_keymap is not None:
+            keymap, owner = self._pending_keymap, self._pending_owner
+            self._pending_keymap = self._pending_owner = None
+            binding = keymap.resolve(event)
+            if isinstance(binding, Keymap):
+                self._pending_keymap, self._pending_owner = binding, owner
+            elif binding is not None:
+                binding(owner, event)
+            return
+        for view in self._focus_chain():
+            if view.handle_key(event):
+                return
+            binding = view.keymap.resolve(event)
+            if isinstance(binding, Keymap):
+                self._pending_keymap = binding
+                self._pending_owner = view
+                return
+
+    def _focus_chain(self) -> List[View]:
+        """Focus view, then its ancestors, then the IM child."""
+        chain: List[View] = []
+        node = self.focus if self.focus is not None else self.child
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        if self.child is not None and self.child not in chain:
+            chain.append(self.child)
+        return chain
+
+    def set_focus(self, view: Optional[View]) -> None:
+        if view is not None:
+            view = view.initial_focus()
+        if view is self.focus:
+            return
+        previous, self.focus = self.focus, view
+        self._pending_keymap = self._pending_owner = None
+        if previous is not None:
+            previous.focus_lost()
+        if view is not None:
+            view.focus_gained()
+
+    # -- menus ---------------------------------------------------------------
+
+    def menu_set(self) -> MenuSet:
+        """Compose the effective menus along the focus chain (§3)."""
+        menus = MenuSet()
+        for view in self._focus_chain():
+            menus.merge_from(view)
+        return menus
+
+    def _handle_menu(self, event: MenuEvent) -> None:
+        for view in self._focus_chain():
+            if view.handle_menu(event):
+                return
+
+    # -- timers ----------------------------------------------------------------
+
+    def add_timer_subscriber(self, view: View) -> None:
+        """Register ``view`` for :meth:`tick` deliveries.
+
+        The view must provide ``handle_timer(event)``; the animation
+        view and the console use this.
+        """
+        if view not in self._timer_subscribers:
+            self._timer_subscribers.append(view)
+
+    def remove_timer_subscriber(self, view: View) -> None:
+        if view in self._timer_subscribers:
+            self._timer_subscribers.remove(view)
+
+    def tick(self, count: int = 1) -> None:
+        """Advance simulated time: post ``count`` timer events."""
+        for _ in range(count):
+            self._tick += 1
+            self.window.post_event(TimerEvent(self._tick))
+
+    # ------------------------------------------------------------------
+    # Update synchronization (§2's delayed update, §3's up-then-down)
+    # ------------------------------------------------------------------
+
+    def post_update(self, view: View, rect: Optional[Rect]) -> None:
+        """A view posted an update request up the tree."""
+        self.updates.enqueue(view, rect)
+
+    def flush_updates(self) -> int:
+        """Send queued damage back down as clipped full-update passes."""
+        if self.child is None or self.updates.is_empty():
+            return 0
+        flushed = 0
+        for view, rect in self.updates.drain():
+            origin = view.origin_in_window()
+            damage = rect.offset(origin.x, origin.y).intersection(
+                self.window.bounds
+            )
+            if damage.is_empty():
+                continue
+            self._repaint(damage)
+            flushed += 1
+        self.window.flush()
+        return flushed
+
+    def _repaint(self, damage: Rect) -> None:
+        """The downward update pass, clipped to ``damage``."""
+        if self.child is None:
+            return
+        root = self.window.graphic()
+        root.clip = root.clip.intersection(damage)
+        if root.clip.is_empty():
+            return
+        root.fill_rect(damage, 0)  # background under the damage
+        self.child.full_update(root.child(self.child.bounds))
+
+    def redraw(self) -> None:
+        """Unconditional full repaint of the window."""
+        self.updates.drain()
+        self._repaint(self.window.bounds)
+        self.window.flush()
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def view_unlinked(self, view: View) -> None:
+        """A view left the tree: forget grabs/focus/damage it owned."""
+        self.updates.discard(view)
+        if self._grab is view:
+            self._grab = None
+        if self.focus is view:
+            self.set_focus(self.child)
+        if view in self._timer_subscribers:
+            self._timer_subscribers.remove(view)
+
+    def snapshot_lines(self) -> List[str]:
+        return self.window.snapshot_lines()
+
+    def close(self) -> None:
+        self.window.close()
+
+    def __repr__(self) -> str:
+        return f"<InteractionManager {self.window!r}>"

@@ -1,0 +1,87 @@
+"""Keyboard mapping (paper section 3).
+
+"The same mechanism is used between children and parents to negotiate
+... the mapping of keyboard symbols."  Each view owns a
+:class:`Keymap`; the interaction manager resolves a keystroke against
+the focus view's keymap first and *bubbles* unresolved keys up the
+parent chain, so parents supply defaults and children override —
+parental authority applied to the keyboard.
+
+Bindings map a *keysym* (``"a"``, ``"Return"``, ``"C-x"``, ``"M-q"``)
+to either a command — ``callable(view, key_event)`` — or a nested
+:class:`Keymap`, which makes the keysym a prefix (``C-x C-s`` style
+chords).  Pending-prefix state lives in the interaction manager, not
+here, so one keymap can safely serve many windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+from ..wm.events import KeyEvent
+
+__all__ = ["Keymap", "Binding"]
+
+Binding = Union[Callable, "Keymap"]
+
+
+class Keymap:
+    """An ordered mapping from keysyms to commands or nested keymaps."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._bindings: Dict[str, Binding] = {}
+        self._default: Optional[Callable] = None
+
+    def bind(self, keysym: str, target: Binding) -> None:
+        """Bind ``keysym``; rebinding replaces the previous target."""
+        self._bindings[keysym] = target
+
+    def bind_chord(self, keysyms: Tuple[str, ...], command: Callable) -> None:
+        """Bind a multi-key chord, creating prefix keymaps as needed.
+
+        ``bind_chord(("C-x", "C-s"), save)`` makes ``C-x`` a prefix in
+        this keymap whose nested keymap binds ``C-s``.
+        """
+        if not keysyms:
+            raise ValueError("empty chord")
+        keymap = self
+        for keysym in keysyms[:-1]:
+            existing = keymap._bindings.get(keysym)
+            if not isinstance(existing, Keymap):
+                existing = Keymap(f"{keymap.name}/{keysym}")
+                keymap._bindings[keysym] = existing
+            keymap = existing
+        keymap._bindings[keysyms[-1]] = command
+
+    def bind_printables(self, command: Callable) -> None:
+        """Route every otherwise-unbound printable key to ``command``.
+
+        This is how the text view implements self-insertion without ten
+        dozen explicit bindings.
+        """
+        self._default = command
+
+    def unbind(self, keysym: str) -> None:
+        self._bindings.pop(keysym, None)
+
+    def resolve(self, event: KeyEvent) -> Optional[Binding]:
+        """The binding for ``event``, or the printable default, or None."""
+        target = self._bindings.get(event.keysym())
+        if target is not None:
+            return target
+        if self._default is not None and event.is_printable:
+            return self._default
+        return None
+
+    def bound_keysyms(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __contains__(self, keysym: str) -> bool:
+        return keysym in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"Keymap({self.name!r}, {len(self._bindings)} bindings)"

@@ -1,0 +1,124 @@
+"""Menu arbitration (paper section 3).
+
+"The same mechanism is used between children and parents to negotiate
+the contents of menus."  Each view contributes :class:`MenuCard` s; the
+interaction manager composes the *effective menu set* by walking from
+the focus view up to the root, letting children shadow parent items of
+the same card/label — the menu form of parental authority.
+
+A :class:`MenuItem` carries a handler called as ``handler(view,
+menu_event)`` where ``view`` is the view that contributed the item.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..wm.events import MenuEvent
+
+__all__ = ["MenuItem", "MenuCard", "MenuSet"]
+
+
+class MenuItem:
+    """One selectable entry on a menu card."""
+
+    __slots__ = ("label", "handler", "keys")
+
+    def __init__(self, label: str, handler: Callable, keys: str = "") -> None:
+        self.label = label
+        self.handler = handler
+        self.keys = keys  # advertised keyboard equivalent, e.g. "C-s"
+
+    def __repr__(self) -> str:
+        return f"MenuItem({self.label!r})"
+
+
+class MenuCard:
+    """A named card (pane) of menu items, in insertion order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._items: Dict[str, MenuItem] = {}
+
+    def add(self, label: str, handler: Callable, keys: str = "") -> MenuItem:
+        item = MenuItem(label, handler, keys)
+        self._items[label] = item
+        return item
+
+    def remove(self, label: str) -> None:
+        self._items.pop(label, None)
+
+    def get(self, label: str) -> Optional[MenuItem]:
+        return self._items.get(label)
+
+    def items(self) -> List[MenuItem]:
+        return list(self._items.values())
+
+    def labels(self) -> List[str]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"MenuCard({self.name!r}, {len(self._items)} items)"
+
+
+class MenuSet:
+    """The composed menu state a window actually shows.
+
+    Built by :meth:`merge_from`, called bottom-up (focus view first):
+    the first contributor of a (card, label) pair wins, so deeper views
+    shadow their ancestors.
+    """
+
+    def __init__(self) -> None:
+        self._cards: Dict[str, MenuCard] = {}
+        self._owners: Dict[Tuple[str, str], object] = {}
+
+    def merge_from(self, view) -> None:
+        """Merge ``view``'s menu cards into the set (view items may be
+        shadowed by entries already present)."""
+        for card in view.menu_cards():
+            target = self._cards.get(card.name)
+            if target is None:
+                target = MenuCard(card.name)
+                self._cards[card.name] = target
+            for item in card.items():
+                if target.get(item.label) is None:
+                    target.add(item.label, item.handler, item.keys)
+                    self._owners[(card.name, item.label)] = view
+
+    def card(self, name: str) -> Optional[MenuCard]:
+        return self._cards.get(name)
+
+    def cards(self) -> List[MenuCard]:
+        return list(self._cards.values())
+
+    def card_names(self) -> List[str]:
+        return list(self._cards)
+
+    def owner(self, card: str, label: str):
+        """The view that contributed (card, label), or None."""
+        return self._owners.get((card, label))
+
+    def dispatch(self, event: MenuEvent) -> bool:
+        """Invoke the handler for ``event``; False if no such item."""
+        card = self._cards.get(event.card)
+        if card is None:
+            return False
+        item = card.get(event.item)
+        if item is None:
+            return False
+        item.handler(self._owners.get((event.card, event.item)), event)
+        return True
+
+    def describe(self) -> List[str]:
+        """Lines like ``"File: Save, Save As, Quit"`` for snapshots."""
+        return [
+            f"{card.name}: {', '.join(card.labels())}"
+            for card in self._cards.values()
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(card) for card in self._cards.values())

@@ -1,0 +1,105 @@
+"""runapp: one base program for every application (paper section 7).
+
+"We have created a program, called runapp, that contains the basic
+components of the toolkit.  The code for each individual application is
+then dynamically loaded in at run time.  Since most UNIX systems do not
+provide shared libraries, this allows multiple toolkit applications to
+share a significant portion of code."
+
+:class:`RunApp` reproduces that program: it holds the resident toolkit
+(one window system, one class loader) and launches applications by
+name through the dynamic loader.  Experiment E4 pairs it with
+:mod:`repro.sim.loadmodel` to reproduce the paper's five performance
+bullets; here the launching itself is real — the application classes
+come back through the same loader the music component uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..class_system.dynamic import ClassLoader, default_loader
+from ..class_system.errors import DynamicLoadError
+from ..wm.base import WindowSystem
+from ..wm.switch import get_window_system
+from .application import Application
+
+__all__ = ["RunApp", "LaunchRecord"]
+
+
+class LaunchRecord:
+    """One application launch through runapp."""
+
+    __slots__ = ("name", "duration", "load_kind")
+
+    def __init__(self, name: str, duration: float, load_kind: str) -> None:
+        self.name = name
+        self.duration = duration
+        self.load_kind = load_kind
+
+    def __repr__(self) -> str:
+        return (
+            f"LaunchRecord({self.name!r}, {self.duration * 1e3:.2f}ms, "
+            f"{self.load_kind})"
+        )
+
+
+class RunApp:
+    """The single base program sharing the toolkit across applications."""
+
+    def __init__(self, window_system: Optional[WindowSystem] = None,
+                 loader: Optional[ClassLoader] = None) -> None:
+        self.window_system = (
+            window_system if window_system is not None else get_window_system()
+        )
+        self.loader = loader if loader is not None else default_loader()
+        self.applications: List[Application] = []
+        self.launches: List[LaunchRecord] = []
+
+    def launch(self, name: str, **kwargs) -> Application:
+        """Start the application registered as ``<name>app``.
+
+        The class is resolved through the dynamic loader, so an
+        application whose module was never imported — or one shipped as
+        a plugin file — launches exactly like a built-in.  All launched
+        applications share this runapp's window system (the shared
+        resident toolkit).
+        """
+        start = time.perf_counter()
+        before = len(self.loader.cold_loads())
+        cls = self.loader.load(f"{name}app")
+        if not (isinstance(cls, type) and issubclass(cls, Application)):
+            raise DynamicLoadError(
+                f"{name}app resolved to {cls!r}, which is not an Application"
+            )
+        app = cls(window_system=self.window_system, **kwargs)
+        duration = time.perf_counter() - start
+        kind = "cold" if len(self.loader.cold_loads()) > before else "resident"
+        self.applications.append(app)
+        self.launches.append(LaunchRecord(name, duration, kind))
+        return app
+
+    def running(self) -> List[str]:
+        """Names of the applications currently running."""
+        return [app.app_name for app in self.applications if not app.destroyed]
+
+    def quit_app(self, app: Application) -> None:
+        app.destroy()
+        if app in self.applications:
+            self.applications.remove(app)
+
+    def quit_all(self) -> None:
+        for app in list(self.applications):
+            self.quit_app(app)
+
+    def process_all(self) -> Dict[str, int]:
+        """Pump events for every running application."""
+        return {
+            app.app_name: app.process()
+            for app in self.applications
+            if not app.destroyed
+        }
+
+    def __repr__(self) -> str:
+        return f"<runapp {len(self.applications)} applications>"

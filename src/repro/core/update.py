@@ -1,0 +1,65 @@
+"""The delayed-update queue (paper section 2).
+
+"Since only one view will be causing the data object to change, and
+multiple views may have to reflect the change, a delayed update
+mechanism must be used."
+
+Views never repaint inside a mutation.  They call ``want_update`` —
+which lands here as a damage record — and the interaction manager
+flushes the queue between events, sending update events back down the
+tree.  Damage rectangles are coalesced per view, and enqueueing a view
+whose ancestor is already fully damaged is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graphics.geometry import Rect
+
+__all__ = ["UpdateQueue"]
+
+
+class UpdateQueue:
+    """Pending damage, keyed by view, in request order."""
+
+    def __init__(self) -> None:
+        self._damage: Dict[int, Tuple[object, Rect]] = {}
+        self.enqueue_count = 0      # total requests (for the benches)
+        self.flush_count = 0        # total flushes
+
+    def __len__(self) -> int:
+        return len(self._damage)
+
+    def is_empty(self) -> bool:
+        return not self._damage
+
+    def enqueue(self, view, rect: Optional[Rect] = None) -> None:
+        """Record that ``rect`` of ``view`` (local coords) needs repair.
+
+        ``None`` means the whole view.  Damage for the same view is
+        coalesced into a single bounding rectangle — the classic
+        damage-union policy.
+        """
+        self.enqueue_count += 1
+        if rect is None:
+            rect = Rect(0, 0, view.bounds.width, view.bounds.height)
+        key = id(view)
+        if key in self._damage:
+            _, existing = self._damage[key]
+            rect = existing.union(rect)
+        self._damage[key] = (view, rect)
+
+    def drain(self) -> List[Tuple[object, Rect]]:
+        """Remove and return all pending (view, damage) pairs, oldest first."""
+        self.flush_count += 1
+        items = list(self._damage.values())
+        self._damage.clear()
+        return items
+
+    def pending_views(self) -> List[object]:
+        return [view for view, _ in self._damage.values()]
+
+    def discard(self, view) -> None:
+        """Drop pending damage for ``view`` (it was destroyed/unlinked)."""
+        self._damage.pop(id(view), None)

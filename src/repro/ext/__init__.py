@@ -1,0 +1,48 @@
+"""Extension packages (paper §1).
+
+"We have also developed a number of extension packages.  These include
+a C-language programming component, a compile package, a tags package,
+a spelling checker, a style editor and a filter mechanism."
+"""
+
+from .compilepkg import CheckingCompiler, CompilePackage, Diagnostic
+from .ctext import C_KEYWORDS, CTextData, CTextView, scan_c_regions
+from .filters import apply_filter, filter_names, register_filter, run_filter
+from .proctable import (
+    bind_command_key,
+    bind_command_menu,
+    command_names,
+    register_command,
+    resolve_command,
+)
+from .spell import BASIC_WORDS, Misspelling, SpellChecker
+from .style_editor import StyleEditor, StyleEditorView, describe_style
+from .tagspkg import Tag, TagIndex, TagsPackage
+
+__all__ = [
+    "CTextData",
+    "CTextView",
+    "C_KEYWORDS",
+    "scan_c_regions",
+    "CheckingCompiler",
+    "CompilePackage",
+    "Diagnostic",
+    "TagIndex",
+    "TagsPackage",
+    "Tag",
+    "SpellChecker",
+    "Misspelling",
+    "BASIC_WORDS",
+    "StyleEditor",
+    "StyleEditorView",
+    "describe_style",
+    "register_filter",
+    "filter_names",
+    "apply_filter",
+    "run_filter",
+    "register_command",
+    "command_names",
+    "resolve_command",
+    "bind_command_key",
+    "bind_command_menu",
+]

@@ -1,0 +1,151 @@
+"""The compile package (paper §1).
+
+The original let a programmer run the compiler from the editor and
+walked the error list, jumping the text view to each offending line.
+The substrate here is :class:`CheckingCompiler`, a small static checker
+for C-ish source (unbalanced braces/parentheses, unterminated strings,
+statements missing semicolons) producing classic ``file:line: message``
+diagnostics; :class:`CompilePackage` wires its output to a text view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..components.text.textview import TextView
+
+__all__ = ["Diagnostic", "CheckingCompiler", "CompilePackage"]
+
+
+class Diagnostic:
+    """One compiler message."""
+
+    __slots__ = ("filename", "line", "message")
+
+    def __init__(self, filename: str, line: int, message: str) -> None:
+        self.filename = filename
+        self.line = line
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.filename}:{self.line}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.render()!r})"
+
+
+class CheckingCompiler:
+    """A static checker standing in for ``cc``.
+
+    Checks are line-oriented and deliberately simple; the point is the
+    editor integration, not the front end.
+    """
+
+    STATEMENT_HEADS = ("return", "break", "continue", "goto")
+
+    def compile(self, source: str, filename: str = "main.c") -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        depth_stack: List[int] = []       # line numbers of open braces
+        paren_stack: List[int] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw)
+            in_string = False
+            for char in line:
+                if char == '"':
+                    in_string = not in_string
+                if in_string:
+                    continue
+                if char == "{":
+                    depth_stack.append(lineno)
+                elif char == "}":
+                    if depth_stack:
+                        depth_stack.pop()
+                    else:
+                        diagnostics.append(
+                            Diagnostic(filename, lineno, "unmatched '}'")
+                        )
+                elif char == "(":
+                    paren_stack.append(lineno)
+                elif char == ")":
+                    if paren_stack:
+                        paren_stack.pop()
+                    else:
+                        diagnostics.append(
+                            Diagnostic(filename, lineno, "unmatched ')'")
+                        )
+            if in_string:
+                diagnostics.append(
+                    Diagnostic(filename, lineno, "unterminated string literal")
+                )
+            if paren_stack and paren_stack[0] < lineno:
+                diagnostics.append(
+                    Diagnostic(filename, paren_stack[0], "unmatched '('")
+                )
+                paren_stack.clear()
+            stripped = line.strip()
+            if any(
+                stripped == head or stripped.startswith(head + " ")
+                for head in self.STATEMENT_HEADS
+            ) and not stripped.endswith(";"):
+                diagnostics.append(
+                    Diagnostic(filename, lineno, "missing ';'")
+                )
+        for open_line in depth_stack:
+            diagnostics.append(
+                Diagnostic(filename, open_line, "unclosed '{'")
+            )
+        return diagnostics
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        start = line.find("/*")
+        end = line.find("*/", start + 2)
+        if start >= 0 and end >= 0:
+            return line[:start] + line[end + 2:]
+        if start >= 0:
+            return line[:start]
+        return line
+
+
+class CompilePackage:
+    """Editor integration: compile the buffer, step through the errors."""
+
+    def __init__(self, textview: TextView,
+                 compiler: Optional[CheckingCompiler] = None,
+                 filename: str = "main.c") -> None:
+        self.textview = textview
+        self.compiler = compiler if compiler is not None else CheckingCompiler()
+        self.filename = filename
+        self.diagnostics: List[Diagnostic] = []
+        self._next = 0
+        card = textview.menu_card("Compile")
+        card.add("Compile", lambda v, e: self.run())
+        card.add("Next Error", lambda v, e: self.next_error())
+
+    def run(self) -> List[Diagnostic]:
+        """Check the buffer; returns (and stores) the diagnostics."""
+        source = self.textview.data.plain_text() if self.textview.data else ""
+        self.diagnostics = self.compiler.compile(source, self.filename)
+        self._next = 0
+        return self.diagnostics
+
+    def next_error(self) -> Optional[Diagnostic]:
+        """Jump the caret to the next diagnostic's line."""
+        if self._next >= len(self.diagnostics):
+            return None
+        diagnostic = self.diagnostics[self._next]
+        self._next += 1
+        self.goto_line(diagnostic.line)
+        return diagnostic
+
+    def goto_line(self, line: int) -> None:
+        if self.textview.data is None:
+            return
+        text = self.textview.data.text()
+        pos = 0
+        for _ in range(line - 1):
+            next_nl = text.find("\n", pos)
+            if next_nl < 0:
+                break
+            pos = next_nl + 1
+        self.textview.set_dot(pos)

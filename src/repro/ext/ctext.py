@@ -1,0 +1,126 @@
+"""The C-language programming component (paper §1, §10).
+
+"The object oriented nature of the system allows programmers to easily
+develop new specialize[d] objects out of existing objects such as the C
+language component."  CText is the canonical example: a *subclass* of
+the text component that understands C — keywords render bold, comments
+italic, string literals in the fixed font — plus the editor
+conveniences ITC programmers moved from emacs for (§9): auto-indent on
+Return and electric closing braces.
+
+The styling is recomputed from the buffer on each change, expressed as
+ordinary style spans, so every text view — including the plain one —
+renders it with no special cases.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..components.text.styles import Style
+from ..components.text.textdata import TextData
+from ..components.text.textview import TextView
+
+__all__ = ["CTextData", "CTextView", "C_KEYWORDS", "scan_c_regions"]
+
+C_KEYWORDS = frozenset(
+    """auto break case char const continue default do double else enum
+    extern float for goto if int long register return short signed sizeof
+    static struct switch typedef union unsigned void volatile while""".split()
+)
+
+_TOKEN_RE = re.compile(
+    r"(?P<comment>/\*.*?\*/|/\*.*$)"
+    r"|(?P<string>\"(?:[^\"\\]|\\.)*\")"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)",
+    re.DOTALL,
+)
+
+KEYWORD_STYLE = Style("c-keyword", bold=True)
+COMMENT_STYLE = Style("c-comment", italic=True)
+STRING_STYLE = Style("c-string", fixed=True)
+
+
+def scan_c_regions(source: str) -> List[Tuple[int, int, Style]]:
+    """Find the (start, end, style) spans for C source text."""
+    spans: List[Tuple[int, int, Style]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.search(source, pos)
+        if match is None:
+            break
+        start, end = match.span()
+        if match.lastgroup == "comment":
+            spans.append((start, end, COMMENT_STYLE))
+        elif match.lastgroup == "string":
+            spans.append((start, end, STRING_STYLE))
+        elif match.group("word") in C_KEYWORDS:
+            spans.append((start, end, KEYWORD_STYLE))
+        pos = end
+    return spans
+
+
+class CTextData(TextData):
+    """Text that keeps itself styled as C source."""
+
+    atk_name = "ctext"
+
+    def __init__(self, text: str = "") -> None:
+        self._restyling = False
+        super().__init__(text)
+        self.restyle()
+
+    def restyle(self) -> None:
+        """Recompute syntax style spans from the buffer."""
+        from ..components.text.styles import StyleSpan
+
+        self.spans = [
+            StyleSpan(start, end, style)
+            for start, end, style in scan_c_regions(self.text())
+        ]
+
+    def notify_observers(self, change=None) -> int:
+        # Restyle before observers repaint, so views always see current
+        # spans; guard against recursion through our own restyle.
+        if not self._restyling:
+            self._restyling = True
+            try:
+                self.restyle()
+            finally:
+                self._restyling = False
+        return super().notify_observers(change)
+
+
+class CTextView(TextView):
+    """A text view with C editing conveniences."""
+
+    atk_name = "ctextview"
+
+    def __init__(self, dataobject: Optional[CTextData] = None,
+                 indent_width: int = 4, **kwargs) -> None:
+        super().__init__(dataobject, **kwargs)
+        self.indent_width = indent_width
+        self.keymap.bind("Return", self._cmd_c_newline)
+        self.keymap.bind("}", self._cmd_electric_brace)
+
+    def _current_line_text(self) -> str:
+        start, end = self._line_bounds()
+        return self.data.text(start, end)
+
+    def _cmd_c_newline(self, view, key) -> None:
+        """Auto-indent: copy the current indentation, +1 level after '{'."""
+        line = self._current_line_text()
+        indent = len(line) - len(line.lstrip(" "))
+        if line.rstrip().endswith("{"):
+            indent += self.indent_width
+        self.insert_text("\n" + " " * indent)
+
+    def _cmd_electric_brace(self, view, key) -> None:
+        """A '}' on an all-blank line dedents itself one level."""
+        start, _end = self._line_bounds()
+        line_so_far = self.data.text(start, self.dot)
+        if line_so_far and not line_so_far.strip():
+            remove = min(self.indent_width, len(line_so_far))
+            self.data.delete(self.dot - remove, remove)
+        self.insert_text("}")

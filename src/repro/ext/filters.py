@@ -1,0 +1,143 @@
+"""The filter mechanism (paper §1, footnote 1).
+
+"The filter mechanism gives the user the ability to use standard tools
+on regions of text contained in a file being edited."
+
+A *filter* is a function from text to text.  :func:`run_filter` applies
+one to a text view's selection (or the whole document), replacing the
+region through the data object's mutators so every other view updates.
+The built-in set mirrors the classic Unix tools people piped regions
+through: ``sort``, ``uniq``, ``fmt``, ``expand``, ``rev``, case folds,
+``indent``, and ``rot13`` — and :func:`register_filter` accepts new
+ones at run time, which is the extension point the footnote describes.
+"""
+
+from __future__ import annotations
+
+import codecs
+from typing import Callable, Dict, List
+
+from ..components.text.textview import TextView
+
+__all__ = ["register_filter", "filter_names", "apply_filter", "run_filter"]
+
+Filter = Callable[[str], str]
+
+_FILTERS: Dict[str, Filter] = {}
+
+
+def register_filter(name: str, func: Filter) -> None:
+    """Make ``func`` available as a region filter."""
+    _FILTERS[name] = func
+
+
+def filter_names() -> List[str]:
+    return sorted(_FILTERS)
+
+
+def apply_filter(name: str, text: str) -> str:
+    """Apply a named filter to a string."""
+    if name not in _FILTERS:
+        raise KeyError(f"no filter named {name!r}; have {filter_names()}")
+    return _FILTERS[name](text)
+
+
+def run_filter(textview: TextView, name: str) -> str:
+    """Apply a filter to the view's selection (or everything).
+
+    Returns the replacement text.  The edit goes through the data
+    object, so other views on the buffer repaint via the observer
+    machinery, and the selection is left around the new text.
+    """
+    data = textview.data
+    if data is None:
+        return ""
+    span = textview.selection()
+    if span is None:
+        start, end = 0, data.length
+    else:
+        start, end = span
+    original = data.text(start, end)
+    replacement = apply_filter(name, original)
+    if replacement != original:
+        data.replace(start, end - start, replacement)
+        textview.set_dot(start + len(replacement))
+    return replacement
+
+
+# ---------------------------------------------------------------------------
+# The standard tools
+# ---------------------------------------------------------------------------
+
+def _linewise(func: Callable[[List[str]], List[str]]) -> Filter:
+    """Lift a lines->lines function to text->text, preserving the
+    presence/absence of a trailing newline."""
+
+    def apply(text: str) -> str:
+        trailing = text.endswith("\n")
+        lines = text.split("\n")
+        if trailing:
+            lines = lines[:-1]
+        result = func(lines)
+        return "\n".join(result) + ("\n" if trailing else "")
+
+    return apply
+
+
+def _fmt(lines: List[str], width: int = 64) -> List[str]:
+    """Refill paragraphs to ``width`` columns, like fmt(1)."""
+    out: List[str] = []
+    paragraph: List[str] = []
+
+    def flush() -> None:
+        if not paragraph:
+            return
+        line = ""
+        for word in paragraph:
+            candidate = f"{line} {word}".strip()
+            if len(candidate) > width and line:
+                out.append(line)
+                line = word
+            else:
+                line = candidate
+        if line:
+            out.append(line)
+        paragraph.clear()
+
+    for line in lines:
+        if not line.strip():
+            flush()
+            out.append("")
+        else:
+            paragraph.extend(line.split())
+    flush()
+    return out
+
+
+register_filter("sort", _linewise(sorted))
+register_filter("reverse-lines", _linewise(lambda lines: lines[::-1]))
+register_filter(
+    "uniq",
+    _linewise(
+        lambda lines: [
+            line for i, line in enumerate(lines)
+            if i == 0 or line != lines[i - 1]
+        ]
+    ),
+)
+register_filter("fmt", _linewise(_fmt))
+register_filter("upper", str.upper)
+register_filter("lower", str.lower)
+register_filter("rot13", lambda text: codecs.encode(text, "rot13"))
+register_filter("expand", lambda text: text.expandtabs(8))
+register_filter(
+    "indent", _linewise(lambda lines: ["    " + l if l else l for l in lines])
+)
+register_filter(
+    "dedent",
+    _linewise(lambda lines: [l[4:] if l.startswith("    ") else l.lstrip(" ")
+                             if l[:1] == " " else l for l in lines]),
+)
+register_filter("double-space", _linewise(
+    lambda lines: [part for line in lines for part in (line, "")][:-1]
+))

@@ -1,0 +1,103 @@
+"""The procedure table: user-written commands (paper section 7).
+
+"The dynamic loading/linking feature also provides a low-level
+extension language for applications built using the toolkit.
+Sophisticated users can write code (using the class system) to
+implement new commands.  These commands can be bound either to key
+sequences or to menus.  When invoked, the code is loaded and executed."
+
+A *command* is a callable ``command(view, event)``.  Commands register
+in the procedure table under a name; unknown names resolve through the
+dynamic loader against a class named ``<name>cmd`` whose class
+procedure ``invoke`` is the command body — so a user drops
+``wordcount.py`` into a plugin directory, binds ``wordcount`` to a key
+or menu item, and the code loads on first invocation, never before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..class_system.dynamic import ClassLoader, default_loader
+from ..class_system.errors import ClassSystemError, DynamicLoadError
+from ..core.view import View
+
+__all__ = [
+    "register_command",
+    "command_names",
+    "resolve_command",
+    "bind_command_key",
+    "bind_command_menu",
+]
+
+Command = Callable[[View, object], None]
+
+_COMMANDS: Dict[str, Command] = {}
+
+
+def register_command(name: str, command: Command) -> None:
+    """Install ``command`` in the procedure table."""
+    _COMMANDS[name] = command
+
+
+def command_names() -> List[str]:
+    return sorted(_COMMANDS)
+
+
+def resolve_command(name: str,
+                    loader: Optional[ClassLoader] = None) -> Command:
+    """Find the command ``name``, dynamically loading it if needed.
+
+    The loader looks for a class registered as ``<name>cmd`` (typically
+    defined by a plugin file ``<name>cmd.py`` on the class path) and
+    uses its ``invoke`` class procedure.  The resolved command is cached
+    in the table, so the load happens once.
+    """
+    command = _COMMANDS.get(name)
+    if command is not None:
+        return command
+    loader = loader if loader is not None else default_loader()
+    try:
+        cls = loader.load(f"{name}cmd")
+    except ClassSystemError as exc:
+        raise DynamicLoadError(
+            f"no command {name!r} in the procedure table and no loadable "
+            f"plugin {name}cmd: {exc}"
+        ) from exc
+    invoke = getattr(cls, "invoke", None)
+    if invoke is None:
+        raise DynamicLoadError(
+            f"command class {name}cmd has no 'invoke' class procedure"
+        )
+
+    def command_shim(view: View, event) -> None:
+        invoke(view, event)
+
+    command_shim.__name__ = f"command_{name}"
+    _COMMANDS[name] = command_shim
+    return command_shim
+
+
+def bind_command_key(view: View, keysym: str, name: str,
+                     loader: Optional[ClassLoader] = None) -> None:
+    """Bind a (possibly not-yet-loaded) command to a key in ``view``.
+
+    Resolution is deferred to the first keystroke — "when invoked, the
+    code is loaded and executed" — so binding is cheap and a missing
+    plugin only fails when actually used.
+    """
+
+    def deferred(bound_view: View, event) -> None:
+        resolve_command(name, loader)(bound_view, event)
+
+    view.keymap.bind(keysym, deferred)
+
+
+def bind_command_menu(view: View, card_name: str, label: str, name: str,
+                      loader: Optional[ClassLoader] = None) -> None:
+    """Bind a command to a menu item in ``view``'s menus."""
+
+    def deferred(bound_view: View, event) -> None:
+        resolve_command(name, loader)(bound_view, event)
+
+    view.menu_card(card_name).add(label, deferred)

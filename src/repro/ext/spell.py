@@ -1,0 +1,137 @@
+"""The spelling checker extension (paper §1).
+
+Checks a text document against a word list, skipping embedded-object
+placeholders, and offers single-edit suggestions.  The built-in word
+list covers common English plus this repository's domain vocabulary;
+real deployments load ``/usr/dict/words`` via :meth:`SpellChecker.load_words`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Set
+
+from ..components.text.textdata import OBJECT_CHAR, TextData
+
+__all__ = ["SpellChecker", "Misspelling", "BASIC_WORDS"]
+
+#: A deliberately small core dictionary; tests and apps extend it.
+BASIC_WORDS = frozenset(
+    """a about after all also an and andrew any application are as at be
+    because been before being between both but by can code component
+    components could data date did do document does down each editor
+    enclosed equation even expenses file first for from had has have he
+    help her here him his how i if in information into is it its just
+    like list line mail make many may me menu message messages more most
+    mouse my new no not now object objects of on one only or other our
+    out over paper people program quarter raster s screen set she should
+    so some spreadsheet system table text than that the their them then
+    there these they this those through time to toolkit two up us use
+    used user users view views was we were what when where which who will
+    window with would you your dear david hope nice vacation call
+    sincerely regards thanks please ended fix fine word words good bad
+    big small very really see look write read send sent get got""".split()
+)
+
+_WORD_RE = re.compile(r"[A-Za-z']+")
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+class Misspelling:
+    """One flagged word with its document position."""
+
+    __slots__ = ("word", "pos", "suggestions")
+
+    def __init__(self, word: str, pos: int, suggestions: List[str]) -> None:
+        self.word = word
+        self.pos = pos
+        self.suggestions = suggestions
+
+    def __repr__(self) -> str:
+        return f"Misspelling({self.word!r} at {self.pos})"
+
+
+class SpellChecker:
+    """Word-list checker with edit-distance-1 suggestions."""
+
+    def __init__(self, words: Optional[Set[str]] = None) -> None:
+        self.words: Set[str] = set(words if words is not None else BASIC_WORDS)
+
+    def load_words(self, text: str) -> int:
+        """Add one word per line (dict-file format); returns count added."""
+        before = len(self.words)
+        for line in text.splitlines():
+            word = line.strip().lower()
+            if word:
+                self.words.add(word)
+        return len(self.words) - before
+
+    def add_word(self, word: str) -> None:
+        self.words.add(word.lower())
+
+    def is_known(self, word: str) -> bool:
+        lowered = word.lower()
+        if lowered in self.words:
+            return True
+        # Accept regular plurals/possessives of known words.
+        if lowered.endswith("'s") and lowered[:-2] in self.words:
+            return True
+        if lowered.endswith("s") and lowered[:-1] in self.words:
+            return True
+        return False
+
+    # -- suggestions ----------------------------------------------------
+
+    def _edits(self, word: str) -> Iterator[str]:
+        for i in range(len(word) + 1):
+            head, tail = word[:i], word[i:]
+            if tail:
+                yield head + tail[1:]                      # delete
+            for char in _ALPHABET:
+                yield head + char + tail                   # insert
+                if tail:
+                    yield head + char + tail[1:]           # replace
+            if len(tail) > 1:
+                yield head + tail[1] + tail[0] + tail[2:]  # transpose
+
+    def suggest(self, word: str, limit: int = 5) -> List[str]:
+        lowered = word.lower()
+        seen = []
+        for candidate in self._edits(lowered):
+            if candidate in self.words and candidate not in seen:
+                seen.append(candidate)
+                if len(seen) >= limit:
+                    break
+        return seen
+
+    # -- document checking -------------------------------------------------
+
+    def check_text(self, text: str) -> List[Misspelling]:
+        flagged: List[Misspelling] = []
+        for match in _WORD_RE.finditer(text):
+            word = match.group()
+            if word.strip("'") and not self.is_known(word):
+                flagged.append(
+                    Misspelling(word, match.start(), self.suggest(word))
+                )
+        return flagged
+
+    def check_document(self, document: TextData) -> List[Misspelling]:
+        """Check a text data object (embedded objects are skipped but
+        positions refer to the real buffer, placeholders included)."""
+        buffer = document.text()
+        cleaned = buffer.replace(OBJECT_CHAR, " ")
+        return self.check_text(cleaned)
+
+    def correct(self, document: TextData,
+                misspelling: Misspelling, replacement: str) -> None:
+        """Apply a correction through the data object's mutators."""
+        current = document.text(
+            misspelling.pos, misspelling.pos + len(misspelling.word)
+        )
+        if current != misspelling.word:
+            raise ValueError(
+                f"document changed under the checker: expected "
+                f"{misspelling.word!r}, found {current!r}"
+            )
+        document.replace(misspelling.pos, len(misspelling.word), replacement)

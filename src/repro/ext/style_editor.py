@@ -1,0 +1,112 @@
+"""The style editor extension (paper §1).
+
+Lets a user define and adjust named styles — the attribute bundles the
+text component applies to regions — without recompiling anything.
+Edits go to the shared ``STANDARD_STYLES`` table, so documents opened
+afterwards pick the new definitions up; an :class:`StyleEditorView`
+presents the table as an interactive list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..components.listview import ListView
+from ..components.text.styles import STANDARD_STYLES, Style
+
+__all__ = ["StyleEditor", "StyleEditorView", "describe_style"]
+
+
+def describe_style(style: Style) -> str:
+    """One-line summary: ``heading: bold size+4``."""
+    parts: List[str] = []
+    if style.bold:
+        parts.append("bold")
+    if style.italic:
+        parts.append("italic")
+    if style.fixed:
+        parts.append("fixed")
+    if style.size_delta:
+        parts.append(f"size{style.size_delta:+d}")
+    if style.indent:
+        parts.append(f"indent={style.indent}")
+    if style.centered:
+        parts.append("centered")
+    attrs = " ".join(parts) if parts else "plain"
+    return f"{style.name}: {attrs}"
+
+
+class StyleEditor:
+    """Programmatic interface to the style table."""
+
+    def __init__(self, table: Optional[dict] = None) -> None:
+        self.table = table if table is not None else STANDARD_STYLES
+
+    def style_names(self) -> List[str]:
+        return sorted(self.table)
+
+    def get(self, name: str) -> Optional[Style]:
+        return self.table.get(name)
+
+    def define(self, name: str, **attrs) -> Style:
+        """Create or replace a style definition."""
+        style = Style(name, **attrs)
+        self.table[name] = style
+        return style
+
+    def modify(self, name: str, **attrs) -> Style:
+        """Adjust attributes of an existing style in place."""
+        style = self.table.get(name)
+        if style is None:
+            raise KeyError(f"no style named {name!r}")
+        for attr, value in attrs.items():
+            if not hasattr(style, attr):
+                raise AttributeError(f"styles have no attribute {attr!r}")
+            setattr(style, attr, value)
+        return style
+
+    def delete(self, name: str) -> None:
+        self.table.pop(name, None)
+
+    def descriptions(self) -> List[str]:
+        return [describe_style(self.table[name]) for name in self.style_names()]
+
+
+class StyleEditorView(ListView):
+    """The style table as a selectable list (toggle bold with 'b', etc.)."""
+
+    atk_name = "styleeditorview"
+
+    def __init__(self, editor: Optional[StyleEditor] = None) -> None:
+        self.editor = editor if editor is not None else StyleEditor()
+        super().__init__(self.editor.descriptions())
+        self.keymap.bind("b", lambda v, k: self._toggle("bold"))
+        self.keymap.bind("i", lambda v, k: self._toggle("italic"))
+        self.keymap.bind("f", lambda v, k: self._toggle("fixed"))
+        self.keymap.bind("c", lambda v, k: self._toggle("centered"))
+        self.keymap.bind("+", lambda v, k: self._bump_size(2))
+        self.keymap.bind("-", lambda v, k: self._bump_size(-2))
+
+    def _selected_style(self) -> Optional[Style]:
+        if self.selected is None:
+            return None
+        name = self.editor.style_names()[self.selected]
+        return self.editor.get(name)
+
+    def _refresh(self) -> None:
+        selected = self.selected
+        self.set_items(self.editor.descriptions())
+        self.selected = selected
+        self.want_update()
+
+    def _toggle(self, attr: str) -> None:
+        style = self._selected_style()
+        if style is not None:
+            setattr(style, attr, not getattr(style, attr))
+            self._refresh()
+
+    def _bump_size(self, delta: int) -> None:
+        style = self._selected_style()
+        if style is not None:
+            style.size_delta += delta
+            self._refresh()

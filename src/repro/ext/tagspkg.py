@@ -1,0 +1,129 @@
+"""The tags package (paper §1): jump to definitions by name.
+
+Builds a ``ctags``-style index from C-ish sources (function and
+``#define`` definitions) and drives a text view to them.  Multiple
+files are supported, matching the original's project-wide tags file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..components.text.textview import TextView
+
+__all__ = ["Tag", "TagIndex", "TagsPackage"]
+
+_FUNC_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z_0-9 \t\*]*?\b(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*\([^;]*$"
+)
+_DEFINE_RE = re.compile(r"^#\s*define\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)")
+
+
+class Tag:
+    """One definition site."""
+
+    __slots__ = ("name", "filename", "line", "kind")
+
+    def __init__(self, name: str, filename: str, line: int, kind: str) -> None:
+        self.name = name
+        self.filename = filename
+        self.line = line
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"Tag({self.name!r}, {self.filename}:{self.line}, {self.kind})"
+
+
+class TagIndex:
+    """name -> definition sites, built from source text."""
+
+    def __init__(self) -> None:
+        self._tags: Dict[str, List[Tag]] = {}
+
+    def index_source(self, filename: str, source: str) -> int:
+        """Scan ``source``; returns how many tags were found."""
+        found = 0
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            stripped = line.rstrip()
+            match = _DEFINE_RE.match(stripped)
+            kind = "macro"
+            if match is None:
+                # Heuristic: a function definition line is not itself a
+                # control-flow keyword and opens a parameter list.
+                if stripped[:1] in (" ", "\t", "#", "}", "{", "/", "*", ""):
+                    continue
+                head = stripped.split("(")[0].split()
+                if head and head[-1] in ("if", "while", "for", "switch",
+                                         "return"):
+                    continue
+                match = _FUNC_RE.match(stripped)
+                kind = "function"
+            if match is not None:
+                name = match.group("name")
+                self._tags.setdefault(name, []).append(
+                    Tag(name, filename, lineno, kind)
+                )
+                found += 1
+        return found
+
+    def lookup(self, name: str) -> List[Tag]:
+        return list(self._tags.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._tags)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._tags.values())
+
+
+class TagsPackage:
+    """Editor integration: ``Find Tag`` jumps the view to a definition."""
+
+    def __init__(self, textview: TextView, index: Optional[TagIndex] = None):
+        self.textview = textview
+        self.index = index if index is not None else TagIndex()
+        card = textview.menu_card("Tags")
+        card.add("Find Tag...", lambda v, e: None)  # apps wire a dialog
+
+    def word_at_caret(self) -> str:
+        data = self.textview.data
+        if data is None:
+            return ""
+        text = data.text()
+        pos = self.textview.dot
+        start = pos
+        while start > 0 and (text[start - 1].isalnum() or text[start - 1] == "_"):
+            start -= 1
+        end = pos
+        while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+            end += 1
+        return text[start:end]
+
+    def goto_tag(self, name: Optional[str] = None) -> Optional[Tag]:
+        """Jump to the definition of ``name`` (default: word at caret).
+
+        Only moves within the current buffer; returns the tag found (or
+        None), so callers showing other files can act on ``filename``.
+        """
+        if name is None or not name:
+            name = self.word_at_caret()
+        tags = self.index.lookup(name)
+        if not tags:
+            return None
+        tag = tags[0]
+        self._goto_line(tag.line)
+        return tag
+
+    def _goto_line(self, line: int) -> None:
+        data = self.textview.data
+        if data is None:
+            return
+        text = data.text()
+        pos = 0
+        for _ in range(line - 1):
+            nl = text.find("\n", pos)
+            if nl < 0:
+                break
+            pos = nl + 1
+        self.textview.set_dot(pos)

@@ -1,0 +1,36 @@
+"""The graphics layer (paper section 4): geometry, colors, fonts, drawables.
+
+Views draw exclusively through :class:`~repro.graphics.graphic.Graphic`
+(the paper's *drawable*); window system backends in :mod:`repro.wm`
+subclass it with device primitives.
+"""
+
+from .color import BLACK, WHITE, Color, TransferMode, named_color
+from .fontdesc import BOLD, FIXED, ITALIC, FontDesc, FontMetrics
+from .geometry import Point, Rect, Region
+from .graphic import Graphic, GraphicsState
+from .image import Bitmap
+from .minifont import GLYPH_HEIGHT, GLYPH_WIDTH, glyph_bitmap, render_text
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Region",
+    "Color",
+    "TransferMode",
+    "BLACK",
+    "WHITE",
+    "named_color",
+    "FontDesc",
+    "FontMetrics",
+    "BOLD",
+    "ITALIC",
+    "FIXED",
+    "Bitmap",
+    "Graphic",
+    "GraphicsState",
+    "GLYPH_WIDTH",
+    "GLYPH_HEIGHT",
+    "glyph_bitmap",
+    "render_text",
+]

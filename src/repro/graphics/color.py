@@ -1,0 +1,96 @@
+"""Colors for the graphics layer.
+
+The displays the Andrew Toolkit targeted in 1988 were 1-bit monochrome;
+drawing was done with *transfer functions* (copy, invert, white, black).
+We keep that model — a :class:`Color` is fundamentally an intensity, and
+:class:`TransferMode` enumerates the raster-op the drawable applies — but
+carry full RGB so the raster backend can render richer images.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+__all__ = ["Color", "TransferMode", "BLACK", "WHITE", "named_color"]
+
+
+class TransferMode(enum.Enum):
+    """Raster transfer functions, after the original graphic class."""
+
+    COPY = "copy"          # source replaces destination
+    INVERT = "invert"      # destination = NOT destination (selection flash)
+    BLACK = "black"        # paint black regardless of source
+    WHITE = "white"        # paint white regardless of source (erase)
+    OR = "or"              # destination |= source  (1-bit overlay)
+    AND = "and"            # destination &= source
+
+
+class Color:
+    """An immutable RGB color with 1-bit projection.
+
+    :meth:`bit` collapses the color to the monochrome value an Andrew
+    display would have shown; the ascii window system uses it to pick a
+    glyph and the raster system keeps full RGB.
+    """
+
+    __slots__ = ("r", "g", "b")
+
+    def __init__(self, r: int, g: int, b: int) -> None:
+        for component in (r, g, b):
+            if not 0 <= int(component) <= 255:
+                raise ValueError(f"color component {component} outside 0..255")
+        object.__setattr__(self, "r", int(r))
+        object.__setattr__(self, "g", int(g))
+        object.__setattr__(self, "b", int(b))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Color is immutable")
+
+    @property
+    def luminance(self) -> int:
+        """Rec. 601 luma, 0..255."""
+        return (299 * self.r + 587 * self.g + 114 * self.b) // 1000
+
+    def bit(self) -> int:
+        """1 if this color would paint 'ink' on a 1-bit display, else 0."""
+        return 1 if self.luminance < 128 else 0
+
+    def inverted(self) -> "Color":
+        return Color(255 - self.r, 255 - self.g, 255 - self.b)
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.r, self.g, self.b)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Color) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"Color({self.r}, {self.g}, {self.b})"
+
+
+BLACK = Color(0, 0, 0)
+WHITE = Color(255, 255, 255)
+
+_NAMED: Dict[str, Color] = {
+    "black": BLACK,
+    "white": WHITE,
+    "red": Color(205, 52, 40),
+    "green": Color(46, 139, 87),
+    "blue": Color(58, 91, 199),
+    "yellow": Color(222, 190, 28),
+    "gray": Color(128, 128, 128),
+    "grey": Color(128, 128, 128),
+}
+
+
+def named_color(name: str) -> Color:
+    """Resolve a small set of X-style color names.
+
+    Raises :class:`KeyError` for unknown names; component code that
+    accepts user color strings should catch it and fall back to black.
+    """
+    return _NAMED[name.lower()]

@@ -1,0 +1,170 @@
+"""Font descriptions (the FontDesc porting class, paper section 8).
+
+A :class:`FontDesc` names a font — family, style flags, point size —
+without binding it to any window system.  Each window system backend
+supplies a :class:`FontMetrics` realization (cell-sized for the ascii
+backend, pixel-sized for the raster backend); views measure text only
+through metrics, which is what keeps them display-medium independent.
+
+The metric model is deterministic and monospaced-per-font: every glyph
+of a given font has the same advance width.  That matches the original
+Andrew fixed ``andytype`` fonts closely enough for layout behaviour
+(wrapping, centering, table column sizing) to be faithfully exercised.
+"""
+
+from __future__ import annotations
+
+
+__all__ = ["FontDesc", "FontMetrics", "BOLD", "ITALIC", "FIXED"]
+
+BOLD = "bold"
+ITALIC = "italic"
+FIXED = "fixed"
+
+_KNOWN_STYLES = frozenset({BOLD, ITALIC, FIXED})
+
+
+class FontDesc:
+    """An immutable, hashable font description.
+
+    ``family`` is a free-form name (``"andy"``, ``"andytype"`` ...),
+    ``size`` a point size, ``styles`` a set drawn from ``BOLD``,
+    ``ITALIC``, ``FIXED``.
+    """
+
+    __slots__ = ("family", "size", "styles")
+
+    def __init__(self, family: str = "andy", size: int = 12, styles=()) -> None:
+        styles = frozenset(styles)
+        unknown = styles - _KNOWN_STYLES
+        if unknown:
+            raise ValueError(f"unknown font styles: {sorted(unknown)}")
+        if size <= 0:
+            raise ValueError(f"font size must be positive, got {size}")
+        object.__setattr__(self, "family", str(family))
+        object.__setattr__(self, "size", int(size))
+        object.__setattr__(self, "styles", styles)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FontDesc is immutable")
+
+    @property
+    def bold(self) -> bool:
+        return BOLD in self.styles
+
+    @property
+    def italic(self) -> bool:
+        return ITALIC in self.styles
+
+    @property
+    def fixed(self) -> bool:
+        return FIXED in self.styles
+
+    def with_styles(self, *styles: str) -> "FontDesc":
+        """Return a copy with ``styles`` added."""
+        return FontDesc(self.family, self.size, self.styles | frozenset(styles))
+
+    def without_styles(self, *styles: str) -> "FontDesc":
+        """Return a copy with ``styles`` removed."""
+        return FontDesc(self.family, self.size, self.styles - frozenset(styles))
+
+    def with_size(self, size: int) -> "FontDesc":
+        return FontDesc(self.family, size, self.styles)
+
+    def spec(self) -> str:
+        """Andrew-style font spec string, e.g. ``andy12b``."""
+        suffix = ""
+        if self.bold:
+            suffix += "b"
+        if self.italic:
+            suffix += "i"
+        if self.fixed:
+            suffix += "f"
+        return f"{self.family}{self.size}{suffix}"
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FontDesc":
+        """Parse an Andrew-style spec string like ``andy12bi``.
+
+        The grammar is family letters, then digits, then style letters
+        (``b`` bold, ``i`` italic, ``f`` fixed).
+        """
+        i = 0
+        while i < len(spec) and not spec[i].isdigit():
+            i += 1
+        j = i
+        while j < len(spec) and spec[j].isdigit():
+            j += 1
+        family, digits, flags = spec[:i], spec[i:j], spec[j:]
+        if not family or not digits:
+            raise ValueError(f"malformed font spec {spec!r}")
+        styles = set()
+        for flag in flags:
+            if flag == "b":
+                styles.add(BOLD)
+            elif flag == "i":
+                styles.add(ITALIC)
+            elif flag == "f":
+                styles.add(FIXED)
+            else:
+                raise ValueError(f"unknown style flag {flag!r} in {spec!r}")
+        return cls(family, int(digits), styles)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FontDesc)
+            and self.family == other.family
+            and self.size == other.size
+            and self.styles == other.styles
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.family, self.size, self.styles))
+
+    def __repr__(self) -> str:
+        return f"FontDesc({self.family!r}, {self.size}, {sorted(self.styles)})"
+
+
+class FontMetrics:
+    """Concrete measurements of a :class:`FontDesc` on some medium.
+
+    Window system backends construct these; views only read them.
+    """
+
+    __slots__ = ("desc", "char_width", "ascent", "descent")
+
+    def __init__(self, desc: FontDesc, char_width: int, ascent: int, descent: int):
+        self.desc = desc
+        self.char_width = char_width
+        self.ascent = ascent
+        self.descent = descent
+
+    @property
+    def height(self) -> int:
+        """Line height: ascent + descent."""
+        return self.ascent + self.descent
+
+    def string_width(self, text: str) -> int:
+        """Advance width of ``text`` (tabs count as 4 glyphs)."""
+        expanded = len(text) + 3 * text.count("\t")
+        return expanded * self.char_width
+
+    def chars_that_fit(self, text: str, width: int) -> int:
+        """How many leading characters of ``text`` fit in ``width``."""
+        if self.char_width <= 0:
+            return len(text)
+        fit = 0
+        used = 0
+        for ch in text:
+            advance = self.char_width * (4 if ch == "\t" else 1)
+            if used + advance > width:
+                break
+            used += advance
+            fit += 1
+        return fit
+
+    def __repr__(self) -> str:
+        return (
+            f"FontMetrics({self.desc.spec()}, w={self.char_width}, "
+            f"a={self.ascent}, d={self.descent})"
+        )

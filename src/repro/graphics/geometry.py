@@ -1,0 +1,349 @@
+"""Geometry primitives for the graphics layer (paper section 4).
+
+Everything in the toolkit's imaging model is expressed in terms of
+points and rectangles: each view owns a rectangle completely contained
+in its parent's rectangle, drawables carry a coordinate-system origin,
+and update events carry damage rectangles.  :class:`Region` (a disjoint
+rectangle set) backs clipping and damage accumulation.
+
+Coordinates are integers (device pixels or character cells); the origin
+is the upper-left corner with y growing downwards, as on the bitmapped
+displays of the period.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+__all__ = ["Point", "Rect", "Region"]
+
+
+class Point:
+    """An immutable 2-D integer point."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: int, y: int) -> None:
+        object.__setattr__(self, "x", int(x))
+        object.__setattr__(self, "y", int(y))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Point is immutable")
+
+    def offset(self, dx: int, dy: int) -> "Point":
+        """Return this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Point) and self.x == other.x and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x}, {self.y})"
+
+
+class Rect:
+    """An immutable axis-aligned rectangle ``(left, top, width, height)``.
+
+    A rectangle with non-positive width or height is *empty*: it contains
+    no points, intersects nothing, and unions as the identity.
+    """
+
+    __slots__ = ("left", "top", "width", "height")
+
+    def __init__(self, left: int, top: int, width: int, height: int) -> None:
+        object.__setattr__(self, "left", int(left))
+        object.__setattr__(self, "top", int(top))
+        object.__setattr__(self, "width", int(width))
+        object.__setattr__(self, "height", int(height))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Rect is immutable")
+
+    @classmethod
+    def from_corners(cls, x0: int, y0: int, x1: int, y1: int) -> "Rect":
+        """Build a rectangle from two opposite corners (any order)."""
+        left, right = sorted((int(x0), int(x1)))
+        top, bottom = sorted((int(y0), int(y1)))
+        return cls(left, top, right - left, bottom - top)
+
+    @classmethod
+    def empty(cls) -> "Rect":
+        return cls(0, 0, 0, 0)
+
+    # -- derived coordinates -------------------------------------------
+
+    @property
+    def right(self) -> int:
+        """One past the rightmost column (exclusive)."""
+        return self.left + self.width
+
+    @property
+    def bottom(self) -> int:
+        """One past the bottommost row (exclusive)."""
+        return self.top + self.height
+
+    @property
+    def origin(self) -> Point:
+        return Point(self.left, self.top)
+
+    @property
+    def center(self) -> Point:
+        return Point(self.left + self.width // 2, self.top + self.height // 2)
+
+    @property
+    def area(self) -> int:
+        return 0 if self.is_empty() else self.width * self.height
+
+    def is_empty(self) -> bool:
+        return self.width <= 0 or self.height <= 0
+
+    # -- predicates ------------------------------------------------------
+
+    def contains_point(self, point: Point) -> bool:
+        """True if ``point`` lies inside (edges inclusive on top/left)."""
+        return (
+            self.left <= point.x < self.right
+            and self.top <= point.y < self.bottom
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this rectangle.
+
+        An empty ``other`` is contained by anything — the view tree uses
+        this when checking the invariant that children fit their parent.
+        """
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return (
+            self.left <= other.left
+            and self.top <= other.top
+            and other.right <= self.right
+            and other.bottom <= self.bottom
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        if self.is_empty() or other.is_empty():
+            return False
+        return (
+            self.left < other.right
+            and other.left < self.right
+            and self.top < other.bottom
+            and other.top < self.bottom
+        )
+
+    # -- constructions ---------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The overlapping rectangle, or an empty rect if disjoint."""
+        if not self.intersects(other):
+            return Rect.empty()
+        left = max(self.left, other.left)
+        top = max(self.top, other.top)
+        return Rect(
+            left,
+            top,
+            min(self.right, other.right) - left,
+            min(self.bottom, other.bottom) - top,
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both (empty rects ignored)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        left = min(self.left, other.left)
+        top = min(self.top, other.top)
+        return Rect(
+            left,
+            top,
+            max(self.right, other.right) - left,
+            max(self.bottom, other.bottom) - top,
+        )
+
+    def offset(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.left + dx, self.top + dy, self.width, self.height)
+
+    def inset(self, dx: int, dy: int) -> "Rect":
+        """Shrink by ``dx`` on each side horizontally and ``dy`` vertically.
+
+        Negative insets grow the rectangle (the frame view uses a
+        negative inset to build its enlarged divider grab zone, §3).
+        """
+        return Rect(
+            self.left + dx, self.top + dy, self.width - 2 * dx, self.height - 2 * dy
+        )
+
+    def difference(self, other: "Rect") -> List["Rect"]:
+        """This rectangle minus ``other``, as up to four disjoint rects."""
+        clip = self.intersection(other)
+        if clip.is_empty():
+            return [] if self.is_empty() else [self]
+        pieces = []
+        if clip.top > self.top:  # band above
+            pieces.append(Rect(self.left, self.top, self.width, clip.top - self.top))
+        if clip.bottom < self.bottom:  # band below
+            pieces.append(
+                Rect(self.left, clip.bottom, self.width, self.bottom - clip.bottom)
+            )
+        if clip.left > self.left:  # left slab beside the clip band
+            pieces.append(
+                Rect(self.left, clip.top, clip.left - self.left, clip.height)
+            )
+        if clip.right < self.right:  # right slab beside the clip band
+            pieces.append(
+                Rect(clip.right, clip.top, self.right - clip.right, clip.height)
+            )
+        return pieces
+
+    # -- iteration / comparison -------------------------------------------
+
+    def points(self) -> Iterator[Point]:
+        """Iterate every integer point inside (row-major)."""
+        for y in range(self.top, self.bottom):
+            for x in range(self.left, self.right):
+                yield Point(x, y)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return (
+            self.left == other.left
+            and self.top == other.top
+            and self.width == other.width
+            and self.height == other.height
+        )
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash("empty-rect")
+        return hash((self.left, self.top, self.width, self.height))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.left, self.top, self.width, self.height))
+
+    def __repr__(self) -> str:
+        return f"Rect({self.left}, {self.top}, {self.width}, {self.height})"
+
+
+class Region:
+    """A set of points represented as disjoint rectangles.
+
+    Used for clip shapes and damage accumulation.  The representation
+    invariant — rectangles pairwise disjoint, none empty — is maintained
+    by construction and checked by :meth:`check_invariants` (exercised by
+    the property-based tests).
+    """
+
+    __slots__ = ("_rects",)
+
+    def __init__(self, rects: Optional[Iterable[Rect]] = None) -> None:
+        self._rects: List[Rect] = []
+        for rect in rects or ():
+            self.add(rect)
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Region":
+        return cls([rect])
+
+    def is_empty(self) -> bool:
+        return not self._rects
+
+    @property
+    def rects(self) -> List[Rect]:
+        """The disjoint rectangles (a copy)."""
+        return list(self._rects)
+
+    @property
+    def area(self) -> int:
+        return sum(r.area for r in self._rects)
+
+    def bounding_box(self) -> Rect:
+        box = Rect.empty()
+        for rect in self._rects:
+            box = box.union(rect)
+        return box
+
+    def contains_point(self, point: Point) -> bool:
+        return any(r.contains_point(point) for r in self._rects)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        return any(r.intersects(rect) for r in self._rects)
+
+    def add(self, rect: Rect) -> None:
+        """Union ``rect`` into the region, keeping rects disjoint."""
+        if rect.is_empty():
+            return
+        pending = [rect]
+        for existing in self._rects:
+            next_pending = []
+            for piece in pending:
+                next_pending.extend(piece.difference(existing))
+            pending = next_pending
+            if not pending:
+                return
+        self._rects.extend(pending)
+
+    def add_region(self, other: "Region") -> None:
+        for rect in other._rects:
+            self.add(rect)
+
+    def subtract(self, rect: Rect) -> None:
+        """Remove ``rect``'s points from the region."""
+        if rect.is_empty():
+            return
+        result: List[Rect] = []
+        for existing in self._rects:
+            result.extend(existing.difference(rect))
+        self._rects = result
+
+    def intersect_rect(self, rect: Rect) -> "Region":
+        """Return a new region clipped to ``rect``."""
+        clipped = Region()
+        for existing in self._rects:
+            piece = existing.intersection(rect)
+            if not piece.is_empty():
+                clipped._rects.append(piece)
+        return clipped
+
+    def clear(self) -> None:
+        self._rects.clear()
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the representation invariant is broken."""
+        for rect in self._rects:
+            assert not rect.is_empty(), f"empty rect {rect} in region"
+        for i, a in enumerate(self._rects):
+            for b in self._rects[i + 1:]:
+                assert not a.intersects(b), f"overlapping rects {a} and {b}"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        if self.area != other.area:
+            return False
+        # Same area and mutual containment of every rect => same point set.
+        return all(
+            other.intersect_rect(r).area == r.area for r in self._rects
+        )
+
+    def __repr__(self) -> str:
+        return f"Region({self._rects!r})"

@@ -1,0 +1,202 @@
+"""1-bit raster images.
+
+The displays of the original system were monochrome bitmaps, and the
+toolkit's raster component manipulated 1-bit images.  :class:`Bitmap`
+is the shared representation: the raster data object stores one, the
+raster window-system backend uses one as its framebuffer, and the
+off-screen-window porting class wraps one.
+
+Pixels are 0 (white/background) or 1 (black/ink), stored row-major in a
+``bytearray`` for compactness and fast blits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .geometry import Rect
+
+__all__ = ["Bitmap"]
+
+
+class Bitmap:
+    """A mutable width x height grid of 1-bit pixels."""
+
+    __slots__ = ("width", "height", "_bits")
+
+    def __init__(self, width: int, height: int, fill: int = 0) -> None:
+        if width < 0 or height < 0:
+            raise ValueError(f"bitmap dimensions must be >= 0, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self._bits = bytearray([1 if fill else 0]) * (self.width * self.height)
+
+    # -- pixel access ----------------------------------------------------
+
+    def _index(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"pixel ({x}, {y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def get(self, x: int, y: int) -> int:
+        """Return the pixel at ``(x, y)`` (0 or 1)."""
+        return self._bits[self._index(x, y)]
+
+    def set(self, x: int, y: int, value: int = 1) -> None:
+        """Set the pixel at ``(x, y)``."""
+        self._bits[self._index(x, y)] = 1 if value else 0
+
+    def get_safe(self, x: int, y: int, default: int = 0) -> int:
+        """Like :meth:`get` but returning ``default`` out of bounds."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return self._bits[y * self.width + x]
+        return default
+
+    def set_safe(self, x: int, y: int, value: int = 1) -> None:
+        """Like :meth:`set` but silently ignoring out-of-bounds writes."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._bits[y * self.width + x] = 1 if value else 0
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+    def ink_count(self) -> int:
+        """Number of 1 pixels (useful for tests and snapshots)."""
+        return sum(self._bits)
+
+    # -- whole-image operations -------------------------------------------
+
+    def clear(self, value: int = 0) -> None:
+        fill = 1 if value else 0
+        for i in range(len(self._bits)):
+            self._bits[i] = fill
+
+    def invert(self) -> None:
+        """Flip every pixel in place."""
+        for i in range(len(self._bits)):
+            self._bits[i] ^= 1
+
+    def invert_rect(self, rect: Rect) -> None:
+        """Flip the pixels inside ``rect`` (clipped to the image)."""
+        clipped = self.bounds.intersection(rect)
+        for y in range(clipped.top, clipped.bottom):
+            base = y * self.width
+            for x in range(clipped.left, clipped.right):
+                self._bits[base + x] ^= 1
+
+    def fill_rect(self, rect: Rect, value: int = 1) -> None:
+        """Set every pixel inside ``rect`` (clipped) to ``value``."""
+        clipped = self.bounds.intersection(rect)
+        fill = 1 if value else 0
+        for y in range(clipped.top, clipped.bottom):
+            base = y * self.width
+            for x in range(clipped.left, clipped.right):
+                self._bits[base + x] = fill
+
+    def copy(self) -> "Bitmap":
+        clone = Bitmap(self.width, self.height)
+        clone._bits[:] = self._bits
+        return clone
+
+    def crop(self, rect: Rect) -> "Bitmap":
+        """Return the sub-image under ``rect`` (clipped to bounds)."""
+        clipped = self.bounds.intersection(rect)
+        out = Bitmap(clipped.width, clipped.height)
+        for y in range(clipped.height):
+            src = (clipped.top + y) * self.width + clipped.left
+            dst = y * clipped.width
+            out._bits[dst:dst + clipped.width] = self._bits[src:src + clipped.width]
+        return out
+
+    def scaled(self, new_width: int, new_height: int) -> "Bitmap":
+        """Nearest-neighbour scale to ``new_width`` x ``new_height``."""
+        out = Bitmap(new_width, new_height)
+        if self.width == 0 or self.height == 0:
+            return out
+        for y in range(new_height):
+            sy = y * self.height // new_height
+            base_src = sy * self.width
+            base_dst = y * new_width
+            for x in range(new_width):
+                sx = x * self.width // new_width
+                out._bits[base_dst + x] = self._bits[base_src + sx]
+        return out
+
+    def blit(
+        self,
+        source: "Bitmap",
+        dest_x: int,
+        dest_y: int,
+        mode: str = "copy",
+    ) -> None:
+        """Copy ``source`` onto this bitmap at ``(dest_x, dest_y)``.
+
+        ``mode`` is ``"copy"``, ``"or"``, ``"and"`` or ``"xor"``;
+        out-of-bounds parts of the source are clipped away.
+        """
+        if mode not in ("copy", "or", "and", "xor"):
+            raise ValueError(f"unknown blit mode {mode!r}")
+        target = self.bounds.intersection(
+            Rect(dest_x, dest_y, source.width, source.height)
+        )
+        for y in range(target.top, target.bottom):
+            sy = y - dest_y
+            src_base = sy * source.width
+            dst_base = y * self.width
+            for x in range(target.left, target.right):
+                sx = x - dest_x
+                src = source._bits[src_base + sx]
+                dst_i = dst_base + x
+                if mode == "copy":
+                    self._bits[dst_i] = src
+                elif mode == "or":
+                    self._bits[dst_i] |= src
+                elif mode == "and":
+                    self._bits[dst_i] &= src
+                else:  # xor
+                    self._bits[dst_i] ^= src
+
+    # -- text form (the §5 "row per line" external format) -----------------
+
+    def to_rows(self, ink: str = "*", blank: str = ".") -> List[str]:
+        """Render as strings, one per row — the §5 raster guideline that
+        "the bits representing a new row always begin on a new line"."""
+        rows = []
+        for y in range(self.height):
+            base = y * self.width
+            rows.append(
+                "".join(
+                    ink if self._bits[base + x] else blank
+                    for x in range(self.width)
+                )
+            )
+        return rows
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[str], ink: str = "*") -> "Bitmap":
+        """Inverse of :meth:`to_rows`; short rows are padded with blanks."""
+        rows = list(rows)
+        height = len(rows)
+        width = max((len(r) for r in rows), default=0)
+        out = cls(width, height)
+        for y, row in enumerate(rows):
+            base = y * width
+            for x, ch in enumerate(row):
+                if ch == ink:
+                    out._bits[base + x] = 1
+        return out
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Bitmap)
+            and self.width == other.width
+            and self.height == other.height
+            and self._bits == other._bits
+        )
+
+    def __hash__(self):
+        raise TypeError("Bitmap is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Bitmap({self.width}x{self.height}, ink={self.ink_count()})"

@@ -1,0 +1,137 @@
+"""A tiny built-in 5x7 bitmap font for the raster window system.
+
+The original Andrew window system shipped its own bitmap fonts (the
+``andy`` family).  The raster backend needs *some* glyph shapes to turn
+``device_draw_text`` into pixels; this module provides a classic 5x7
+dot-matrix font covering printable ASCII.  Lowercase letters reuse the
+uppercase shapes at the same cell size — crude, but period-appropriate,
+and sufficient for snapshot tests that check pixels were produced where
+text was drawn.
+
+Each glyph is seven strings of five characters; ``#`` is ink.  Glyph
+bitmaps are cached per (character, scale).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from .image import Bitmap
+
+__all__ = ["GLYPH_WIDTH", "GLYPH_HEIGHT", "glyph_bitmap", "render_text"]
+
+GLYPH_WIDTH = 5
+GLYPH_HEIGHT = 7
+
+_GLYPHS: Dict[str, List[str]] = {
+    " ": ["     ", "     ", "     ", "     ", "     ", "     ", "     "],
+    "!": ["  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "],
+    '"': [" # # ", " # # ", "     ", "     ", "     ", "     ", "     "],
+    "#": [" # # ", "#####", " # # ", " # # ", " # # ", "#####", " # # "],
+    "$": ["  #  ", " ####", "# #  ", " ### ", "  # #", "#### ", "  #  "],
+    "%": ["##   ", "##  #", "   # ", "  #  ", " #   ", "#  ##", "   ##"],
+    "&": [" ##  ", "#  # ", "#  # ", " ##  ", "# # #", "#  # ", " ## #"],
+    "'": ["  #  ", "  #  ", "     ", "     ", "     ", "     ", "     "],
+    "(": ["   # ", "  #  ", " #   ", " #   ", " #   ", "  #  ", "   # "],
+    ")": [" #   ", "  #  ", "   # ", "   # ", "   # ", "  #  ", " #   "],
+    "*": ["     ", "  #  ", "# # #", " ### ", "# # #", "  #  ", "     "],
+    "+": ["     ", "  #  ", "  #  ", "#####", "  #  ", "  #  ", "     "],
+    ",": ["     ", "     ", "     ", "     ", "  ## ", "  #  ", " #   "],
+    "-": ["     ", "     ", "     ", "#####", "     ", "     ", "     "],
+    ".": ["     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "],
+    "/": ["    #", "   # ", "   # ", "  #  ", " #   ", " #   ", "#    "],
+    "0": [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "],
+    "1": ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+    "2": [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"],
+    "3": [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "],
+    "4": ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "],
+    "5": ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "],
+    "6": ["  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "],
+    "7": ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "],
+    "8": [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "],
+    "9": [" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "],
+    ":": ["     ", " ##  ", " ##  ", "     ", " ##  ", " ##  ", "     "],
+    ";": ["     ", " ##  ", " ##  ", "     ", " ##  ", " #   ", "#    "],
+    "<": ["   # ", "  #  ", " #   ", "#    ", " #   ", "  #  ", "   # "],
+    "=": ["     ", "     ", "#####", "     ", "#####", "     ", "     "],
+    ">": [" #   ", "  #  ", "   # ", "    #", "   # ", "  #  ", " #   "],
+    "?": [" ### ", "#   #", "    #", "   # ", "  #  ", "     ", "  #  "],
+    "@": [" ### ", "#   #", "# ###", "# # #", "# ## ", "#    ", " ### "],
+    "A": [" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"],
+    "B": ["#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "],
+    "C": [" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "],
+    "D": ["#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "],
+    "E": ["#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"],
+    "F": ["#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "],
+    "G": [" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "],
+    "H": ["#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"],
+    "I": [" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+    "J": ["  ###", "   # ", "   # ", "   # ", "   # ", "#  # ", " ##  "],
+    "K": ["#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"],
+    "L": ["#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"],
+    "M": ["#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"],
+    "N": ["#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"],
+    "O": [" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "],
+    "P": ["#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "],
+    "Q": [" ### ", "#   #", "#   #", "#   #", "# # #", "#  # ", " ## #"],
+    "R": ["#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"],
+    "S": [" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "],
+    "T": ["#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "],
+    "U": ["#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "],
+    "V": ["#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "],
+    "W": ["#   #", "#   #", "#   #", "# # #", "# # #", "## ##", "#   #"],
+    "X": ["#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"],
+    "Y": ["#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "],
+    "Z": ["#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"],
+    "[": [" ### ", " #   ", " #   ", " #   ", " #   ", " #   ", " ### "],
+    "\\": ["#    ", " #   ", " #   ", "  #  ", "   # ", "   # ", "    #"],
+    "]": [" ### ", "   # ", "   # ", "   # ", "   # ", "   # ", " ### "],
+    "^": ["  #  ", " # # ", "#   #", "     ", "     ", "     ", "     "],
+    "_": ["     ", "     ", "     ", "     ", "     ", "     ", "#####"],
+    "`": [" #   ", "  #  ", "     ", "     ", "     ", "     ", "     "],
+    "{": ["   ##", "  #  ", "  #  ", " #   ", "  #  ", "  #  ", "   ##"],
+    "|": ["  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "],
+    "}": ["##   ", "  #  ", "  #  ", "   # ", "  #  ", "  #  ", "##   "],
+    "~": ["     ", "     ", " #   ", "# # #", "   # ", "     ", "     "],
+}
+
+_FALLBACK = ["#####", "#   #", "#   #", "#   #", "#   #", "#   #", "#####"]
+
+
+def _rows_for(char: str) -> List[str]:
+    if char in _GLYPHS:
+        return _GLYPHS[char]
+    upper = char.upper()
+    if upper in _GLYPHS:
+        return _GLYPHS[upper]
+    return _FALLBACK
+
+
+@lru_cache(maxsize=1024)
+def glyph_bitmap(char: str, scale: int = 1) -> Bitmap:
+    """Return the (cached) bitmap for one character at integer ``scale``."""
+    rows = _rows_for(char)
+    base = Bitmap.from_rows(rows, ink="#")
+    if scale == 1:
+        return base
+    return base.scaled(GLYPH_WIDTH * scale, GLYPH_HEIGHT * scale)
+
+
+def render_text(text: str, scale: int = 1, tracking: int = 1) -> Bitmap:
+    """Render ``text`` into a fresh bitmap.
+
+    ``tracking`` is the blank columns between glyphs (scaled).  Tabs
+    advance four glyph cells, matching :class:`FontMetrics`.
+    """
+    advance = (GLYPH_WIDTH + tracking) * scale
+    cells = len(text) + 3 * text.count("\t")
+    out = Bitmap(max(cells * advance, 0), GLYPH_HEIGHT * scale)
+    x = 0
+    for char in text:
+        if char == "\t":
+            x += 4 * advance
+            continue
+        out.blit(glyph_bitmap(char, scale), x, 0, mode="or")
+        x += advance
+    return out

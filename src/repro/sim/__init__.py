@@ -1,0 +1,34 @@
+"""OS-level simulation substrate (paging, processes, distributed files)
+for the section-7 runapp experiment (E4)."""
+
+from .filestore import DistributedFileStore
+from .loadmodel import (
+    APP_CODE_KB,
+    RUNAPP_STUB_KB,
+    TOOLKIT_KB,
+    World,
+    build_runapp_world,
+    build_static_world,
+    compare,
+    simulate_world,
+)
+from .paging import Lcg, PAGE_SIZE_KB, PhysicalMemory, Segment
+from .process import SimProcess, run_workload
+
+__all__ = [
+    "PAGE_SIZE_KB",
+    "Segment",
+    "PhysicalMemory",
+    "Lcg",
+    "SimProcess",
+    "run_workload",
+    "DistributedFileStore",
+    "TOOLKIT_KB",
+    "APP_CODE_KB",
+    "RUNAPP_STUB_KB",
+    "World",
+    "build_static_world",
+    "build_runapp_world",
+    "simulate_world",
+    "compare",
+]

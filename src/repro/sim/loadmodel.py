@@ -1,0 +1,150 @@
+"""Static linking vs runapp: the section-7 comparison worlds.
+
+"Since most UNIX systems do not provide shared libraries, this allows
+multiple toolkit applications to share a significant portion of code.
+This leads to performance improvements in a large number of areas:
+paging activity is reduced; key portions of the code are almost always
+paged in ...; virtual memory use decreases; file fetch time decreases
+if running under a distributed file system; the file size of an
+application is reduced."
+
+:func:`build_static_world` gives every application its own binary:
+toolkit + app code linked together, so nothing is shared between
+*different* applications.  :func:`build_runapp_world` gives every
+application the same resident base image (the toolkit) plus a small
+dynamically loaded module.  :func:`compare` runs both under identical
+memory pressure and reports the paper's five bullets side by side.
+
+Code-size constants are scaled from the reproduction's own line counts
+(the toolkit dwarfs any single application), which is the relationship
+that makes the §7 arithmetic work; absolute values are illustrative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .filestore import DistributedFileStore
+from .paging import PhysicalMemory, Segment
+from .process import SimProcess, run_workload
+
+__all__ = [
+    "TOOLKIT_KB",
+    "APP_CODE_KB",
+    "RUNAPP_STUB_KB",
+    "build_static_world",
+    "build_runapp_world",
+    "compare",
+    "World",
+]
+
+#: Size of the toolkit library (class system + graphics + wm + core +
+#: component set) linked into every static binary.
+TOOLKIT_KB = 640
+
+#: Application-specific code sizes.
+APP_CODE_KB: Dict[str, int] = {
+    "ez": 96,
+    "messages": 128,
+    "help": 64,
+    "typescript": 48,
+    "console": 40,
+    "preview": 56,
+}
+
+#: The runapp launcher itself (tiny: a loader and a main()).
+RUNAPP_STUB_KB = 16
+
+
+class World:
+    """One configuration under test: processes + the files they run from."""
+
+    def __init__(self, name: str, processes: List[SimProcess],
+                 store: DistributedFileStore, binaries: Dict[str, int]):
+        self.name = name
+        self.processes = processes
+        self.store = store
+        self.binaries = binaries  # app name -> file size the user installs
+
+    def launch_all(self) -> float:
+        """Fetch every process's binary image; returns total fetch ms."""
+        total = 0.0
+        for process in self.processes:
+            for segment in process.text_segments:
+                file_name = segment.name
+                if self.store.exists(file_name):
+                    total += self.store.fetch(file_name)
+        return total
+
+
+def _app_list(apps: List[str]) -> List[str]:
+    unknown = [a for a in apps if a not in APP_CODE_KB]
+    if unknown:
+        raise ValueError(f"unknown applications: {unknown}")
+    return apps
+
+
+def build_static_world(apps: List[str]) -> World:
+    """Every app is its own binary: toolkit + app code, nothing shared
+    across different applications."""
+    _app_list(apps)
+    store = DistributedFileStore()
+    processes: List[SimProcess] = []
+    binaries: Dict[str, int] = {}
+    for app in sorted(set(apps)):
+        size = TOOLKIT_KB + APP_CODE_KB[app]
+        store.publish(f"bin/{app}", size)
+        binaries[app] = size
+    for index, app in enumerate(apps):
+        text = Segment(f"bin/{app}", TOOLKIT_KB + APP_CODE_KB[app])
+        processes.append(
+            SimProcess(f"static:{app}:{index}", [text], seed=100 + index)
+        )
+    return World("static", processes, store, binaries)
+
+
+def build_runapp_world(apps: List[str]) -> World:
+    """One shared base image; apps are small dynamically loaded files."""
+    _app_list(apps)
+    store = DistributedFileStore()
+    store.publish("bin/runapp", RUNAPP_STUB_KB + TOOLKIT_KB)
+    binaries: Dict[str, int] = {}
+    for app in sorted(set(apps)):
+        store.publish(f"lib/{app}.do", APP_CODE_KB[app])
+        binaries[app] = APP_CODE_KB[app]
+    base = Segment("bin/runapp", RUNAPP_STUB_KB + TOOLKIT_KB)
+    processes: List[SimProcess] = []
+    for index, app in enumerate(apps):
+        module = Segment(f"lib/{app}.do", APP_CODE_KB[app])
+        processes.append(
+            SimProcess(f"runapp:{app}:{index}", [base, module],
+                       seed=100 + index)
+        )
+    return World("runapp", processes, store, binaries)
+
+
+def simulate_world(world: World, memory_kb: int, steps: int) -> Dict[str, float]:
+    """Launch + run one world; returns its §7 metric bundle."""
+    fetch_ms = world.launch_all()
+    memory = PhysicalMemory(memory_kb)
+    metrics = run_workload(world.processes, memory, steps)
+    metrics["fetch_ms"] = fetch_ms
+    metrics["fetch_kb"] = float(world.store.bytes_fetched_kb)
+    metrics["mean_binary_kb"] = (
+        sum(world.binaries.values()) / len(world.binaries)
+        if world.binaries else 0.0
+    )
+    return metrics
+
+
+def compare(apps: List[str], memory_kb: int = 512,
+            steps: int = 400) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Run the §7 comparison; returns (static_metrics, runapp_metrics).
+
+    The five bullets map onto the result keys as: faults (1),
+    key_residency (2), virtual_kb (3), fetch_ms/fetch_kb (4),
+    mean_binary_kb (5).
+    """
+    static = simulate_world(build_static_world(apps), memory_kb, steps)
+    runapp = simulate_world(build_runapp_world(apps), memory_kb, steps)
+    return static, runapp

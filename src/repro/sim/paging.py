@@ -1,0 +1,131 @@
+"""A paging simulator (substrate for the section-7 runapp experiment).
+
+The paper claims runapp — one resident base program whose applications
+are dynamically loaded — beats statically linked binaries on paging
+activity, residency of key pages, virtual memory use, file fetch time
+and binary size.  Those claims are arithmetic about *page sharing*, and
+this module provides the machinery to measure them: pages, segments, a
+global fixed-size physical memory with LRU replacement, and fault/hit
+accounting.
+
+Pages are identified by ``(segment_name, page_number)``.  Crucially,
+text (code) segments are identified by *content*, so two processes
+executing the same binary image share its pages — exactly the sharing
+UNIX gave same-binary processes, which runapp exploits by making every
+application the same binary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Tuple
+
+__all__ = ["PAGE_SIZE_KB", "Segment", "PhysicalMemory", "Lcg"]
+
+PAGE_SIZE_KB = 4
+
+PageId = Tuple[str, int]
+
+
+class Lcg:
+    """A tiny deterministic linear congruential generator.
+
+    The simulator must be reproducible run-to-run (benches compare
+    configurations), so it carries its own generator rather than using
+    global randomness.
+    """
+
+    def __init__(self, seed: int = 12345) -> None:
+        self.state = seed & 0x7FFFFFFF
+
+    def next(self) -> int:
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform-ish integer in [lo, hi]."""
+        if hi <= lo:
+            return lo
+        return lo + self.next() % (hi - lo + 1)
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        return self.next() % denominator < numerator
+
+
+class Segment:
+    """A contiguous region of pages: a binary's text, or a data area.
+
+    ``name`` is the sharing key: segments with equal names alias the
+    same pages in physical memory.  ``hot_fraction`` marks the pages a
+    running program touches constantly (the "key portions of the code"
+    of §7's second bullet).
+    """
+
+    def __init__(self, name: str, size_kb: int,
+                 hot_fraction: float = 0.25) -> None:
+        if size_kb <= 0:
+            raise ValueError(f"segment {name!r} must have positive size")
+        self.name = name
+        self.size_kb = size_kb
+        self.page_count = max(1, (size_kb + PAGE_SIZE_KB - 1) // PAGE_SIZE_KB)
+        self.hot_pages = max(1, int(self.page_count * hot_fraction))
+
+    def pages(self) -> Iterator[PageId]:
+        for number in range(self.page_count):
+            yield (self.name, number)
+
+    def hot_page_ids(self) -> List[PageId]:
+        return [(self.name, n) for n in range(self.hot_pages)]
+
+    def __repr__(self) -> str:
+        return f"Segment({self.name!r}, {self.size_kb}KB, {self.page_count}p)"
+
+
+class PhysicalMemory:
+    """A fixed number of physical frames with global LRU replacement."""
+
+    def __init__(self, size_kb: int) -> None:
+        self.frame_count = max(1, size_kb // PAGE_SIZE_KB)
+        self._resident: "OrderedDict[PageId, bool]" = OrderedDict()
+        self.faults = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def touch(self, page: PageId) -> bool:
+        """Reference ``page``; returns True on a page fault."""
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            self.hits += 1
+            return False
+        self.faults += 1
+        if len(self._resident) >= self.frame_count:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        self._resident[page] = True
+        return True
+
+    def is_resident(self, page: PageId) -> bool:
+        return page in self._resident
+
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def resident_fraction(self, pages: List[PageId]) -> float:
+        """What fraction of ``pages`` is currently resident."""
+        if not pages:
+            return 1.0
+        resident = sum(1 for p in pages if p in self._resident)
+        return resident / len(pages)
+
+    @property
+    def references(self) -> int:
+        return self.hits + self.faults
+
+    def fault_rate(self) -> float:
+        return self.faults / self.references if self.references else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalMemory({self.frame_count} frames, "
+            f"{self.faults} faults / {self.references} refs)"
+        )

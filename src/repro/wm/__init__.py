@@ -1,0 +1,71 @@
+"""Window systems (paper section 8).
+
+Two complete backends — :class:`~repro.wm.ascii_ws.AsciiWindowSystem`
+(cell grid, standing in for the original Andrew window system) and
+:class:`~repro.wm.raster_ws.RasterWindowSystem` (pixel framebuffer,
+standing in for X.11) — behind the six-class porting interface of
+:mod:`repro.wm.base`, selected at run time by the ``ANDREW_WM``
+environment variable via :mod:`repro.wm.switch`.
+"""
+
+from .base import (
+    BackendWindow,
+    Cursor,
+    OffscreenWindow,
+    PORTING_CLASSES,
+    WindowSystem,
+    porting_surface,
+)
+from .events import (
+    Event,
+    FocusEvent,
+    KeyEvent,
+    MenuEvent,
+    MouseAction,
+    MouseButton,
+    MouseEvent,
+    ResizeEvent,
+    TimerEvent,
+    UpdateEvent,
+)
+from .ascii_ws import AsciiGraphic, AsciiWindow, AsciiWindowSystem, CellSurface
+from .raster_ws import RasterGraphic, RasterWindow, RasterWindowSystem
+from .printer import PrinterGraphic, PrinterJob
+from .switch import (
+    WM_ENV_VAR,
+    available_window_systems,
+    get_window_system,
+    register_window_system,
+)
+
+__all__ = [
+    "WindowSystem",
+    "BackendWindow",
+    "OffscreenWindow",
+    "Cursor",
+    "PORTING_CLASSES",
+    "porting_surface",
+    "Event",
+    "MouseEvent",
+    "MouseAction",
+    "MouseButton",
+    "KeyEvent",
+    "MenuEvent",
+    "UpdateEvent",
+    "ResizeEvent",
+    "FocusEvent",
+    "TimerEvent",
+    "AsciiWindowSystem",
+    "AsciiWindow",
+    "AsciiGraphic",
+    "CellSurface",
+    "RasterWindowSystem",
+    "RasterWindow",
+    "RasterGraphic",
+    "PrinterJob",
+    "PrinterGraphic",
+    "WM_ENV_VAR",
+    "get_window_system",
+    "register_window_system",
+    "available_window_systems",
+]

@@ -1,0 +1,218 @@
+"""The ascii window system: a cell-grid backend.
+
+Plays the role of the original ITC/Andrew window system in this
+reproduction: a complete, self-contained display that renders windows
+into character-cell grids.  Device units are cells; every font is one
+cell high and one cell wide (a fixed-cell device, like a terminal).
+
+Because the output is plain text, application snapshots — the paper's
+Figures 2-5 — come out as printable screens, which is exactly what the
+snapshot benches and examples show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphics.fontdesc import FontDesc, FontMetrics
+from ..graphics.geometry import Point, Rect
+from ..graphics.graphic import Graphic
+from ..graphics.image import Bitmap
+from .base import BackendWindow, OffscreenWindow, WindowSystem
+
+__all__ = ["CellSurface", "AsciiGraphic", "AsciiWindow", "AsciiWindowSystem"]
+
+_H = "-"
+_V = "|"
+_X = "+"
+_INK = "#"
+
+
+class CellSurface:
+    """A mutable grid of character cells with inverse/bold attributes."""
+
+    __slots__ = ("width", "height", "_chars", "_inverse", "_bold")
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = int(width)
+        self.height = int(height)
+        size = self.width * self.height
+        self._chars = [" "] * size
+        self._inverse = bytearray(size)
+        self._bold = bytearray(size)
+
+    def _index(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def put(self, x: int, y: int, char: str, inverse: int = -1, bold: int = -1):
+        """Write one cell; ``-1`` leaves an attribute unchanged."""
+        if not self.in_bounds(x, y):
+            return
+        i = self._index(x, y)
+        self._chars[i] = char
+        if inverse >= 0:
+            self._inverse[i] = 1 if inverse else 0
+        if bold >= 0:
+            self._bold[i] = 1 if bold else 0
+
+    def char_at(self, x: int, y: int) -> str:
+        if not self.in_bounds(x, y):
+            return " "
+        return self._chars[self._index(x, y)]
+
+    def inverse_at(self, x: int, y: int) -> bool:
+        return self.in_bounds(x, y) and bool(self._inverse[self._index(x, y)])
+
+    def bold_at(self, x: int, y: int) -> bool:
+        return self.in_bounds(x, y) and bool(self._bold[self._index(x, y)])
+
+    def toggle_inverse(self, x: int, y: int) -> None:
+        if self.in_bounds(x, y):
+            self._inverse[self._index(x, y)] ^= 1
+
+    def lines(self) -> List[str]:
+        """Render the grid; inverse blanks print as ``%`` so selections
+        and filled regions stay visible in pure-text snapshots."""
+        out = []
+        for y in range(self.height):
+            row = []
+            for x in range(self.width):
+                i = self._index(x, y)
+                char = self._chars[i]
+                if self._inverse[i] and char == " ":
+                    char = "%"
+                row.append(char)
+            out.append("".join(row))
+        return out
+
+
+class AsciiGraphic(Graphic):
+    """Drawable over a :class:`CellSurface`."""
+
+    def __init__(self, surface: CellSurface, origin: Point = Point(0, 0),
+                 clip: Rect = None):
+        self._surface = surface
+        super().__init__(origin, clip)
+
+    # -- device primitives ---------------------------------------------
+
+    def device_size(self) -> Tuple[int, int]:
+        return (self._surface.width, self._surface.height)
+
+    def device_fill_rect(self, rect: Rect, value: int) -> None:
+        surface = self._surface
+        for y in range(rect.top, rect.bottom):
+            for x in range(rect.left, rect.right):
+                if value < 0:
+                    surface.toggle_inverse(x, y)
+                elif value:
+                    surface.put(x, y, _INK, inverse=0)
+                else:
+                    surface.put(x, y, " ", inverse=0, bold=0)
+
+    def device_set_pixel(self, x: int, y: int, value: int) -> None:
+        if value < 0:
+            self._surface.toggle_inverse(x, y)
+        else:
+            self._surface.put(x, y, _INK if value else " ", inverse=0)
+
+    def device_hline(self, x0: int, x1: int, y: int, value: int) -> None:
+        if value < 0 or not value:
+            Graphic.device_hline(self, x0, x1, y, value)
+            return
+        for x in range(x0, x1 + 1):
+            # Crossing a vertical rule makes a corner/junction glyph.
+            current = self._surface.char_at(x, y)
+            char = _X if current in (_V, _X) else _H
+            self._surface.put(x, y, char, inverse=0)
+
+    def device_vline(self, x: int, y0: int, y1: int, value: int) -> None:
+        if value < 0 or not value:
+            Graphic.device_vline(self, x, y0, y1, value)
+            return
+        for y in range(y0, y1 + 1):
+            current = self._surface.char_at(x, y)
+            char = _X if current in (_H, _X) else _V
+            self._surface.put(x, y, char, inverse=0)
+
+    def device_draw_text(self, x: int, y: int, text: str, font: FontDesc) -> None:
+        bold = 1 if font.bold else 0
+        col = x
+        for char in text:
+            if char == "\t":
+                for _ in range(4):
+                    self._surface.put(col, y, " ", inverse=0, bold=bold)
+                    col += 1
+                continue
+            self._surface.put(col, y, char, inverse=0, bold=bold)
+            col += 1
+
+    def device_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
+        for by in range(bitmap.height):
+            for bx in range(bitmap.width):
+                if bitmap.get(bx, by):
+                    self._surface.put(x + bx, y + by, _INK, inverse=0)
+
+    def font_metrics(self, desc: FontDesc) -> FontMetrics:
+        # A cell device: every font is exactly one cell.
+        return FontMetrics(desc, char_width=1, ascent=1, descent=0)
+
+
+class AsciiOffscreen(OffscreenWindow):
+    """Off-screen cell surface for the ascii backend."""
+
+    def __init__(self, width: int, height: int) -> None:
+        super().__init__(width, height)
+        self.surface = CellSurface(width, height)
+
+    def graphic(self) -> AsciiGraphic:
+        return AsciiGraphic(self.surface)
+
+    def copy_to(self, target: Graphic, x: int, y: int) -> None:
+        for row, line in enumerate(self.surface.lines()):
+            stripped = line.rstrip()
+            if stripped:
+                target.draw_string(x, y + row, line)
+
+
+class AsciiWindow(BackendWindow):
+    """A top-level window rendered as a character grid."""
+
+    def __init__(self, title: str, width: int, height: int) -> None:
+        super().__init__(title, width, height)
+        self.surface = CellSurface(width, height)
+
+    def graphic(self) -> AsciiGraphic:
+        return AsciiGraphic(self.surface)
+
+    def _resize_surface(self, width: int, height: int) -> None:
+        self.surface = CellSurface(width, height)
+
+    def snapshot_lines(self) -> List[str]:
+        return self.surface.lines()
+
+    def snapshot(self) -> str:
+        """The whole window as one newline-joined string."""
+        return "\n".join(self.snapshot_lines())
+
+
+class AsciiWindowSystem(WindowSystem):
+    """The cell-grid window system (stands in for the ITC Andrew WS)."""
+
+    atk_name = "asciiws"
+    name = "ascii"
+
+    def _make_window(self, title: str, width: int, height: int) -> AsciiWindow:
+        return AsciiWindow(title, width, height)
+
+    def create_offscreen(self, width: int, height: int) -> AsciiOffscreen:
+        return AsciiOffscreen(width, height)
+
+    def font_metrics(self, desc: FontDesc) -> FontMetrics:
+        return FontMetrics(desc, char_width=1, ascent=1, descent=0)
+
+    def stats(self) -> Dict[str, int]:
+        return {"windows": len(self.windows)}

@@ -1,0 +1,200 @@
+"""Input events delivered by window systems (paper sections 3, 8).
+
+The interaction manager "has the responsibility of translating input
+events such as key strokes, mouse events, menu events and exposure
+events from the window system to the rest of the view tree".  These
+classes are that translation's common currency: every backend produces
+them, and the view tree consumes them without knowing which window
+system is underneath.
+
+Mouse coordinates are in the *window's* coordinate space; as an event
+descends the view tree each parent re-expresses it in the child's space
+(see ``repro.core.view``), so a view always sees coordinates local to
+itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from ..graphics.geometry import Point, Rect
+
+__all__ = [
+    "Event",
+    "MouseAction",
+    "MouseButton",
+    "MouseEvent",
+    "KeyEvent",
+    "MenuEvent",
+    "UpdateEvent",
+    "ResizeEvent",
+    "FocusEvent",
+    "TimerEvent",
+]
+
+_event_serial = itertools.count(1)
+
+
+class Event:
+    """Base class for all events; carries a delivery serial."""
+
+    __slots__ = ("serial",)
+
+    def __init__(self) -> None:
+        self.serial = next(_event_serial)
+
+
+class MouseAction(enum.Enum):
+    DOWN = "down"
+    UP = "up"
+    MOVE = "move"
+    DRAG = "drag"          # move with a button held
+
+
+class MouseButton(enum.Enum):
+    LEFT = "left"
+    RIGHT = "right"
+    NONE = "none"          # for pure motion
+
+
+class MouseEvent(Event):
+    """A mouse transition at ``point`` (current coordinate space)."""
+
+    __slots__ = ("action", "button", "point", "clicks")
+
+    def __init__(
+        self,
+        action: MouseAction,
+        point: Point,
+        button: MouseButton = MouseButton.LEFT,
+        clicks: int = 1,
+    ) -> None:
+        super().__init__()
+        self.action = action
+        self.button = button
+        self.point = point
+        self.clicks = clicks
+
+    def offset(self, dx: int, dy: int) -> "MouseEvent":
+        """Re-express this event in a coordinate space shifted by (dx, dy).
+
+        Used by parents when passing the event down to a child whose
+        origin is at ``(-dx, -dy)`` in the parent's space.  The serial is
+        preserved so the whole descent is recognizably one user action.
+        """
+        clone = MouseEvent(self.action, self.point.offset(dx, dy), self.button, self.clicks)
+        clone.serial = self.serial
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"MouseEvent({self.action.value}, {tuple(self.point)}, "
+            f"{self.button.value}, clicks={self.clicks})"
+        )
+
+
+class KeyEvent(Event):
+    """One keystroke.
+
+    ``char`` is the printable character or a symbolic name for control
+    keys (``"Return"``, ``"Tab"``, ``"Backspace"``, ``"Up"`` ...);
+    ``ctrl``/``meta`` carry modifier state, matching the keyboard-symbol
+    mapping the view tree negotiates (§3).
+    """
+
+    __slots__ = ("char", "ctrl", "meta")
+
+    def __init__(self, char: str, ctrl: bool = False, meta: bool = False) -> None:
+        super().__init__()
+        self.char = char
+        self.ctrl = ctrl
+        self.meta = meta
+
+    @property
+    def is_printable(self) -> bool:
+        return len(self.char) == 1 and not self.ctrl and not self.meta and (
+            self.char.isprintable()
+        )
+
+    def keysym(self) -> str:
+        """Canonical name: ``C-x``, ``M-q``, ``Return`` or the char."""
+        name = self.char
+        if self.meta:
+            name = f"M-{name}"
+        if self.ctrl:
+            name = f"C-{name}"
+        return name
+
+    def __repr__(self) -> str:
+        return f"KeyEvent({self.keysym()!r})"
+
+
+class MenuEvent(Event):
+    """A menu item was chosen: card name + item label."""
+
+    __slots__ = ("card", "item")
+
+    def __init__(self, card: str, item: str) -> None:
+        super().__init__()
+        self.card = card
+        self.item = item
+
+    def __repr__(self) -> str:
+        return f"MenuEvent({self.card!r}, {self.item!r})"
+
+
+class UpdateEvent(Event):
+    """An exposure/update event carrying the damaged rectangle.
+
+    ``full`` distinguishes a total redraw (window newly mapped or
+    resized) from partial damage repair.
+    """
+
+    __slots__ = ("area", "full")
+
+    def __init__(self, area: Rect, full: bool = False) -> None:
+        super().__init__()
+        self.area = area
+        self.full = full
+
+    def __repr__(self) -> str:
+        return f"UpdateEvent({tuple(self.area)}, full={self.full})"
+
+
+class ResizeEvent(Event):
+    __slots__ = ("width", "height")
+
+    def __init__(self, width: int, height: int) -> None:
+        super().__init__()
+        self.width = width
+        self.height = height
+
+    def __repr__(self) -> str:
+        return f"ResizeEvent({self.width}x{self.height})"
+
+
+class FocusEvent(Event):
+    __slots__ = ("gained",)
+
+    def __init__(self, gained: bool) -> None:
+        super().__init__()
+        self.gained = gained
+
+    def __repr__(self) -> str:
+        return f"FocusEvent(gained={self.gained})"
+
+
+class TimerEvent(Event):
+    """A timer tick, used by the animation component and the console."""
+
+    __slots__ = ("tick", "payload")
+
+    def __init__(self, tick: int, payload: Optional[object] = None) -> None:
+        super().__init__()
+        self.tick = tick
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"TimerEvent(tick={self.tick})"

@@ -1,0 +1,77 @@
+"""Printing as a drawable swap (paper section 4, experiment E11).
+
+"When a view receives a print request for a specific type of printer it
+can temporarily shift its pointer to a drawable for that printer type
+and do a redraw of its image."
+
+:class:`PrinterJob` realizes that design: it manufactures a
+:class:`PrinterGraphic` — a perfectly ordinary drawable whose device is
+a print page rather than a window — and
+``repro.core.view.View.print_to`` points the view at it and redraws.
+The device model is a line printer (a cell grid), so output pages are
+plain text with a banner, which is also how the reproduction's "ditroff
+previewer" renders.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphics.geometry import Rect
+from .ascii_ws import AsciiGraphic, CellSurface
+
+__all__ = ["PrinterGraphic", "PrinterJob", "PAGE_WIDTH", "PAGE_HEIGHT"]
+
+PAGE_WIDTH = 80
+PAGE_HEIGHT = 60
+
+
+class PrinterGraphic(AsciiGraphic):
+    """A drawable whose device is one print page.
+
+    Identical drawing semantics to the ascii window drawable — that is
+    the entire point: the view cannot tell it is printing.
+    """
+
+    def __init__(self, page: CellSurface) -> None:
+        super().__init__(page)
+
+
+class PrinterJob:
+    """Collects printed pages for one document."""
+
+    def __init__(self, title: str = "untitled",
+                 page_width: int = PAGE_WIDTH, page_height: int = PAGE_HEIGHT):
+        self.title = title
+        self.page_width = page_width
+        self.page_height = page_height
+        self._pages: List[CellSurface] = []
+
+    def new_page(self) -> PrinterGraphic:
+        """Start a fresh page and return its drawable."""
+        page = CellSurface(self.page_width, self.page_height)
+        self._pages.append(page)
+        return PrinterGraphic(page)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def page_bounds(self) -> Rect:
+        return Rect(0, 0, self.page_width, self.page_height)
+
+    def page_lines(self, index: int) -> List[str]:
+        """The raw cell grid of page ``index`` (0-based)."""
+        return self._pages[index].lines()
+
+    def render(self) -> str:
+        """The whole job as text: banner, pages, form feeds between."""
+        chunks = []
+        for number, page in enumerate(self._pages, start=1):
+            header = f"{self.title}  --  page {number} of {len(self._pages)}"
+            body = "\n".join(line.rstrip() for line in page.lines())
+            chunks.append(header + "\n" + "=" * len(header) + "\n" + body)
+        return "\n\f\n".join(chunks) + ("\n" if chunks else "")
+
+    def __repr__(self) -> str:
+        return f"PrinterJob({self.title!r}, pages={self.page_count})"

@@ -1,0 +1,29 @@
+"""Workload generators: figure documents and synthetic user sessions."""
+
+from .documents import (
+    big_cat_raster,
+    build_expense_letter,
+    build_fig3_message_body,
+    build_fig4_message_body,
+    build_fig5_document,
+)
+from .sessions import (
+    EditAction,
+    TASK_MIX,
+    generate_session,
+    replay_on_textview,
+    score_editor_capabilities,
+)
+
+__all__ = [
+    "build_fig5_document",
+    "build_expense_letter",
+    "build_fig3_message_body",
+    "build_fig4_message_body",
+    "big_cat_raster",
+    "EditAction",
+    "TASK_MIX",
+    "generate_session",
+    "replay_on_textview",
+    "score_editor_capabilities",
+]

@@ -1,0 +1,164 @@
+"""Document builders for the paper's figures.
+
+Programmatic constructions of the compound documents the paper's
+snapshots show, used by examples, snapshot benches and integration
+tests.  The centerpiece is :func:`build_fig5_document` — "an example
+text component that contains a table.  The table contains a number of
+other components including another text component, an equation and an
+animation.  It also shows off the spreadsheet capabilities of the
+table."
+"""
+
+from __future__ import annotations
+
+from ..components.animation import AnimationData, pascal_triangle_frames
+from ..components.drawing import DrawingData, EllipseShape, LineShape
+from ..components.equation import EquationData
+from ..components.raster import RasterData
+from ..components.table import TableData
+from ..components.text import TextData
+from ..graphics.geometry import Rect
+
+__all__ = [
+    "build_fig5_document",
+    "build_fig3_message_body",
+    "build_fig4_message_body",
+    "build_expense_letter",
+    "big_cat_raster",
+]
+
+
+def build_fig5_document() -> TextData:
+    """The Figure-5 EZ document: text ⊃ table ⊃ {text, equation,
+    animation, spreadsheet}."""
+    doc = TextData(
+        "This is an example text component that contains a table. "
+        "The table contains a number of\n"
+        "other components including another text component, an equation "
+        "and an animation. It also\n"
+        "shows off the spreadsheet capabilities of the table.\n\n"
+        "Pascal's Triangle\n\n"
+    )
+    heading = doc.search("Pascal's Triangle")
+    doc.add_style(heading, heading + len("Pascal's Triangle"), "heading")
+
+    table = TableData(3, 2)
+
+    inner_text = TextData(
+        "This table contains several descriptions of Pascal's Triangle. "
+        "It contains a set of equations which defines the values of the "
+        "triangle. It also contains an animation showing the building of "
+        "the triangle. Finally there is an implementation of Pascal's "
+        "Triangle using the spreadsheet facilities of the table object.\n"
+        "In order to run the animation, click into the cell and choose "
+        "the animate item from the menus.\n"
+    )
+    table.embed_object(0, 0, inner_text, "textview")
+
+    equations = EquationData(
+        "v_{0,0} = v_{i,0} = 0",
+        "v_{1,1} = 1",
+        "v_{i,j} = v_{i-1,j} + v_{i,j-1}",
+    )
+    table.embed_object(0, 1, equations, "equationview")
+
+    animation = AnimationData(pascal_triangle_frames(5), period=1)
+    table.embed_object(1, 1, animation, "animationview")
+
+    # The spreadsheet Pascal's triangle: column A is the edge of ones,
+    # every other cell sums its neighbours above and to the left.
+    spreadsheet = TableData(5, 5)
+    for row in range(5):
+        spreadsheet.set_cell(row, 0, 1)
+    for row in range(1, 5):
+        for col in range(1, row + 1):
+            from ..components.table.formula import ref_name
+
+            above = ref_name(row - 1, col - 1)
+            left = ref_name(row - 1, col)
+            spreadsheet.set_cell(row, col, f"={above}+{left}")
+    table.embed_object(2, 1, spreadsheet, "tableview")
+
+    doc.append_object(table, "spread")
+    doc.append("\nThe End\n")
+    return doc
+
+
+def build_expense_letter() -> TextData:
+    """The Figure-1 letter: text with an embedded expense table."""
+    doc = TextData("February 11, 1988\n\nDear David,\n"
+                   "Enclosed is a list of our expenses ...\n\n")
+    doc.add_style(0, len("February 11, 1988"), "bold")
+    table = TableData(4, 2)
+    for row, (item, amount) in enumerate(
+        [("Rent", 450), ("Food", 220), ("Travel", 130)]
+    ):
+        table.set_cell(row, 0, item)
+        table.set_cell(row, 1, amount)
+    table.set_cell(3, 0, "Total")
+    table.set_cell(3, 1, "=SUM(B1:B3)")
+    doc.append_object(table, "spread")
+    doc.append("\nHope you have a nice ...\n")
+    return doc
+
+
+def build_fig3_message_body() -> TextData:
+    """The Figure-3 message: text explaining the mail system, with an
+    embedded hierarchical drawing."""
+    body = TextData(
+        "The Andrew message system is, not surprisingly, internally "
+        "complicated. The\n"
+        "drawing below depicts these complications hierarchically. "
+        "At the top\n"
+        "level, it simply shows the five major types of components of "
+        "the system,\n"
+        "which run on five different categories of machines.\n\n"
+    )
+    drawing = DrawingData(60, 12)
+    drawing.add_text(Rect(18, 0, 26, 1), TextData("Internetwork connections"))
+    drawing.add_shape(EllipseShape(Rect(20, 1, 22, 3)))
+    # Each machine category is a grouped cluster (the message was drawn
+    # with "the zip hierarchical drawing editor", per the caption).
+    for x in (8, 24, 40):
+        link = drawing.add_shape(LineShape(30, 4, x + 6, 7))
+        bubble = drawing.add_shape(EllipseShape(Rect(x, 7, 13, 3)))
+        drawing.group_shapes([link, bubble])
+    drawing.add_text(Rect(4, 11, 50, 1),
+                     TextData("Delivery System   (queue-try-switch mail)"))
+    body.append_object(drawing, "drawingview")
+    body.append("\n")
+    return body
+
+
+def big_cat_raster(width: int = 24, height: int = 10) -> RasterData:
+    """A stand-in for Figure 4's scanned cat picture: a generated
+    raster with enough structure to survive scaling tests."""
+    raster = RasterData(width, height)
+    for x in range(width):
+        raster.bitmap.set(x, 0, 1)
+        raster.bitmap.set(x, height - 1, 1)
+    for y in range(height):
+        raster.bitmap.set(0, y, 1)
+        raster.bitmap.set(width - 1, y, 1)
+    # Ears, eyes, whiskers — schematic cat.
+    for x, y in [(4, 2), (5, 1), (6, 2), (17, 2), (18, 1), (19, 2),
+                 (7, 4), (16, 4), (11, 6), (12, 6)]:
+        if x < width and y < height:
+            raster.bitmap.set(x, y, 1)
+    for x in range(3, min(9, width)):
+        raster.bitmap.set(x, 7, 1)
+    for x in range(max(0, width - 9), width - 3):
+        raster.bitmap.set(x, 7, 1)
+    raster.changed("pixels")
+    return raster
+
+
+def build_fig4_message_body() -> TextData:
+    """The Figure-4 composition body: text plus an embedded raster."""
+    body = TextData(
+        "Knowing your fondness for big cats, here's a picture I "
+        "recently found.\n\n"
+    )
+    body.append_object(big_cat_raster(), "rasterview")
+    body.append("\n")
+    return body

@@ -1,0 +1,144 @@
+"""Synthetic editing sessions (experiments E3 and E12).
+
+Generates deterministic user-input streams — typing, cursor motion,
+selections, style application, component insertion — and replays them
+against an editor, standing in for the §9 campus user population.  The
+E12 adoption comparison replays the same task list against EZ and
+against a plain-text-only editor model and scores what each can
+accomplish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.paging import Lcg
+
+__all__ = [
+    "EditAction",
+    "generate_session",
+    "replay_on_textview",
+    "TASK_MIX",
+    "score_editor_capabilities",
+]
+
+# One campus task mix: what fraction of edit actions are of each kind.
+TASK_MIX: List[Tuple[str, int]] = [
+    ("type", 55),          # plain typing
+    ("move", 20),          # cursor motion
+    ("delete", 10),        # corrections
+    ("style", 6),          # make something bold/italic/centered
+    ("embed", 5),          # insert a table/drawing/equation/raster
+    ("newline", 4),
+]
+
+_WORDS = (
+    "the toolkit provides a general framework for building and combining "
+    "components across a diverse set of machines and window systems"
+).split()
+
+_STYLES = ("bold", "italic", "center", "bigger")
+_COMPONENTS = ("table", "drawing", "equation", "raster", "animation")
+
+
+class EditAction:
+    """One synthetic user action."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload: Optional[str] = None) -> None:
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"EditAction({self.kind!r}, {self.payload!r})"
+
+
+def generate_session(length: int, seed: int = 42) -> List[EditAction]:
+    """A deterministic action stream of ``length`` actions."""
+    rng = Lcg(seed)
+    total = sum(weight for _, weight in TASK_MIX)
+    actions: List[EditAction] = []
+    for _ in range(length):
+        pick = rng.randint(0, total - 1)
+        kind = TASK_MIX[-1][0]
+        for candidate, weight in TASK_MIX:
+            if pick < weight:
+                kind = candidate
+                break
+            pick -= weight
+        if kind == "type":
+            word = _WORDS[rng.randint(0, len(_WORDS) - 1)]
+            actions.append(EditAction("type", word + " "))
+        elif kind == "move":
+            actions.append(
+                EditAction("move", ("Left", "Right", "Up", "Down")[
+                    rng.randint(0, 3)])
+            )
+        elif kind == "delete":
+            actions.append(EditAction("delete"))
+        elif kind == "style":
+            actions.append(
+                EditAction("style", _STYLES[rng.randint(0, len(_STYLES) - 1)])
+            )
+        elif kind == "embed":
+            actions.append(
+                EditAction(
+                    "embed",
+                    _COMPONENTS[rng.randint(0, len(_COMPONENTS) - 1)],
+                )
+            )
+        else:
+            actions.append(EditAction("newline"))
+    return actions
+
+
+def replay_on_textview(textview, actions: List[EditAction],
+                       allow_styles: bool = True,
+                       allow_embeds: bool = True) -> Dict[str, int]:
+    """Replay a session against a live text view.
+
+    ``allow_styles``/``allow_embeds`` model a plain-text editor's
+    limitations: disallowed actions are counted as ``unsupported`` and
+    skipped — the user would have had to leave the editor to do them.
+    """
+    from ..class_system.dynamic import load_class
+
+    counts: Dict[str, int] = {
+        "performed": 0, "unsupported": 0, "chars": 0, "embeds": 0
+    }
+    for action in actions:
+        if action.kind == "type":
+            textview.insert_text(action.payload)
+            counts["chars"] += len(action.payload)
+        elif action.kind == "newline":
+            textview.insert_text("\n")
+            counts["chars"] += 1
+        elif action.kind == "move":
+            delta = -1 if action.payload in ("Left", "Up") else 1
+            textview.set_dot(textview.dot + delta)
+        elif action.kind == "delete":
+            if textview.dot > 0:
+                textview.data.delete(textview.dot - 1, 1)
+        elif action.kind == "style":
+            if not allow_styles:
+                counts["unsupported"] += 1
+                continue
+            start = max(0, textview.dot - 6)
+            if textview.dot > start:
+                textview.data.add_style(start, textview.dot, action.payload)
+        elif action.kind == "embed":
+            if not allow_embeds:
+                counts["unsupported"] += 1
+                continue
+            cls = load_class(action.payload)
+            textview.insert_object(cls())
+            counts["embeds"] += 1
+        counts["performed"] += 1
+    return counts
+
+
+def score_editor_capabilities(counts: Dict[str, int]) -> float:
+    """Fraction of the user's intended work the editor could do."""
+    total = counts["performed"] + counts["unsupported"]
+    return counts["performed"] / total if total else 1.0

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PLUGIN_DIR = os.path.join(ROOT, "plugins")
+
+# Keep the environment deterministic regardless of the caller's shell.
+os.environ.setdefault("ANDREW_WM", "ascii")
+
+
+@pytest.fixture
+def ascii_ws():
+    """A fresh ascii window system."""
+    from repro.wm import AsciiWindowSystem
+
+    return AsciiWindowSystem()
+
+
+@pytest.fixture
+def raster_ws():
+    """A fresh raster window system."""
+    from repro.wm import RasterWindowSystem
+
+    return RasterWindowSystem()
+
+
+@pytest.fixture
+def make_im(ascii_ws):
+    """Factory for interaction managers on the ascii backend."""
+    from repro.core import InteractionManager
+
+    def build(width=60, height=18, title="test"):
+        return InteractionManager(ascii_ws, title=title,
+                                  width=width, height=height)
+
+    return build
+
+
+@pytest.fixture
+def plugin_loader():
+    """A class loader whose path includes the repository's plugins/."""
+    from repro.class_system import ClassLoader
+
+    return ClassLoader(path=[PLUGIN_DIR])
+
+
+@pytest.fixture
+def default_loader_with_plugins():
+    """The process-wide loader, with plugins/ appended for this test."""
+    from repro.class_system import default_loader
+
+    loader = default_loader()
+    loader.append_path(PLUGIN_DIR)
+    yield loader
+    loader.remove_path(PLUGIN_DIR)

@@ -1,0 +1,157 @@
+"""Tests for the later-added application conveniences: folder modes,
+text search, typescript history recall, EZ Open dialog."""
+
+import pytest
+
+from repro.apps import EZApp, FolderStore, Message, MessagesApp, TypescriptApp
+from repro.components import TextData, TextView, Frame, ScrollBar
+
+
+class TestFolderModes:
+    def build_store(self):
+        store = FolderStore()
+        for name in ("andrew.bugs", "andrew.gripes", "campus.general"):
+            store.folder(name)
+        store.deliver("mail.wjh", Message("a", "wjh", "hi", TextData("x")))
+        store.folder("mail.wjh.archive")
+        store.subscribe("wjh", "andrew.bugs")
+        store.subscribe("wjh", "campus.general")
+        return store
+
+    def test_all_mode_shows_everything(self, ascii_ws):
+        app = MessagesApp(self.build_store(), user="wjh",
+                          window_system=ascii_ws)
+        assert len(app.folder_list.items) == 5
+
+    def test_subscribed_mode(self, ascii_ws):
+        app = MessagesApp(self.build_store(), user="wjh",
+                          window_system=ascii_ws)
+        app.set_folder_mode("subscribed")
+        assert app.visible_folder_names() == [
+            "andrew.bugs", "campus.general"]
+        assert "2 subscribed folders" in app.frame.message_line.message
+
+    def test_personal_mode(self, ascii_ws):
+        app = MessagesApp(self.build_store(), user="wjh",
+                          window_system=ascii_ws)
+        app.set_folder_mode("personal")
+        assert app.visible_folder_names() == [
+            "mail.wjh", "mail.wjh.archive"]
+
+    def test_mode_switch_via_menu(self, ascii_ws):
+        app = MessagesApp(self.build_store(), user="wjh",
+                          window_system=ascii_ws)
+        app.im.window.inject_menu("Messages", "Subscribed")
+        app.process()
+        assert app.folder_mode == "subscribed"
+
+    def test_selection_respects_mode(self, ascii_ws):
+        app = MessagesApp(self.build_store(), user="wjh",
+                          window_system=ascii_ws)
+        app.set_folder_mode("personal")
+        app.folder_list.select_index(0)
+        assert app.current_folder.name == "mail.wjh"
+
+    def test_unsubscribe(self):
+        store = self.build_store()
+        store.unsubscribe("wjh", "andrew.bugs")
+        assert store.subscribed_folders("wjh") == ["campus.general"]
+
+    def test_bad_mode_rejected(self, ascii_ws):
+        app = MessagesApp(self.build_store(), window_system=ascii_ws)
+        with pytest.raises(ValueError):
+            app.set_folder_mode("everythingelse")
+
+
+class TestTextSearch:
+    def build(self, make_im):
+        im = make_im(width=50, height=12)
+        data = TextData("alpha beta gamma beta delta\n")
+        view = TextView(data)
+        frame = Frame(ScrollBar(view))
+        im.set_child(frame)
+        im.process_events()
+        return im, frame, view
+
+    def test_search_forward_moves_caret(self, make_im):
+        im, frame, view = self.build(make_im)
+        assert view.search_forward("beta") == 6
+        assert view.dot == 6
+        assert view.search_forward("beta") == 17  # next occurrence
+
+    def test_search_wraps(self, make_im):
+        im, frame, view = self.build(make_im)
+        view.set_dot(20)
+        assert view.search_forward("alpha") == 0
+
+    def test_search_miss_returns_minus_one(self, make_im):
+        im, frame, view = self.build(make_im)
+        assert view.search_forward("omega") == -1
+
+    def test_ctrl_s_uses_frame_dialog(self, make_im):
+        im, frame, view = self.build(make_im)
+        im.window.inject_key("s", ctrl=True)
+        im.process_events()
+        assert frame.message_line.collecting
+        im.window.inject_keys("gamma\n")
+        im.process_events()
+        assert view.dot == 11
+        assert im.focus is view  # focus returned to the editor
+
+    def test_search_miss_posts_message(self, make_im):
+        im, frame, view = self.build(make_im)
+        frame.queue_answer("zeta")
+        im.window.inject_key("s", ctrl=True)
+        im.process_events()
+        assert "Can't find" in frame.message_line.message
+
+
+class TestTypescriptHistory:
+    def test_meta_p_recalls_previous(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.typescript.run_command("echo one")
+        app.typescript.run_command("echo two")
+        app.im.window.inject_key("p", meta=True)
+        app.process()
+        assert app.typescript.pending_line() == "echo two"
+        app.im.window.inject_key("p", meta=True)
+        app.process()
+        assert app.typescript.pending_line() == "echo one"
+
+    def test_meta_n_returns_to_empty(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.typescript.run_command("pwd")
+        app.im.window.inject_key("p", meta=True)
+        app.im.window.inject_key("n", meta=True)
+        app.process()
+        assert app.typescript.pending_line() == ""
+
+    def test_recalled_command_reruns(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.typescript.run_command("echo replay")
+        app.im.window.inject_key("p", meta=True)
+        app.im.window.inject_key("Return")
+        app.process()
+        assert app.typescript.data.text().count("replay") >= 3  # cmd+out x2
+
+
+class TestEZOpenDialog:
+    def test_open_via_menu(self, ascii_ws, tmp_path):
+        first = EZApp(window_system=ascii_ws)
+        first.type_text("document on disk")
+        path = tmp_path / "doc.d"
+        first.save(path)
+
+        second = EZApp(window_system=ascii_ws)
+        second.frame.queue_answer(str(path))
+        second.im.window.inject_menu("File", "Open...")
+        second.process()
+        assert "document on disk" in second.document.text()
+        assert "Read" in second.frame.message_line.message
+
+    def test_open_missing_file_reports(self, ascii_ws):
+        ez = EZApp(window_system=ascii_ws)
+        ez.frame.queue_answer("/nonexistent/file.d")
+        ez.im.window.inject_menu("File", "Open...")
+        ez.process()
+        assert "Cannot open" in ez.frame.message_line.message

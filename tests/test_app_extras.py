@@ -1,0 +1,114 @@
+"""Tests for multi-media help topics, table column dragging, and reply."""
+
+import pytest
+
+from repro.apps import FolderStore, HelpApp, Message, MessagesApp
+from repro.components import TableData, TableView, TextData
+from repro.wm.events import MouseAction
+
+
+class TestMultimediaHelp:
+    def test_editing_keys_topic_embeds_a_table(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        app.show_topic("editing-keys")
+        body = app.body_view.data
+        embeds = body.embeds()
+        assert embeds and embeds[0].data.type_tag == "table"
+        snapshot = app.snapshot()
+        assert "C-k / C-y" in snapshot  # the table renders in the pane
+
+    def test_topic_survives_datastream(self, ascii_ws):
+        from repro.apps.help import standard_help_database
+
+        db = standard_help_database()
+        topic = db.topic("editing-keys")
+        body = topic.body()  # parsed back from the stored stream
+        assert body.embeds()[0].data.cell(2, 0).content == "C-s"
+
+
+class TestColumnDrag:
+    def build(self, make_im):
+        im = make_im(width=60, height=12)
+        table = TableData(3, 3)
+        view = TableView(table)
+        im.set_child(view)
+        im.process_events()
+        return im, view
+
+    def test_drag_separator_widens_column(self, make_im):
+        im, view = self.build(make_im)
+        separator_x = view._col_x(1) - 1
+        before = view.col_width(0)
+        im.window.inject_drag(separator_x, 0, separator_x + 5, 0)
+        im.process_events()
+        assert view.col_width(0) == before + 5
+
+    def test_drag_separator_narrows_with_floor(self, make_im):
+        im, view = self.build(make_im)
+        separator_x = view._col_x(1) - 1
+        im.window.inject_drag(separator_x, 0, view._col_x(0), 0)
+        im.process_events()
+        assert view.col_width(0) == 3  # minimum width
+
+    def test_grab_zone_is_forgiving(self, make_im):
+        im, view = self.build(make_im)
+        from repro.graphics import Point
+
+        separator_x = view._col_x(2) - 1
+        assert view.separator_col_at(Point(separator_x - 1, 0)) == 1
+        assert view.separator_col_at(Point(separator_x + 1, 1)) == 1
+        assert view.separator_col_at(Point(separator_x, 5)) is None  # body
+
+    def test_click_in_header_away_from_separators_is_not_a_drag(self, make_im):
+        im, view = self.build(make_im)
+        x = view._col_x(0) + 3
+        im.window.inject_mouse(MouseAction.DOWN, x, 0)
+        im.window.inject_mouse(MouseAction.UP, x, 0)
+        im.process_events()
+        assert view._dragging_col is None
+
+
+class TestReply:
+    def build_reader(self, ascii_ws):
+        store = FolderStore()
+        store.deliver("mail.wjh", Message(
+            "palay", "wjh", "Big Cat",
+            TextData("look at this cat\nsecond line\n"),
+        ))
+        app = MessagesApp(store, user="wjh", window_system=ascii_ws)
+        app.open_folder("mail.wjh")
+        app.open_message(0)
+        return store, app
+
+    def test_reply_prefills_headers_and_quotes(self, ascii_ws):
+        store, app = self.build_reader(ascii_ws)
+        compose = app.reply()
+        assert compose.to == "palay"
+        assert compose.subject == "Re: Big Cat"
+        body = compose.body_data.text()
+        assert "> look at this cat" in body
+        assert "> second line" in body
+
+    def test_reply_to_reply_does_not_stack_re(self, ascii_ws):
+        store, app = self.build_reader(ascii_ws)
+        first = app.reply()
+        first.body_data.append("answer\n")
+        first.send()
+        reader2 = MessagesApp(store, user="palay", window_system=ascii_ws)
+        reader2.open_folder("mail.palay")
+        reader2.open_message(0)
+        second = reader2.reply()
+        assert second.subject == "Re: Big Cat"
+
+    def test_reply_without_message_posts_status(self, ascii_ws):
+        app = MessagesApp(FolderStore(), window_system=ascii_ws)
+        assert app.reply() is None
+        assert "No message selected" in app.frame.message_line.message
+
+    def test_reply_roundtrip_delivery(self, ascii_ws):
+        store, app = self.build_reader(ascii_ws)
+        compose = app.reply()
+        compose.body_data.insert(0, "Nice cat!\n")
+        message = compose.send()
+        assert message is not None
+        assert store.folder("mail.palay").messages[-1] is message

@@ -1,0 +1,134 @@
+"""Tests for EZ, the multi-media editor (paper §1, §7)."""
+
+import pytest
+
+from repro.apps import EZApp
+from repro.components import TableData, TextData
+from repro.core import read_document
+
+
+@pytest.fixture
+def ez(ascii_ws):
+    return EZApp(window_system=ascii_ws, width=60, height=16)
+
+
+class TestEditing:
+    def test_typing_goes_to_document(self, ez):
+        ez.type_text("Hello, Andrew!")
+        assert ez.document.text() == "Hello, Andrew!"
+
+    def test_snapshot_shows_text(self, ez):
+        ez.type_text("visible words")
+        assert "visible words" in ez.snapshot()
+
+    def test_frame_scrollbar_textview_structure(self, ez):
+        from repro.components import Frame, ScrollBar, TextView
+
+        assert isinstance(ez.frame, Frame)
+        assert isinstance(ez.frame.body, ScrollBar)
+        assert isinstance(ez.frame.body.body, TextView)
+
+    def test_initial_focus_is_the_editor(self, ez):
+        assert ez.im.focus is ez.textview
+
+
+class TestInsertMenu:
+    @pytest.mark.parametrize("item,tag", [
+        ("Table", "table"),
+        ("Drawing", "drawing"),
+        ("Equation", "equation"),
+        ("Raster", "raster"),
+        ("Animation", "animation"),
+    ])
+    def test_insert_component(self, ez, item, tag):
+        ez.im.window.inject_menu("Insert", item)
+        ez.process()
+        embeds = ez.document.embeds()
+        assert len(embeds) == 1
+        assert embeds[0].data.type_tag == tag
+
+    def test_insert_other_via_dialog(self, ez, default_loader_with_plugins):
+        ez.frame.queue_answer("music")
+        ez.im.window.inject_menu("Insert", "Other...")
+        ez.process()
+        assert ez.document.embeds()[0].data.type_tag == "music"
+
+    def test_insert_unknown_reports_in_message_line(self, ez):
+        result = ez.insert_component("no-such-thing")
+        assert result is None
+        assert "no-such-thing" in ez.frame.message_line.message
+
+    def test_inserted_component_renders(self, ez):
+        table = ez.insert_component("table")
+        table.set_cell(0, 0, 123)
+        ez.process()
+        assert "123" in ez.snapshot()
+
+
+class TestDocuments:
+    def test_save_and_open_roundtrip(self, ez, tmp_path):
+        path = tmp_path / "doc.d"
+        ez.type_text("saved text")
+        ez.insert_component("table")
+        ez.save(path)
+        assert "Wrote" in ez.frame.message_line.message
+
+        other = EZApp(window_system=ez.window_system)
+        document = other.open(path)
+        assert "saved text" in document.text()
+        assert document.embeds()[0].data.type_tag == "table"
+
+    def test_open_non_text_root_wrapped(self, ez, tmp_path):
+        from repro.core import write_document
+
+        path = tmp_path / "table.d"
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 9)
+        path.write_text(write_document(table), encoding="ascii")
+        document = ez.open(path)
+        assert isinstance(document, TextData)
+        assert document.embeds()[0].data.value_at(0, 0) == 9.0
+
+    def test_open_document_with_plugin_component(
+        self, ez, tmp_path, default_loader_with_plugins
+    ):
+        """The full music-department story: a document embedding a music
+        component opens in an editor that never imported music code."""
+        loader = default_loader_with_plugins
+        music_cls = loader.load("music")
+        music = music_cls()
+        music.add_note("E", beats=2)
+        document = TextData("score:\n")
+        document.append_object(music, "musicview")
+        path = tmp_path / "score.d"
+        from repro.core import write_document
+
+        path.write_text(write_document(document), encoding="ascii")
+        opened = ez.open(path)
+        assert opened.embeds()[0].data.notes == [("E", 4, 2)]
+        # And it renders through the dynamically loaded view.
+        assert ez.snapshot()  # must not raise
+
+    def test_set_document_switches_buffer(self, ez):
+        fresh = TextData("replacement")
+        ez.set_document(fresh)
+        assert ez.textview.data is fresh
+        assert "replacement" in ez.snapshot()
+
+
+class TestSaveDialog:
+    def test_menu_save_uses_dialog_answer(self, ez, tmp_path):
+        path = tmp_path / "via-dialog.d"
+        ez.type_text("dialog save")
+        ez.frame.queue_answer(str(path))
+        ez.im.window.inject_menu("File", "Save")
+        ez.process()
+        assert path.exists()
+        assert "dialog save" in read_document(
+            path.read_text(encoding="ascii")
+        ).text()
+
+    def test_quit_destroys_app(self, ez):
+        ez.im.window.inject_menu("File", "Quit")
+        ez.process()
+        assert ez.destroyed

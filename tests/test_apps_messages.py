@@ -1,0 +1,149 @@
+"""Tests for the messages application (paper §1, Figures 3-4)."""
+
+import pytest
+
+from repro.apps import ComposeApp, FolderStore, Message, MessagesApp
+from repro.components import DrawingData, LineShape, RasterData, TextData
+from repro.graphics import Rect
+
+
+@pytest.fixture
+def store():
+    store = FolderStore()
+    body = TextData("Welcome to the bboard.\n")
+    store.deliver(
+        "andrew.messages",
+        Message("nsb", "bboard", "The big picture", body, "23-Oct-87"),
+    )
+    return store
+
+
+class TestFolderStore:
+    def test_folder_created_on_first_use(self, store):
+        assert store.folder_count() == 1
+        store.folder("andrew.gripes")
+        assert "andrew.gripes" in store.folder_names()
+
+    def test_unread_counts(self, store):
+        folder = store.folder("andrew.messages")
+        assert folder.unread_count == 1
+        folder.messages[0].read = True
+        assert folder.unread_count == 0
+        assert "(none)" in folder.caption_line()
+
+    def test_send_delivers_to_recipient_mailbox(self, store):
+        message = store.send("palay", "david", "hello", TextData("hi\n"))
+        assert store.folder("mail.david").messages == [message]
+
+    def test_body_transported_as_datastream(self, store):
+        message = store.folder("andrew.messages").messages[0]
+        assert message.body_stream.startswith("\\begindata{text,")
+        assert all(ord(c) < 127 for c in message.body_stream)
+
+    def test_multimedia_body_survives_transport(self):
+        body = TextData("see drawing:\n")
+        drawing = DrawingData(20, 5)
+        drawing.add_shape(LineShape(0, 0, 10, 4))
+        body.append_object(drawing, "drawingview")
+        message = Message("a", "b", "art", body)
+        parsed = message.body()
+        assert parsed.embeds()[0].data.type_tag == "drawing"
+
+    def test_caption_format(self):
+        message = Message("nsb", "x", "The big picture",
+                          TextData(""), "23-Oct-87")
+        caption = message.caption()
+        assert caption.startswith("23-Oct-87")
+        assert "The big picture" in caption and "nsb" in caption
+
+
+class TestReadingWindow:
+    def test_folder_panel_lists_folders(self, store, ascii_ws):
+        app = MessagesApp(store, window_system=ascii_ws)
+        assert app.folder_list.items == ["andrew.messages (1 new)"]
+
+    def test_selecting_folder_fills_captions(self, store, ascii_ws):
+        app = MessagesApp(store, window_system=ascii_ws)
+        app.open_folder("andrew.messages")
+        assert len(app.caption_list.items) == 1
+        assert "big picture" in app.caption_list.items[0]
+
+    def test_opening_message_shows_body_and_marks_read(self, store, ascii_ws):
+        app = MessagesApp(store, window_system=ascii_ws)
+        app.open_folder("andrew.messages")
+        app.open_message(0)
+        text = app.body_view.data.text()
+        assert "From: nsb" in text
+        assert "Welcome to the bboard." in text
+        assert store.folder("andrew.messages").messages[0].read
+
+    def test_clicking_through_the_panes(self, store, ascii_ws):
+        app = MessagesApp(store, window_system=ascii_ws)
+        app.process()
+        # Click the folder in the left pane (ratio 35% of width 100).
+        folder_rect = app.folder_list.rect_in_window()
+        app.im.window.inject_click(folder_rect.left + 2, folder_rect.top)
+        app.process()
+        assert app.current_folder is not None
+        caption_rect = app.caption_list.rect_in_window()
+        app.im.window.inject_click(caption_rect.left + 2, caption_rect.top)
+        app.process()
+        assert app.current_message is not None
+
+    def test_snapshot_shows_all_three_panes(self, store, ascii_ws):
+        app = MessagesApp(store, window_system=ascii_ws)
+        app.open_folder("andrew.messages")
+        app.open_message(0)
+        snapshot = app.snapshot()
+        assert "andrew.messages" in snapshot
+        assert "Welcome to the bboard." in snapshot
+
+
+class TestComposition:
+    def test_compose_and_send_roundtrip(self, ascii_ws):
+        store = FolderStore()
+        compose = ComposeApp(store, sender="palay", window_system=ascii_ws)
+        compose.set_to("david")
+        compose.set_subject("Big Cat")
+        compose.body_data.append("Knowing your fondness for big cats...\n")
+        compose.body_data.append_object(
+            RasterData.from_rows(["*.*", ".*.", "*.*"]), "rasterview"
+        )
+        message = compose.send()
+        assert message is not None
+
+        reader = MessagesApp(store, window_system=ascii_ws)
+        reader.open_folder("mail.david")
+        reader.open_message(0)
+        body = reader.body_view.data
+        assert "big cats" in body.text()
+        raster = body.embeds()[0].data
+        assert raster.bitmap.to_rows() == ["*.*", ".*.", "*.*"]
+
+    def test_send_without_recipient_refuses(self, ascii_ws):
+        compose = ComposeApp(FolderStore(), window_system=ascii_ws)
+        assert compose.send() is None
+        assert "No recipient" in compose.frame.message_line.message
+
+    def test_header_dialogs(self, ascii_ws):
+        compose = ComposeApp(FolderStore(), window_system=ascii_ws)
+        compose.frame.queue_answer("zalman")
+        compose.im.window.inject_menu("Compose", "Set To...")
+        compose.process()
+        assert compose.to == "zalman"
+        assert "zalman" in compose.header_label.text
+
+    def test_typing_into_body(self, ascii_ws):
+        compose = ComposeApp(FolderStore(), window_system=ascii_ws)
+        compose.im.window.inject_keys("dear all")
+        compose.process()
+        assert compose.body_data.text() == "dear all"
+
+    def test_send_menu(self, ascii_ws):
+        store = FolderStore()
+        compose = ComposeApp(store, sender="a", window_system=ascii_ws)
+        compose.set_to("b")
+        compose.im.window.inject_keys("hi")
+        compose.im.window.inject_menu("Compose", "Send")
+        compose.process()
+        assert len(store.folder("mail.b").messages) == 1

@@ -1,0 +1,289 @@
+"""Tests for help, typescript, console, preview, and runapp."""
+
+import pytest
+
+from repro.apps import (
+    ConsoleApp,
+    HelpApp,
+    MiniShell,
+    PreviewApp,
+    TroffFormatter,
+    TypescriptApp,
+    standard_help_database,
+)
+from repro.core import RunApp
+
+
+class TestHelp:
+    def test_default_topic_is_ez(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        assert app.current.name == "ez"
+        assert "EZ" in app.snapshot()
+
+    def test_related_topics_listed(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        assert "messages" in app.related_list.items
+
+    def test_selecting_related_switches_topic(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        index = app.related_list.items.index("messages")
+        app.related_list.select_index(index)
+        assert app.current.name == "messages"
+        assert "multi-media mail" in app.body_view.data.text()
+
+    def test_search(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        hits = app.search("shell")
+        assert "typescript" in hits
+
+    def test_search_no_hits_restores_all_topics(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        app.search("quantum chromodynamics")
+        assert app.topics_list.items == app.database.topic_names()
+
+    def test_unknown_topic_reports(self, ascii_ws):
+        app = HelpApp(window_system=ascii_ws)
+        app.show_topic("nothing")
+        assert "No help" in app.frame.message_line.message
+
+    def test_database_bodies_are_datastream(self):
+        db = standard_help_database()
+        assert db.topic("ez").body_stream.startswith("\\begindata{text,")
+
+
+class TestMiniShell:
+    def test_echo_expands_env(self):
+        shell = MiniShell()
+        assert shell.run("echo hello $USER") == "hello wjh\n"
+
+    def test_pwd_cd(self):
+        shell = MiniShell()
+        assert shell.run("pwd") == "/afs/andrew/wjh\n"
+        shell.run("cd src")
+        assert shell.run("pwd") == "/afs/andrew/wjh/src\n"
+        shell.run("cd")
+        assert shell.run("pwd") == "/afs/andrew/wjh\n"
+
+    def test_ls_and_cat(self):
+        shell = MiniShell()
+        listing = shell.run("ls")
+        assert "notes" in listing and "src" in listing
+        assert "convert campus" in shell.run("cat notes")
+
+    def test_cat_missing_file(self):
+        assert "no such file" in MiniShell().run("cat ghost")
+
+    def test_unknown_command(self):
+        assert "command not found" in MiniShell().run("frobnicate")
+
+    def test_setenv_printenv(self):
+        shell = MiniShell()
+        shell.run("setenv EDITOR ez")
+        assert shell.run("printenv EDITOR") == "ez\n"
+
+    def test_history(self):
+        shell = MiniShell()
+        shell.run("echo one")
+        shell.run("echo two")
+        history = shell.run("history")
+        assert "echo one" in history and "echo two" in history
+
+    def test_wc(self):
+        shell = MiniShell()
+        out = shell.run("wc notes")
+        assert "notes" in out
+
+    def test_empty_line_is_silent(self):
+        assert MiniShell().run("   ") == ""
+
+    def test_syntax_error_survives(self):
+        assert "syntax error" in MiniShell().run('echo "unterminated')
+
+
+class TestTypescript:
+    def test_interactive_command(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.im.window.inject_keys("echo typed live\n")
+        app.process()
+        transcript = app.typescript.data.text()
+        assert "typed live" in transcript
+        assert transcript.endswith("% ")
+
+    def test_transcript_is_editable_history(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.typescript.run_command("echo first")
+        # The transcript is an ordinary text document: selectable, etc.
+        assert app.typescript.data.search("first") >= 0
+
+    def test_pending_line_tracks_input(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.im.window.inject_keys("pw")
+        app.process()
+        assert app.typescript.pending_line() == "pw"
+
+    def test_output_renders_in_window(self, ascii_ws):
+        app = TypescriptApp(window_system=ascii_ws)
+        app.im.window.inject_keys("whoami\n")
+        app.process()
+        assert "wjh" in app.snapshot()
+
+
+class TestConsole:
+    def test_shows_date_and_gauges(self, ascii_ws):
+        app = ConsoleApp(window_system=ascii_ws)
+        snapshot = app.snapshot()
+        assert "February 11, 1988" in snapshot
+        assert "CPU load" in snapshot
+        assert "/usr" in snapshot
+
+    def test_tick_advances_clock(self, ascii_ws):
+        app = ConsoleApp(window_system=ascii_ws)
+        before = app.stats_data.stats.clock()
+        app.tick(5)
+        after = app.stats_data.stats.clock()
+        assert after != before
+        assert after in app.snapshot()
+
+    def test_clock_wraps_midnight(self):
+        from repro.apps import SystemStats
+
+        stats = SystemStats()
+        stats.minutes = 24 * 60 - 1
+        day = stats.day
+        stats.advance()
+        assert stats.minutes == 0
+        assert stats.day == day + 1
+
+    def test_gauges_update_from_observable(self, ascii_ws):
+        app = ConsoleApp(window_system=ascii_ws)
+        app.process()
+        app.stats_data.stats.load = 4.0
+        app.stats_data.tick()  # notifies views
+        app.process()
+        assert "100%" in app.snapshot() or "99%" in app.snapshot()
+
+
+class TestTroff:
+    def test_fill_mode_wraps(self):
+        pages = TroffFormatter(line_length=20).format(
+            "one two three four five six seven eight nine ten"
+        )
+        assert len(pages[0].lines) > 1
+        assert all(len(l) <= 20 for l in pages[0].lines)
+
+    def test_center_request(self):
+        pages = TroffFormatter(line_length=20).format(".ce 1\nTitle")
+        line = pages[0].lines[0]
+        assert line.strip() == "Title"
+        assert line.startswith(" ")
+
+    def test_break_and_space(self):
+        pages = TroffFormatter().format("a\n.br\nb\n.sp 2\nc")
+        lines = pages[0].lines
+        assert lines[0] == "a"
+        assert lines[1] == "b"
+        assert lines[2] == "" and lines[3] == ""
+        assert lines[4] == "c"
+
+    def test_indent_and_temporary_indent(self):
+        pages = TroffFormatter().format(".in 4\nindented\n.br\n.ti 0\nflush")
+        assert pages[0].lines[0].startswith("    indented")
+        assert pages[0].lines[1] == "flush"
+
+    def test_page_break(self):
+        pages = TroffFormatter().format("first\n.bp\nsecond")
+        assert len(pages) == 2
+        assert pages[1].lines[0] == "second"
+
+    def test_nf_fi_modes(self):
+        pages = TroffFormatter().format(
+            ".nf\nkeep  these   spaces\n.fi\nnow fill this text"
+        )
+        assert pages[0].lines[0] == "keep  these   spaces"
+
+    def test_font_escape_stripping(self):
+        text, spans = TroffFormatter.strip_fonts(
+            "plain \\fBbold\\fR plain \\fIital\\fR"
+        )
+        assert text == "plain bold plain ital"
+        assert spans == [(6, 10), (17, 21)]
+
+    def test_unterminated_font_span_closes_at_eol(self):
+        text, spans = TroffFormatter.strip_fonts("\\fBall bold")
+        assert spans == [(0, len(text))]
+
+    def test_unknown_request_ignored(self):
+        pages = TroffFormatter().format(".xx whatever\nhello")
+        assert pages[0].lines[0] == "hello"
+
+    def test_preview_app_shows_pages(self, ascii_ws):
+        app = PreviewApp(window_system=ascii_ws)
+        pages = app.show(".ce 1\nThe Andrew Toolkit\n.bp\npage two")
+        assert len(pages) == 2
+        snapshot = app.snapshot()
+        assert "The Andrew Toolkit" in snapshot
+        assert "page 1" in snapshot
+
+
+class TestRunApp:
+    def test_launch_all_six_applications(self, ascii_ws):
+        runapp = RunApp(window_system=ascii_ws)
+        for name in ("ez", "messages", "help", "typescript", "console",
+                     "preview"):
+            app = runapp.launch(name)
+            assert app.app_name == name
+        assert len(runapp.running()) == 6
+
+    def test_launched_apps_share_window_system(self, ascii_ws):
+        runapp = RunApp(window_system=ascii_ws)
+        ez = runapp.launch("ez")
+        help_app = runapp.launch("help")
+        assert ez.window_system is help_app.window_system is ascii_ws
+
+    def test_launch_records(self, ascii_ws):
+        runapp = RunApp(window_system=ascii_ws)
+        runapp.launch("console")
+        record = runapp.launches[0]
+        assert record.name == "console"
+        assert record.load_kind in ("resident", "cold")
+
+    def test_quit_app(self, ascii_ws):
+        runapp = RunApp(window_system=ascii_ws)
+        app = runapp.launch("console")
+        runapp.quit_app(app)
+        assert runapp.running() == []
+
+    def test_launch_unknown_app_fails(self, ascii_ws):
+        from repro.class_system import DynamicLoadError
+
+        runapp = RunApp(window_system=ascii_ws)
+        with pytest.raises(DynamicLoadError):
+            runapp.launch("solitaire")
+
+    def test_plugin_application_launches(self, ascii_ws, tmp_path):
+        """An application shipped as a plugin file — never imported —
+        launches through the same loader (the §7 story for apps)."""
+        (tmp_path / "clockapp.py").write_text(
+            "from repro.core.application import Application\n"
+            "from repro.components.label import Label\n"
+            "class ClockApp(Application):\n"
+            "    atk_name = 'clockapp'\n"
+            "    app_name = 'clock'\n"
+            "    def build(self):\n"
+            "        self.im.set_child(Label('tick'))\n"
+        )
+        from repro.class_system import ClassLoader, unregister
+
+        loader = ClassLoader(path=[tmp_path])
+        runapp = RunApp(window_system=ascii_ws, loader=loader)
+        app = runapp.launch("clock")
+        assert app.app_name == "clock"
+        assert runapp.launches[0].load_kind == "cold"
+        unregister("clockapp")
+
+    def test_process_all_pumps_every_app(self, ascii_ws):
+        runapp = RunApp(window_system=ascii_ws)
+        runapp.launch("console")
+        runapp.launch("typescript")
+        counts = runapp.process_all()
+        assert set(counts) == {"console", "typescript"}

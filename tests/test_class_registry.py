@@ -1,0 +1,160 @@
+"""Tests for the Andrew Class System registry (paper section 6)."""
+
+import pytest
+
+from repro.class_system import (
+    ATKObject,
+    ClassLookupError,
+    ClassProcedureOverrideError,
+    ClassRegistrationError,
+    MultipleInheritanceError,
+    class_info,
+    classprocedure,
+    is_registered,
+    lookup,
+    register_alias,
+    registered_names,
+    subclasses_of,
+    unregister,
+)
+
+
+class Fruit(ATKObject):
+    atk_name = "testfruit"
+
+    @classprocedure
+    def kingdom(cls):
+        return "plantae"
+
+    def name(self):
+        return "fruit"
+
+
+class Apple(Fruit):
+    atk_name = "testapple"
+
+    def name(self):
+        return "apple"
+
+
+def test_subclass_registers_by_atk_name():
+    assert is_registered("testfruit")
+    assert lookup("testfruit") is Fruit
+    assert lookup("testapple") is Apple
+
+
+def test_default_name_is_lowercased_class_name():
+    class Mango(ATKObject):
+        pass
+
+    assert lookup("mango") is Mango
+    unregister("mango")
+
+
+def test_lookup_unknown_name_raises():
+    with pytest.raises(ClassLookupError):
+        lookup("no-such-class-xyzzy")
+
+
+def test_lookup_error_is_also_keyerror():
+    with pytest.raises(KeyError):
+        lookup("no-such-class-xyzzy")
+
+
+def test_object_methods_are_overridable():
+    assert Apple().name() == "apple"
+    assert Fruit().name() == "fruit"
+
+
+def test_class_procedures_are_inherited_but_not_overridable():
+    assert Apple.kingdom() == "plantae"
+    with pytest.raises(ClassProcedureOverrideError):
+        class Pear(Fruit):
+            atk_name = "testpear"
+
+            def kingdom(cls):
+                return "nope"
+
+
+def test_class_procedure_override_blocked_transitively():
+    with pytest.raises(ClassProcedureOverrideError):
+        class Braeburn(Apple):
+            atk_name = "testbraeburn"
+
+            def kingdom(cls):
+                return "nope"
+
+
+def test_single_inheritance_enforced():
+    class Other(ATKObject):
+        atk_name = "testother"
+
+    with pytest.raises(MultipleInheritanceError):
+        class Hybrid(Fruit, Other):
+            atk_name = "testhybrid"
+
+    unregister("testother")
+
+
+def test_duplicate_name_rejected_without_replace():
+    with pytest.raises(ClassRegistrationError):
+        class FakeFruit(ATKObject):
+            atk_name = "testfruit"
+
+
+def test_replace_flag_supersedes_and_bumps_version():
+    class V1(ATKObject):
+        atk_name = "testversioned"
+
+    class V2(ATKObject):
+        atk_name = "testversioned"
+        atk_replace = True
+
+    assert lookup("testversioned") is V2
+    assert class_info("testversioned").versions == 2
+    unregister("testversioned")
+
+
+def test_atk_register_false_skips_registration():
+    class Hidden(ATKObject):
+        atk_name = "testhidden"
+        atk_register = False
+
+    assert not is_registered("testhidden")
+
+
+def test_atk_class_name_classprocedure():
+    assert Apple.atk_class_name() == "testapple"
+    assert Apple().atk_class_name() == "testapple"
+
+
+def test_registered_names_sorted_snapshot():
+    names = registered_names()
+    assert names == sorted(names)
+    assert "testfruit" in names
+
+
+def test_subclasses_of_finds_descendants():
+    names = {info.name for info in subclasses_of("testfruit")}
+    assert "testapple" in names
+    assert "testfruit" not in names
+
+
+def test_register_alias_points_at_same_class():
+    register_alias("testfruit-alias", Fruit)
+    assert lookup("testfruit-alias") is Fruit
+    unregister("testfruit-alias")
+
+
+def test_destroy_is_idempotent():
+    apple = Apple()
+    assert not apple.destroyed
+    apple.destroy()
+    apple.destroy()
+    assert apple.destroyed
+
+
+def test_class_info_reports_superclass():
+    info = class_info("testapple")
+    assert info.superclass is Fruit
+    assert "kingdom" in info.class_procedures

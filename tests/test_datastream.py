@@ -1,0 +1,243 @@
+"""Tests for the external representation (paper section 5)."""
+
+import pytest
+
+from repro.core import (
+    DataObject,
+    DataStreamError,
+    DataStreamReader,
+    DataStreamWriter,
+    read_document,
+    scan_extents,
+    write_document,
+)
+from repro.core.datastream import BeginObject, BodyLine, EndObject, ViewRef
+
+
+class Note(DataObject):
+    """A minimal component for stream tests."""
+
+    atk_name = "streamnote"
+
+    def __init__(self, lines=()):
+        super().__init__()
+        self._raw_lines = list(lines)
+
+
+class Album(DataObject):
+    """A component embedding children, for nesting tests."""
+
+    atk_name = "streamalbum"
+
+    def __init__(self, children=()):
+        super().__init__()
+        self.children = list(children)
+
+    def embedded_objects(self):
+        return list(self.children)
+
+    def write_body(self, writer):
+        for child in self.children:
+            object_id = writer.write_object(child)
+            writer.write_view_ref("streamnoteview", object_id)
+
+    def read_body(self, reader):
+        self.children = []
+        for event in reader.body_events():
+            if isinstance(event, BeginObject):
+                reader.read_object(event)
+            elif isinstance(event, ViewRef):
+                self.children.append(reader.objects_by_id[event.object_id])
+            elif isinstance(event, EndObject):
+                break
+
+
+class TestWriter:
+    def test_markers_match_paper_format(self):
+        text = write_document(Note(["hello"]))
+        lines = text.splitlines()
+        assert lines[0] == "\\begindata{streamnote, 1}"
+        assert lines[-1] == "\\enddata{streamnote, 1}"
+
+    def test_ids_are_unique_and_stable_per_object(self):
+        writer = DataStreamWriter()
+        note = Note()
+        first = writer.id_for(note)
+        second = writer.id_for(note)
+        other = writer.id_for(Note())
+        assert first == second
+        assert other != first
+
+    def test_body_line_escapes_leading_backslash(self):
+        writer = DataStreamWriter()
+        writer.write_body_line("\\begindata{fake, 9}")
+        assert writer.getvalue() == "\\\\begindata{fake, 9}\n"
+
+    def test_body_line_rejects_non_ascii(self):
+        writer = DataStreamWriter()
+        with pytest.raises(DataStreamError):
+            writer.write_body_line("café")
+
+    def test_body_line_rejects_control_chars_except_tab(self):
+        writer = DataStreamWriter()
+        with pytest.raises(DataStreamError):
+            writer.write_body_line("a\x07b")
+        writer.write_body_line("a\tb")  # tab allowed
+
+    def test_body_line_enforces_80_columns(self):
+        writer = DataStreamWriter()
+        writer.write_body_line("x" * 80)
+        with pytest.raises(DataStreamError):
+            writer.write_body_line("x" * 81)
+
+    def test_write_wrapped_chunks_long_text(self):
+        writer = DataStreamWriter()
+        writer.write_wrapped("y" * 200)
+        assert all(len(l) <= 80 for l in writer.getvalue().splitlines())
+
+
+class TestReader:
+    def test_roundtrip_default_body(self):
+        note = Note(["alpha", "beta"])
+        restored = read_document(write_document(note))
+        assert isinstance(restored, Note)
+        assert restored._raw_lines == ["alpha", "beta"]
+
+    def test_escaped_marker_lines_roundtrip_as_body(self):
+        note = Note(["\\begindata{fake, 3}", "plain"])
+        restored = read_document(write_document(note))
+        assert restored._raw_lines == ["\\begindata{fake, 3}", "plain"]
+
+    def test_nested_objects_and_view_refs(self):
+        album = Album([Note(["a"]), Note(["b"])])
+        restored = read_document(write_document(album))
+        assert len(restored.children) == 2
+        assert restored.children[1]._raw_lines == ["b"]
+
+    def test_leading_blank_lines_tolerated(self):
+        text = "\n\n" + write_document(Note(["x"]))
+        assert read_document(text)._raw_lines == ["x"]
+
+    def test_unknown_type_reports_loader_failure(self):
+        with pytest.raises(DataStreamError) as excinfo:
+            read_document(
+                "\\begindata{nosuchcomponent, 1}\n"
+                "\\enddata{nosuchcomponent, 1}\n"
+            )
+        assert "nosuchcomponent" in str(excinfo.value)
+
+    def test_unknown_type_loads_from_plugin(self, default_loader_with_plugins):
+        text = (
+            "\\begindata{circuit, 1}\n"
+            "@element resistor\n"
+            "\\enddata{circuit, 1}\n"
+        )
+        circuit = read_document(text)
+        assert circuit.elements == ["resistor"]
+
+    def test_mismatched_end_marker_rejected(self):
+        reader = DataStreamReader(
+            "\\begindata{streamnote, 1}\n\\enddata{streamnote, 2}\n"
+        )
+        begin = BeginObject("streamnote", 1, 1)
+        reader._next_event()  # consume begin
+        with pytest.raises(DataStreamError):
+            reader.skip_object(begin)
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(DataStreamError):
+            read_document("\\begindata{streamnote, 1}\nbody\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(DataStreamError):
+            read_document(
+                "\\begindata{streamnote, 1}\n\\frobnicate{x, 1}\n"
+                "\\enddata{streamnote, 1}\n"
+            )
+
+    def test_malformed_marker_rejected(self):
+        with pytest.raises(DataStreamError):
+            read_document("\\begindata{streamnote 1}\n")
+
+    def test_non_numeric_id_rejected(self):
+        with pytest.raises(DataStreamError):
+            read_document("\\begindata{streamnote, one}\n")
+
+    def test_skip_object_never_constructs_components(self):
+        # Skipping must work even for types that do not exist.
+        text = (
+            "\\begindata{ghost, 7}\n"
+            "\\begindata{innerghost, 8}\n"
+            "data\n"
+            "\\enddata{innerghost, 8}\n"
+            "\\enddata{ghost, 7}\n"
+        )
+        reader = DataStreamReader(text)
+        begin = reader._next_event()
+        extent = reader.skip_object(begin)
+        assert extent.type_tag == "ghost"
+        assert extent.start_line == 1 and extent.end_line == 5
+
+
+class TestScanner:
+    def test_scan_reports_nesting_and_extents(self):
+        album = Album([Note(["a"]), Note(["b" * 40])])
+        extents = scan_extents(write_document(album))
+        assert [e.type_tag for e in extents] == [
+            "streamalbum", "streamnote", "streamnote"]
+        assert extents[0].depth == 0
+        assert extents[1].depth == extents[2].depth == 1
+        assert extents[0].start_line == 1
+        assert extents[0].end_line >= extents[2].end_line
+
+    def test_scan_does_not_parse_bodies(self):
+        # Unknown component types scan fine.
+        text = (
+            "\\begindata{mystery, 1}\n"
+            "arbitrary body that would crash any parser {{{\n"
+            "\\enddata{mystery, 1}\n"
+        )
+        extents = scan_extents(text)
+        assert extents[0].line_count == 3
+
+    def test_scan_rejects_unbalanced_stream(self):
+        with pytest.raises(DataStreamError):
+            scan_extents("\\begindata{a, 1}\n")
+        with pytest.raises(DataStreamError):
+            scan_extents("\\enddata{a, 1}\n")
+
+    def test_scan_rejects_crossed_markers(self):
+        with pytest.raises(DataStreamError):
+            scan_extents(
+                "\\begindata{a, 1}\n\\begindata{b, 2}\n"
+                "\\enddata{a, 1}\n\\enddata{b, 2}\n"
+            )
+
+    def test_scan_ignores_escaped_markers(self):
+        note = Note(["\\begindata{fake, 99}"])
+        extents = scan_extents(write_document(note))
+        assert len(extents) == 1
+
+
+class TestPaperExample:
+    def test_section5_shape(self):
+        """The stream for text-embedding-table must look like §5's figure."""
+        from repro.components.table import TableData
+        from repro.components.text import TextData
+
+        doc = TextData("text data ...\n")
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 42)
+        doc.append_object(table, "spread")
+        doc.append("rest of text data ...\n")
+        stream = write_document(doc)
+        lines = stream.splitlines()
+        assert lines[0].startswith("\\begindata{text, 1}")
+        assert any(l.startswith("\\begindata{table, 2}") for l in lines)
+        assert any(l.startswith("\\enddata{table, 2}") for l in lines)
+        assert "\\view{spread, 2}" in lines
+        assert lines[-1] == "\\enddata{text, 1}"
+        # And the guidelines hold: 7-bit, <= 80 columns.
+        for line in lines:
+            assert len(line) <= 80
+            assert all(ord(c) < 127 for c in line)

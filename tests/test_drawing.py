@@ -1,0 +1,164 @@
+"""Tests for the drawing component and the §3 routing case."""
+
+import pytest
+
+from repro.components.drawing import (
+    DrawView,
+    DrawingData,
+    EllipseShape,
+    LineShape,
+    PolylineShape,
+    RectShape,
+    TextShape,
+)
+from repro.components.text import TextData, TextView
+from repro.core import read_document, write_document
+from repro.graphics import Point, Rect
+
+
+class TestShapes:
+    def test_line_hit_test_with_slop(self):
+        line = LineShape(0, 0, 10, 0)
+        assert line.hit_test(Point(5, 0))
+        assert line.hit_test(Point(5, 1), slop=1)
+        assert not line.hit_test(Point(5, 3), slop=1)
+
+    def test_diagonal_line_hit(self):
+        line = LineShape(0, 0, 10, 10)
+        assert line.hit_test(Point(5, 5))
+        assert not line.hit_test(Point(9, 1))
+
+    def test_rect_outline_hit_only_near_border(self):
+        rect = RectShape(Rect(2, 2, 10, 10))
+        assert rect.hit_test(Point(2, 5))
+        assert not rect.hit_test(Point(7, 7))
+
+    def test_filled_rect_hit_everywhere_inside(self):
+        rect = RectShape(Rect(2, 2, 10, 10), filled=True)
+        assert rect.hit_test(Point(7, 7))
+
+    def test_ellipse_hit_near_rim(self):
+        ellipse = EllipseShape(Rect(0, 0, 20, 10))
+        assert ellipse.hit_test(Point(10, 0), slop=1)   # top
+        assert ellipse.hit_test(Point(0, 5), slop=1)    # left
+        assert not ellipse.hit_test(Point(10, 5), slop=1)  # center
+
+    def test_polyline_hit_and_bounds(self):
+        poly = PolylineShape([Point(0, 0), Point(5, 0), Point(5, 5)])
+        assert poly.hit_test(Point(3, 0))
+        assert poly.hit_test(Point(5, 3))
+        assert not poly.hit_test(Point(0, 5))
+        poly_closed = PolylineShape(
+            [Point(0, 0), Point(5, 0), Point(5, 5)], closed=True
+        )
+        assert poly_closed.hit_test(Point(2, 2), slop=0)
+
+    def test_move_by(self):
+        line = LineShape(0, 0, 2, 2)
+        line.move_by(5, 5)
+        assert (line.x0, line.y0, line.x1, line.y1) == (5, 5, 7, 7)
+
+    def test_polyline_requires_two_points(self):
+        with pytest.raises(ValueError):
+            PolylineShape([Point(0, 0)])
+
+
+class TestDrawingData:
+    def test_shape_at_prefers_topmost(self):
+        drawing = DrawingData()
+        bottom = drawing.add_shape(LineShape(0, 5, 10, 5))
+        top = drawing.add_shape(LineShape(5, 0, 5, 10))
+        assert drawing.shape_at(Point(5, 5)) is top
+        assert drawing.shape_at(Point(1, 5)) is bottom
+        assert drawing.shape_at(Point(20, 20)) is None
+
+    def test_raise_shape_changes_hit_order(self):
+        drawing = DrawingData()
+        first = drawing.add_shape(RectShape(Rect(0, 0, 10, 10), filled=True))
+        second = drawing.add_shape(RectShape(Rect(0, 0, 10, 10), filled=True))
+        assert drawing.shape_at(Point(5, 5)) is second
+        drawing.raise_shape(first)
+        assert drawing.shape_at(Point(5, 5)) is first
+
+    def test_mutations_notify(self):
+        from repro.class_system import FunctionObserver
+
+        drawing = DrawingData()
+        changes = []
+        drawing.add_observer(FunctionObserver(lambda c: changes.append(c.what)))
+        shape = drawing.add_shape(LineShape(0, 0, 1, 1))
+        drawing.move_shape(shape, 1, 1)
+        drawing.remove_shape(shape)
+        assert changes == ["shape", "shape", "shape"]
+
+    def test_roundtrip_all_shape_kinds(self):
+        drawing = DrawingData(50, 20)
+        drawing.add_shape(LineShape(1, 2, 3, 4))
+        drawing.add_shape(RectShape(Rect(5, 5, 4, 3), filled=True))
+        drawing.add_shape(EllipseShape(Rect(10, 1, 8, 6)))
+        drawing.add_shape(
+            PolylineShape([Point(0, 0), Point(2, 2), Point(4, 0)], closed=True)
+        )
+        drawing.add_text(Rect(20, 10, 15, 3), TextData("in the drawing"))
+        stream = write_document(drawing)
+        restored = read_document(stream)
+        assert write_document(restored) == stream
+        assert [s.kind for s in restored.shapes] == [
+            "line", "rect", "ellipse", "poly", "text"]
+        assert restored.text_shapes()[0].data.text() == "in the drawing"
+        assert (restored.canvas_width, restored.canvas_height) == (50, 20)
+
+
+class TestRoutingAnecdote:
+    """The §3 line-over-text case, as a live view tree."""
+
+    def build(self, make_im):
+        im = make_im(width=40, height=12)
+        drawing = DrawingData(40, 12)
+        text = TextData("hello drawing")
+        drawing.add_text(Rect(5, 2, 20, 3), text)
+        line = drawing.add_shape(LineShape(0, 4, 35, 4))
+        view = DrawView(drawing)
+        im.set_child(view)
+        im.process_events()
+        return im, view, drawing, line
+
+    def test_click_on_line_over_text_selects_line(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.window.inject_click(10, 4)  # on the line, inside the text rect
+        im.process_events()
+        assert view.selected is line
+
+    def test_click_in_text_away_from_line_goes_to_text(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.window.inject_click(10, 2)
+        im.process_events()
+        assert isinstance(im.focus, TextView)
+        assert view.selected is not line
+
+    def test_typing_after_text_click_edits_embedded_text(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.window.inject_click(6, 2)
+        im.window.inject_keys("X")
+        im.process_events()
+        assert "X" in drawing.text_shapes()[0].data.text()
+
+    def test_drag_moves_selected_shape(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.window.inject_drag(20, 4, 20, 8)
+        im.process_events()
+        assert line.y0 == 8 and line.y1 == 8
+
+    def test_menu_delete_selected(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.window.inject_click(10, 4)
+        im.window.inject_menu("Draw", "Delete")
+        im.process_events()
+        assert line not in drawing.shapes
+
+    def test_shapes_render(self, make_im):
+        im, view, drawing, line = self.build(make_im)
+        im.redraw()
+        snapshot = im.snapshot_lines()
+        assert "-" in snapshot[4]           # the line
+        assert "hello drawing" in snapshot[2]

@@ -1,0 +1,148 @@
+"""Tests for dynamic loading of component code (paper sections 1, 6)."""
+
+import pytest
+
+from repro.class_system import (
+    ATKObject,
+    ClassLoader,
+    PluginNotFoundError,
+    PluginSyntaxError,
+    is_registered,
+    lookup,
+    unregister,
+)
+
+
+def write_plugin(directory, name, body):
+    path = directory / f"{name}.py"
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+GOOD_PLUGIN = """
+from repro.class_system import ATKObject
+
+class Widget(ATKObject):
+    atk_name = "{name}"
+
+    def greeting(self):
+        return "hello from {name}"
+"""
+
+
+def test_static_resolution_hits_registry_first(tmp_path):
+    class Resident(ATKObject):
+        atk_name = "testresident"
+
+    loader = ClassLoader(path=[tmp_path])
+    assert loader.load("testresident") is Resident
+    assert loader.history[-1].kind == "static"
+    unregister("testresident")
+
+
+def test_cold_load_from_plugin_directory(tmp_path):
+    write_plugin(tmp_path, "gizmo1", GOOD_PLUGIN.format(name="gizmo1"))
+    loader = ClassLoader(path=[tmp_path])
+    cls = loader.load("gizmo1")
+    assert cls().greeting() == "hello from gizmo1"
+    assert loader.history[-1].kind == "cold"
+    assert is_registered("gizmo1")
+    unregister("gizmo1")
+    loader.forget("gizmo1")
+
+
+def test_second_resolution_is_not_cold(tmp_path):
+    write_plugin(tmp_path, "gizmo2", GOOD_PLUGIN.format(name="gizmo2"))
+    loader = ClassLoader(path=[tmp_path])
+    loader.load("gizmo2")
+    loader.load("gizmo2")
+    kinds = [record.kind for record in loader.history]
+    assert kinds.count("cold") == 1
+    unregister("gizmo2")
+
+
+def test_missing_plugin_raises_with_search_path(tmp_path):
+    loader = ClassLoader(path=[tmp_path])
+    with pytest.raises(PluginNotFoundError) as excinfo:
+        loader.load("nonexistent-component")
+    assert str(tmp_path) in str(excinfo.value)
+
+
+def test_syntax_error_in_plugin_reported(tmp_path):
+    write_plugin(tmp_path, "broken", "this is not python ===")
+    loader = ClassLoader(path=[tmp_path])
+    with pytest.raises(PluginSyntaxError):
+        loader.load("broken")
+
+
+def test_plugin_that_registers_nothing_is_an_error(tmp_path):
+    write_plugin(tmp_path, "empty", "x = 1\n")
+    loader = ClassLoader(path=[tmp_path])
+    with pytest.raises(PluginSyntaxError):
+        loader.load("empty")
+
+
+def test_search_path_order_first_hit_wins(tmp_path):
+    first = tmp_path / "first"
+    second = tmp_path / "second"
+    first.mkdir()
+    second.mkdir()
+    write_plugin(first, "gizmo3",
+                 GOOD_PLUGIN.format(name="gizmo3") + "\nFLAVOR = 'first'\n")
+    write_plugin(second, "gizmo3",
+                 GOOD_PLUGIN.format(name="gizmo3") + "\nFLAVOR = 'second'\n")
+    loader = ClassLoader(path=[first, second])
+    loader.load("gizmo3")
+    record = loader.cold_loads()[-1]
+    assert record.path.parent == first
+    unregister("gizmo3")
+
+
+def test_prepend_path_takes_priority(tmp_path):
+    low = tmp_path / "low"
+    high = tmp_path / "high"
+    low.mkdir()
+    high.mkdir()
+    write_plugin(low, "gizmo4", GOOD_PLUGIN.format(name="gizmo4"))
+    write_plugin(high, "gizmo4", GOOD_PLUGIN.format(name="gizmo4"))
+    loader = ClassLoader(path=[low])
+    loader.prepend_path(high)
+    loader.load("gizmo4")
+    assert loader.cold_loads()[-1].path.parent == high
+    unregister("gizmo4")
+
+
+def test_load_records_have_positive_duration(tmp_path):
+    write_plugin(tmp_path, "gizmo5", GOOD_PLUGIN.format(name="gizmo5"))
+    loader = ClassLoader(path=[tmp_path])
+    loader.load("gizmo5")
+    record = loader.cold_loads()[-1]
+    assert record.duration >= 0.0
+    assert record.name == "gizmo5"
+    unregister("gizmo5")
+
+
+def test_environment_seeds_the_path(tmp_path, monkeypatch):
+    from repro.class_system.dynamic import CLASS_PATH_ENV
+
+    monkeypatch.setenv(CLASS_PATH_ENV, str(tmp_path))
+    loader = ClassLoader()
+    assert tmp_path in loader.path
+
+
+def test_repo_music_plugin_loads(plugin_loader):
+    """The paper's music-department scenario, against the real plugin."""
+    cls = plugin_loader.load("music")
+    instance = cls()
+    instance.add_note("C")
+    instance.add_note("G", octave=5, beats=2)
+    assert instance.notes == [("C", 4, 1), ("G", 5, 2)]
+    assert is_registered("musicview")
+
+
+def test_repo_circuit_plugin_loads(plugin_loader):
+    cls = plugin_loader.load("circuit")
+    instance = cls()
+    instance.add_element("resistor")
+    instance.add_element("battery")
+    assert instance.elements == ["resistor", "battery"]

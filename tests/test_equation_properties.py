@@ -1,0 +1,74 @@
+"""Property-based tests for the equation layout engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components.equation.layout import (
+    parse_equation,
+    render_equation,
+)
+
+symbols = st.text(alphabet="abcxyz012", min_size=1, max_size=4)
+
+
+@st.composite
+def equations(draw, depth=0):
+    """Random well-formed equation source."""
+    if depth > 2:
+        return draw(symbols)
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return draw(symbols)
+    if kind == 1:
+        left = draw(equations(depth + 1))
+        right = draw(equations(depth + 1))
+        op = draw(st.sampled_from("+-="))
+        return f"{left}{op}{right}"
+    if kind == 2:
+        base = draw(symbols)
+        script = draw(equations(depth + 1))
+        marker = draw(st.sampled_from("_^"))
+        return f"{base}{marker}{{{script}}}"
+    if kind == 3:
+        numerator = draw(equations(depth + 1))
+        denominator = draw(equations(depth + 1))
+        return f"\\frac{{{numerator}}}{{{denominator}}}"
+    if kind == 4:
+        inner = draw(equations(depth + 1))
+        return f"\\sqrt{{{inner}}}"
+    inner = draw(equations(depth + 1))
+    return f"{{{inner}}}"
+
+
+@settings(max_examples=120)
+@given(equations())
+def test_well_formed_equations_always_render(source):
+    rows = render_equation(source)
+    assert rows, source
+    box = parse_equation(source)
+    assert box.width >= 0 and box.height >= 1
+    assert 0 <= box.baseline < box.height
+    # No rendered row exceeds the computed width.
+    for row in rows:
+        assert len(row) <= box.width
+
+
+@settings(max_examples=120)
+@given(equations())
+def test_rendering_is_deterministic(source):
+    assert render_equation(source) == render_equation(source)
+
+
+@settings(max_examples=80)
+@given(equations(), equations())
+def test_row_concatenation_widths_add(a, b):
+    combined = parse_equation(f"{{{a}}}{{{b}}}")
+    assert combined.width == parse_equation(a).width + parse_equation(b).width
+
+
+@settings(max_examples=80)
+@given(equations())
+def test_fraction_is_taller_than_parts(inner):
+    plain = parse_equation(inner)
+    frac = parse_equation(f"\\frac{{{inner}}}{{{inner}}}")
+    assert frac.height == 2 * plain.height + 1

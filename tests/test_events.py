@@ -1,0 +1,67 @@
+"""Tests for the event types themselves."""
+
+import pytest
+
+from repro.graphics import Point, Rect
+from repro.wm.events import (
+    Event,
+    FocusEvent,
+    KeyEvent,
+    MenuEvent,
+    MouseAction,
+    MouseButton,
+    MouseEvent,
+    ResizeEvent,
+    TimerEvent,
+    UpdateEvent,
+)
+
+
+def test_serials_increase_across_event_types():
+    first = KeyEvent("a")
+    second = MouseEvent(MouseAction.DOWN, Point(0, 0))
+    third = MenuEvent("File", "Save")
+    assert first.serial < second.serial < third.serial
+
+
+def test_mouse_offset_preserves_serial_and_payload():
+    event = MouseEvent(MouseAction.DRAG, Point(10, 20),
+                       MouseButton.RIGHT, clicks=2)
+    moved = event.offset(-3, -5)
+    assert moved.point == Point(7, 15)
+    assert moved.serial == event.serial
+    assert moved.button == MouseButton.RIGHT
+    assert moved.clicks == 2
+    assert moved.action == MouseAction.DRAG
+    # The original is untouched (events are value-like).
+    assert event.point == Point(10, 20)
+
+
+def test_key_event_printability():
+    assert KeyEvent("a").is_printable
+    assert KeyEvent(" ").is_printable
+    assert not KeyEvent("a", ctrl=True).is_printable
+    assert not KeyEvent("Return").is_printable
+    assert not KeyEvent("a", meta=True).is_printable
+
+
+def test_update_event_full_flag():
+    partial = UpdateEvent(Rect(0, 0, 5, 5))
+    total = UpdateEvent(Rect(0, 0, 80, 24), full=True)
+    assert not partial.full and total.full
+
+
+def test_timer_event_payload():
+    event = TimerEvent(7, payload={"source": "console"})
+    assert event.tick == 7
+    assert event.payload["source"] == "console"
+
+
+def test_resize_and_focus_reprs():
+    assert "33x9" in repr(ResizeEvent(33, 9))
+    assert "gained=True" in repr(FocusEvent(True))
+
+
+def test_menu_event_fields():
+    event = MenuEvent("Edit", "Cut")
+    assert (event.card, event.item) == ("Edit", "Cut")

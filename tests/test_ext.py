@@ -1,0 +1,337 @@
+"""Tests for the extension packages (paper §1)."""
+
+import pytest
+
+from repro.components.text import TextData, TextView
+from repro.ext import (
+    BASIC_WORDS,
+    CheckingCompiler,
+    CompilePackage,
+    CTextData,
+    CTextView,
+    SpellChecker,
+    StyleEditor,
+    StyleEditorView,
+    TagIndex,
+    TagsPackage,
+    apply_filter,
+    describe_style,
+    filter_names,
+    register_filter,
+    run_filter,
+    scan_c_regions,
+)
+
+C_SOURCE = (
+    "/* demo */\n"
+    "int main(void)\n"
+    "{\n"
+    '    char *s = "hello";\n'
+    "    return 0;\n"
+    "}\n"
+)
+
+
+class TestCText:
+    def test_scan_finds_keywords_comments_strings(self):
+        spans = scan_c_regions(C_SOURCE)
+        names = {style.name for _s, _e, style in spans}
+        assert names == {"c-keyword", "c-comment", "c-string"}
+
+    def test_keywords_positions_exact(self):
+        spans = scan_c_regions("if (x) return y;")
+        keyword_spans = [
+            (s, e) for s, e, st in spans if st.name == "c-keyword"
+        ]
+        assert (0, 2) in keyword_spans
+        assert any(
+            "return" == "if (x) return y;"[s:e] for s, e in keyword_spans
+        )
+
+    def test_identifier_containing_keyword_not_styled(self):
+        spans = scan_c_regions("int interest;")
+        texts = ["int interest;"[s:e] for s, e, st in spans
+                 if st.name == "c-keyword"]
+        assert texts == ["int"]
+
+    def test_ctextdata_styles_follow_edits(self):
+        data = CTextData("int x;")
+        assert any(s.style.name == "c-keyword" for s in data.spans)
+        data.insert(0, "/* c */ ")
+        assert any(s.style.name == "c-comment" for s in data.spans)
+
+    def test_ctextview_auto_indent(self, make_im):
+        im = make_im(width=40, height=10)
+        data = CTextData()
+        view = CTextView(data)
+        im.set_child(view)
+        im.window.inject_keys("if (x) {\ny")
+        im.process_events()
+        assert data.text().endswith("{\n    y")
+
+    def test_electric_brace_dedents(self, make_im):
+        im = make_im(width=40, height=10)
+        data = CTextData()
+        view = CTextView(data)
+        im.set_child(view)
+        im.window.inject_keys("while (1) {\n")
+        im.process_events()
+        im.window.inject_keys("}")
+        im.process_events()
+        assert data.text().splitlines()[-1] == "}"
+
+
+class TestCompilePackage:
+    def test_clean_source_no_diagnostics(self):
+        assert CheckingCompiler().compile(C_SOURCE) == []
+
+    def test_unbalanced_braces_flagged(self):
+        diagnostics = CheckingCompiler().compile("int f() {\n")
+        assert any("unclosed '{'" in d.message for d in diagnostics)
+
+    def test_unmatched_close_flagged_with_line(self):
+        diagnostics = CheckingCompiler().compile("x\n}\n")
+        assert diagnostics[0].line == 2
+
+    def test_unterminated_string(self):
+        diagnostics = CheckingCompiler().compile('char *s = "oops;\n')
+        assert any("unterminated" in d.message for d in diagnostics)
+
+    def test_missing_semicolon_on_return(self):
+        diagnostics = CheckingCompiler().compile("return x\n")
+        assert any("missing ';'" in d.message for d in diagnostics)
+
+    def test_braces_inside_strings_ignored(self):
+        assert CheckingCompiler().compile('char *s = "{{{";\n') == []
+
+    def test_editor_integration_jumps_to_error(self, make_im):
+        im = make_im(width=40, height=10)
+        data = TextData("int good;\nreturn bad\n")
+        view = TextView(data)
+        im.set_child(view)
+        package = CompilePackage(view)
+        diagnostics = package.run()
+        assert len(diagnostics) == 1
+        package.next_error()
+        line_start = data.text().index("return")
+        assert view.dot == line_start
+        assert package.next_error() is None
+
+    def test_render_format(self):
+        from repro.ext import Diagnostic
+
+        assert Diagnostic("main.c", 3, "boom").render() == "main.c:3: boom"
+
+
+class TestTags:
+    SOURCE = (
+        "#define MAX 10\n"
+        "static int helper(int x)\n"
+        "{\n"
+        "}\n"
+        "void public_entry(void)\n"
+        "{\n"
+        "}\n"
+    )
+
+    def test_index_finds_functions_and_macros(self):
+        index = TagIndex()
+        found = index.index_source("x.c", self.SOURCE)
+        assert found >= 3
+        assert [t.kind for t in index.lookup("MAX")] == ["macro"]
+        assert index.lookup("helper")[0].line == 2
+        assert index.lookup("public_entry")[0].line == 5
+
+    def test_control_flow_lines_not_tagged(self):
+        index = TagIndex()
+        index.index_source("x.c", "if (foo(1))\nwhile (bar())\n")
+        assert len(index) == 0
+
+    def test_goto_tag_moves_caret(self, make_im):
+        im = make_im(width=40, height=10)
+        data = TextData(self.SOURCE)
+        view = TextView(data)
+        im.set_child(view)
+        package = TagsPackage(view)
+        package.index.index_source("x.c", self.SOURCE)
+        tag = package.goto_tag("public_entry")
+        assert tag is not None
+        assert data.text()[view.dot:].startswith("void public_entry")
+
+    def test_word_at_caret(self, make_im):
+        im = make_im()
+        data = TextData("call helper() now")
+        view = TextView(data)
+        im.set_child(view)
+        view.set_dot(7)  # inside "helper"
+        assert TagsPackage(view).word_at_caret() == "helper"
+
+    def test_goto_unknown_tag_returns_none(self, make_im):
+        im = make_im()
+        view = TextView(TextData("x"))
+        im.set_child(view)
+        assert TagsPackage(view).goto_tag("nothing") is None
+
+
+class TestSpell:
+    def test_known_words_pass(self):
+        checker = SpellChecker()
+        assert checker.check_text("the system and the user") == []
+
+    def test_misspellings_flagged_with_position(self):
+        checker = SpellChecker()
+        flagged = checker.check_text("the systme is fine")
+        assert len(flagged) == 1
+        assert flagged[0].word == "systme"
+        assert flagged[0].pos == 4
+
+    def test_suggestions_include_correction(self):
+        checker = SpellChecker()
+        flagged = checker.check_text("teh")
+        assert "the" in flagged[0].suggestions
+
+    def test_plurals_and_possessives_accepted(self):
+        checker = SpellChecker()
+        assert checker.is_known("systems")
+        assert checker.is_known("user's")
+
+    def test_add_word(self):
+        checker = SpellChecker()
+        assert not checker.is_known("wysiwyg")
+        checker.add_word("WYSIWYG")
+        assert checker.is_known("wysiwyg")
+
+    def test_load_words(self):
+        checker = SpellChecker(words=set())
+        added = checker.load_words("alpha\nbeta\n\n")
+        assert added == 2
+
+    def test_document_check_skips_embeds(self):
+        from repro.components.table import TableData
+
+        document = TextData("the table ")
+        document.append_object(TableData(1, 1))
+        checker = SpellChecker()
+        assert checker.check_document(document) == []
+
+    def test_correct_through_dataobject(self):
+        document = TextData("fix teh word")
+        checker = SpellChecker()
+        flagged = checker.check_document(document)[0]
+        checker.correct(document, flagged, "the")
+        assert document.text() == "fix the word"
+
+    def test_correct_detects_stale_position(self):
+        document = TextData("teh")
+        checker = SpellChecker()
+        flagged = checker.check_document(document)[0]
+        document.insert(0, "x")
+        with pytest.raises(ValueError):
+            checker.correct(document, flagged, "the")
+
+
+class TestStyleEditor:
+    def test_describe(self):
+        editor = StyleEditor(dict())
+        style = editor.define("shout", bold=True, size_delta=4)
+        assert describe_style(style) == "shout: bold size+4"
+
+    def test_modify_existing(self):
+        editor = StyleEditor(dict())
+        editor.define("quiet")
+        editor.modify("quiet", italic=True)
+        assert editor.get("quiet").italic
+
+    def test_modify_unknown_raises(self):
+        with pytest.raises(KeyError):
+            StyleEditor(dict()).modify("ghost", bold=True)
+
+    def test_new_definition_affects_documents(self):
+        table = {}
+        editor = StyleEditor(table)
+        editor.define("callout", indent=6)
+        from repro.components.text.styles import StyleSpan
+
+        data = TextData("indent me")
+        data.spans.append(StyleSpan(0, 9, table["callout"]))
+        assert data.styles_at(0)[0].indent == 6
+
+    def test_view_toggles_attributes(self, make_im):
+        table = {}
+        editor = StyleEditor(table)
+        editor.define("alpha")
+        im = make_im(width=30, height=5)
+        view = StyleEditorView(editor)
+        im.set_child(view)
+        view.select_index(0)
+        im.window.inject_key("b")
+        im.process_events()
+        assert table["alpha"].bold
+        im.window.inject_key("+")
+        im.process_events()
+        assert table["alpha"].size_delta == 2
+
+
+class TestFilters:
+    def test_builtin_set_present(self):
+        names = filter_names()
+        for name in ("sort", "fmt", "uniq", "upper", "rot13"):
+            assert name in names
+
+    def test_sort_preserves_trailing_newline(self):
+        assert apply_filter("sort", "b\na\n") == "a\nb\n"
+        assert apply_filter("sort", "b\na") == "a\nb"
+
+    def test_uniq(self):
+        assert apply_filter("uniq", "a\na\nb\na\n") == "a\nb\na\n"
+
+    def test_fmt_refills(self):
+        wide = "word " * 30
+        result = apply_filter("fmt", wide)
+        assert all(len(line) <= 64 for line in result.splitlines())
+
+    def test_rot13_involution(self):
+        assert apply_filter("rot13", apply_filter("rot13", "Hello")) == "Hello"
+
+    def test_unknown_filter(self):
+        with pytest.raises(KeyError):
+            apply_filter("make-coffee", "x")
+
+    def test_run_filter_on_selection(self, make_im):
+        im = make_im(width=40, height=8)
+        data = TextData("zebra\napple\nmango\n")
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        view.set_dot(0)
+        view.set_dot(data.length, extend=True)
+        run_filter(view, "sort")
+        assert data.text() == "apple\nmango\nzebra\n"
+
+    def test_run_filter_without_selection_uses_all(self, make_im):
+        im = make_im()
+        data = TextData("lower")
+        view = TextView(data)
+        im.set_child(view)
+        run_filter(view, "upper")
+        assert data.text() == "LOWER"
+
+    def test_register_custom_filter(self, make_im):
+        register_filter("stars", lambda text: text.replace(" ", "*"))
+        try:
+            assert apply_filter("stars", "a b") == "a*b"
+        finally:
+            from repro.ext.filters import _FILTERS
+
+            _FILTERS.pop("stars", None)
+
+    def test_filter_edit_visible_to_other_views(self, make_im):
+        im = make_im()
+        data = TextData("shared text")
+        first = TextView(data)
+        second = TextView(data)
+        im.set_child(first)
+        run_filter(first, "upper")
+        assert data.text() == "SHARED TEXT"
+        # The second view reads the same buffer — §2 in action.
+        assert second.data.text() == "SHARED TEXT"

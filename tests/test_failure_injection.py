@@ -1,0 +1,203 @@
+"""Failure injection: the system's behaviour when components misbehave.
+
+A toolkit serving a campus of third-party components must fail
+*contained*: a broken plugin breaks its document, not the editor; a
+corrupt stream reports a line number; a dead data object does not take
+its views down with it.
+"""
+
+import pytest
+
+from repro.class_system import (
+    ClassLoader,
+    FunctionObserver,
+    PluginSyntaxError,
+    unregister,
+)
+from repro.components import TableData, TextData, TextView
+from repro.core import (
+    DataStreamError,
+    read_document,
+    scan_extents,
+    write_document,
+)
+
+
+class TestBrokenPlugins:
+    def test_plugin_raising_at_import_reports_and_leaves_loader_usable(
+        self, tmp_path
+    ):
+        (tmp_path / "grenade.py").write_text("raise RuntimeError('boom')")
+        (tmp_path / "fine.py").write_text(
+            "from repro.class_system import ATKObject\n"
+            "class Fine(ATKObject):\n"
+            "    atk_name = 'fine'\n"
+        )
+        loader = ClassLoader(path=[tmp_path])
+        with pytest.raises(PluginSyntaxError) as excinfo:
+            loader.load("grenade")
+        assert "boom" in str(excinfo.value)
+        assert loader.load("fine") is not None  # loader still works
+        unregister("fine")
+
+    def test_component_raising_in_read_body_surfaces_cleanly(self, tmp_path):
+        (tmp_path / "fragile.py").write_text(
+            "from repro.core.dataobject import DataObject\n"
+            "class Fragile(DataObject):\n"
+            "    atk_name = 'fragile'\n"
+            "    def read_body(self, reader):\n"
+            "        raise ValueError('cannot parse my own body')\n"
+        )
+        loader = ClassLoader(path=[tmp_path])
+        stream = (
+            "\\begindata{fragile, 1}\nanything\n\\enddata{fragile, 1}\n"
+        )
+        from repro.core.datastream import DataStreamReader
+
+        with pytest.raises(ValueError):
+            DataStreamReader(stream, loader).read_object()
+        unregister("fragile")
+
+    def test_non_dataobject_type_in_stream_rejected(self, tmp_path):
+        (tmp_path / "notdata.py").write_text(
+            "from repro.class_system import ATKObject\n"
+            "class NotData(ATKObject):\n"
+            "    atk_name = 'notdata'\n"
+        )
+        loader = ClassLoader(path=[tmp_path])
+        from repro.core.datastream import DataStreamReader
+
+        stream = "\\begindata{notdata, 1}\n\\enddata{notdata, 1}\n"
+        with pytest.raises(DataStreamError) as excinfo:
+            DataStreamReader(stream, loader).read_object()
+        assert "not a data object" in str(excinfo.value)
+        unregister("notdata")
+
+
+class TestCorruptStreams:
+    def corrupt(self, mutate):
+        doc = TextData("hello\n")
+        doc.append_object(TableData(2, 2), "spread")
+        lines = write_document(doc).splitlines()
+        mutate(lines)
+        return "\n".join(lines)
+
+    def test_dropped_end_marker_reports_error(self):
+        stream = self.corrupt(lambda lines: lines.remove(
+            next(l for l in lines if l.startswith("\\enddata{table"))
+        ))
+        with pytest.raises(DataStreamError):
+            read_document(stream)
+        with pytest.raises(DataStreamError):
+            scan_extents(stream)
+
+    def test_swapped_markers_report_line_numbers(self):
+        stream = (
+            "\\begindata{text, 1}\n"
+            "\\begindata{table, 2}\n"
+            "\\enddata{text, 1}\n"
+            "\\enddata{table, 2}\n"
+        )
+        with pytest.raises(DataStreamError) as excinfo:
+            scan_extents(stream)
+        assert excinfo.value.line == 3
+
+    def test_garbage_directive_mid_body(self):
+        stream = self.corrupt(
+            lambda lines: lines.insert(2, "\\mystery{x, 9}")
+        )
+        with pytest.raises(DataStreamError):
+            read_document(stream)
+
+    def test_table_bad_cell_line(self):
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 1)
+        lines = write_document(table).splitlines()
+        lines.insert(2, "@cell zero zero n 1")
+        with pytest.raises((DataStreamError, ValueError)):
+            read_document("\n".join(lines))
+
+    def test_view_ref_to_missing_object(self):
+        stream = (
+            "\\begindata{text, 1}\n"
+            "\\view{spread, 99}\n"
+            "\\enddata{text, 1}\n"
+        )
+        with pytest.raises(DataStreamError):
+            read_document(stream)
+
+    def test_partial_recovery_by_scan(self):
+        """§5's readability goal: even with one object's body garbled,
+        the scanner still locates every extent, enabling salvage."""
+        doc = TextData("salvage me\n")
+        doc.append_object(TableData(1, 1), "spread")
+        lines = write_document(doc).splitlines()
+        # Garble the table's body (not its markers).
+        for index, line in enumerate(lines):
+            if line.startswith("@dims"):
+                lines[index] = "#### disk error ####"
+        stream = "\n".join(lines)
+        extents = scan_extents(stream)
+        assert [e.type_tag for e in extents] == ["text", "table"]
+
+
+class TestRuntimeResilience:
+    def test_view_survives_dataobject_destruction(self, make_im):
+        im = make_im()
+        data = TextData("short lived")
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        data.destroy()
+        assert view.dataobject is None
+        im.redraw()  # draws empty; must not raise
+
+    def test_observer_exception_propagates_to_mutator(self):
+        """Observers are trusted code (they are views); an exception in
+        one propagates to the caller rather than being swallowed —
+        errors should never pass silently."""
+        data = TextData("x")
+
+        def bad(change):
+            raise RuntimeError("view bug")
+
+        data.add_observer(FunctionObserver(bad))
+        with pytest.raises(RuntimeError):
+            data.insert(0, "y")
+
+    def test_unknown_embedded_view_type_placeholder(self, make_im):
+        im = make_im(width=40, height=8)
+        data = TextData("doc ")
+        data.append_object(TableData(1, 1), "viewfromthefuture")
+        view = TextView(data)
+        im.set_child(view)
+        im.redraw()  # realizes the <table> placeholder; must not raise
+        assert "<table>" in "\n".join(im.snapshot_lines())
+
+    def test_zero_sized_window_is_harmless(self, ascii_ws):
+        from repro.core import InteractionManager
+
+        im = InteractionManager(ascii_ws, width=0, height=0)
+        view = TextView(TextData("invisible"))
+        im.set_child(view)
+        im.process_events()
+        im.redraw()
+        assert im.snapshot_lines() == []
+
+    def test_one_cell_window(self, ascii_ws):
+        from repro.core import InteractionManager
+
+        im = InteractionManager(ascii_ws, width=1, height=1)
+        im.set_child(TextView(TextData("x")))
+        im.process_events()
+        im.redraw()
+        assert len(im.snapshot_lines()) == 1
+
+    def test_frame_too_small_for_divider(self, make_im):
+        from repro.components import Frame
+
+        im = make_im(width=10, height=2)  # below the 3-row minimum
+        frame = Frame(TextView(TextData("tiny")))
+        im.set_child(frame)
+        im.process_events()
+        im.redraw()  # must not raise

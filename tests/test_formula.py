@@ -1,0 +1,131 @@
+"""Tests for the spreadsheet formula engine."""
+
+import pytest
+
+from repro.components.table.formula import (
+    CellRef,
+    Formula,
+    FormulaError,
+    col_name,
+    evaluate,
+    extract_refs,
+    parse_col,
+    parse_ref,
+    ref_name,
+)
+
+
+def constant_resolver(value):
+    return lambda row, col: value
+
+
+def grid_resolver(grid):
+    return lambda row, col: grid[row][col]
+
+
+class TestRefs:
+    def test_col_name_roundtrip(self):
+        for col in (0, 1, 25, 26, 27, 51, 52, 701, 702):
+            assert parse_col(col_name(col)) == col
+
+    def test_ref_name_examples(self):
+        assert ref_name(0, 0) == "A1"
+        assert ref_name(11, 1) == "B12"
+        assert ref_name(0, 26) == "AA1"
+
+    def test_parse_ref(self):
+        ref = parse_ref("C7")
+        assert (ref.row, ref.col) == (6, 2)
+        assert parse_ref("aa10") == CellRef(9, 26)
+
+    def test_parse_ref_rejects_garbage(self):
+        for bad in ("", "7", "A", "A0B", "1A"):
+            with pytest.raises(FormulaError):
+                parse_ref(bad)
+
+
+class TestEvaluation:
+    def test_arithmetic_precedence(self):
+        resolve = constant_resolver(0)
+        assert evaluate("=1+2*3", resolve) == 7
+        assert evaluate("=(1+2)*3", resolve) == 9
+        assert evaluate("=10-4-3", resolve) == 3
+        assert evaluate("=2^3^2", resolve) == 512  # right associative
+        assert evaluate("=-3+5", resolve) == 2
+        assert evaluate("=7/2", resolve) == 3.5
+
+    def test_leading_equals_optional(self):
+        assert evaluate("1+1", constant_resolver(0)) == 2
+
+    def test_cell_references(self):
+        grid = [[1, 2], [3, 4]]
+        assert evaluate("=A1+B2", grid_resolver(grid)) == 5
+
+    def test_range_functions(self):
+        grid = [[1, 2], [3, 4]]
+        resolve = grid_resolver(grid)
+        assert evaluate("=SUM(A1:B2)", resolve) == 10
+        assert evaluate("=AVG(A1:B2)", resolve) == 2.5
+        assert evaluate("=MIN(A1:B2)", resolve) == 1
+        assert evaluate("=MAX(A1:B2)", resolve) == 4
+        assert evaluate("=COUNT(A1:B2)", resolve) == 4
+
+    def test_function_with_mixed_args(self):
+        grid = [[1, 2], [3, 4]]
+        assert evaluate("=SUM(A1:A2, 10, B1)", grid_resolver(grid)) == 16
+
+    def test_functions_case_insensitive(self):
+        assert evaluate("=sum(1, 2)", constant_resolver(0)) == 3
+
+    def test_abs_sqrt(self):
+        resolve = constant_resolver(0)
+        assert evaluate("=ABS(0-5)", resolve) == 5
+        assert evaluate("=SQRT(9)", resolve) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(FormulaError):
+            evaluate("=1/0", constant_resolver(0))
+
+    def test_range_outside_function_rejected(self):
+        with pytest.raises(FormulaError):
+            evaluate("=A1:B2+1", constant_resolver(0))
+
+    def test_empty_function_args(self):
+        assert evaluate("=SUM()", constant_resolver(0)) == 0
+        assert evaluate("=COUNT()", constant_resolver(0)) == 0
+
+    def test_abs_requires_single_arg(self):
+        with pytest.raises(FormulaError):
+            evaluate("=ABS(1, 2)", constant_resolver(0))
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("source", [
+        "=", "=1+", "=(1", "=1)", "=FOO(1)", "=A1:", "=1 2", "=$B$2",
+        "=SUM(1,", "=..",
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(FormulaError):
+            Formula(source)
+
+
+class TestDependencies:
+    def test_extract_refs_plain(self):
+        refs = extract_refs("=A1+B2*C3")
+        assert refs == {CellRef(0, 0), CellRef(1, 1), CellRef(2, 2)}
+
+    def test_extract_refs_expands_ranges(self):
+        refs = extract_refs("=SUM(A1:B2)")
+        assert refs == {CellRef(0, 0), CellRef(0, 1),
+                        CellRef(1, 0), CellRef(1, 1)}
+
+    def test_extract_refs_nested(self):
+        refs = extract_refs("=-(A1)+SUM(B1, MAX(C1:C2))")
+        names = {ref_name(r.row, r.col) for r in refs}
+        assert names == {"A1", "B1", "C1", "C2"}
+
+    def test_formula_reusable(self):
+        formula = Formula("=A1*2")
+        assert formula.evaluate(constant_resolver(3)) == 6
+        assert formula.evaluate(constant_resolver(5)) == 10
+        assert formula.source == "=A1*2"

@@ -1,0 +1,107 @@
+"""Tests for the geometric-router baseline and its §3 failure cases."""
+
+import pytest
+
+from repro.baselines import GeometricRouter
+from repro.components import Frame, GRAB_SLOP, TextData, TextView
+from repro.components.drawing import DrawView, DrawingData, LineShape
+from repro.graphics import Point, Rect
+from repro.wm.events import MouseAction, MouseEvent
+
+
+def mouse(x, y, action=MouseAction.DOWN):
+    return MouseEvent(action, Point(x, y))
+
+
+def test_geometric_routing_picks_deepest_rect(make_im):
+    im = make_im(width=30, height=10)
+    frame = Frame(TextView(TextData("hello")))
+    im.set_child(frame)
+    im.process_events()
+    router = GeometricRouter(frame)
+    target = router.target_at(Point(5, 2))
+    assert isinstance(target, TextView)
+
+
+def test_geometric_router_fails_line_over_text(make_im):
+    """§3: geometry sends the click to the text; parental routing to
+    the line."""
+    im = make_im(width=40, height=12)
+    drawing = DrawingData(40, 12)
+    drawing.add_text(Rect(5, 2, 20, 3), TextData("under the line"))
+    line = drawing.add_shape(LineShape(0, 4, 35, 4))
+    view = DrawView(drawing)
+    im.set_child(view)
+    im.process_events()
+
+    router = GeometricRouter(view)
+    geometric_target = router.target_at(Point(10, 4))
+    assert isinstance(geometric_target, TextView)  # wrong: it's the line
+
+    handled = view.dispatch_mouse(mouse(10, 4))
+    assert handled is view  # right: the drawing claims the line click
+    assert view.selected is line
+
+
+def test_geometric_router_fails_divider_grab(make_im):
+    """§3: the frame's enlarged grab zone overlaps the children."""
+    im = make_im(width=30, height=10)
+    body = TextView(TextData("x\n" * 20))
+    frame = Frame(body)
+    im.set_child(frame)
+    im.process_events()
+    probe = Point(5, frame.divider_row - GRAB_SLOP)  # inside the body rect
+
+    router = GeometricRouter(frame)
+    assert router.target_at(probe) is body        # geometry: the body
+
+    handled = frame.dispatch_mouse(mouse(probe.x, probe.y))
+    assert handled is frame                       # parental: the frame
+    assert frame.divider_grabs == 1
+
+
+def test_routers_agree_on_plain_cases(make_im):
+    im = make_im(width=30, height=12)
+    body = TextView(TextData("plain text"))
+    frame = Frame(body)
+    im.set_child(frame)
+    im.process_events()
+    router = GeometricRouter(frame)
+    # Far from the divider both models give the text view.
+    assert router.target_at(Point(4, 1)) is body
+    assert frame.dispatch_mouse(mouse(4, 1)) is body
+
+
+def test_dispatch_translates_coordinates(make_im):
+    im = make_im(width=30, height=10)
+    received = []
+
+    from repro.core import View
+
+    class Probe(View):
+        atk_register = False
+
+        def handle_mouse(self, event):
+            received.append(tuple(event.point))
+            return True
+
+    root = View()
+    im.set_child(root)
+    probe = Probe()
+    root.add_child(probe, Rect(10, 3, 5, 5))
+    router = GeometricRouter(root)
+    router.dispatch(mouse(12, 4))
+    assert received == [(2, 1)]
+    assert router.dispatch_count == 1
+
+
+def test_empty_rect_views_invisible_to_router(make_im):
+    im = make_im()
+    from repro.core import View
+
+    root = View()
+    im.set_child(root)
+    hidden = View()
+    root.add_child(hidden, Rect(0, 0, 0, 0))
+    router = GeometricRouter(root)
+    assert router.target_at(Point(0, 0)) is root

@@ -1,0 +1,129 @@
+"""Tests for geometry primitives."""
+
+import pytest
+
+from repro.graphics import Point, Rect, Region
+
+
+class TestPoint:
+    def test_immutability(self):
+        point = Point(1, 2)
+        with pytest.raises(AttributeError):
+            point.x = 5
+
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2).offset(10, 20) == Point(11, 22)
+
+    def test_hash_and_unpack(self):
+        assert len({Point(1, 2), Point(1, 2)}) == 1
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+
+class TestRect:
+    def test_derived_edges(self):
+        rect = Rect(2, 3, 10, 5)
+        assert rect.right == 12
+        assert rect.bottom == 8
+        assert rect.center == Point(7, 5)
+        assert rect.area == 50
+
+    def test_from_corners_any_order(self):
+        assert Rect.from_corners(5, 7, 1, 2) == Rect(1, 2, 4, 5)
+
+    def test_contains_point_half_open(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(3, 3))
+        assert not rect.contains_point(Point(4, 0))
+        assert not rect.contains_point(Point(0, 4))
+
+    def test_empty_rect_contains_nothing(self):
+        assert not Rect(5, 5, 0, 3).contains_point(Point(5, 5))
+        assert Rect(5, 5, 0, 3).is_empty()
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 3, 3))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(8, 8, 5, 5))
+        assert outer.contains_rect(Rect.empty())  # the view-tree case
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersection(b) == Rect(5, 5, 5, 5)
+        assert a.intersection(Rect(20, 20, 5, 5)).is_empty()
+
+    def test_union(self):
+        assert Rect(0, 0, 2, 2).union(Rect(5, 5, 2, 2)) == Rect(0, 0, 7, 7)
+        assert Rect(0, 0, 2, 2).union(Rect.empty()) == Rect(0, 0, 2, 2)
+
+    def test_inset_and_negative_inset(self):
+        rect = Rect(2, 2, 10, 10)
+        assert rect.inset(1, 2) == Rect(3, 4, 8, 6)
+        assert rect.inset(-1, -1) == Rect(1, 1, 12, 12)  # the grab zone
+
+    def test_difference_disjoint_returns_self(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.difference(Rect(10, 10, 2, 2)) == [rect]
+
+    def test_difference_covering_returns_empty(self):
+        assert Rect(1, 1, 2, 2).difference(Rect(0, 0, 10, 10)) == []
+
+    def test_difference_pieces_are_disjoint_and_cover(self):
+        rect = Rect(0, 0, 10, 10)
+        hole = Rect(3, 3, 4, 4)
+        pieces = rect.difference(hole)
+        assert sum(p.area for p in pieces) == rect.area - hole.area
+        for i, a in enumerate(pieces):
+            assert not a.intersects(hole)
+            for b in pieces[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_empty_rects_compare_equal(self):
+        assert Rect(1, 1, 0, 5) == Rect(9, 9, 3, 0)
+
+    def test_points_iteration(self):
+        points = list(Rect(1, 1, 2, 2).points())
+        assert points == [Point(1, 1), Point(2, 1), Point(1, 2), Point(2, 2)]
+
+
+class TestRegion:
+    def test_add_overlapping_keeps_area_correct(self):
+        region = Region()
+        region.add(Rect(0, 0, 4, 4))
+        region.add(Rect(2, 2, 4, 4))
+        assert region.area == 16 + 16 - 4
+        region.check_invariants()
+
+    def test_add_contained_rect_is_noop_on_area(self):
+        region = Region.from_rect(Rect(0, 0, 10, 10))
+        region.add(Rect(3, 3, 2, 2))
+        assert region.area == 100
+        region.check_invariants()
+
+    def test_subtract_punches_hole(self):
+        region = Region.from_rect(Rect(0, 0, 10, 10))
+        region.subtract(Rect(3, 3, 4, 4))
+        assert region.area == 84
+        assert not region.contains_point(Point(4, 4))
+        assert region.contains_point(Point(0, 0))
+        region.check_invariants()
+
+    def test_intersect_rect_clips(self):
+        region = Region.from_rect(Rect(0, 0, 10, 10))
+        clipped = region.intersect_rect(Rect(5, 5, 10, 10))
+        assert clipped.area == 25
+        assert clipped.bounding_box() == Rect(5, 5, 5, 5)
+
+    def test_region_equality_is_pointwise(self):
+        a = Region([Rect(0, 0, 2, 1), Rect(0, 1, 2, 1)])
+        b = Region([Rect(0, 0, 1, 2), Rect(1, 0, 1, 2)])
+        assert a == b
+
+    def test_bounding_box_of_empty_region_is_empty(self):
+        assert Region().bounding_box().is_empty()
+        assert Region().is_empty()

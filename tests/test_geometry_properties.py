@@ -1,0 +1,101 @@
+"""Property-based tests for geometry invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphics import Point, Rect, Region
+
+coords = st.integers(min_value=-50, max_value=50)
+sizes = st.integers(min_value=0, max_value=40)
+rects = st.builds(Rect, coords, coords, sizes, sizes)
+points = st.builds(Point, coords, coords)
+
+
+@given(rects, rects)
+def test_intersection_commutes(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(rects, rects)
+def test_intersection_contained_in_both(a, b):
+    inter = a.intersection(b)
+    assert a.contains_rect(inter)
+    assert b.contains_rect(inter)
+
+
+@given(rects, rects)
+def test_union_contains_both(a, b):
+    union = a.union(b)
+    assert union.contains_rect(a)
+    assert union.contains_rect(b)
+
+
+@given(rects, rects, points)
+def test_intersection_pointwise_semantics(a, b, p):
+    inside = a.contains_point(p) and b.contains_point(p)
+    assert a.intersection(b).contains_point(p) == inside
+
+
+@given(rects, rects, points)
+def test_difference_pointwise_semantics(a, b, p):
+    pieces = a.difference(b)
+    in_pieces = any(piece.contains_point(p) for piece in pieces)
+    expected = a.contains_point(p) and not b.contains_point(p)
+    assert in_pieces == expected
+
+
+@given(rects, rects)
+def test_difference_area_conservation(a, b):
+    pieces = a.difference(b)
+    assert sum(p.area for p in pieces) == a.area - a.intersection(b).area
+    for i, first in enumerate(pieces):
+        for second in pieces[i + 1:]:
+            assert not first.intersects(second)
+
+
+@given(rects, coords, coords)
+def test_offset_preserves_size(rect, dx, dy):
+    moved = rect.offset(dx, dy)
+    assert (moved.width, moved.height) == (rect.width, rect.height)
+
+
+@settings(max_examples=50)
+@given(st.lists(rects, max_size=6))
+def test_region_invariants_after_adds(rect_list):
+    region = Region()
+    for rect in rect_list:
+        region.add(rect)
+        region.check_invariants()
+    # Area equals the area of the pointwise union.
+    box = region.bounding_box()
+    brute = 0
+    for p in box.points():
+        if any(r.contains_point(p) for r in rect_list):
+            brute += 1
+    assert region.area == brute
+
+
+@settings(max_examples=50)
+@given(st.lists(rects, min_size=1, max_size=4), rects, points)
+def test_region_subtract_pointwise(rect_list, hole, probe):
+    region = Region()
+    for rect in rect_list:
+        region.add(rect)
+    region.subtract(hole)
+    region.check_invariants()
+    expected = (
+        any(r.contains_point(probe) for r in rect_list)
+        and not hole.contains_point(probe)
+    )
+    assert region.contains_point(probe) == expected
+
+
+@given(rects, rects)
+def test_region_union_order_independent(a, b):
+    first = Region()
+    first.add(a)
+    first.add(b)
+    second = Region()
+    second.add(b)
+    second.add(a)
+    assert first == second

@@ -1,0 +1,160 @@
+"""Tests for the drawable (paper section 4), via the ascii backend."""
+
+import pytest
+
+from repro.graphics import Bitmap, FontDesc, Point, Rect, TransferMode
+from repro.wm.ascii_ws import AsciiGraphic, CellSurface
+
+
+def make_graphic(width=20, height=8):
+    surface = CellSurface(width, height)
+    return AsciiGraphic(surface), surface
+
+
+def test_clear_erases_everything():
+    graphic, surface = make_graphic()
+    graphic.fill_rect(Rect(0, 0, 5, 5), 1)
+    graphic.clear()
+    assert all(line.strip() == "" for line in surface.lines())
+
+
+def test_fill_rect_clips_to_device():
+    graphic, surface = make_graphic(4, 4)
+    graphic.fill_rect(Rect(2, 2, 10, 10), 1)
+    assert surface.char_at(3, 3) == "#"
+    assert surface.char_at(1, 1) == " "
+
+
+def test_hline_vline_make_box_drawing_chars():
+    graphic, surface = make_graphic()
+    graphic.draw_hline(0, 5, 2)
+    graphic.draw_vline(3, 0, 4)
+    assert surface.char_at(1, 2) == "-"
+    assert surface.char_at(3, 1) == "|"
+    assert surface.char_at(3, 2) == "+"  # the crossing
+
+
+def test_draw_rect_outline():
+    graphic, surface = make_graphic()
+    graphic.draw_rect(Rect(1, 1, 5, 3))
+    assert surface.char_at(2, 1) == "-"
+    assert surface.char_at(1, 2) == "|"
+    assert surface.char_at(3, 2) == " "  # hollow
+
+
+def test_diagonal_line_uses_pixels():
+    graphic, surface = make_graphic()
+    graphic.draw_line(0, 0, 4, 4)
+    for i in range(5):
+        assert surface.char_at(i, i) == "#"
+
+
+def test_line_to_moves_current_point():
+    graphic, surface = make_graphic()
+    graphic.move_to(1, 1)
+    graphic.line_to(1, 4)
+    assert graphic.state.current_point == Point(1, 4)
+    assert surface.char_at(1, 3) == "|"
+
+
+def test_draw_string_and_clipping():
+    graphic, surface = make_graphic(8, 3)
+    graphic.draw_string(5, 1, "HELLO")
+    assert surface.char_at(5, 1) == "H"
+    assert surface.char_at(7, 1) == "L"
+    # Glyphs beyond the clip are dropped, not wrapped.
+    assert surface.char_at(0, 2) == " "
+
+
+def test_draw_string_outside_vertical_clip_is_dropped():
+    graphic, surface = make_graphic(8, 3)
+    graphic.draw_string(0, 9, "HIDDEN")
+    assert all(line.strip() == "" for line in surface.lines())
+
+
+def test_draw_string_centered():
+    graphic, surface = make_graphic(11, 3)
+    graphic.draw_string_centered(Rect(0, 0, 11, 3), "abc")
+    assert surface.char_at(4, 1) == "a"
+
+
+def test_invert_rect_marks_inverse_attribute():
+    graphic, surface = make_graphic()
+    graphic.invert_rect(Rect(0, 0, 2, 1))
+    assert surface.inverse_at(0, 0)
+    graphic.invert_rect(Rect(0, 0, 2, 1))
+    assert not surface.inverse_at(0, 0)  # self-inverse
+
+
+def test_transfer_mode_invert_through_fill():
+    graphic, surface = make_graphic()
+    graphic.set_transfer_mode(TransferMode.INVERT)
+    graphic.fill_rect(Rect(0, 0, 1, 1))
+    assert surface.inverse_at(0, 0)
+
+
+def test_child_translates_coordinates():
+    graphic, surface = make_graphic()
+    child = graphic.child(Rect(5, 2, 10, 4))
+    child.draw_string(0, 0, "X")
+    assert surface.char_at(5, 2) == "X"
+
+
+def test_child_cannot_draw_outside_allocation():
+    graphic, surface = make_graphic()
+    child = graphic.child(Rect(5, 2, 4, 2))
+    child.fill_rect(Rect(-5, -5, 100, 100), 1)
+    assert surface.char_at(4, 2) == " "
+    assert surface.char_at(5, 4) == " "
+    assert surface.char_at(5, 2) == "#"
+
+
+def test_grandchild_clip_is_intersection():
+    graphic, _surface = make_graphic()
+    child = graphic.child(Rect(2, 2, 10, 4))
+    grandchild = child.child(Rect(5, 0, 20, 20))
+    assert grandchild.clip == Rect(7, 2, 5, 4)
+
+
+def test_child_bounds_property():
+    graphic, _surface = make_graphic()
+    child = graphic.child(Rect(3, 1, 6, 4))
+    assert child.bounds == Rect(0, 0, 6, 4)
+
+
+def test_draw_bitmap_places_ink():
+    graphic, surface = make_graphic()
+    graphic.draw_bitmap(Bitmap.from_rows(["*.", ".*"]), 2, 2)
+    assert surface.char_at(2, 2) == "#"
+    assert surface.char_at(3, 3) == "#"
+    assert surface.char_at(3, 2) == " "
+
+
+def test_draw_bitmap_clipped_by_child():
+    graphic, surface = make_graphic()
+    child = graphic.child(Rect(0, 0, 3, 3))
+    child.draw_bitmap(Bitmap.from_rows(["****"]), 1, 1)
+    assert surface.char_at(1, 1) == "#"
+    assert surface.char_at(3, 1) == " "
+
+
+def test_ellipse_stays_in_rect():
+    graphic, surface = make_graphic(20, 10)
+    graphic.draw_ellipse(Rect(2, 2, 12, 6))
+    for y in range(10):
+        for x in range(20):
+            if surface.char_at(x, y) != " ":
+                assert 2 <= x < 14 and 2 <= y < 8
+
+
+def test_bold_font_sets_bold_attribute():
+    graphic, surface = make_graphic()
+    graphic.set_font(FontDesc("andy", 12, ("bold",)))
+    graphic.draw_string(0, 0, "B")
+    assert surface.bold_at(0, 0)
+
+
+def test_tab_in_draw_string_advances_four_cells():
+    graphic, surface = make_graphic()
+    graphic.draw_string(0, 0, "\tX")
+    assert surface.char_at(4, 0) == "X"

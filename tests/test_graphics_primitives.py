@@ -1,0 +1,185 @@
+"""Tests for colors, fonts, bitmaps, and the mini bitmap font."""
+
+import pytest
+
+from repro.graphics import (
+    BLACK,
+    Bitmap,
+    Color,
+    FontDesc,
+    FontMetrics,
+    GLYPH_HEIGHT,
+    GLYPH_WIDTH,
+    Rect,
+    WHITE,
+    glyph_bitmap,
+    named_color,
+    render_text,
+)
+
+
+class TestColor:
+    def test_bit_projection(self):
+        assert BLACK.bit() == 1
+        assert WHITE.bit() == 0
+        assert Color(250, 250, 240).bit() == 0
+        assert Color(20, 20, 40).bit() == 1
+
+    def test_inverted(self):
+        assert BLACK.inverted() == WHITE
+        assert Color(10, 20, 30).inverted() == Color(245, 235, 225)
+
+    def test_component_range_checked(self):
+        with pytest.raises(ValueError):
+            Color(0, 0, 300)
+
+    def test_named_colors(self):
+        assert named_color("black") == BLACK
+        assert named_color("Grey") == named_color("gray")
+        with pytest.raises(KeyError):
+            named_color("chartreuse")
+
+
+class TestFontDesc:
+    def test_spec_roundtrip(self):
+        font = FontDesc("andy", 12, ("bold", "italic"))
+        assert font.spec() == "andy12bi"
+        assert FontDesc.from_spec("andy12bi") == font
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FontDesc.from_spec("12")
+        with pytest.raises(ValueError):
+            FontDesc.from_spec("andy12z")
+
+    def test_with_and_without_styles(self):
+        font = FontDesc("andy", 12)
+        bold = font.with_styles("bold")
+        assert bold.bold and not font.bold
+        assert bold.without_styles("bold") == font
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            FontDesc("andy", 12, ("blinking",))
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FontDesc("andy", 0)
+
+    def test_hashable(self):
+        assert len({FontDesc("andy", 12), FontDesc("andy", 12)}) == 1
+
+
+class TestFontMetrics:
+    def test_string_width_counts_tabs_as_four(self):
+        metrics = FontMetrics(FontDesc(), char_width=2, ascent=3, descent=1)
+        assert metrics.string_width("ab") == 4
+        assert metrics.string_width("a\tb") == (2 + 4) * 2
+        assert metrics.height == 4
+
+    def test_chars_that_fit(self):
+        metrics = FontMetrics(FontDesc(), char_width=3, ascent=1, descent=0)
+        assert metrics.chars_that_fit("hello", 9) == 3
+        assert metrics.chars_that_fit("hello", 100) == 5
+        assert metrics.chars_that_fit("hello", 2) == 0
+
+
+class TestBitmap:
+    def test_set_get_and_bounds(self):
+        bitmap = Bitmap(4, 3)
+        bitmap.set(2, 1)
+        assert bitmap.get(2, 1) == 1
+        assert bitmap.get(0, 0) == 0
+        assert bitmap.bounds == Rect(0, 0, 4, 3)
+
+    def test_out_of_bounds_raises_but_safe_variants_do_not(self):
+        bitmap = Bitmap(2, 2)
+        with pytest.raises(IndexError):
+            bitmap.get(5, 5)
+        assert bitmap.get_safe(5, 5) == 0
+        bitmap.set_safe(5, 5)  # silently ignored
+
+    def test_invert(self):
+        bitmap = Bitmap(2, 2)
+        bitmap.set(0, 0)
+        bitmap.invert()
+        assert bitmap.get(0, 0) == 0
+        assert bitmap.ink_count() == 3
+
+    def test_fill_and_invert_rect_clip(self):
+        bitmap = Bitmap(4, 4)
+        bitmap.fill_rect(Rect(2, 2, 10, 10))
+        assert bitmap.ink_count() == 4
+        bitmap.invert_rect(Rect(0, 0, 100, 100))
+        assert bitmap.ink_count() == 12
+
+    def test_rows_roundtrip(self):
+        rows = ["*.*", ".*.", "**."]
+        bitmap = Bitmap.from_rows(rows)
+        assert bitmap.to_rows() == rows
+
+    def test_from_rows_pads_short_rows(self):
+        bitmap = Bitmap.from_rows(["*", "**"])
+        assert bitmap.width == 2
+        assert bitmap.to_rows() == ["*.", "**"]
+
+    def test_crop(self):
+        bitmap = Bitmap.from_rows(["****", "*..*", "****"])
+        cropped = bitmap.crop(Rect(1, 1, 2, 2))
+        assert cropped.to_rows() == ["..", "**"]
+
+    def test_scaled_preserves_structure(self):
+        bitmap = Bitmap.from_rows(["*.", ".*"])
+        doubled = bitmap.scaled(4, 4)
+        assert doubled.to_rows() == ["**..", "**..", "..**", "..**"]
+
+    def test_blit_modes(self):
+        base = Bitmap.from_rows(["**", ".."])
+        stamp = Bitmap.from_rows(["*.", "*."])
+        copy = base.copy()
+        copy.blit(stamp, 0, 0, mode="or")
+        assert copy.to_rows() == ["**", "*."]
+        copy = base.copy()
+        copy.blit(stamp, 0, 0, mode="and")
+        assert copy.to_rows() == ["*.", ".."]
+        copy = base.copy()
+        copy.blit(stamp, 0, 0, mode="xor")
+        assert copy.to_rows() == [".*", "*."]
+
+    def test_blit_clips_offscreen(self):
+        base = Bitmap(3, 3)
+        base.blit(Bitmap.from_rows(["**", "**"]), 2, 2)
+        assert base.ink_count() == 1
+        assert base.get(2, 2) == 1
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitmap(1, 1))
+
+
+class TestMinifont:
+    def test_glyph_dimensions(self):
+        glyph = glyph_bitmap("A")
+        assert (glyph.width, glyph.height) == (GLYPH_WIDTH, GLYPH_HEIGHT)
+
+    def test_distinct_letters_have_distinct_shapes(self):
+        assert glyph_bitmap("A") != glyph_bitmap("B")
+
+    def test_lowercase_falls_back_to_uppercase(self):
+        assert glyph_bitmap("a") == glyph_bitmap("A")
+
+    def test_unknown_char_gets_fallback_box(self):
+        assert glyph_bitmap("é").ink_count() > 0
+
+    def test_scaling(self):
+        assert glyph_bitmap("X", 2).width == 2 * GLYPH_WIDTH
+
+    def test_render_text_produces_ink(self):
+        image = render_text("HELLO")
+        assert image.ink_count() > 0
+        assert image.height == GLYPH_HEIGHT
+
+    def test_render_text_tab_advances(self):
+        with_tab = render_text("\tA")
+        plain = render_text("A")
+        assert with_tab.width > plain.width

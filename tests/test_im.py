@@ -1,0 +1,337 @@
+"""Tests for the interaction manager (paper section 3)."""
+
+import pytest
+
+from repro.core import InteractionManager, View
+from repro.core.keymap import Keymap
+from repro.graphics import Point, Rect
+from repro.wm.base import Cursor
+from repro.wm.events import MouseAction
+
+
+class Typist(View):
+    """Records keys through its keymap."""
+
+    atk_register = False
+
+    def __init__(self):
+        super().__init__()
+        self.typed = []
+        self.keymap.bind_printables(
+            lambda view, key: self.typed.append(key.char)
+        )
+
+
+class TestEventLoop:
+    def test_process_events_counts(self, make_im):
+        im = make_im()
+        im.set_child(View())
+        im.window.inject_key("a")
+        im.window.inject_key("b")
+        assert im.process_events() == 2
+
+    def test_process_events_limit(self, make_im):
+        im = make_im()
+        im.set_child(View())
+        for _ in range(5):
+            im.window.inject_key("x")
+        assert im.process_events(limit=2) == 2
+        assert im.window.pending_events() == 3
+
+
+class TestMouseGrab:
+    def test_drag_follows_accepting_view(self, make_im):
+        im = make_im()
+        root = View()
+        im.set_child(root)
+
+        class Grabby(View):
+            atk_register = False
+
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def handle_mouse(self, event):
+                self.seen.append((event.action, tuple(event.point)))
+                return True
+
+        grabby = Grabby()
+        root.add_child(grabby, Rect(10, 5, 10, 5))
+        im.process_events()
+        # Press inside; drag far outside the view: the grab holds.
+        im.window.inject_mouse(MouseAction.DOWN, 12, 6)
+        im.window.inject_mouse(MouseAction.DRAG, 50, 17)
+        im.window.inject_mouse(MouseAction.UP, 50, 17)
+        im.process_events()
+        actions = [a for a, _ in grabby.seen]
+        assert actions == [MouseAction.DOWN, MouseAction.DRAG, MouseAction.UP]
+        # Drag coordinates are in the grab view's space even off-view.
+        assert grabby.seen[1][1] == (40, 12)
+
+    def test_grab_released_after_up(self, make_im):
+        im = make_im()
+        root = View()
+        im.set_child(root)
+        im.window.inject_mouse(MouseAction.DOWN, 1, 1)
+        im.window.inject_mouse(MouseAction.UP, 1, 1)
+        im.process_events()
+        assert im._grab is None
+
+
+class TestKeyboard:
+    def test_focus_receives_keys(self, make_im):
+        im = make_im()
+        typist = Typist()
+        im.set_child(typist)
+        im.window.inject_keys("hi")
+        im.process_events()
+        assert typist.typed == ["h", "i"]
+
+    def test_unhandled_keys_bubble_to_ancestors(self, make_im):
+        im = make_im()
+        parent = Typist()
+        child = View()  # no bindings at all
+        im.set_child(parent)
+        parent.add_child(child, Rect(0, 0, 5, 5))
+        im.set_focus(child)
+        im.window.inject_keys("z")
+        im.process_events()
+        assert parent.typed == ["z"]
+
+    def test_chord_prefix_resolves_across_events(self, make_im):
+        im = make_im()
+        view = View()
+        fired = []
+        view.keymap.bind_chord(("C-x", "C-s"), lambda v, k: fired.append("save"))
+        im.set_child(view)
+        im.window.inject_key("x", ctrl=True)
+        im.window.inject_key("s", ctrl=True)
+        im.process_events()
+        assert fired == ["save"]
+
+    def test_bad_chord_suffix_resets_pending(self, make_im):
+        im = make_im()
+        view = Typist()
+        view.keymap.bind_chord(("C-x", "C-s"), lambda v, k: None)
+        im.set_child(view)
+        im.window.inject_key("x", ctrl=True)
+        im.window.inject_key("q")       # not bound in the prefix map
+        im.window.inject_key("a")       # back to normal typing
+        im.process_events()
+        assert view.typed == ["a"]
+
+    def test_focus_change_clears_pending_prefix(self, make_im):
+        im = make_im()
+        view = Typist()
+        view.keymap.bind_chord(("C-x", "C-s"), lambda v, k: None)
+        other = Typist()
+        im.set_child(view)
+        view.add_child(other, Rect(0, 0, 5, 5))
+        im.window.inject_key("x", ctrl=True)
+        im.process_events()
+        im.set_focus(other)
+        im.window.inject_key("s", ctrl=True)
+        im.process_events()
+        assert im._pending_keymap is None
+
+    def test_focus_hooks_fire(self, make_im):
+        im = make_im()
+        events = []
+
+        class Hooked(View):
+            atk_register = False
+
+            def __init__(self, name):
+                super().__init__()
+                self.name = name
+
+            def focus_gained(self):
+                events.append(f"+{self.name}")
+
+            def focus_lost(self):
+                events.append(f"-{self.name}")
+
+        a, b = Hooked("a"), Hooked("b")
+        im.set_child(a)
+        a.add_child(b, Rect(0, 0, 5, 5))
+        im.set_focus(b)
+        assert events == ["+a", "-a", "+b"]
+
+    def test_ancestor_can_veto_focus(self, make_im):
+        im = make_im()
+
+        class Guardian(View):
+            atk_register = False
+
+            def allow_child_focus(self, child):
+                return False
+
+        root = Guardian()
+        child = View()
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 5, 5))
+        assert child.want_input_focus() is False
+        assert im.focus is root
+
+
+class TestMenus:
+    def test_menu_set_merges_focus_chain(self, make_im):
+        im = make_im()
+        root = View()
+        root.menu_card("File").add("Quit", lambda v, e: None)
+        child = View()
+        child.menu_card("Edit").add("Cut", lambda v, e: None)
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 5, 5))
+        im.set_focus(child)
+        menus = im.menu_set()
+        assert set(menus.card_names()) == {"File", "Edit"}
+
+    def test_child_shadows_parent_item(self, make_im):
+        im = make_im()
+        calls = []
+        root = View()
+        root.menu_card("File").add("Save", lambda v, e: calls.append("root"))
+        child = View()
+        child.menu_card("File").add("Save", lambda v, e: calls.append("child"))
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 5, 5))
+        im.set_focus(child)
+        im.menu_set().dispatch_event = None  # not used; dispatch via IM
+        im.window.inject_menu("File", "Save")
+        im.process_events()
+        assert calls == ["child"]
+
+    def test_menu_event_bubbles_to_parent(self, make_im):
+        im = make_im()
+        calls = []
+        root = View()
+        root.menu_card("File").add("Quit", lambda v, e: calls.append("quit"))
+        child = View()
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 5, 5))
+        im.set_focus(child)
+        im.window.inject_menu("File", "Quit")
+        im.process_events()
+        assert calls == ["quit"]
+
+
+class TestUpdates:
+    def test_damage_is_coalesced_per_view(self, make_im):
+        im = make_im()
+        view = View()
+        im.set_child(view)
+        im.flush_updates()
+        view.want_update(Rect(0, 0, 2, 2))
+        view.want_update(Rect(5, 5, 2, 2))
+        assert len(im.updates) == 1
+        assert im.flush_updates() == 1
+
+    def test_flush_repaints_only_damaged_region(self, make_im):
+        im = make_im()
+
+        class Painter(View):
+            atk_register = False
+
+            def draw(self, graphic):
+                graphic.fill_rect(Rect(0, 0, self.width, self.height), 1)
+
+        view = Painter()
+        im.set_child(view)
+        im.process_events()
+        # Manually blank the window, then damage a small rect.
+        im.window.surface.put(0, 0, "?")
+        view.want_update(Rect(5, 5, 2, 2))
+        im.flush_updates()
+        # The cell outside the damage was not repainted.
+        assert im.window.surface.char_at(0, 0) == "?"
+        assert im.window.surface.char_at(5, 5) == "#"
+
+    def test_resize_relays_to_child_bounds(self, make_im):
+        im = make_im()
+        view = View()
+        im.set_child(view)
+        im.window.resize(33, 9)
+        im.process_events()
+        assert view.bounds == Rect(0, 0, 33, 9)
+
+    def test_view_unlinked_clears_its_damage_and_focus(self, make_im):
+        im = make_im()
+        root = View()
+        child = View()
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 5, 5))
+        im.set_focus(child)
+        child.want_update()
+        root.remove_child(child)
+        assert im.focus is root
+        assert child not in im.updates.pending_views()
+
+
+class TestCursorArbitration:
+    def test_child_cursor_shows_through(self, make_im):
+        im = make_im()
+        root = View()
+        child = View()
+        child.cursor = Cursor("ibeam")
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 10, 10))
+        im.window.inject_mouse(MouseAction.MOVE, 3, 3)
+        im.process_events()
+        assert im.window.cursor == Cursor("ibeam")
+
+    def test_parent_override_beats_child(self, make_im):
+        im = make_im()
+
+        class Overrider(View):
+            atk_register = False
+
+            def cursor_for(self, point):
+                return Cursor("wait")
+
+        root = Overrider()
+        child = View()
+        child.cursor = Cursor("ibeam")
+        im.set_child(root)
+        root.add_child(child, Rect(0, 0, 10, 10))
+        im.window.inject_mouse(MouseAction.MOVE, 3, 3)
+        im.process_events()
+        assert im.window.cursor == Cursor("wait")
+
+
+class TestTimers:
+    def test_tick_delivers_to_subscribers(self, make_im):
+        im = make_im()
+        ticks = []
+
+        class Clock(View):
+            atk_register = False
+
+            def handle_timer(self, event):
+                ticks.append(event.tick)
+
+        clock = Clock()
+        im.set_child(clock)
+        im.add_timer_subscriber(clock)
+        im.tick(3)
+        im.process_events()
+        assert ticks == [1, 2, 3]
+
+    def test_unsubscribe_stops_delivery(self, make_im):
+        im = make_im()
+        ticks = []
+
+        class Clock(View):
+            atk_register = False
+
+            def handle_timer(self, event):
+                ticks.append(event.tick)
+
+        clock = Clock()
+        im.set_child(clock)
+        im.add_timer_subscriber(clock)
+        im.remove_timer_subscriber(clock)
+        im.tick()
+        im.process_events()
+        assert ticks == []

@@ -1,0 +1,135 @@
+"""Integration: the Figure-1 view tree and its event walkthrough (§3).
+
+Builds exactly the paper's window — an interaction manager whose child
+is a frame, containing a scroll bar, containing a text view with an
+embedded table view, plus the frame's message line — and replays the
+section-3 narration: events at the divider, the scroll bar, the text,
+and the embedded table each land where the paper says they land.
+"""
+
+import pytest
+
+from repro.components import Frame, ScrollBar, TableView, TextView
+from repro.core import InteractionManager
+from repro.workloads import build_expense_letter
+
+
+@pytest.fixture
+def fig1(ascii_ws):
+    im = InteractionManager(ascii_ws, title="fig1", width=60, height=18)
+    letter = build_expense_letter()
+    text_view = TextView(letter)
+    scroll = ScrollBar(text_view)
+    frame = Frame(scroll)
+    im.set_child(frame)
+    im.process_events()
+    im.redraw()
+    return im, frame, scroll, text_view, letter
+
+
+def test_tree_shape_matches_figure(fig1):
+    im, frame, scroll, text_view, _ = fig1
+    assert im.child is frame
+    assert frame.body is scroll
+    assert scroll.body is text_view
+    assert frame.message_line in frame.children
+    # The embedded table realized a child view inside the text view.
+    table_views = [c for c in text_view.children if isinstance(c, TableView)]
+    assert len(table_views) == 1
+
+
+def test_child_containment_throughout(fig1):
+    im, frame, *_ = fig1
+    frame.check_containment()
+
+
+def test_letter_text_renders(fig1):
+    im, *_ = fig1
+    snapshot = "\n".join(im.snapshot_lines())
+    assert "February 11, 1988" in snapshot
+    assert "Dear David," in snapshot
+    assert "800" in snapshot  # the spreadsheet total, recalculated
+
+
+def test_event_near_divider_goes_to_frame(fig1):
+    im, frame, *_ = fig1
+    im.window.inject_drag(10, frame.divider_row, 10, frame.divider_row - 4)
+    im.process_events()
+    assert frame.divider_grabs == 1
+    assert frame.message_rows == 5
+
+
+def test_event_on_scrollbar_column_scrolls(fig1):
+    im, frame, scroll, text_view, _ = fig1
+    im.window.inject_click(0, 8)
+    im.process_events()
+    assert text_view.scroll_pos() > 0
+
+
+def test_event_in_text_places_caret(fig1):
+    im, frame, scroll, text_view, _ = fig1
+    im.window.inject_click(6, 0)
+    im.process_events()
+    assert im.focus is text_view
+    assert text_view.dot == 4  # clicked inside "February"
+
+
+def test_event_in_embedded_table_reaches_table_view(fig1):
+    im, frame, scroll, text_view, letter = fig1
+    table_view = next(
+        c for c in text_view.children if isinstance(c, TableView)
+    )
+    rect = table_view.rect_in_window()
+    im.window.inject_click(rect.left + 6, rect.top + 3)
+    im.process_events()
+    assert im.focus is table_view
+    assert table_view.selected[0] >= 0
+
+
+def test_each_view_only_knows_children_locations_not_types(fig1):
+    """The §3 property: routing code consults child bounds, never child
+    classes.  We verify by swapping the embedded table for an opaque
+    view and checking routing still works."""
+    im, frame, scroll, text_view, letter = fig1
+    from repro.core import View
+
+    class Opaque(View):
+        atk_register = False
+        hit = False
+
+        def handle_mouse(self, event):
+            Opaque.hit = True
+            return True
+
+    opaque = Opaque()
+    # Replace the text view's children wholesale.
+    for child in list(text_view.children):
+        text_view.remove_child(child)
+    text_view.add_child(opaque)
+    from repro.graphics import Rect
+
+    opaque.set_bounds(Rect(5, 2, 10, 3))
+    im.window.inject_click(
+        text_view.origin_in_window().x + 7,
+        text_view.origin_in_window().y + 3,
+    )
+    im.process_events()
+    assert Opaque.hit
+
+
+def test_update_requests_travel_up_and_come_back_down(fig1):
+    im, frame, scroll, text_view, letter = fig1
+    before = text_view.draw_count
+    letter.insert(0, "P.S. ")
+    assert len(im.updates) >= 1          # request posted up
+    im.flush_updates()                    # update event comes back down
+    assert text_view.draw_count == before + 1
+    assert "P.S." in "\n".join(im.snapshot_lines())
+
+
+def test_keyboard_reaches_focused_text_view(fig1):
+    im, frame, scroll, text_view, letter = fig1
+    text_view.set_dot(0)
+    im.window.inject_keys(">> ")
+    im.process_events()
+    assert letter.text().startswith(">> February")

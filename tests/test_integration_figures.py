@@ -1,0 +1,69 @@
+"""Integration: all four application snapshots (Figures 2-5) regenerate
+inside the plain test suite (the benchmarks measure them; these assert
+the landmarks so `pytest tests/` alone demonstrates the figures)."""
+
+import pytest
+
+from repro.apps import ComposeApp, FolderStore, HelpApp, Message, MessagesApp
+from repro.apps import EZApp
+from repro.components import TableView, TextData
+from repro.workloads import (
+    big_cat_raster,
+    build_fig3_message_body,
+    build_fig5_document,
+)
+
+
+def test_fig2_help_window(ascii_ws):
+    app = HelpApp(window_system=ascii_ws, width=90, height=24)
+    snapshot = app.snapshot()
+    for landmark in ("EZ: A Document Editor", "What EZ is",
+                     "Starting EZ", "typescript"):
+        assert landmark in snapshot
+
+
+def test_fig3_reading_window(ascii_ws):
+    store = FolderStore()
+    store.deliver("andrew.messages.demo", Message(
+        "Nathaniel Borenstein", "bboard", "The big picture",
+        build_fig3_message_body(), "23-Oct-87",
+    ))
+    app = MessagesApp(store, window_system=ascii_ws)
+    app.open_folder("andrew.messages.demo")
+    app.open_message(0)
+    snapshot = app.snapshot()
+    assert "The big picture" in snapshot
+    assert "andrew.messages.demo" in snapshot
+    assert "internally" in snapshot  # body text around the drawing
+    # The embedded drawing view is alive inside the body pane.
+    body = app.body_view.data
+    assert body.embeds()[0].data.type_tag == "drawing"
+
+
+def test_fig4_composition_window(ascii_ws):
+    app = ComposeApp(FolderStore(), sender="palay",
+                     window_system=ascii_ws, width=70, height=22)
+    app.set_to("david")
+    app.set_subject("Big Cat")
+    app.body_data.append("Knowing your fondness for big cats...\n\n")
+    app.body_data.append_object(big_cat_raster(), "rasterview")
+    snapshot = app.snapshot()
+    assert "To: david" in snapshot
+    assert "Big Cat" in snapshot
+    assert "#" in snapshot  # raster pixels rendered
+
+
+def test_fig5_compound_document(ascii_ws):
+    ez = EZApp(document=build_fig5_document(), window_system=ascii_ws,
+               width=92, height=56)
+    table_view = next(
+        c for c in ez.textview.children if isinstance(c, TableView)
+    )
+    table_view.col_widths[0] = 26
+    table_view.col_widths[1] = 40
+    ez.textview._needs_layout = True
+    snapshot = ez.snapshot()
+    assert "Pascal's Triangle" in snapshot
+    assert "This table contains" in snapshot   # inner text component
+    assert "i,j" in snapshot                    # the equations
+    assert "The End" in snapshot

@@ -1,0 +1,125 @@
+"""Integration: multiple views on one data object (paper section 2).
+
+Covers every configuration the paper enumerates: same view type in two
+windows; two view *types* (editor + page view) on one buffer; two views
+in one window; and the table + pie chart pair via the auxiliary chart
+data object.
+"""
+
+import pytest
+
+from repro.components import (
+    ChartData,
+    PageView,
+    PieChartView,
+    SplitView,
+    TableData,
+    TableView,
+    TextData,
+    TextView,
+)
+from repro.core import InteractionManager
+
+
+def test_two_windows_same_view_type(ascii_ws):
+    """'Changes made in one window [are] reflected in the other.'"""
+    data = TextData("draft")
+    windows = [InteractionManager(ascii_ws, width=24, height=4)
+               for _ in range(2)]
+    views = [TextView(data) for _ in range(2)]
+    for im, view in zip(windows, views):
+        im.set_child(view)
+        im.process_events()
+    windows[0].window.inject_keys("!")
+    windows[0].process_events()
+    windows[1].flush_updates()
+    assert "!draft" in "\n".join(windows[1].snapshot_lines())
+    assert data.observer_count == 2
+
+
+def test_editor_and_page_view_on_one_buffer(ascii_ws):
+    """The WYSLRN/WYSIWYG pair of §2, live."""
+    data = TextData("The Andrew Toolkit paper. " * 20)
+    editor_win = InteractionManager(ascii_ws, width=40, height=8)
+    proof_win = InteractionManager(ascii_ws, width=66, height=24)
+    editor = TextView(data)
+    proof = PageView(data)
+    editor_win.set_child(editor)
+    proof_win.set_child(proof)
+    for im in (editor_win, proof_win):
+        im.process_events()
+    pages_before = proof.page_count()
+    # Type enough text in the editor to force repagination.
+    editor.set_dot(data.length)
+    editor.insert_text("more words. " * 60)
+    proof_win.flush_updates()
+    assert proof.page_count() > pages_before
+    snapshot = "\n".join(proof_win.snapshot_lines())
+    assert "- 1 -" in snapshot  # page footer
+
+
+def test_two_views_same_window(ascii_ws):
+    """'Two different views on the same data object within the same
+    window' — a split with editor and page view side by side."""
+    data = TextData("side by side")
+    im = InteractionManager(ascii_ws, width=100, height=22)
+    editor = TextView(data)
+    split = SplitView(editor, PageView(data), ratio=28)
+    im.set_child(split)
+    im.process_events()
+    # Click into the editor pane to focus it, then type.
+    im.window.inject_click(0, 0)
+    im.window.inject_keys("X")
+    im.process_events()
+    im.redraw()
+    snapshot = "\n".join(im.snapshot_lines())
+    # The typed character shows in both panes.
+    assert snapshot.count("Xside by side") == 2
+
+
+def test_table_and_pie_chart(ascii_ws):
+    """The §2 chart example: table view and pie chart, one table."""
+    table = TableData(3, 1)
+    for row, value in enumerate((6, 3, 1)):
+        table.set_cell(row, 0, value)
+    chart = ChartData(table, series_axis="col", series_index=0)
+    im = InteractionManager(ascii_ws, width=80, height=14)
+    split = SplitView(TableView(table), PieChartView(chart), ratio=45)
+    im.set_child(split)
+    im.process_events()
+    im.redraw()
+    assert "60%" in "\n".join(im.snapshot_lines())
+    # Edit the table through its view; the pie follows via the chart.
+    table.set_cell(2, 0, 10)
+    im.flush_updates()
+    im.redraw()
+    snapshot = "\n".join(im.snapshot_lines())
+    assert "53%" in snapshot or "52%" in snapshot  # 10/19
+
+
+def test_view_destruction_detaches_cleanly(ascii_ws):
+    data = TextData("x")
+    views = [TextView(data) for _ in range(5)]
+    assert data.observer_count == 5
+    for view in views[:3]:
+        view.destroy()
+    assert data.observer_count == 2
+    data.changed("edit")  # survivors must still be notified safely
+
+
+def test_notification_fanout_counts(ascii_ws):
+    """One mutation notifies exactly the attached views, once each."""
+    data = TextData("fan")
+    hits = []
+
+    class Counting(TextView):
+        atk_register = False
+
+        def on_data_changed(self, change):
+            hits.append(self)
+            super().on_data_changed(change)
+
+    views = [Counting(data) for _ in range(8)]
+    data.insert(0, "!")
+    assert len(hits) == 8
+    assert set(hits) == set(views)

@@ -1,0 +1,104 @@
+"""Integration: printing by drawable swap (paper section 4, E11)."""
+
+import pytest
+
+from repro.components import (
+    EquationData,
+    EquationView,
+    Frame,
+    ScrollBar,
+    TableData,
+    TableView,
+    TextData,
+    TextView,
+)
+from repro.core import InteractionManager
+from repro.wm import PrinterJob
+from repro.workloads import build_expense_letter
+
+
+def test_text_view_prints_without_view_changes(ascii_ws):
+    im = InteractionManager(ascii_ws, width=60, height=16)
+    view = TextView(build_expense_letter())
+    im.set_child(view)
+    im.process_events()
+
+    job = PrinterJob(title="expense letter")
+    page = job.new_page()
+    view.print_to(page.child(job.page_bounds()))
+    output = job.render()
+    assert "Dear David," in output
+    assert "expense letter  --  page 1 of 1" in output
+
+
+def test_screen_image_unaffected_by_printing(ascii_ws):
+    im = InteractionManager(ascii_ws, width=40, height=10)
+    view = TextView(TextData("on screen"))
+    im.set_child(view)
+    im.redraw()
+    before = im.snapshot_lines()
+
+    job = PrinterJob()
+    view.print_to(job.new_page())
+    im.redraw()
+    assert im.snapshot_lines() == before
+
+
+def test_print_whole_window_tree(ascii_ws):
+    """Printing composes the same way drawing does: children included."""
+    im = InteractionManager(ascii_ws, width=60, height=16)
+    frame = Frame(ScrollBar(TextView(TextData("frame body text"))))
+    im.set_child(frame)
+    im.process_events()
+    frame.post_message("should not print badly")
+    im.process_events()
+
+    job = PrinterJob(title="whole window")
+    frame.print_to(job.new_page())
+    page_text = "\n".join(job.page_lines(0))
+    assert "frame body text" in page_text
+    assert "-" * 10 in page_text  # the divider printed too
+
+
+def test_table_prints(ascii_ws):
+    im = InteractionManager(ascii_ws, width=60, height=12)
+    table = TableData(2, 2)
+    table.set_cell(0, 0, "cell")
+    table.set_cell(1, 1, "=2*3")
+    view = TableView(table)
+    im.set_child(view)
+    im.process_events()
+    job = PrinterJob()
+    view.print_to(job.new_page())
+    output = "\n".join(job.page_lines(0))
+    assert "cell" in output and "6" in output
+
+
+def test_equation_prints(ascii_ws):
+    im = InteractionManager(ascii_ws, width=40, height=8)
+    view = EquationView(EquationData("v_{i,j} = v_{i-1,j} + v_{i,j-1}"))
+    im.set_child(view)
+    im.process_events()
+    job = PrinterJob()
+    view.print_to(job.new_page())
+    output = "\n".join(job.page_lines(0))
+    assert "v" in output and "i,j" in output
+
+
+def test_multi_page_job(ascii_ws):
+    job = PrinterJob(title="report")
+    for number in range(3):
+        page = job.new_page()
+        page.draw_string(0, 0, f"page body {number}")
+    assert job.page_count == 3
+    rendered = job.render()
+    assert rendered.count("\f") == 2
+    assert "page 2 of 3" in rendered
+
+
+def test_printer_clips_like_any_drawable(ascii_ws):
+    job = PrinterJob(page_width=10, page_height=4)
+    page = job.new_page()
+    page.draw_string(0, 0, "this line is far too long for the page")
+    lines = job.page_lines(0)
+    assert all(len(line) == 10 for line in lines)

@@ -1,0 +1,161 @@
+"""Unit tests for keymaps, menus, and the update queue."""
+
+import pytest
+
+from repro.core import MenuCard, MenuItem, MenuSet, UpdateQueue, View
+from repro.core.keymap import Keymap
+from repro.graphics import Rect
+from repro.wm.events import KeyEvent, MenuEvent
+
+
+class TestKeymap:
+    def test_bind_and_resolve(self):
+        keymap = Keymap("test")
+        command = lambda v, k: None
+        keymap.bind("C-s", command)
+        assert keymap.resolve(KeyEvent("s", ctrl=True)) is command
+        assert keymap.resolve(KeyEvent("s")) is None
+
+    def test_keysym_forms(self):
+        assert KeyEvent("a").keysym() == "a"
+        assert KeyEvent("a", ctrl=True).keysym() == "C-a"
+        assert KeyEvent("a", meta=True).keysym() == "M-a"
+        assert KeyEvent("a", ctrl=True, meta=True).keysym() == "C-M-a"
+        assert KeyEvent("Return").keysym() == "Return"
+
+    def test_printable_default(self):
+        keymap = Keymap()
+        typed = []
+        keymap.bind_printables(lambda v, k: typed.append(k.char))
+        binding = keymap.resolve(KeyEvent("q"))
+        binding(None, KeyEvent("q"))
+        assert typed == ["q"]
+        assert keymap.resolve(KeyEvent("Return")) is None
+        assert keymap.resolve(KeyEvent("q", ctrl=True)) is None
+
+    def test_explicit_binding_beats_printable_default(self):
+        keymap = Keymap()
+        keymap.bind_printables(lambda v, k: "default")
+        special = lambda v, k: "special"
+        keymap.bind("q", special)
+        assert keymap.resolve(KeyEvent("q")) is special
+
+    def test_bind_chord_builds_nested_keymaps(self):
+        keymap = Keymap()
+        command = lambda v, k: None
+        keymap.bind_chord(("C-x", "C-c"), command)
+        prefix = keymap.resolve(KeyEvent("x", ctrl=True))
+        assert isinstance(prefix, Keymap)
+        assert prefix.resolve(KeyEvent("c", ctrl=True)) is command
+
+    def test_chord_extension_preserves_siblings(self):
+        keymap = Keymap()
+        save = lambda v, k: None
+        quit_ = lambda v, k: None
+        keymap.bind_chord(("C-x", "C-s"), save)
+        keymap.bind_chord(("C-x", "C-c"), quit_)
+        prefix = keymap.resolve(KeyEvent("x", ctrl=True))
+        assert prefix.resolve(KeyEvent("s", ctrl=True)) is save
+        assert prefix.resolve(KeyEvent("c", ctrl=True)) is quit_
+
+    def test_unbind(self):
+        keymap = Keymap()
+        keymap.bind("a", lambda v, k: None)
+        keymap.unbind("a")
+        assert "a" not in keymap
+        keymap.unbind("a")  # idempotent
+
+    def test_empty_chord_rejected(self):
+        with pytest.raises(ValueError):
+            Keymap().bind_chord((), lambda v, k: None)
+
+
+class TestMenus:
+    def test_card_keeps_insertion_order(self):
+        card = MenuCard("File")
+        card.add("Open", lambda v, e: None)
+        card.add("Save", lambda v, e: None)
+        assert card.labels() == ["Open", "Save"]
+
+    def test_merge_child_first_shadows(self):
+        child = View()
+        child.menu_card("File").add("Save", lambda v, e: "child")
+        parent = View()
+        parent.menu_card("File").add("Save", lambda v, e: "parent")
+        parent.menu_card("File").add("Quit", lambda v, e: None)
+        menus = MenuSet()
+        menus.merge_from(child)
+        menus.merge_from(parent)
+        assert menus.card("File").labels() == ["Save", "Quit"]
+        assert menus.owner("File", "Save") is child
+        assert menus.owner("File", "Quit") is parent
+
+    def test_dispatch_calls_handler_with_owner(self):
+        view = View()
+        seen = []
+        view.menu_card("Edit").add("Cut", lambda v, e: seen.append(v))
+        menus = MenuSet()
+        menus.merge_from(view)
+        assert menus.dispatch(MenuEvent("Edit", "Cut")) is True
+        assert seen == [view]
+        assert menus.dispatch(MenuEvent("Edit", "Paste")) is False
+        assert menus.dispatch(MenuEvent("Nope", "Cut")) is False
+
+    def test_describe_lines(self):
+        view = View()
+        view.menu_card("File").add("Save", lambda v, e: None, keys="C-s")
+        menus = MenuSet()
+        menus.merge_from(view)
+        assert menus.describe() == ["File: Save"]
+        assert len(menus) == 1
+
+    def test_view_handle_menu_only_own_cards(self):
+        view = View()
+        fired = []
+        view.menu_card("File").add("Save", lambda v, e: fired.append(1))
+        assert view.handle_menu(MenuEvent("File", "Save")) is True
+        assert view.handle_menu(MenuEvent("File", "Open")) is False
+        assert view.handle_menu(MenuEvent("Other", "Save")) is False
+
+
+class TestUpdateQueue:
+    def test_coalesces_same_view(self):
+        queue = UpdateQueue()
+        view = View()
+        view.set_bounds(Rect(0, 0, 20, 20))
+        queue.enqueue(view, Rect(0, 0, 2, 2))
+        queue.enqueue(view, Rect(8, 8, 2, 2))
+        items = queue.drain()
+        assert len(items) == 1
+        assert items[0][1] == Rect(0, 0, 10, 10)
+
+    def test_none_means_whole_view(self):
+        queue = UpdateQueue()
+        view = View()
+        view.set_bounds(Rect(3, 4, 7, 9))
+        queue.enqueue(view, None)
+        assert queue.drain()[0][1] == Rect(0, 0, 7, 9)
+
+    def test_drain_clears(self):
+        queue = UpdateQueue()
+        view = View()
+        queue.enqueue(view)
+        queue.drain()
+        assert queue.is_empty()
+
+    def test_discard(self):
+        queue = UpdateQueue()
+        a, b = View(), View()
+        queue.enqueue(a)
+        queue.enqueue(b)
+        queue.discard(a)
+        assert queue.pending_views() == [b]
+
+    def test_counters(self):
+        queue = UpdateQueue()
+        view = View()
+        queue.enqueue(view)
+        queue.enqueue(view)
+        queue.drain()
+        assert queue.enqueue_count == 2
+        assert queue.flush_count == 1

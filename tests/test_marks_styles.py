@@ -1,0 +1,134 @@
+"""Tests for sticky marks and style spans."""
+
+import pytest
+
+from repro.components.text.marks import LEFT, Mark, MarkSet, RIGHT
+from repro.components.text.styles import (
+    STANDARD_STYLES,
+    Style,
+    StyleSpan,
+    effective_styles,
+    style_named,
+)
+
+
+class TestMark:
+    def test_insert_before_shifts(self):
+        mark = Mark(10)
+        mark.adjust_insert(5, 3)
+        assert mark.pos == 13
+
+    def test_insert_after_leaves(self):
+        mark = Mark(10)
+        mark.adjust_insert(11, 3)
+        assert mark.pos == 10
+
+    def test_insert_at_mark_respects_gravity(self):
+        left = Mark(10, LEFT)
+        right = Mark(10, RIGHT)
+        left.adjust_insert(10, 3)
+        right.adjust_insert(10, 3)
+        assert left.pos == 10
+        assert right.pos == 13
+
+    def test_delete_before_shifts(self):
+        mark = Mark(10)
+        mark.adjust_delete(2, 4)
+        assert mark.pos == 6
+
+    def test_delete_spanning_collapses_to_start(self):
+        mark = Mark(10)
+        mark.adjust_delete(8, 5)
+        assert mark.pos == 8
+
+    def test_delete_after_leaves(self):
+        mark = Mark(10)
+        mark.adjust_delete(10, 5)
+        assert mark.pos == 10
+
+    def test_bad_gravity_rejected(self):
+        with pytest.raises(ValueError):
+            Mark(0, "up")
+
+
+class TestMarkSet:
+    def test_adjusts_all_marks(self):
+        marks = MarkSet()
+        a = marks.create(5)
+        b = marks.create(20)
+        marks.adjust_insert(0, 10)
+        assert (a.pos, b.pos) == (15, 30)
+
+    def test_release_stops_adjustment(self):
+        marks = MarkSet()
+        mark = marks.create(5)
+        marks.release(mark)
+        marks.adjust_insert(0, 10)
+        assert mark.pos == 5
+        assert len(marks) == 0
+
+
+class TestStyleSpan:
+    def test_insert_before_moves_whole_span(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_insert(0, 5)
+        assert (span.start, span.end) == (15, 25)
+
+    def test_insert_inside_stretches(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_insert(15, 5)
+        assert (span.start, span.end) == (10, 25)
+
+    def test_insert_at_edges_stays_outside(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_insert(10, 5)
+        assert (span.start, span.end) == (15, 25)
+        span.adjust_insert(25, 5)
+        assert (span.start, span.end) == (15, 25)
+
+    def test_delete_inside_shrinks(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_delete(12, 4)
+        assert (span.start, span.end) == (10, 16)
+
+    def test_delete_covering_empties(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_delete(5, 30)
+        assert span.is_empty()
+
+    def test_delete_overlapping_start(self):
+        span = StyleSpan(10, 20, style_named("bold"))
+        span.adjust_delete(5, 10)
+        assert (span.start, span.end) == (5, 10)
+
+    def test_covers_is_half_open(self):
+        span = StyleSpan(3, 6, style_named("bold"))
+        assert span.covers(3) and span.covers(5)
+        assert not span.covers(6)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            StyleSpan(5, 3, style_named("bold"))
+
+
+class TestStyles:
+    def test_standard_styles_present(self):
+        for name in ("bold", "italic", "center", "heading", "typewriter"):
+            assert name in STANDARD_STYLES
+
+    def test_style_named_unknown_is_inert(self):
+        style = style_named("discoflash")
+        assert style.name == "discoflash"
+        assert not style.bold and style.size_delta == 0
+
+    def test_effective_styles_in_order(self):
+        bold = style_named("bold")
+        italic = style_named("italic")
+        spans = [StyleSpan(0, 10, bold), StyleSpan(5, 15, italic)]
+        assert effective_styles(spans, 7) == [bold, italic]
+        assert effective_styles(spans, 2) == [bold]
+        assert effective_styles(spans, 12) == [italic]
+
+    def test_style_equality_by_name(self):
+        assert Style("x", bold=True) == Style("x")
+        assert Style("x") != Style("y")

@@ -1,0 +1,85 @@
+"""Tests for the pop-up menu view."""
+
+import pytest
+
+from repro.apps import EZApp
+from repro.components import MenuPopupView, menu_snapshot
+from repro.components.text.textview import _clipboard
+from repro.graphics import Point, Rect
+
+
+@pytest.fixture
+def ez_with_popup(ascii_ws):
+    ez = EZApp(window_system=ascii_ws, width=70, height=20)
+    popup = MenuPopupView(ez.im)
+    ez.frame.add_child(popup, Rect(2, 2, 60, 12))
+    return ez, popup
+
+
+def test_menu_snapshot_lists_negotiated_cards(ascii_ws):
+    ez = EZApp(window_system=ascii_ws)
+    lines = menu_snapshot(ez.im)
+    joined = "\n".join(lines)
+    # Cards come from the whole focus chain: the text view's cards plus
+    # the frame's application cards (§3 menu negotiation).
+    assert "Text: Cut, Copy, Paste, Search..." in joined
+    assert "File: Open..., Save, Quit" in joined
+    assert "Insert:" in joined
+
+
+def test_popup_renders_cards(ez_with_popup):
+    ez, popup = ez_with_popup
+    popup.show()
+    ez.im.redraw()
+    snapshot = ez.snapshot()
+    assert "- Text -" in snapshot
+    assert "Paste" in snapshot
+    assert "Insert" in snapshot
+
+
+def test_hidden_popup_draws_nothing(ez_with_popup):
+    ez, popup = ez_with_popup
+    popup.show()
+    popup.hide()
+    ez.process()
+    assert "- Text -" not in ez.snapshot()
+
+
+def test_item_hit_testing(ez_with_popup):
+    ez, popup = ez_with_popup
+    popup.show()
+    ez.process()
+    rect, name, labels = popup._card_layout()[0]
+    assert popup.item_at(Point(rect.left + 2, rect.top + 1)) == (
+        name, labels[0])
+    assert popup.item_at(Point(rect.left + 2, rect.top)) is None  # title row
+
+
+def test_choosing_item_dispatches_menu_event(ez_with_popup):
+    ez, popup = ez_with_popup
+    popup.show()
+    ez.process()
+    for rect, name, labels in popup._card_layout():
+        if name == "Text":
+            row = labels.index("Paste")
+            origin = popup.rect_in_window()
+            _clipboard[0] = "FROMMENU"
+            ez.im.window.inject_click(
+                origin.left + rect.left + 3,
+                origin.top + rect.top + 1 + row,
+            )
+            ez.process()
+    assert "FROMMENU" in ez.document.text()
+    assert not popup.visible
+
+
+def test_click_outside_items_just_closes(ez_with_popup):
+    ez, popup = ez_with_popup
+    popup.show()
+    ez.process()
+    before = ez.document.text()
+    origin = popup.rect_in_window()
+    ez.im.window.inject_click(origin.left + 1, origin.top + 11)
+    ez.process()
+    assert not popup.visible
+    assert ez.document.text() == before

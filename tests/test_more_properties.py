@@ -1,0 +1,188 @@
+"""More property-based tests: formulas, bitmaps, tables (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.components.table import TableData
+from repro.components.table.formula import (
+    CellRef,
+    Formula,
+    col_name,
+    parse_col,
+    parse_ref,
+    ref_name,
+)
+from repro.core import read_document, write_document
+from repro.graphics import Bitmap, Rect
+
+
+# ---------------------------------------------------------------------------
+# Formula engine
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_column_naming_bijective(col):
+    assert parse_col(col_name(col)) == col
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=0, max_value=500))
+def test_ref_naming_bijective(row, col):
+    ref = parse_ref(ref_name(row, col))
+    assert (ref.row, ref.col) == (row, col)
+
+
+# Random arithmetic ASTs rendered to formula source, compared against
+# direct evaluation of the same tree.
+@st.composite
+def arith(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=0, max_value=99))
+        return (str(value), float(value))
+    op = draw(st.sampled_from("+-*"))
+    left_src, left_val = draw(arith(depth + 1))
+    right_src, right_val = draw(arith(depth + 1))
+    source = f"({left_src}{op}{right_src})"
+    if op == "+":
+        return (source, left_val + right_val)
+    if op == "-":
+        return (source, left_val - right_val)
+    return (source, left_val * right_val)
+
+
+@settings(max_examples=80)
+@given(arith())
+def test_formula_matches_reference_arithmetic(pair):
+    source, expected = pair
+    result = Formula("=" + source).evaluate(lambda r, c: 0.0)
+    assert math.isclose(result, expected)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=-50, max_value=50),
+                min_size=1, max_size=8))
+def test_sum_over_column_matches_python_sum(values):
+    table = TableData(len(values) + 1, 1)
+    for row, value in enumerate(values):
+        table.set_cell(row, 0, value)
+    table.set_cell(len(values), 0, f"=SUM(A1:A{len(values)})")
+    assert math.isclose(table.value_at(len(values), 0), float(sum(values)))
+
+
+@settings(max_examples=40)
+@given(st.dictionaries(
+    st.tuples(st.integers(min_value=0, max_value=4),
+              st.integers(min_value=0, max_value=4)),
+    st.one_of(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.text(alphabet="abc xyz", max_size=12),
+    ),
+    max_size=12,
+))
+def test_table_roundtrip_arbitrary_cells(cells):
+    table = TableData(5, 5)
+    for (row, col), value in cells.items():
+        table.set_cell(row, col, value)
+    stream = write_document(table)
+    restored = read_document(stream)
+    assert write_document(restored) == stream
+    for (row, col) in cells:
+        assert restored.cell(row, col).kind == table.cell(row, col).kind
+
+
+# ---------------------------------------------------------------------------
+# Bitmaps
+# ---------------------------------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def bitmaps(draw):
+    width = draw(dims)
+    height = draw(dims)
+    bitmap = Bitmap(width, height)
+    count = draw(st.integers(min_value=0, max_value=width * height))
+    for _ in range(count):
+        x = draw(st.integers(min_value=0, max_value=width - 1))
+        y = draw(st.integers(min_value=0, max_value=height - 1))
+        bitmap.set(x, y)
+    return bitmap
+
+
+@settings(max_examples=60)
+@given(bitmaps())
+def test_rows_roundtrip(bitmap):
+    assert Bitmap.from_rows(bitmap.to_rows()) == bitmap
+
+
+@settings(max_examples=60)
+@given(bitmaps())
+def test_double_invert_is_identity(bitmap):
+    original = bitmap.copy()
+    bitmap.invert()
+    bitmap.invert()
+    assert bitmap == original
+
+
+@settings(max_examples=60)
+@given(bitmaps())
+def test_xor_blit_self_clears(bitmap):
+    target = bitmap.copy()
+    target.blit(bitmap, 0, 0, mode="xor")
+    assert target.ink_count() == 0
+
+
+@settings(max_examples=60)
+@given(bitmaps(), st.integers(min_value=-4, max_value=20),
+       st.integers(min_value=-4, max_value=20))
+def test_or_blit_never_erases(bitmap, dx, dy):
+    target = bitmap.copy()
+    stamp = Bitmap.from_rows(["**", "**"])
+    target.blit(stamp, dx, dy, mode="or")
+    for y in range(bitmap.height):
+        for x in range(bitmap.width):
+            if bitmap.get(x, y):
+                assert target.get(x, y) == 1
+
+
+@settings(max_examples=60)
+@given(bitmaps())
+def test_scale_up_down_preserves_at_integer_factors(bitmap):
+    doubled = bitmap.scaled(bitmap.width * 2, bitmap.height * 2)
+    halved = doubled.scaled(bitmap.width, bitmap.height)
+    assert halved == bitmap
+
+
+@settings(max_examples=60)
+@given(bitmaps(),
+       st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=15),
+       dims, dims)
+def test_crop_matches_pointwise(bitmap, left, top, width, height):
+    cropped = bitmap.crop(Rect(left, top, width, height))
+    clipped = bitmap.bounds.intersection(Rect(left, top, width, height))
+    assert (cropped.width, cropped.height) == (clipped.width, clipped.height)
+    for y in range(cropped.height):
+        for x in range(cropped.width):
+            assert cropped.get(x, y) == bitmap.get(
+                clipped.left + x, clipped.top + y)
+
+
+# ---------------------------------------------------------------------------
+# Raster external representation
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40)
+@given(bitmaps())
+def test_raster_document_roundtrip(bitmap):
+    from repro.components.raster import RasterData
+
+    raster = RasterData.from_bitmap(bitmap)
+    stream = write_document(raster)
+    assert read_document(stream).bitmap == bitmap
+    for line in stream.splitlines():
+        assert len(line) <= 80

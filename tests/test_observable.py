@@ -1,0 +1,150 @@
+"""Tests for the observer mechanism (paper section 2)."""
+
+from repro.class_system import (
+    ChangeRecord,
+    FunctionObserver,
+    Observable,
+    Observer,
+)
+
+
+class Recorder(Observer):
+    def __init__(self):
+        self.changes = []
+        self.destroyed_sources = []
+
+    def observed_changed(self, change):
+        self.changes.append(change)
+
+    def observed_destroyed(self, source):
+        self.destroyed_sources.append(source)
+
+
+def test_set_modified_does_not_notify():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    subject.set_modified("edit")
+    assert recorder.changes == []
+
+
+def test_notify_after_set_modified_delivers_pending_record():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    change = subject.set_modified("edit", where=5, extent=2)
+    subject.notify_observers()
+    assert recorder.changes == [change]
+    assert recorder.changes[0].where == 5
+    assert recorder.changes[0].extent == 2
+
+
+def test_changed_is_set_modified_plus_notify():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    count = subject.changed("boom")
+    assert count == 1
+    assert recorder.changes[0].what == "boom"
+
+
+def test_notification_order_is_attachment_order():
+    subject = Observable()
+    order = []
+    subject.add_observer(FunctionObserver(lambda c: order.append("a")))
+    subject.add_observer(FunctionObserver(lambda c: order.append("b")))
+    subject.changed()
+    assert order == ["a", "b"]
+
+
+def test_duplicate_attach_is_ignored():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    subject.add_observer(recorder)
+    subject.changed()
+    assert len(recorder.changes) == 1
+
+
+def test_remove_observer_stops_delivery():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    subject.remove_observer(recorder)
+    subject.changed()
+    assert recorder.changes == []
+
+
+def test_remove_unattached_observer_is_noop():
+    subject = Observable()
+    subject.remove_observer(Recorder())  # must not raise
+
+
+def test_serial_numbers_increase():
+    subject = Observable()
+    first = subject.set_modified()
+    second = subject.set_modified()
+    assert second.serial > first.serial
+    assert subject.modified_serial == second.serial
+
+
+def test_attach_during_notification_takes_effect_next_time():
+    subject = Observable()
+    late = Recorder()
+
+    def attach_late(change):
+        subject.add_observer(late)
+
+    subject.add_observer(FunctionObserver(attach_late))
+    subject.changed()
+    assert late.changes == []
+    subject.changed()
+    assert len(late.changes) == 1
+
+
+def test_detach_during_notification_is_safe():
+    subject = Observable()
+    second = Recorder()
+
+    def detach_second(change):
+        subject.remove_observer(second)
+
+    subject.add_observer(FunctionObserver(detach_second))
+    subject.add_observer(second)
+    subject.changed()  # snapshot semantics: second still notified this round
+    subject.changed()
+    assert len(second.changes) == 1
+
+
+def test_destroy_observable_notifies_and_detaches():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    subject.destroy_observable()
+    assert recorder.destroyed_sources == [subject]
+    assert subject.observer_count == 0
+
+
+def test_data_object_may_observe_data_object():
+    # The paper's key point: observers are not just views.
+    upstream = Observable()
+    downstream = Observable()
+    relay = Recorder()
+    downstream.add_observer(relay)
+
+    class Auxiliary(Observer):
+        def observed_changed(self, change):
+            downstream.changed("derived")
+
+    upstream.add_observer(Auxiliary())
+    upstream.changed("source")
+    assert [c.what for c in relay.changes] == ["derived"]
+
+
+def test_notify_without_any_modification_still_works():
+    subject = Observable()
+    recorder = Recorder()
+    subject.add_observer(recorder)
+    notified = subject.notify_observers()
+    assert notified == 1
+    assert len(recorder.changes) == 1

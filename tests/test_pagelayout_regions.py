@@ -1,0 +1,185 @@
+"""Tests for text-view regions and the PageMaker-style page layout —
+the section-2 forward-looking scenarios, implemented."""
+
+import pytest
+
+from repro.components import (
+    PageLayoutData,
+    PageLayoutView,
+    Placement,
+    TableData,
+    TextData,
+    TextView,
+)
+from repro.core import read_document, scan_extents, write_document
+from repro.graphics import Rect
+
+
+class TestTextViewRegions:
+    def test_region_restricts_display(self, make_im):
+        im = make_im(width=30, height=5)
+        data = TextData("VISIBLE part\nHIDDEN part\n")
+        view = TextView(data)
+        view.set_region(0, data.search("HIDDEN"))
+        im.set_child(view)
+        im.redraw()
+        snapshot = "\n".join(im.snapshot_lines())
+        assert "VISIBLE" in snapshot
+        assert "HIDDEN" not in snapshot
+
+    def test_region_follows_edits(self, make_im):
+        im = make_im(width=30, height=5)
+        data = TextData("aaa bbb ccc")
+        view = TextView(data)
+        view.set_region(4, 7)  # "bbb"
+        im.set_child(view)
+        data.insert(0, "XX ")
+        assert view.region() == (7, 10)
+        assert data.text(*view.region()) == "bbb"
+
+    def test_caret_clamped_to_region(self, make_im):
+        im = make_im(width=30, height=5)
+        data = TextData("0123456789")
+        view = TextView(data)
+        im.set_child(view)
+        view.set_region(3, 7)
+        view.set_dot(0)
+        assert view.dot == 3
+        view.set_dot(99)
+        assert view.dot == 7
+
+    def test_clear_region_restores_whole_buffer(self, make_im):
+        im = make_im(width=30, height=5)
+        data = TextData("one two")
+        view = TextView(data)
+        im.set_child(view)
+        view.set_region(0, 3)
+        view.clear_region()
+        assert view.region() == (0, data.length)
+
+    def test_typing_inside_region_visible_in_whole_view(self, make_im):
+        im = make_im(width=40, height=6)
+        data = TextData("head body tail")
+        section = TextView(data)
+        whole = TextView(data)
+        im.set_child(section)
+        section.set_region(5, 9)
+        section.set_dot(5)
+        section.insert_text("!")
+        assert data.text() == "head !body tail"
+        assert whole.data.text() == data.text()
+
+
+class TestPageLayout:
+    def build_page(self):
+        story = TextData("HEADLINE\n" + "body " * 40 + "END")
+        page = PageLayoutData(76, 20)
+        split = story.search("body")
+        end = story.search("END")
+        page.place(Rect(2, 1, 70, 2), story, region=(0, split))
+        page.place(Rect(2, 5, 34, 12), story, region=(split, end))
+        page.place(Rect(40, 5, 32, 12), story, region=(end, story.length))
+        return page, story
+
+    def test_frames_realized_as_children(self, make_im):
+        im = make_im(width=78, height=22)
+        page, story = self.build_page()
+        view = PageLayoutView(page)
+        im.set_child(view)
+        im.redraw()
+        assert len(view.children) == 3
+        snapshot = "\n".join(im.snapshot_lines())
+        assert "HEADLINE" in snapshot
+        assert "END" in snapshot
+
+    def test_sections_are_views_of_one_story(self, make_im):
+        im = make_im(width=78, height=22)
+        page, story = self.build_page()
+        view = PageLayoutView(page)
+        im.set_child(view)
+        im.process_events()
+        assert story.observer_count >= 3
+        story.insert(0, ">> ")
+        im.flush_updates()
+        im.redraw()
+        assert ">> HEADLINE" in "\n".join(im.snapshot_lines())
+
+    def test_shared_data_written_once(self):
+        page, story = self.build_page()
+        stream = write_document(page)
+        tags = [e.type_tag for e in scan_extents(stream)]
+        assert tags == ["pagelayout", "text"]
+
+    def test_roundtrip(self):
+        page, story = self.build_page()
+        table = TableData(2, 2)
+        table.set_cell(1, 1, 5)
+        page.place(Rect(40, 14, 30, 4), table, "spread")
+        stream = write_document(page)
+        restored = read_document(stream)
+        assert write_document(restored) == stream
+        assert len(restored.placements) == 4
+        # The three text placements share one restored data object.
+        text_datas = {id(p.data) for p in restored.placements[:3]}
+        assert len(text_datas) == 1
+        assert restored.placements[1].region is not None
+
+    def test_click_routes_into_a_frame(self, make_im):
+        im = make_im(width=78, height=22)
+        page, story = self.build_page()
+        view = PageLayoutView(page)
+        im.set_child(view)
+        im.process_events()
+        im.window.inject_click(4, 6)  # inside the left body frame
+        im.process_events()
+        assert isinstance(im.focus, TextView)
+        assert im.focus is view.view_for(page.placements[1])
+
+    def test_remove_placement_removes_child(self, make_im):
+        im = make_im(width=78, height=22)
+        page, story = self.build_page()
+        view = PageLayoutView(page)
+        im.set_child(view)
+        im.process_events()
+        page.remove(page.placements[0])
+        im.flush_updates()
+        assert len(view.children) == 2
+
+    def test_move_placement(self, make_im):
+        im = make_im(width=78, height=22)
+        page, story = self.build_page()
+        view = PageLayoutView(page)
+        im.set_child(view)
+        im.process_events()
+        placement = page.placements[0]
+        page.move(placement, Rect(2, 15, 40, 3))
+        im.flush_updates()
+        assert view.view_for(placement).bounds.top == 15
+
+
+class TestSimultaneousWindowSystems:
+    """§8: 'it will be possible to actually open windows on two
+    different window systems at the same time' — here it already is."""
+
+    def test_one_document_two_window_systems_at_once(self):
+        from repro.core import InteractionManager
+        from repro.wm import AsciiWindowSystem, RasterWindowSystem
+
+        data = TextData("everywhere at once")
+        ascii_im = InteractionManager(AsciiWindowSystem(),
+                                      width=30, height=5)
+        raster_im = InteractionManager(RasterWindowSystem(),
+                                       width=200, height=40)
+        ascii_view = TextView(data)
+        raster_view = TextView(data)
+        ascii_im.set_child(ascii_view)
+        raster_im.set_child(raster_view)
+        for im in (ascii_im, raster_im):
+            im.process_events()
+        # Type in the ascii window; both window systems repaint.
+        ascii_im.window.inject_keys("!")
+        ascii_im.process_events()
+        raster_im.flush_updates()
+        raster_im.redraw()
+        assert "!everywhere" in "\n".join(ascii_im.snapshot_lines())
+        assert raster_im.window.framebuffer.ink_count() > 0

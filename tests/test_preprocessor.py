@@ -1,0 +1,151 @@
+"""Tests for the miniature .ch class preprocessor (paper section 6)."""
+
+import pytest
+
+from repro.class_system import (
+    ATKObject,
+    PreprocessorError,
+    emit_export_header,
+    emit_import_header,
+    is_registered,
+    lookup,
+    parse_ch,
+    realize_class,
+    unregister,
+)
+
+FRUIT_CH = """
+/* a classic Andrew class description */
+class ChFruit[chfruit] : ATKObject {
+classprocedures:
+    Create() returns struct fruit *;
+methods:
+    SetColor(char *color);
+    GetColor() returns char *;
+overrides:
+    FinalizeObject();
+data:
+    char *color;
+    int ripeness;
+};
+"""
+
+
+def test_parse_extracts_names_and_sections():
+    desc = parse_ch(FRUIT_CH)
+    assert desc.name == "ChFruit"
+    assert desc.registry_name == "chfruit"
+    assert desc.superclass == "ATKObject"
+    assert [m.name for m in desc.methods_of_kind("classprocedure")] == ["Create"]
+    assert [m.name for m in desc.methods_of_kind("method")] == [
+        "SetColor", "GetColor"]
+    assert [m.name for m in desc.methods_of_kind("override")] == [
+        "FinalizeObject"]
+    assert [f.name for f in desc.fields] == ["color", "ripeness"]
+
+
+def test_parse_registry_name_defaults_to_lowercase():
+    desc = parse_ch("class Simple { methods: Go(); };")
+    assert desc.registry_name == "simple"
+    assert desc.superclass is None
+
+
+def test_parse_returns_types_preserved():
+    desc = parse_ch(FRUIT_CH)
+    get_color = [m for m in desc.methods if m.name == "GetColor"][0]
+    assert get_color.returns == "char *"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(PreprocessorError):
+        parse_ch("not a class at all")
+
+
+def test_parse_rejects_declaration_outside_section():
+    with pytest.raises(PreprocessorError):
+        parse_ch("class Bad { Lonely(); };")
+
+
+def test_parse_rejects_malformed_method():
+    with pytest.raises(PreprocessorError):
+        parse_ch("class Bad { methods: 123(); };")
+
+
+def test_realize_creates_registered_working_class():
+    desc = parse_ch(
+        "class ChCounter[chcounter] { methods: Increment(); Value() "
+        "returns int; data: int count; };"
+    )
+
+    def increment(self):
+        self.count = (self.count or 0) + 1
+
+    def value(self):
+        return self.count or 0
+
+    cls = realize_class(desc, {"Increment": increment, "Value": value})
+    assert is_registered("chcounter")
+    counter = cls()
+    assert counter.count is None  # generated field init
+    counter.Increment()
+    counter.Increment()
+    assert counter.Value() == 2
+    unregister("chcounter")
+
+
+def test_realize_unimplemented_method_raises_on_call():
+    desc = parse_ch("class ChStub[chstub] { methods: Mystery(); };")
+    cls = realize_class(desc)
+    with pytest.raises(NotImplementedError):
+        cls().Mystery()
+    unregister("chstub")
+
+
+def test_realize_classprocedure_is_protected():
+    desc = parse_ch(
+        "class ChBase[chbase] { classprocedures: Kind() returns int; };"
+    )
+    cls = realize_class(desc, {"Kind": lambda cls: 42})
+    assert cls.Kind() == 42
+    from repro.class_system import ClassProcedureOverrideError
+
+    with pytest.raises(ClassProcedureOverrideError):
+        class Bad(cls):
+            atk_name = "chbad"
+
+            def Kind(cls):
+                return 0
+
+    unregister("chbase")
+
+
+def test_realize_superclass_resolved_through_registry():
+    base_desc = parse_ch("class ChAnimal[chanimal] { methods: Legs() returns int; };")
+    base = realize_class(base_desc, {"Legs": lambda self: 4})
+    derived_desc = parse_ch(
+        "class ChDog[chdog] : chanimal { methods: Speak() returns char *; };"
+    )
+    derived = realize_class(derived_desc, {"Speak": lambda self: "woof"})
+    dog = derived()
+    assert dog.Legs() == 4 and dog.Speak() == "woof"
+    assert issubclass(derived, base)
+    unregister("chanimal")
+    unregister("chdog")
+
+
+def test_realize_rejects_implementations_for_undeclared_methods():
+    desc = parse_ch("class ChTiny[chtiny] { methods: A(); };")
+    with pytest.raises(PreprocessorError):
+        realize_class(desc, {"A": lambda self: 1, "B": lambda self: 2})
+    unregister("chtiny")
+
+
+def test_emit_headers_mention_every_method():
+    desc = parse_ch(FRUIT_CH)
+    export = emit_export_header(desc)
+    import_header = emit_import_header(desc)
+    for name in ("Create", "SetColor", "GetColor"):
+        assert name in export
+        assert name in import_header
+    assert "ChFruit.eh" in export
+    assert "ChFruit.ih" in import_header

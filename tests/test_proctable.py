@@ -1,0 +1,97 @@
+"""Tests for the procedure table (user-written commands, §7)."""
+
+import pytest
+
+from repro.apps import EZApp
+from repro.class_system import (
+    ClassLoader,
+    DynamicLoadError,
+    is_registered,
+    unregister,
+)
+from repro.ext import (
+    bind_command_key,
+    bind_command_menu,
+    command_names,
+    register_command,
+    resolve_command,
+)
+from repro.ext.proctable import _COMMANDS
+
+
+@pytest.fixture(autouse=True)
+def clean_table():
+    saved = dict(_COMMANDS)
+    yield
+    _COMMANDS.clear()
+    _COMMANDS.update(saved)
+
+
+def test_register_and_resolve_direct():
+    calls = []
+    register_command("shout", lambda view, event: calls.append(view))
+    command = resolve_command("shout")
+    command("the-view", None)
+    assert calls == ["the-view"]
+    assert "shout" in command_names()
+
+
+def test_unknown_command_without_plugin_raises(tmp_path):
+    loader = ClassLoader(path=[tmp_path])
+    with pytest.raises(DynamicLoadError):
+        resolve_command("nonexistent", loader)
+
+
+def test_plugin_command_loads_on_resolution(plugin_loader):
+    unregister("wordcountcmd")
+    plugin_loader.forget("wordcountcmd")
+    command = resolve_command("wordcount", plugin_loader)
+    assert is_registered("wordcountcmd")
+    # Cached: second resolution needs no loader at all.
+    assert resolve_command("wordcount") is command
+
+
+def test_plugin_without_invoke_rejected(tmp_path):
+    (tmp_path / "badcmd.py").write_text(
+        "from repro.class_system import ATKObject\n"
+        "class Bad(ATKObject):\n"
+        "    atk_name = 'badcmd'\n"
+    )
+    loader = ClassLoader(path=[tmp_path])
+    with pytest.raises(DynamicLoadError):
+        resolve_command("bad", loader)
+    unregister("badcmd")
+
+
+def test_key_binding_defers_load_until_invoked(ascii_ws, plugin_loader):
+    unregister("wordcountcmd")
+    plugin_loader.forget("wordcountcmd")
+    ez = EZApp(window_system=ascii_ws)
+    ez.type_text("one two three")
+    bind_command_key(ez.textview, "M-=", "wordcount", plugin_loader)
+    assert not is_registered("wordcountcmd")  # binding loaded nothing
+    ez.im.window.inject_key("=", meta=True)
+    ez.process()
+    assert is_registered("wordcountcmd")
+    assert ez.textview.last_wordcount == 3
+    assert "3 words" in ez.frame.message_line.message
+
+
+def test_menu_binding(ascii_ws, plugin_loader):
+    ez = EZApp(window_system=ascii_ws)
+    ez.type_text("just four little words")
+    bind_command_menu(ez.textview, "Utilities", "Word Count",
+                      "wordcount", plugin_loader)
+    ez.im.window.inject_menu("Utilities", "Word Count")
+    ez.process()
+    assert ez.textview.last_wordcount == 4
+
+
+def test_command_failure_surfaces_at_invocation(ascii_ws, tmp_path):
+    """A broken plugin fails when used, not when bound."""
+    (tmp_path / "boomcmd.py").write_text("this is } not python")
+    loader = ClassLoader(path=[tmp_path])
+    ez = EZApp(window_system=ascii_ws)
+    bind_command_key(ez.textview, "M-b", "boom", loader)  # must not raise
+    with pytest.raises(Exception):
+        resolve_command("boom", loader)

@@ -1,0 +1,112 @@
+"""Tests for the public API surface and the application base class."""
+
+import pytest
+
+import repro
+from repro.core import Application, DataObject
+from repro.components import Label, TextData
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_registered_component_inventory():
+    """Every paper component is importable AND registered by name."""
+    import repro.ext  # the extension packages register on import
+
+    from repro.class_system import is_registered
+
+    for name in (
+        "text", "textview", "pageview",
+        "table", "tableview", "spread", "chart", "piechartview",
+        "drawing", "drawingview",
+        "equation", "equationview",
+        "raster", "rasterview",
+        "animation", "animationview",
+        "scrollbar", "frame", "messageline", "label", "button",
+        "listview", "splitview", "pagelayout", "pagelayoutview",
+        "ezapp", "messagesapp", "composeapp", "helpapp",
+        "typescriptapp", "consoleapp", "previewapp",
+        "ctext", "ctextview",
+    ):
+        assert is_registered(name), name
+
+
+class TestApplicationBase:
+    def test_build_is_required(self, ascii_ws):
+        class Bare(Application):
+            atk_name = "bareapp-test"
+            atk_register = False
+
+        with pytest.raises(NotImplementedError):
+            Bare(window_system=ascii_ws)
+
+    def test_default_size_honoured(self, ascii_ws):
+        class Sized(Application):
+            atk_name = "sizedapp-test"
+            atk_register = False
+            default_size = (33, 7)
+
+            def build(self):
+                self.im.set_child(Label("x"))
+
+        app = Sized(window_system=ascii_ws)
+        assert (app.im.window.width, app.im.window.height) == (33, 7)
+
+    def test_explicit_size_overrides(self, ascii_ws):
+        class Sized(Application):
+            atk_register = False
+
+            def build(self):
+                self.im.set_child(Label("x"))
+
+        app = Sized(window_system=ascii_ws, width=50, height=9)
+        assert (app.im.window.width, app.im.window.height) == (50, 9)
+
+    def test_save_and_open_document(self, ascii_ws, tmp_path):
+        class Mini(Application):
+            atk_register = False
+
+            def build(self):
+                self.im.set_child(Label("x"))
+
+        app = Mini(window_system=ascii_ws)
+        path = tmp_path / "x.d"
+        app.save_document(TextData("persisted"), path)
+        document = app.open_document(path)
+        assert document.text() == "persisted"
+
+    def test_destroy_closes_window(self, ascii_ws):
+        class Mini(Application):
+            atk_register = False
+
+            def build(self):
+                self.im.set_child(Label("x"))
+
+        app = Mini(window_system=ascii_ws)
+        app.destroy()
+        assert not app.im.window.mapped
+        app.destroy()  # idempotent
+
+
+def test_dataobject_default_roundtrip_preserves_unknown_bodies():
+    """The base DataObject keeps opaque bodies verbatim, so even a
+    type with no custom parser survives save/load."""
+    from repro.core import read_document, write_document
+
+    class Opaque(DataObject):
+        atk_name = "opaquetest"
+
+    data = Opaque()
+    data._raw_lines = ["anything", "at all"]
+    restored = read_document(write_document(data))
+    assert restored._raw_lines == ["anything", "at all"]
+    from repro.class_system import unregister
+
+    unregister("opaquetest")

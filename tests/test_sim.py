@@ -1,0 +1,200 @@
+"""Tests for the OS simulation substrate (paging, filestore, loadmodel)."""
+
+import pytest
+
+from repro.sim import (
+    APP_CODE_KB,
+    DistributedFileStore,
+    Lcg,
+    PAGE_SIZE_KB,
+    PhysicalMemory,
+    Segment,
+    SimProcess,
+    TOOLKIT_KB,
+    build_runapp_world,
+    build_static_world,
+    compare,
+    run_workload,
+    simulate_world,
+)
+
+
+class TestLcg:
+    def test_deterministic(self):
+        a, b = Lcg(7), Lcg(7)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+    def test_randint_in_bounds(self):
+        rng = Lcg(1)
+        for _ in range(100):
+            value = rng.randint(3, 9)
+            assert 3 <= value <= 9
+
+    def test_randint_degenerate_range(self):
+        assert Lcg(1).randint(5, 5) == 5
+        assert Lcg(1).randint(5, 2) == 5
+
+
+class TestSegment:
+    def test_page_count_rounds_up(self):
+        assert Segment("s", 1).page_count == 1
+        assert Segment("s", PAGE_SIZE_KB).page_count == 1
+        assert Segment("s", PAGE_SIZE_KB + 1).page_count == 2
+
+    def test_hot_pages_at_least_one(self):
+        assert Segment("s", 4, hot_fraction=0.01).hot_pages == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Segment("s", 0)
+
+
+class TestPhysicalMemory:
+    def test_fault_then_hit(self):
+        memory = PhysicalMemory(64)
+        assert memory.touch(("a", 0)) is True
+        assert memory.touch(("a", 0)) is False
+        assert memory.faults == 1 and memory.hits == 1
+
+    def test_lru_eviction(self):
+        memory = PhysicalMemory(2 * PAGE_SIZE_KB)  # 2 frames
+        memory.touch(("a", 0))
+        memory.touch(("a", 1))
+        memory.touch(("a", 0))       # refresh 0
+        memory.touch(("a", 2))       # evicts 1 (LRU)
+        assert memory.is_resident(("a", 0))
+        assert not memory.is_resident(("a", 1))
+        assert memory.evictions == 1
+
+    def test_sharing_by_name(self):
+        memory = PhysicalMemory(1024)
+        seg = Segment("shared-text", 64)
+        memory.touch(("shared-text", 0))
+        # A second "process" touching the same named page: pure hit.
+        assert memory.touch(("shared-text", 0)) is False
+
+    def test_resident_fraction(self):
+        memory = PhysicalMemory(1024)
+        pages = [("s", i) for i in range(4)]
+        for page in pages[:2]:
+            memory.touch(page)
+        assert memory.resident_fraction(pages) == 0.5
+        assert memory.resident_fraction([]) == 1.0
+
+
+class TestSimProcess:
+    def test_fixed_work_per_burst(self):
+        from repro.sim.process import REFS_PER_BURST
+
+        memory = PhysicalMemory(4096)
+        one_seg = SimProcess("a", [Segment("a-text", 256)], seed=3)
+        two_seg = SimProcess(
+            "b", [Segment("b-base", 128), Segment("b-mod", 128)], seed=3
+        )
+        one_seg.step(memory)
+        after_one = memory.references
+        two_seg.step(memory)
+        assert memory.references - after_one == after_one == REFS_PER_BURST
+
+    def test_virtual_size(self):
+        process = SimProcess("p", [Segment("t", 100)], data_kb=50)
+        assert process.virtual_size_kb() == 150
+
+    def test_run_workload_metric_keys(self):
+        memory = PhysicalMemory(512)
+        processes = [SimProcess("p", [Segment("t", 64)], seed=1)]
+        metrics = run_workload(processes, memory, steps=20)
+        for key in ("faults", "key_residency", "virtual_kb",
+                    "unique_text_kb", "mapped_kb"):
+            assert key in metrics
+
+    def test_shared_text_counted_once_in_virtual_kb(self):
+        memory = PhysicalMemory(512)
+        base = Segment("base", 100)
+        processes = [
+            SimProcess("p1", [base], data_kb=10, seed=1),
+            SimProcess("p2", [Segment("base", 100)], data_kb=10, seed=2),
+        ]
+        metrics = run_workload(processes, memory, steps=1)
+        assert metrics["unique_text_kb"] == 100.0
+        assert metrics["virtual_kb"] == 120.0
+        assert metrics["mapped_kb"] == 220.0
+
+
+class TestFileStore:
+    def test_cold_fetch_charges_warm_is_free(self):
+        store = DistributedFileStore()
+        store.publish("bin/ez", 100)
+        first = store.fetch("bin/ez")
+        second = store.fetch("bin/ez")
+        assert first > 0 and second == 0.0
+        assert store.fetches == 1 and store.cache_hits == 1
+
+    def test_fetch_cost_scales_with_size(self):
+        store = DistributedFileStore()
+        store.publish("small", 10)
+        store.publish("large", 1000)
+        assert store.fetch("large") > store.fetch("small")
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            DistributedFileStore().fetch("ghost")
+
+    def test_flush_cache_forces_refetch(self):
+        store = DistributedFileStore()
+        store.publish("f", 10)
+        store.fetch("f")
+        store.flush_cache()
+        assert store.fetch("f") > 0
+        assert store.fetches == 2
+
+
+class TestLoadModel:
+    def test_static_world_binary_sizes_include_toolkit(self):
+        world = build_static_world(["ez", "help"])
+        assert world.binaries["ez"] == TOOLKIT_KB + APP_CODE_KB["ez"]
+
+    def test_runapp_world_modules_are_small(self):
+        world = build_runapp_world(["ez", "help"])
+        assert world.binaries["ez"] == APP_CODE_KB["ez"]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            build_static_world(["solitaire"])
+
+    def test_same_app_twice_shares_text_in_both_worlds(self):
+        for builder in (build_static_world, build_runapp_world):
+            world = builder(["ez", "ez"])
+            names = set()
+            for process in world.processes:
+                for segment in process.text_segments:
+                    names.add(segment.name)
+            metrics = simulate_world(world, memory_kb=2048, steps=10)
+            # Two instances of one app: text appears once.
+            assert metrics["unique_text_kb"] <= sum(
+                {n: s for n, s in [(seg.name, seg.size_kb)
+                 for p in world.processes for seg in p.text_segments]}.values()
+            )
+
+    def test_all_five_section7_bullets_hold_at_four_apps(self):
+        static, runapp = compare(
+            ["ez", "messages", "help", "console"], steps=200
+        )
+        assert runapp["faults"] < static["faults"]
+        assert runapp["key_residency"] > static["key_residency"]
+        assert runapp["virtual_kb"] < static["virtual_kb"]
+        assert runapp["fetch_ms"] < static["fetch_ms"]
+        assert runapp["mean_binary_kb"] < static["mean_binary_kb"]
+
+    def test_advantage_grows_with_concurrency(self):
+        apps = ["ez", "messages", "help", "typescript", "console", "preview"]
+        ratios = []
+        for count in (2, 4, 6):
+            static, runapp = compare(apps[:count], steps=150)
+            ratios.append(static["faults"] / runapp["faults"])
+        assert ratios[0] < ratios[-1]
+
+    def test_deterministic_results(self):
+        first = compare(["ez", "help"], steps=100)
+        second = compare(["ez", "help"], steps=100)
+        assert first == second

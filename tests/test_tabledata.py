@@ -1,0 +1,231 @@
+"""Tests for the table/spreadsheet data object."""
+
+import pytest
+
+from repro.components.table import (
+    CYCLE_ERROR,
+    Cell,
+    Formula,
+    TableData,
+    VALUE_ERROR,
+)
+from repro.components.text import TextData
+from repro.core import read_document, write_document
+
+
+class TestCells:
+    def test_set_and_get(self):
+        table = TableData(3, 3)
+        table.set_cell(0, 0, "title")
+        table.set_cell(1, 1, 42)
+        assert table.cell(0, 0).kind == "text"
+        assert table.cell(1, 1).kind == "number"
+        assert table.cell(2, 2).kind == "empty"
+
+    def test_string_coercion_rules(self):
+        table = TableData(2, 2)
+        table.set_cell(0, 0, "3.5")
+        table.set_cell(0, 1, "=1+1")
+        table.set_cell(1, 0, "hello")
+        assert table.cell(0, 0).kind == "number"
+        assert table.cell(0, 1).kind == "formula"
+        assert table.cell(1, 0).kind == "text"
+
+    def test_bad_formula_string_kept_as_text(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "=((")
+        assert table.cell(0, 0).kind == "text"
+
+    def test_clear_cell(self):
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 5)
+        table.clear_cell(0, 0)
+        assert table.cell(0, 0).kind == "empty"
+        assert table.value_at(0, 0) == ""
+
+    def test_bounds_checked(self):
+        table = TableData(2, 2)
+        with pytest.raises(IndexError):
+            table.set_cell(5, 0, 1)
+        with pytest.raises(IndexError):
+            table.cell(0, 9)
+
+    def test_mutation_notifies(self):
+        from repro.class_system import FunctionObserver
+
+        table = TableData(2, 2)
+        changes = []
+        table.add_observer(FunctionObserver(lambda c: changes.append(c)))
+        table.set_cell(1, 1, 9)
+        assert changes[0].what == "cell"
+        assert changes[0].where == (1, 1)
+
+
+class TestRecalculation:
+    def test_formula_chain(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 2)
+        table.set_cell(1, 0, "=A1*10")
+        table.set_cell(2, 0, "=A2+1")
+        assert table.value_at(2, 0) == 21.0
+
+    def test_update_propagates(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1+1")
+        assert table.value_at(1, 0) == 2.0
+        table.set_cell(0, 0, 10)
+        assert table.value_at(1, 0) == 11.0
+
+    def test_direct_cycle_detected(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "=A1")
+        assert table.value_at(0, 0) == CYCLE_ERROR
+
+    def test_mutual_cycle_detected(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, "=A2")
+        table.set_cell(1, 0, "=A1")
+        assert CYCLE_ERROR in (table.value_at(0, 0), table.value_at(1, 0))
+
+    def test_off_table_reference_is_value_error(self):
+        table = TableData(2, 2)
+        table.set_cell(0, 0, "=Z99")
+        assert table.value_at(0, 0) == VALUE_ERROR
+
+    def test_text_reads_as_zero_in_formulas(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, "words")
+        table.set_cell(1, 0, "=A1+5")
+        assert table.value_at(1, 0) == 5.0
+
+    def test_recalc_is_lazy(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1")
+        table.value_at(1, 0)
+        count = table.recalc_count
+        table.value_at(0, 0)
+        table.value_at(1, 0)
+        assert table.recalc_count == count
+
+    def test_display_formats(self):
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 800.0)
+        table.set_cell(0, 1, 3.25)
+        table.set_cell(1, 0, "txt")
+        assert table.display_at(0, 0) == "800"
+        assert table.display_at(0, 1) == "3.25"
+        assert table.display_at(1, 0) == "txt"
+        assert table.display_at(1, 1) == ""
+
+    def test_row_and_column_values(self):
+        table = TableData(2, 3)
+        table.set_cell(0, 0, 1)
+        table.set_cell(0, 1, "skip")
+        table.set_cell(0, 2, 3)
+        table.set_cell(1, 0, 4)
+        assert table.row_values(0) == [1.0, 3.0]
+        assert table.column_values(0) == [1.0, 4.0]
+
+
+class TestStructureEdits:
+    def test_insert_row_shifts_cells(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, "top")
+        table.set_cell(1, 0, "bottom")
+        table.insert_row(1)
+        assert table.rows == 3
+        assert table.cell(0, 0).content == "top"
+        assert table.cell(1, 0).kind == "empty"
+        assert table.cell(2, 0).content == "bottom"
+
+    def test_delete_row(self):
+        table = TableData(3, 1)
+        for row in range(3):
+            table.set_cell(row, 0, row)
+        table.delete_row(1)
+        assert table.rows == 2
+        assert table.value_at(1, 0) == 2.0
+
+    def test_insert_and_delete_col(self):
+        table = TableData(1, 2)
+        table.set_cell(0, 0, "a")
+        table.set_cell(0, 1, "b")
+        table.insert_col(1)
+        assert table.cols == 3
+        assert table.cell(0, 2).content == "b"
+        table.delete_col(1)
+        assert table.cell(0, 1).content == "b"
+
+    def test_cannot_delete_last_row_or_col(self):
+        table = TableData(1, 1)
+        with pytest.raises(ValueError):
+            table.delete_row(0)
+        with pytest.raises(ValueError):
+            table.delete_col(0)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            TableData(0, 3)
+
+
+class TestEmbedding:
+    def test_embed_object_cell(self):
+        table = TableData(2, 2)
+        inner = TextData("hi")
+        table.embed_object(0, 1, inner)
+        cell = table.cell(0, 1)
+        assert cell.kind == "object"
+        assert cell.view_type == "textview"
+        assert table.embedded_objects() == [inner]
+
+    def test_object_cells_read_as_zero(self):
+        table = TableData(2, 1)
+        table.embed_object(0, 0, TextData("x"))
+        table.set_cell(1, 0, "=A1+1")
+        assert table.value_at(1, 0) == 1.0
+
+
+class TestExternalRepresentation:
+    def roundtrip(self, table):
+        stream = write_document(table)
+        restored = read_document(stream)
+        assert write_document(restored) == stream
+        return restored
+
+    def test_values_roundtrip(self):
+        table = TableData(3, 3)
+        table.set_cell(0, 0, "label")
+        table.set_cell(1, 1, 2.5)
+        table.set_cell(2, 2, "=B2*2")
+        restored = self.roundtrip(table)
+        assert restored.rows == 3 and restored.cols == 3
+        assert restored.cell(0, 0).content == "label"
+        assert restored.value_at(2, 2) == 5.0
+
+    def test_text_with_newlines_and_backslashes(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "two\nlines with \\ slash")
+        restored = self.roundtrip(table)
+        assert restored.cell(0, 0).content == "two\nlines with \\ slash"
+
+    def test_very_long_text_cell_wraps(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "word " * 60 + "\\" * 7)
+        restored = self.roundtrip(table)
+        assert restored.cell(0, 0).content == table.cell(0, 0).content
+        stream = write_document(table)
+        assert all(len(l) <= 80 for l in stream.splitlines())
+
+    def test_embedded_component_roundtrip(self):
+        table = TableData(2, 2)
+        table.embed_object(1, 0, TextData("cell text"), "textview")
+        restored = self.roundtrip(table)
+        cell = restored.cell(1, 0)
+        assert cell.kind == "object"
+        assert cell.content.text() == "cell text"
+
+    def test_empty_table_roundtrip(self):
+        restored = self.roundtrip(TableData(4, 5))
+        assert (restored.rows, restored.cols) == (4, 5)

@@ -1,0 +1,194 @@
+"""Tests for the table view and the chart observer chain (section 2)."""
+
+import pytest
+
+from repro.components.table import (
+    BarChartView,
+    ChartData,
+    PieChartView,
+    TableData,
+    TableView,
+)
+from repro.components.text import TextData
+from repro.class_system import lookup
+
+
+@pytest.fixture
+def grid(make_im):
+    im = make_im(width=60, height=14)
+    table = TableData(5, 3)
+    view = TableView(table)
+    im.set_child(view)
+    im.process_events()
+    return im, view, table
+
+
+class TestTableView:
+    def test_registered_as_spread_alias(self):
+        assert lookup("spread") is TableView
+        assert lookup("tableview") is TableView
+
+    def test_headers_drawn(self, grid):
+        im, view, table = grid
+        im.redraw()
+        top = im.snapshot_lines()[0]
+        assert "A" in top and "B" in top and "C" in top
+        assert "1" in im.snapshot_lines()[2]
+
+    def test_click_selects_cell(self, grid):
+        im, view, table = grid
+        x = view._col_x(1) + 2
+        y = 2 + 1  # second data row
+        im.window.inject_click(x, y)
+        im.process_events()
+        assert view.selected == (1, 1)
+
+    def test_typing_edits_and_commit_moves_down(self, grid):
+        im, view, table = grid
+        im.window.inject_keys("42\n")
+        im.process_events()
+        assert table.value_at(0, 0) == 42.0
+        assert view.selected == (1, 0)
+
+    def test_formula_entry_displays_value(self, grid):
+        im, view, table = grid
+        table.set_cell(0, 0, 2)
+        table.set_cell(1, 0, 3)
+        view.select(2, 0)
+        im.window.inject_keys("=A1+A2\n")
+        im.process_events()
+        im.redraw()
+        assert "5" in "\n".join(im.snapshot_lines())
+
+    def test_escape_cancels_edit(self, grid):
+        im, view, table = grid
+        im.window.inject_keys("99")
+        im.window.inject_key("Escape")
+        im.process_events()
+        assert table.cell(0, 0).kind == "empty"
+
+    def test_backspace_clears_committed_cell(self, grid):
+        im, view, table = grid
+        table.set_cell(0, 0, 7)
+        im.window.inject_key("Backspace")
+        im.process_events()
+        assert table.cell(0, 0).kind == "empty"
+
+    def test_arrow_navigation(self, grid):
+        im, view, table = grid
+        im.window.inject_key("Down")
+        im.window.inject_key("Right")
+        im.process_events()
+        assert view.selected == (1, 1)
+
+    def test_menu_insert_row(self, grid):
+        im, view, table = grid
+        im.window.inject_menu("Table", "Insert Row")
+        im.process_events()
+        assert table.rows == 6
+
+    def test_embedded_cell_grows_row(self, grid):
+        im, view, table = grid
+        table.embed_object(0, 1, TextData("a\nb\nc\n"))
+        im.process_events()
+        view.ensure_layout()
+        assert view.row_height(0) > 1
+        assert len(view.children) == 1
+
+    def test_selection_clamped_after_shape_change(self, grid):
+        im, view, table = grid
+        view.select(4, 2)
+        table.delete_row(4)
+        assert view.selected[0] <= table.rows - 1
+
+    def test_desired_size_tracks_content(self, grid):
+        _, view, table = grid
+        width, height = view.desired_size(200, 200)
+        assert height == 2 + table.rows
+        assert width == view._col_x(table.cols)
+
+
+class TestChartObserverChain:
+    def make_chart(self):
+        table = TableData(4, 2)
+        for row, value in enumerate([4, 3, 2, 1]):
+            table.set_cell(row, 1, value)
+        chart = ChartData(table, series_axis="col", series_index=1,
+                          title="Numbers")
+        return table, chart
+
+    def test_series_derived_from_table(self):
+        table, chart = self.make_chart()
+        assert chart.series() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_table_edit_flows_to_chart_then_views(self):
+        table, chart = self.make_chart()
+        from repro.class_system import FunctionObserver
+
+        notifications = []
+        chart.add_observer(FunctionObserver(lambda c: notifications.append(c)))
+        table.set_cell(0, 1, 10)
+        assert chart.series()[0] == 10.0
+        assert notifications  # the two-hop update reached chart observers
+
+    def test_row_series(self):
+        table, chart = self.make_chart()
+        table.set_cell(0, 0, 7)
+        chart.set_series("row", 0)
+        assert chart.series() == [7.0, 4.0]
+
+    def test_config_is_persistent_but_table_is_not(self):
+        from repro.core import read_document, write_document
+
+        table, chart = self.make_chart()
+        chart.set_labels(["a", "b", "c", "d"])
+        restored = read_document(write_document(chart))
+        assert restored.title == "Numbers"
+        assert restored.labels == ["a", "b", "c", "d"]
+        assert restored.series_axis == "col" and restored.series_index == 1
+        assert restored.table is None  # relinked by the embedding code
+        restored.attach_table(table)
+        assert restored.series() == chart.series()
+
+    def test_detaching_table_clears_series(self):
+        table, chart = self.make_chart()
+        chart.attach_table(None)
+        assert chart.series() == []
+        assert table.observer_count == 0
+
+    def test_table_destroy_detaches_chart(self):
+        table, chart = self.make_chart()
+        table.destroy()
+        assert chart.table is None
+        assert chart.series() == []
+
+    def test_pie_and_bar_views_render(self, make_im):
+        table, chart = self.make_chart()
+        chart.set_labels(["aa", "bb", "cc", "dd"])
+        im = make_im(width=40, height=10)
+        pie = PieChartView(chart)
+        im.set_child(pie)
+        im.redraw()
+        snapshot = "\n".join(im.snapshot_lines())
+        assert "Numbers" in snapshot
+        assert "40%" in snapshot  # 4 of 10
+
+        im2 = make_im(width=40, height=10)
+        bar = BarChartView(chart)
+        im2.set_child(bar)
+        im2.redraw()
+        assert "aa" in "\n".join(im2.snapshot_lines())
+
+    def test_table_edit_repaints_chart_view(self, make_im):
+        table, chart = self.make_chart()
+        im = make_im(width=40, height=10)
+        pie = PieChartView(chart)
+        im.set_child(pie)
+        im.process_events()
+        table.set_cell(0, 1, 100)
+        assert len(im.updates) == 1  # the §2 chain queued a repaint
+
+    def test_bad_axis_rejected(self):
+        table, _ = self.make_chart()
+        with pytest.raises(ValueError):
+            ChartData(table, series_axis="diagonal")

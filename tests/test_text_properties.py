@@ -1,0 +1,143 @@
+"""Property-based tests for the text component (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components.text import OBJECT_CHAR, TextData
+from repro.components.text.marks import LEFT, Mark, RIGHT
+from repro.components.text.styles import StyleSpan, style_named
+from repro.core import read_document, scan_extents, write_document
+
+# Transportable text: printable 7-bit ASCII plus tab and newline,
+# excluding nothing else — exactly what the datastream must carry.
+ascii_text = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126
+    ) | st.sampled_from("\n\t"),
+    max_size=400,
+)
+
+
+@settings(max_examples=60)
+@given(ascii_text)
+def test_text_roundtrips_through_datastream(content):
+    data = TextData(content)
+    stream = write_document(data)
+    restored = read_document(stream)
+    assert restored.text() == content
+    for line in stream.splitlines():
+        assert len(line) <= 80
+        assert all(ord(c) < 127 for c in line)
+
+
+@settings(max_examples=60)
+@given(ascii_text)
+def test_write_is_deterministic_and_stable(content):
+    data = TextData(content)
+    first = write_document(data)
+    second = write_document(read_document(first))
+    assert first == second
+
+
+@settings(max_examples=40)
+@given(ascii_text, st.integers(min_value=0, max_value=400))
+def test_embed_positions_roundtrip(content, raw_pos):
+    data = TextData(content)
+    pos = min(raw_pos, data.length)
+    inner = TextData("x")
+    data.insert_object(pos, inner, "textview")
+    restored = read_document(write_document(data))
+    assert [e.pos for e in restored.embeds()] == [pos]
+    assert restored.plain_text() == content
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),                       # insert or delete
+            st.integers(min_value=0, max_value=50),
+            st.text(alphabet="abc\n", min_size=1, max_size=5),
+        ),
+        max_size=20,
+    )
+)
+def test_marks_never_escape_buffer(operations):
+    data = TextData("0123456789")
+    marks = [data.marks.create(i, LEFT if i % 2 else RIGHT)
+             for i in range(0, 10, 3)]
+    for is_insert, raw_pos, payload in operations:
+        pos = min(raw_pos, data.length)
+        if is_insert:
+            data.insert(pos, payload)
+        elif data.length:
+            length = min(len(payload), data.length - pos)
+            if length > 0:
+                data.delete(pos, length)
+    for mark in marks:
+        assert 0 <= mark.pos <= data.length
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=60),
+            st.integers(min_value=1, max_value=6),
+        ),
+        max_size=20,
+    )
+)
+def test_style_spans_stay_ordered_and_bounded(operations):
+    data = TextData("a" * 30)
+    data.add_style(5, 15, "bold")
+    data.add_style(10, 25, "italic")
+    for is_insert, raw_pos, length in operations:
+        pos = min(raw_pos, data.length)
+        if is_insert:
+            data.insert(pos, "x" * length)
+        else:
+            length = min(length, data.length - pos)
+            if length > 0:
+                data.delete(pos, length)
+    for span in data.spans:
+        assert 0 <= span.start <= span.end <= data.length
+
+
+@settings(max_examples=40)
+@given(st.lists(ascii_text, min_size=1, max_size=4))
+def test_nested_documents_scan_without_parsing(bodies):
+    root = TextData(bodies[0])
+    for body in bodies[1:]:
+        root.append_object(TextData(body), "textview")
+    stream = write_document(root)
+    extents = scan_extents(stream)
+    assert len(extents) == len(bodies)
+    assert extents[0].depth == 0
+    assert all(e.depth == 1 for e in extents[1:])
+    # Every child extent nests inside the root's extent.
+    for child in extents[1:]:
+        assert extents[0].start_line < child.start_line
+        assert child.end_line < extents[0].end_line
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=30),
+)
+def test_mark_adjustment_matches_recomputed_position(mark_pos, edit_pos,
+                                                     length, text_len):
+    """A mark tracks the same character it pointed at, when it survives."""
+    text = "".join(chr(ord("a") + i % 26) for i in range(max(text_len, 1)))
+    mark_pos = min(mark_pos, len(text))
+    edit_pos = min(edit_pos, len(text))
+    data = TextData(text)
+    mark = data.marks.create(mark_pos, LEFT)
+    target = text[mark_pos] if mark_pos < len(text) else None
+    data.insert(edit_pos, "ZZZ")
+    if target is not None and (edit_pos > mark_pos):
+        assert data.char_at(mark.pos) == target

@@ -1,0 +1,235 @@
+"""Tests for the text data object (paper sections 2 and 5)."""
+
+import pytest
+
+from repro.components.table import TableData
+from repro.components.text import OBJECT_CHAR, TextData
+from repro.core import read_document, scan_extents, write_document
+
+
+class TestEditing:
+    def test_insert_and_text(self):
+        data = TextData("hello")
+        data.insert(5, " world")
+        assert data.text() == "hello world"
+        assert data.length == 11
+
+    def test_insert_middle(self):
+        data = TextData("hd")
+        data.insert(1, "ea")
+        assert data.text() == "head"
+
+    def test_delete(self):
+        data = TextData("abcdef")
+        data.delete(1, 3)
+        assert data.text() == "aef"
+
+    def test_replace(self):
+        data = TextData("one two three")
+        data.replace(4, 3, "2")
+        assert data.text() == "one 2 three"
+
+    def test_bounds_checked(self):
+        data = TextData("ab")
+        with pytest.raises(IndexError):
+            data.insert(5, "x")
+        with pytest.raises(IndexError):
+            data.delete(1, 5)
+
+    def test_insert_rejects_placeholder_char(self):
+        data = TextData()
+        with pytest.raises(ValueError):
+            data.insert(0, OBJECT_CHAR)
+
+    def test_mutators_notify_observers(self):
+        from repro.class_system import FunctionObserver
+
+        data = TextData()
+        changes = []
+        data.add_observer(FunctionObserver(lambda c: changes.append(c.what)))
+        data.insert(0, "hi")
+        data.delete(0, 1)
+        data.add_style(0, 1, "bold")
+        assert changes == ["insert", "delete", "style"]
+
+    def test_search(self):
+        data = TextData("the cat sat on the mat")
+        assert data.search("the") == 0
+        assert data.search("the", 1) == 15
+        assert data.search("dog") == -1
+
+    def test_line_count(self):
+        assert TextData("a\nb\nc").line_count() == 3
+        assert TextData("").line_count() == 1
+
+
+class TestEmbedding:
+    def test_insert_object_occupies_one_position(self):
+        data = TextData("ab")
+        data.insert_object(1, TableData(2, 2))
+        assert data.length == 3
+        assert data.char_at(1) == OBJECT_CHAR
+        assert data.plain_text() == "ab"
+
+    def test_embed_position_tracks_edits(self):
+        data = TextData("hello")
+        embed = data.insert_object(5, TableData(1, 1))
+        data.insert(0, ">> ")
+        assert embed.pos == 8
+        data.delete(0, 3)
+        assert embed.pos == 5
+
+    def test_insert_exactly_at_placeholder_keeps_embed(self):
+        # Regression: the embed mark must follow its placeholder when
+        # text is inserted exactly at its position (RIGHT gravity);
+        # otherwise a subsequent delete there destroys the embed.
+        data = TextData("ab")
+        embed = data.insert_object(1, TableData(1, 1))
+        data.insert(1, "X")
+        assert embed.pos == 2
+        assert data.char_at(2) == OBJECT_CHAR
+        data.delete(1, 1)  # delete the X, not the embed
+        assert data.embeds() == [embed]
+        assert embed.pos == 1
+
+    def test_default_view_type(self):
+        data = TextData()
+        embed = data.append_object(TableData(1, 1))
+        assert embed.view_type == "tableview"
+
+    def test_deleting_placeholder_removes_embed(self):
+        data = TextData("ab")
+        data.insert_object(1, TableData(1, 1))
+        data.delete(1, 1)
+        assert data.embeds() == []
+        assert data.text() == "ab"
+
+    def test_embedded_objects_traversal(self):
+        inner = TextData("inner")
+        table = TableData(1, 1)
+        data = TextData("outer")
+        data.append_object(table)
+        data.append_object(inner)
+        assert data.embedded_objects() == [table, inner]
+        assert set(data.transitive_types()) == {"text", "table"}
+
+    def test_segments_interleave_runs_and_embeds(self):
+        data = TextData("ab")
+        data.insert_object(1, TableData(1, 1))
+        kinds = [(kind, payload if kind == "text" else "embed")
+                 for kind, _pos, payload in data.segments()]
+        assert kinds == [("text", "a"), ("embed", "embed"), ("text", "b")]
+
+
+class TestExternalRepresentation:
+    def roundtrip(self, data):
+        stream = write_document(data)
+        restored = read_document(stream)
+        assert write_document(restored) == stream
+        return restored, stream
+
+    def test_plain_text_roundtrip(self):
+        data = TextData("line one\nline two\n")
+        restored, _ = self.roundtrip(data)
+        assert restored.text() == data.text()
+
+    def test_no_trailing_newline_roundtrip(self):
+        data = TextData("no newline at end")
+        restored, _ = self.roundtrip(data)
+        assert restored.text() == "no newline at end"
+
+    def test_empty_document_roundtrip(self):
+        restored, _ = self.roundtrip(TextData(""))
+        assert restored.text() == ""
+
+    def test_blank_lines_roundtrip(self):
+        data = TextData("a\n\n\nb\n")
+        restored, _ = self.roundtrip(data)
+        assert restored.text() == "a\n\n\nb\n"
+
+    def test_backslashes_and_at_signs_roundtrip(self):
+        tricky = "\\begindata{x, 1}\n@style fake\nback\\slash\\\n@@\n"
+        restored, stream = self.roundtrip(TextData(tricky))
+        assert restored.text() == tricky
+        for line in stream.splitlines():
+            assert len(line) <= 80
+
+    def test_long_lines_wrap_and_restore(self):
+        data = TextData("z" * 500 + "\n" + "q" * 123)
+        restored, stream = self.roundtrip(data)
+        assert restored.text() == data.text()
+        assert all(len(l) <= 80 for l in stream.splitlines())
+
+    def test_styles_roundtrip(self):
+        data = TextData("some bold words here")
+        data.add_style(5, 9, "bold")
+        data.add_style(0, 20, "center")
+        restored, _ = self.roundtrip(data)
+        assert len(restored.spans) == 2
+        assert {s.style.name for s in restored.spans} == {"bold", "center"}
+        assert restored.styles_at(6)[0].name == "bold"
+
+    def test_embedded_table_roundtrip_exact_positions(self):
+        data = TextData("before after")
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 42)
+        data.insert_object(7, table, "spread")
+        restored, stream = self.roundtrip(data)
+        embed = restored.embeds()[0]
+        assert embed.pos == 7
+        assert embed.view_type == "spread"
+        assert embed.data.value_at(0, 0) == 42.0
+        assert "\\view{spread, 2}" in stream
+
+    def test_nested_text_in_text(self):
+        inner = TextData("inner document\n")
+        outer = TextData("outer\n")
+        outer.append_object(inner, "textview")
+        restored, _ = self.roundtrip(outer)
+        assert restored.embeds()[0].data.text() == "inner document\n"
+
+    def test_scan_extents_sees_embedded_objects(self):
+        data = TextData("x")
+        data.append_object(TableData(1, 1), "spread")
+        extents = scan_extents(write_document(data))
+        assert [e.type_tag for e in extents] == ["text", "table"]
+        assert extents[1].depth == 1
+
+    def test_embed_mid_line_keeps_line_joined(self):
+        data = TextData("left right")
+        data.insert_object(5, TableData(1, 1))
+        restored, _ = self.roundtrip(data)
+        assert restored.plain_text() == "left right"
+        assert restored.embeds()[0].pos == 5
+
+
+class TestStyleQueries:
+    def test_styles_at(self):
+        data = TextData("0123456789")
+        data.add_style(2, 6, "bold")
+        assert [s.name for s in data.styles_at(3)] == ["bold"]
+        assert data.styles_at(7) == []
+
+    def test_clear_styles_inside_range(self):
+        data = TextData("0123456789")
+        data.add_style(2, 4, "bold")
+        data.add_style(0, 10, "center")
+        removed = data.clear_styles(1, 5)
+        assert removed == 1
+        assert [s.style.name for s in data.spans] == ["center"]
+
+    def test_span_survives_edits_through_data(self):
+        data = TextData("make this bold now")
+        data.add_style(10, 14, "bold")
+        data.insert(0, ">>> ")
+        span = data.spans[0]
+        assert data.text(span.start, span.end) == "bold"
+        data.delete(0, 4)
+        span = data.spans[0]
+        assert data.text(span.start, span.end) == "bold"
+
+    def test_empty_spans_dropped_after_delete(self):
+        data = TextData("abcdef")
+        data.add_style(2, 4, "bold")
+        data.delete(2, 2)
+        assert data.spans == []

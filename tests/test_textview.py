@@ -1,0 +1,326 @@
+"""Tests for the text view (WYSLRN editor, paper section 2)."""
+
+import pytest
+
+from repro.components.table import TableData
+from repro.components.text import TextData, TextView
+from repro.core import InteractionManager
+from repro.graphics import Point, Rect
+
+
+@pytest.fixture
+def editor(make_im):
+    im = make_im(width=40, height=10)
+    data = TextData()
+    view = TextView(data)
+    im.set_child(view)
+    im.process_events()
+    return im, view, data
+
+
+class TestTyping:
+    def test_self_insert(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("hello")
+        im.process_events()
+        assert data.text() == "hello"
+        assert view.dot == 5
+
+    def test_return_inserts_newline(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("a\nb")
+        im.process_events()
+        assert data.text() == "a\nb"
+
+    def test_backspace(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("abc")
+        im.window.inject_key("Backspace")
+        im.process_events()
+        assert data.text() == "ab"
+
+    def test_backspace_at_start_is_noop(self, editor):
+        im, view, data = editor
+        im.window.inject_key("Backspace")
+        im.process_events()
+        assert data.text() == ""
+
+    def test_ctrl_d_deletes_forward(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("abc")
+        im.process_events()
+        view.set_dot(0)
+        im.window.inject_key("d", ctrl=True)
+        im.process_events()
+        assert data.text() == "bc"
+
+    def test_read_only_blocks_edits(self, make_im):
+        im = make_im()
+        view = TextView(TextData("fixed"), read_only=True)
+        im.set_child(view)
+        im.window.inject_keys("nope")
+        im.process_events()
+        assert view.data.text() == "fixed"
+
+    def test_line_motion_commands(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("first\nsecond")
+        im.window.inject_key("a", ctrl=True)
+        im.process_events()
+        assert view.dot == 6  # start of "second"
+        im.window.inject_key("e", ctrl=True)
+        im.process_events()
+        assert view.dot == 12
+
+    def test_kill_line_and_yank(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("kill me\nkeep")
+        im.process_events()
+        view.set_dot(0)
+        im.window.inject_key("k", ctrl=True)
+        im.process_events()
+        assert data.text() == "\nkeep"
+        view.set_dot(data.length)
+        im.window.inject_key("y", ctrl=True)
+        im.process_events()
+        assert data.text() == "\nkeepkill me"
+
+    def test_arrow_navigation(self, editor):
+        im, view, data = editor
+        im.window.inject_keys("ab\ncd")
+        im.window.inject_key("Up")
+        im.process_events()
+        assert view.dot <= 2
+        im.window.inject_key("Left")
+        before = view.dot
+        im.process_events()
+        assert view.dot == max(0, before - 1)
+
+
+class TestMouse:
+    def test_click_places_caret(self, editor):
+        im, view, data = editor
+        data.insert(0, "hello world")
+        im.process_events()
+        im.window.inject_click(6, 0)
+        im.process_events()
+        assert view.dot == 6
+
+    def test_click_past_line_end_goes_to_line_end(self, editor):
+        im, view, data = editor
+        data.insert(0, "hi\nthere")
+        im.process_events()
+        im.window.inject_click(30, 0)
+        im.process_events()
+        assert view.dot == 2
+
+    def test_drag_selects(self, editor):
+        im, view, data = editor
+        data.insert(0, "select some text")
+        im.process_events()
+        im.window.inject_drag(0, 0, 6, 0)
+        im.process_events()
+        assert view.selection() == (0, 6)
+        assert view.selected_text() == "select"
+
+    def test_typing_replaces_selection(self, editor):
+        im, view, data = editor
+        data.insert(0, "aaa bbb")
+        im.process_events()
+        im.window.inject_drag(0, 0, 3, 0)
+        im.window.inject_keys("X")
+        im.process_events()
+        assert data.text() == "X bbb"
+
+
+class TestWrapAndScroll:
+    def test_long_paragraph_wraps_to_width(self, make_im):
+        im = make_im(width=20, height=5)
+        view = TextView(TextData("x" * 50))
+        im.set_child(view)
+        im.redraw()
+        view.ensure_layout()
+        assert view.scroll_total() >= 3
+
+    def test_scroll_interface(self, make_im):
+        im = make_im(width=20, height=4)
+        view = TextView(TextData("\n".join(f"line {i}" for i in range(20))))
+        im.set_child(view)
+        im.process_events()
+        assert view.scroll_visible() == 4
+        view.set_scroll_pos(10)
+        snapshot = "\n".join(im.snapshot_lines())
+        im.redraw()
+        snapshot = "\n".join(im.snapshot_lines())
+        assert "line 10" in snapshot
+        assert "line 0" not in snapshot
+
+    def test_caret_motion_scrolls_into_view(self, make_im):
+        im = make_im(width=20, height=4)
+        data = TextData("\n".join(f"line {i}" for i in range(20)))
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        view.set_dot(data.length)
+        im.redraw()
+        assert "line 19" in "\n".join(im.snapshot_lines())
+
+
+class TestStylesInView:
+    def test_menu_applies_style_to_selection(self, editor):
+        im, view, data = editor
+        data.insert(0, "make bold")
+        im.process_events()
+        im.window.inject_drag(5, 0, 9, 0)
+        im.window.inject_menu("Style", "Bold")
+        im.process_events()
+        assert any(s.style.name == "bold" for s in data.spans)
+
+    def test_font_for_styles_combines(self, editor):
+        _, view, _ = editor
+        from repro.components.text.styles import style_named
+
+        font = view.font_for_styles(
+            [style_named("bold"), style_named("bigger")]
+        )
+        assert font.bold
+        assert font.size == view.base_font.size + 4
+
+    def test_centered_text_draws_centered(self, make_im):
+        im = make_im(width=21, height=3)
+        data = TextData("mid")
+        data.add_style(0, 3, "center")
+        im.set_child(TextView(data))
+        im.redraw()
+        line = im.snapshot_lines()[0]
+        assert line.strip("% ") in ("mid",)
+        assert line.index("mid") > 4
+
+
+class TestEmbeddedViews:
+    def test_embedded_table_gets_child_view(self, make_im):
+        im = make_im(width=40, height=12)
+        data = TextData("above\n")
+        table = TableData(2, 2)
+        table.set_cell(0, 0, 7)
+        data.append_object(table, "spread")
+        view = TextView(data)
+        im.set_child(view)
+        im.redraw()
+        assert len(view.children) == 1
+        child = view.children[0]
+        assert child.dataobject is table
+        assert "7" in "\n".join(im.snapshot_lines())
+
+    def test_unknown_view_type_gets_placeholder(self, make_im):
+        im = make_im(width=40, height=8)
+        data = TextData()
+        data.append_object(TableData(1, 1), "nonexistentview")
+        view = TextView(data)
+        im.set_child(view)
+        im.redraw()
+        assert "<table>" in "\n".join(im.snapshot_lines())
+
+    def test_deleting_embed_removes_child_view(self, make_im):
+        im = make_im(width=40, height=12)
+        data = TextData("x")
+        data.append_object(TableData(1, 1))
+        view = TextView(data)
+        im.set_child(view)
+        im.redraw()
+        assert len(view.children) == 1
+        data.delete(1, 1)
+        im.redraw()
+        assert len(view.children) == 0
+
+    def test_mouse_routes_into_embedded_view(self, make_im):
+        im = make_im(width=40, height=12)
+        data = TextData()
+        table = TableData(3, 2)
+        data.append_object(table, "spread")
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        im.redraw()
+        child = view.children[0]
+        rect = child.rect_in_window()
+        # Click a data cell inside the embedded table view.
+        im.window.inject_click(rect.left + 5, rect.top + 2)
+        im.process_events()
+        assert im.focus is child
+
+    def test_insert_object_via_view_moves_caret(self, editor):
+        im, view, data = editor
+        view.insert_object(TableData(1, 1))
+        assert view.dot == 1
+        assert data.embeds()[0].pos == 0
+
+
+class TestIncrementalRepair:
+    def test_edit_damages_from_changed_line_down(self, make_im):
+        im = make_im(width=30, height=8)
+        data = TextData("\n".join(f"line {i}" for i in range(8)))
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        im.redraw()
+        # Scribble sentinels on the window, then edit line 5.
+        im.window.surface.put(0, 0, "?")
+        im.window.surface.put(0, 7, "?")
+        pos = data.search("line 5")
+        data.insert(pos, "X")
+        im.flush_updates()
+        # Rows above the change were not repainted; rows at/below were.
+        assert im.window.surface.char_at(0, 0) == "?"
+        assert im.window.surface.char_at(0, 5) == "X"
+        assert im.window.surface.char_at(0, 7) != "?"
+
+    def test_change_above_window_repaints_all(self, make_im):
+        im = make_im(width=30, height=4)
+        data = TextData("\n".join(f"line {i}" for i in range(20)))
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        view.set_scroll_pos(10)
+        im.flush_updates()
+        im.window.surface.put(0, 0, "?")
+        data.insert(0, "shift everything\n")
+        im.flush_updates()
+        assert im.window.surface.char_at(0, 0) != "?"
+
+    def test_change_below_window_queues_no_damage(self, make_im):
+        im = make_im(width=30, height=3)
+        data = TextData("\n".join(f"line {i}" for i in range(20)))
+        view = TextView(data)
+        im.set_child(view)
+        im.process_events()
+        im.flush_updates()
+        data.append("invisible tail")
+        assert im.updates.is_empty()
+
+
+class TestTwoViewsOneBuffer:
+    def test_edit_in_one_view_updates_both(self, ascii_ws):
+        data = TextData("shared")
+        left = InteractionManager(ascii_ws, width=20, height=4)
+        right = InteractionManager(ascii_ws, width=20, height=4)
+        left_view = TextView(data)
+        right_view = TextView(data)
+        left.set_child(left_view)
+        right.set_child(right_view)
+        left.process_events()
+        right.process_events()
+        left.window.inject_keys("!!")
+        left.process_events()
+        right.flush_updates()
+        right.redraw()
+        assert "!!shared" in "\n".join(right.snapshot_lines())
+
+    def test_marks_stay_consistent_across_views(self, ascii_ws):
+        data = TextData("abcdef")
+        a = TextView(data)
+        b = TextView(data)
+        b.set_dot(6)
+        a.set_dot(0)
+        a.insert_text("xy")
+        assert b.dot == 8

@@ -1,0 +1,235 @@
+"""Tests for views and the view tree (paper section 3)."""
+
+import pytest
+
+from repro.core import DataObject, InteractionManager, View
+from repro.graphics import Point, Rect
+from repro.wm.events import MouseAction, MouseEvent
+
+
+class Recorder(View):
+    """A view that records the mouse events it accepts."""
+
+    atk_register = False
+
+    def __init__(self, accept=True):
+        super().__init__()
+        self.accept = accept
+        self.received = []
+
+    def handle_mouse(self, event):
+        self.received.append(event)
+        return self.accept
+
+
+def mouse(x, y, action=MouseAction.DOWN):
+    return MouseEvent(action, Point(x, y))
+
+
+class TestTreeStructure:
+    def test_add_child_sets_parent_and_bounds(self):
+        parent = View()
+        child = View()
+        parent.add_child(child, Rect(2, 3, 4, 5))
+        assert child.parent is parent
+        assert child.bounds == Rect(2, 3, 4, 5)
+        assert parent.children == [child]
+
+    def test_reparenting_removes_from_old_parent(self):
+        first, second, child = View(), View(), View()
+        first.add_child(child)
+        second.add_child(child)
+        assert child.parent is second
+        assert first.children == []
+
+    def test_root_and_ancestors(self):
+        a, b, c = View(), View(), View()
+        a.add_child(b)
+        b.add_child(c)
+        assert c.root() is a
+        assert c.ancestors() == [b, a]
+
+    def test_origin_in_window_accumulates(self):
+        a, b, c = View(), View(), View()
+        a.add_child(b, Rect(10, 5, 50, 50))
+        b.add_child(c, Rect(3, 2, 10, 10))
+        assert c.origin_in_window() == Point(13, 7)
+        assert c.rect_in_window() == Rect(13, 7, 10, 10)
+
+    def test_containment_invariant_checker(self):
+        parent = View()
+        parent.set_bounds(Rect(0, 0, 10, 10))
+        child = View()
+        parent.add_child(child, Rect(2, 2, 5, 5))
+        parent.check_containment()
+        child.set_bounds(Rect(8, 8, 5, 5))
+        with pytest.raises(AssertionError):
+            parent.check_containment()
+
+    def test_empty_child_bounds_always_contained(self):
+        parent = View()
+        parent.set_bounds(Rect(0, 0, 10, 10))
+        parent.add_child(View(), Rect(0, 0, 0, 0))
+        parent.check_containment()
+
+
+class TestMouseRouting:
+    def test_event_descends_to_deepest_interested_child(self):
+        root = Recorder(accept=False)
+        root.set_bounds(Rect(0, 0, 20, 20))
+        mid = Recorder(accept=False)
+        root.add_child(mid, Rect(5, 5, 10, 10))
+        leaf = Recorder(accept=True)
+        mid.add_child(leaf, Rect(2, 2, 5, 5))
+        handled = root.dispatch_mouse(mouse(8, 8))
+        assert handled is leaf
+        # Coordinates arrive in the leaf's space: 8 - 5 - 2 = 1.
+        assert leaf.received[0].point == Point(1, 1)
+
+    def test_parent_gets_second_chance_when_child_declines(self):
+        root = Recorder(accept=True)
+        root.set_bounds(Rect(0, 0, 20, 20))
+        child = Recorder(accept=False)
+        root.add_child(child, Rect(0, 0, 20, 20))
+        handled = root.dispatch_mouse(mouse(3, 3))
+        assert handled is root
+        assert len(child.received) == 1
+
+    def test_topmost_child_wins_overlap(self):
+        root = Recorder(accept=False)
+        root.set_bounds(Rect(0, 0, 20, 20))
+        under = Recorder()
+        over = Recorder()
+        root.add_child(under, Rect(0, 0, 10, 10))
+        root.add_child(over, Rect(0, 0, 10, 10))  # added later = on top
+        assert root.dispatch_mouse(mouse(5, 5)) is over
+
+    def test_parent_may_claim_event_over_child(self):
+        class Claiming(Recorder):
+            def route_mouse(self, event):
+                return None  # never forwards: pure parental authority
+
+        root = Claiming()
+        root.set_bounds(Rect(0, 0, 20, 20))
+        child = Recorder()
+        root.add_child(child, Rect(0, 0, 20, 20))
+        assert root.dispatch_mouse(mouse(5, 5)) is root
+        assert child.received == []
+
+    def test_unclaimed_event_returns_none(self):
+        root = Recorder(accept=False)
+        root.set_bounds(Rect(0, 0, 20, 20))
+        assert root.dispatch_mouse(mouse(1, 1)) is None
+
+
+class TestDataLinkage:
+    def test_view_observes_its_dataobject(self):
+        class Data(DataObject):
+            atk_name = "vtdata"
+            atk_register = False
+
+        data = Data()
+        view = View(data)
+        assert data.observer_count == 1
+        view.set_dataobject(None)
+        assert data.observer_count == 0
+
+    def test_data_change_marks_view_for_update(self, make_im):
+        im = make_im()
+
+        class Data(DataObject):
+            atk_register = False
+
+        data = Data()
+        view = View(data)
+        im.set_child(view)
+        im.flush_updates()
+        data.changed("edit")
+        assert len(im.updates) == 1
+
+    def test_destroy_unlinks_everything(self):
+        class Data(DataObject):
+            atk_register = False
+
+        data = Data()
+        parent = View()
+        view = View(data)
+        parent.add_child(view)
+        view.destroy()
+        assert view.parent is None
+        assert data.observer_count == 0
+        assert parent.children == []
+
+
+class TestDrawOrder:
+    def test_parent_draws_then_children_then_overlay(self, make_im):
+        order = []
+
+        class Traced(View):
+            atk_register = False
+
+            def __init__(self, name):
+                super().__init__()
+                self.name = name
+
+            def draw(self, graphic):
+                order.append(f"draw:{self.name}")
+
+            def draw_over(self, graphic):
+                order.append(f"over:{self.name}")
+
+        im = make_im()
+        root = Traced("root")
+        im.set_child(root)
+        root.add_child(Traced("a"), Rect(0, 0, 5, 5))
+        root.add_child(Traced("b"), Rect(5, 0, 5, 5))
+        order.clear()
+        im.redraw()
+        assert order == [
+            "draw:root", "draw:a", "over:a", "draw:b", "over:b", "over:root",
+        ]
+
+    def test_empty_children_are_skipped(self, make_im):
+        drawn = []
+
+        class Traced(View):
+            atk_register = False
+
+            def draw(self, graphic):
+                drawn.append(self)
+
+        im = make_im()
+        root = View()
+        im.set_child(root)
+        hidden = Traced()
+        root.add_child(hidden, Rect(0, 0, 0, 0))
+        im.redraw()
+        assert hidden not in drawn
+
+
+class TestSizeNegotiation:
+    def test_default_accepts_offer(self):
+        assert View().desired_size(30, 10) == (30, 10)
+
+    def test_layout_called_lazily_on_size_change(self):
+        calls = []
+
+        class Lazy(View):
+            atk_register = False
+
+            def layout(self):
+                calls.append(self.bounds)
+
+        view = Lazy()
+        view.set_bounds(Rect(0, 0, 10, 10))
+        assert calls == []
+        view.ensure_layout()
+        assert len(calls) == 1
+        view.ensure_layout()
+        assert len(calls) == 1  # no re-layout without a size change
+        view.set_bounds(Rect(5, 5, 10, 10))  # pure move
+        view.ensure_layout()
+        assert len(calls) == 1
+        view.set_bounds(Rect(0, 0, 20, 10))
+        view.ensure_layout()
+        assert len(calls) == 2

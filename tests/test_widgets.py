@@ -1,0 +1,323 @@
+"""Tests for the simple widgets: label, button, scrollbar, frame, split,
+listview."""
+
+import pytest
+
+from repro.components import (
+    Button,
+    Frame,
+    GRAB_SLOP,
+    Label,
+    ListView,
+    ScrollBar,
+    SplitView,
+    TextData,
+    TextView,
+)
+from repro.graphics import Point, Rect
+from repro.wm.base import Cursor, HORIZONTAL_BARS
+from repro.wm.events import MouseAction
+
+
+class TestLabel:
+    def test_draws_text(self, make_im):
+        im = make_im(width=20, height=3)
+        im.set_child(Label("hello"))
+        im.redraw()
+        assert "hello" in im.snapshot_lines()[0]
+
+    def test_centered(self, make_im):
+        im = make_im(width=21, height=1)
+        im.set_child(Label("mid", centered=True))
+        im.redraw()
+        assert im.snapshot_lines()[0].index("mid") == 9
+
+    def test_set_text_requests_update(self, make_im):
+        im = make_im()
+        label = Label("one")
+        im.set_child(label)
+        im.process_events()
+        label.set_text("two")
+        assert len(im.updates) == 1
+        im.redraw()
+        assert "two" in im.snapshot_lines()[0]
+
+    def test_desired_size_tracks_text(self, make_im):
+        im = make_im()
+        label = Label("12345")
+        im.set_child(label)
+        assert label.desired_size(100, 100)[0] == 5
+
+
+class TestButton:
+    def test_click_fires_callback(self, make_im):
+        im = make_im(width=20, height=3)
+        fired = []
+        button = Button("go", on_press=lambda b: fired.append(b))
+        im.set_child(button)
+        im.process_events()
+        im.window.inject_click(3, 1)
+        im.process_events()
+        assert fired == [button]
+        assert button.press_count == 1
+
+    def test_release_outside_cancels(self, make_im):
+        im = make_im(width=20, height=3)
+        fired = []
+        button = Button("go", on_press=lambda b: fired.append(b))
+        im.set_child(button)
+        im.process_events()
+        im.window.inject_mouse(MouseAction.DOWN, 3, 1)
+        im.window.inject_mouse(MouseAction.DRAG, 50, 40)
+        im.window.inject_mouse(MouseAction.UP, 50, 40)
+        im.process_events()
+        assert fired == []
+
+    def test_pressed_state_inverts(self, make_im):
+        im = make_im(width=10, height=1)
+        button = Button("go")
+        im.set_child(button)
+        im.process_events()
+        im.window.inject_mouse(MouseAction.DOWN, 2, 0)
+        im.process_events()
+        assert button.pressed
+        assert im.window.surface.inverse_at(2, 0)
+
+
+class TestScrollBar:
+    def make(self, make_im, lines=30, height=10):
+        im = make_im(width=30, height=height)
+        data = TextData("\n".join(f"line {i}" for i in range(lines)))
+        text = TextView(data)
+        bar = ScrollBar(text)
+        im.set_child(bar)
+        im.process_events()
+        return im, bar, text
+
+    def test_body_gets_remaining_width(self, make_im):
+        im, bar, text = self.make(make_im)
+        assert text.bounds == Rect(2, 0, 28, 10)
+
+    def test_thumb_reflects_visible_fraction(self, make_im):
+        im, bar, text = self.make(make_im, lines=30, height=10)
+        top, height = bar.thumb_extent()
+        assert top == 0
+        assert 2 <= height <= 5  # ~10/30 of a 10-row track
+
+    def test_click_in_bar_scrolls_body(self, make_im):
+        im, bar, text = self.make(make_im)
+        im.window.inject_click(0, 5)
+        im.process_events()
+        assert text.scroll_pos() > 0
+
+    def test_clicks_right_of_bar_go_to_body(self, make_im):
+        im, bar, text = self.make(make_im)
+        im.window.inject_click(10, 0)
+        im.process_events()
+        assert im.focus is text
+
+    def test_page_keys(self, make_im):
+        im, bar, text = self.make(make_im)
+        im.window.inject_key("v", ctrl=True)
+        im.process_events()
+        assert text.scroll_pos() > 0
+        im.window.inject_key("v", meta=True)
+        im.process_events()
+        assert text.scroll_pos() == 0
+
+    def test_scrollbar_has_no_dataobject(self, make_im):
+        im, bar, _ = self.make(make_im)
+        assert bar.dataobject is None
+
+
+class TestFrame:
+    def test_layout_divider_and_message_line(self, make_im):
+        im = make_im(width=30, height=10)
+        frame = Frame(TextView(TextData("body")))
+        im.set_child(frame)
+        im.process_events()
+        assert frame.divider_row == 8
+        assert frame.message_line.bounds == Rect(0, 9, 30, 1)
+        im.redraw()
+        assert set(im.snapshot_lines()[8]) == {"-"}
+
+    def test_post_message_shows(self, make_im):
+        im = make_im(width=30, height=10)
+        frame = Frame(TextView(TextData()))
+        im.set_child(frame)
+        frame.post_message("status here")
+        im.process_events()
+        im.redraw()
+        assert "status here" in im.snapshot_lines()[9]
+
+    def test_divider_grab_zone_overlaps_children(self, make_im):
+        im = make_im(width=30, height=10)
+        body = TextView(TextData("x\n" * 20))
+        frame = Frame(body)
+        im.set_child(frame)
+        im.process_events()
+        # Row 7 belongs to the body but is within GRAB_SLOP of row 8.
+        assert frame.near_divider(Point(5, frame.divider_row - GRAB_SLOP))
+        im.window.inject_drag(5, 7, 5, 4)
+        im.process_events()
+        assert frame.divider_grabs == 1
+        assert frame.message_rows == 5
+
+    def test_divider_cursor_overrides_children(self, make_im):
+        im = make_im(width=30, height=10)
+        frame = Frame(TextView(TextData()))
+        im.set_child(frame)
+        im.process_events()
+        im.window.inject_mouse(MouseAction.MOVE, 5, frame.divider_row)
+        im.process_events()
+        assert im.window.cursor == Cursor(HORIZONTAL_BARS)
+
+    def test_far_from_divider_not_claimed(self, make_im):
+        im = make_im(width=30, height=12)
+        body = TextView(TextData("hello"))
+        frame = Frame(body)
+        im.set_child(frame)
+        im.process_events()
+        im.window.inject_click(3, 0)
+        im.process_events()
+        assert im.focus is body
+
+    def test_ask_with_queued_answer(self, make_im):
+        im = make_im()
+        frame = Frame(TextView(TextData()))
+        im.set_child(frame)
+        answers = []
+        frame.queue_answer("yes")
+        result = frame.ask("Proceed? ", answers.append)
+        assert result == "yes"
+        assert answers == ["yes"]
+
+    def test_ask_interactive_via_message_line(self, make_im):
+        im = make_im(width=30, height=10)
+        frame = Frame(TextView(TextData()))
+        im.set_child(frame)
+        im.process_events()
+        answers = []
+        frame.ask("Name: ", answers.append)
+        assert im.focus is frame.message_line
+        im.window.inject_keys("fred\n")
+        im.process_events()
+        assert answers == ["fred"]
+        assert not frame.message_line.collecting
+        # Focus can go back to the body afterwards via initial_focus.
+
+    def test_prompt_editing_with_backspace(self, make_im):
+        im = make_im(width=30, height=10)
+        frame = Frame(TextView(TextData()))
+        im.set_child(frame)
+        im.process_events()
+        answers = []
+        frame.ask("? ", answers.append)
+        im.window.inject_keys("ab")
+        im.window.inject_key("Backspace")
+        im.window.inject_keys("c\n")
+        im.process_events()
+        assert answers == ["ac"]
+
+
+class TestSplitView:
+    def test_vertical_layout(self, make_im):
+        im = make_im(width=40, height=10)
+        left, right = Label("L"), Label("R")
+        split = SplitView(left, right, vertical=True, ratio=25)
+        im.set_child(split)
+        im.process_events()
+        assert left.bounds == Rect(0, 0, 10, 10)
+        assert right.bounds == Rect(11, 0, 29, 10)
+
+    def test_horizontal_layout(self, make_im):
+        im = make_im(width=40, height=10)
+        top, bottom = Label("T"), Label("B")
+        split = SplitView(top, bottom, vertical=False, ratio=50)
+        im.set_child(split)
+        im.process_events()
+        assert top.bounds == Rect(0, 0, 40, 5)
+        assert bottom.bounds == Rect(0, 6, 40, 4)
+
+    def test_drag_divider_changes_ratio(self, make_im):
+        im = make_im(width=40, height=10)
+        split = SplitView(Label("L"), Label("R"), vertical=True, ratio=50)
+        im.set_child(split)
+        im.process_events()
+        im.window.inject_drag(split.divider_pos, 5, 30, 5)
+        im.process_events()
+        assert split.ratio == 75
+
+    def test_initial_focus_prefers_second(self, make_im):
+        im = make_im()
+        body = TextView(TextData())
+        split = SplitView(Label("x"), ScrollBar(body))
+        im.set_child(split)
+        assert im.focus is body
+
+
+class TestListView:
+    def test_items_and_selection(self, make_im):
+        im = make_im(width=20, height=5)
+        picks = []
+        lv = ListView(["a", "b", "c"],
+                      on_select=lambda i, item: picks.append(item))
+        im.set_child(lv)
+        im.process_events()
+        im.window.inject_click(2, 1)
+        im.process_events()
+        assert lv.selected == 1
+        assert lv.selected_item() == "b"
+        assert picks == ["b"]
+
+    def test_selection_drawn_inverted(self, make_im):
+        im = make_im(width=20, height=5)
+        lv = ListView(["a", "b"])
+        im.set_child(lv)
+        im.process_events()
+        lv.select_index(0)
+        im.flush_updates()
+        im.redraw()
+        assert im.window.surface.inverse_at(0, 0)
+
+    def test_arrow_keys_move_selection(self, make_im):
+        im = make_im(width=20, height=5)
+        lv = ListView(["a", "b", "c"])
+        im.set_child(lv)
+        im.window.inject_key("Down")
+        im.window.inject_key("Down")
+        im.window.inject_key("Up")
+        im.process_events()
+        assert lv.selected == 0 or lv.selected == 1
+        # From nothing selected: Down selects 0, Down -> 1, Up -> 0.
+        assert lv.selected == 0
+
+    def test_return_activates(self, make_im):
+        im = make_im(width=20, height=5)
+        activated = []
+        lv = ListView(["only"], on_activate=lambda i, item: activated.append(item))
+        im.set_child(lv)
+        lv.select_index(0)
+        im.window.inject_key("Return")
+        im.process_events()
+        assert activated == ["only"]
+
+    def test_scrolling_keeps_selection_visible(self, make_im):
+        im = make_im(width=20, height=3)
+        lv = ListView([f"item {i}" for i in range(10)])
+        im.set_child(lv)
+        im.process_events()
+        lv.select_index(8)
+        im.redraw()
+        # The selected row is drawn in inverse video (blanks print as %).
+        assert "item%8" in "\n".join(im.snapshot_lines())
+
+    def test_set_items_keep_selection(self, make_im):
+        im = make_im()
+        lv = ListView(["a", "b", "c"])
+        im.set_child(lv)
+        lv.select_index(1)
+        lv.set_items(["z", "b", "y"], keep_selection=True)
+        assert lv.selected_item() == "b"
+        lv.set_items(["q"], keep_selection=True)
+        assert lv.selected is None

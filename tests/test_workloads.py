@@ -1,0 +1,114 @@
+"""Tests for the workload generators (figure documents, sessions)."""
+
+import pytest
+
+from repro.core import read_document, scan_extents, write_document
+from repro.workloads import (
+    big_cat_raster,
+    build_expense_letter,
+    build_fig3_message_body,
+    build_fig4_message_body,
+    build_fig5_document,
+    generate_session,
+    replay_on_textview,
+    score_editor_capabilities,
+)
+
+
+class TestFigureDocuments:
+    def test_fig5_structure(self):
+        doc = build_fig5_document()
+        table = doc.embeds()[0].data
+        assert doc.embeds()[0].view_type == "spread"
+        inner_types = {cell.content.type_tag
+                       for _r, _c, cell in table.cells()
+                       if cell.kind == "object"}
+        assert inner_types == {"text", "equation", "animation", "table"}
+
+    def test_fig5_spreadsheet_is_pascals_triangle(self):
+        doc = build_fig5_document()
+        table = doc.embeds()[0].data
+        spreadsheet = next(
+            cell.content for _r, _c, cell in table.cells()
+            if cell.kind == "object" and cell.content.type_tag == "table"
+        )
+        # Row 5 of Pascal's triangle: 1 4 6 4 1
+        values = [spreadsheet.value_at(4, col) for col in range(5)]
+        assert values == [1.0, 4.0, 6.0, 4.0, 1.0]
+
+    def test_fig5_roundtrips(self):
+        doc = build_fig5_document()
+        stream = write_document(doc)
+        assert write_document(read_document(stream)) == stream
+        extents = scan_extents(stream)
+        assert [e.type_tag for e in extents] == [
+            "text", "table", "text", "equation", "animation", "table"]
+
+    def test_expense_letter_total(self):
+        letter = build_expense_letter()
+        table = letter.embeds()[0].data
+        assert table.value_at(3, 1) == 800.0
+
+    def test_fig3_body_has_drawing(self):
+        body = build_fig3_message_body()
+        drawing = body.embeds()[0].data
+        assert drawing.type_tag == "drawing"
+        assert len(drawing.shapes) >= 5
+
+    def test_fig4_body_has_raster(self):
+        body = build_fig4_message_body()
+        assert body.embeds()[0].data.type_tag == "raster"
+
+    def test_big_cat_raster_has_structure(self):
+        cat = big_cat_raster()
+        assert cat.bitmap.ink_count() > 20
+        stream = write_document(cat)
+        assert read_document(stream).bitmap == cat.bitmap
+
+
+class TestSessions:
+    def test_deterministic(self):
+        a = generate_session(100, seed=9)
+        b = generate_session(100, seed=9)
+        assert [(x.kind, x.payload) for x in a] == [
+            (x.kind, x.payload) for x in b]
+
+    def test_mix_contains_all_kinds(self):
+        kinds = {action.kind for action in generate_session(500, seed=1)}
+        assert kinds == {"type", "move", "delete", "style", "embed",
+                         "newline"}
+
+    def test_replay_full_capability(self, make_im):
+        from repro.components import TextData, TextView
+
+        im = make_im(width=50, height=12)
+        view = TextView(TextData())
+        im.set_child(view)
+        counts = replay_on_textview(view, generate_session(120, seed=2))
+        assert counts["unsupported"] == 0
+        assert counts["chars"] > 0
+        assert view.data.length > 0
+        assert score_editor_capabilities(counts) == 1.0
+
+    def test_replay_plain_editor_loses_work(self, make_im):
+        from repro.components import TextData, TextView
+
+        im = make_im(width=50, height=12)
+        view = TextView(TextData())
+        im.set_child(view)
+        counts = replay_on_textview(
+            view, generate_session(200, seed=3),
+            allow_styles=False, allow_embeds=False,
+        )
+        assert counts["unsupported"] > 0
+        assert score_editor_capabilities(counts) < 1.0
+
+    def test_replayed_document_roundtrips(self, make_im):
+        from repro.components import TextData, TextView
+
+        im = make_im(width=50, height=12)
+        view = TextView(TextData())
+        im.set_child(view)
+        replay_on_textview(view, generate_session(150, seed=4))
+        stream = write_document(view.data)
+        assert write_document(read_document(stream)) == stream

@@ -1,0 +1,100 @@
+"""Tests for the paper-based (WYSIWYG) page view (§2)."""
+
+import pytest
+
+from repro.components import PageView, TableData, TextData, TextView
+from repro.components.text.wysiwyg import PAGE_TEXT_HEIGHT, PAGE_TEXT_WIDTH
+
+
+def test_empty_document_one_page():
+    view = PageView(TextData(""))
+    assert view.page_count() == 1
+
+
+def test_word_wrap_at_page_width():
+    view = PageView(TextData("word " * 60))
+    view.ensure_layout()
+    pages = view.paginate()
+    for page in pages:
+        for row in page.rows:
+            assert len(row) <= PAGE_TEXT_WIDTH
+
+
+def test_pagination_overflow_creates_pages():
+    text = "\n".join(f"line {i}" for i in range(PAGE_TEXT_HEIGHT * 3))
+    view = PageView(TextData(text))
+    assert view.page_count() == 3
+
+
+def test_page_numbers_sequential():
+    text = "\n".join("x" for _ in range(PAGE_TEXT_HEIGHT * 2))
+    view = PageView(TextData(text))
+    view.ensure_layout()
+    assert [p.number for p in view.paginate()] == [1, 2]
+
+
+def test_embedded_objects_shown_as_markers():
+    data = TextData("before ")
+    data.append_object(TableData(1, 1))
+    view = PageView(data)
+    view.ensure_layout()
+    rows = view.paginate()[0].rows
+    assert any("[embedded object]" in row for row in rows)
+
+
+def test_repagination_on_edit(make_im):
+    im = make_im(width=66, height=24)
+    data = TextData("short")
+    view = PageView(data)
+    im.set_child(view)
+    im.process_events()
+    assert view.page_count() == 1
+    data.append("word " * (PAGE_TEXT_HEIGHT * PAGE_TEXT_WIDTH // 4))
+    im.flush_updates()
+    assert view.page_count() > 1
+
+
+def test_draw_shows_frame_and_footer(make_im):
+    im = make_im(width=66, height=24)
+    view = PageView(TextData("hello pages"))
+    im.set_child(view)
+    im.redraw()
+    snapshot = "\n".join(im.snapshot_lines())
+    assert "hello pages" in snapshot
+    assert "- 1 -" in snapshot
+    assert "|" in snapshot  # the page frame edges
+
+
+def test_scrolling_between_pages(make_im):
+    im = make_im(width=66, height=10)
+    text = "\n".join(f"page-one-line {i}" for i in range(PAGE_TEXT_HEIGHT))
+    text += "\nSECOND PAGE MARKER\n"
+    view = PageView(TextData(text))
+    im.set_child(view)
+    im.process_events()
+    view.set_scroll_pos(view._page_display_height())
+    im.redraw()
+    snapshot = "\n".join(im.snapshot_lines())
+    assert "SECOND PAGE MARKER" in snapshot
+
+
+def test_live_pairing_with_editor(make_im):
+    data = TextData("start")
+    editor = TextView(data)
+    proof = PageView(data)
+    im = make_im(width=66, height=24)
+    im.set_child(proof)
+    editor_im = make_im(width=30, height=6)
+    editor_im.set_child(editor)
+    editor.insert_text("NEW ")
+    im.flush_updates()
+    im.redraw()
+    assert "NEW start" in "\n".join(im.snapshot_lines())
+
+
+def test_scroll_interface_bounds():
+    view = PageView(TextData("x"))
+    view.set_scroll_pos(-5)
+    assert view.scroll_pos() == 0
+    view.set_scroll_pos(10 ** 9)
+    assert view.scroll_pos() <= view.scroll_total()
