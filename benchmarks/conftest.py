@@ -28,6 +28,24 @@ def report(title, lines):
 
 
 @pytest.fixture
+def metrics():
+    """Toolkit telemetry, on for this test and reset to empty.
+
+    Benches read the process-wide registry (``repro.obs``) instead of
+    per-object private counters, so every figure shares one measurement
+    source.  Restores the previous switch state on teardown so timing
+    benches still run on the no-op path.
+    """
+    from repro import obs
+
+    was_on = obs.metrics_enabled()
+    obs.configure(metrics=True)
+    obs.registry.reset()
+    yield obs.registry
+    obs.configure(metrics=was_on)
+
+
+@pytest.fixture
 def ascii_ws():
     from repro.wm import AsciiWindowSystem
 

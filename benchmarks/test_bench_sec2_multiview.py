@@ -63,12 +63,19 @@ def test_bench_notification_only(benchmark):
     assert data.observer_count == 64
 
 
-def test_bench_repaint_counts_are_exact(benchmark):
-    """Each edit repaints each view exactly once (coalescing works)."""
+def test_bench_repaint_counts_are_exact(benchmark, metrics):
+    """Each edit repaints each view exactly once (coalescing works).
+
+    Reads the unified telemetry registry rather than private queue
+    counters: ``update.enqueued``/``update.coalesced`` say what the
+    delayed-update queue absorbed, ``im.flush_passes`` says how many
+    screen passes came out the other end.
+    """
     data, windows, views = build_views(8)
     for im in windows:
         im.redraw()
     before = [view.draw_count for view in views]
+    metrics.reset()
 
     def five_edits_one_flush():
         for _ in range(5):
@@ -80,9 +87,17 @@ def test_bench_repaint_counts_are_exact(benchmark):
     after = [view.draw_count for view in views]
     deltas = [b - a for a, b in zip(before, after)]
     assert deltas == [1] * 8  # 5 edits coalesced into one repaint each
+    enqueued = metrics.counter("update.enqueued")
+    coalesced = metrics.counter("update.coalesced")
+    passes = metrics.counter("im.flush_passes")
+    assert enqueued == 5 * 8           # every edit reached every view
+    assert coalesced == 4 * 8          # 4 of 5 per view were absorbed
+    assert passes == 8                 # one screen pass per window
     benchmark(five_edits_one_flush)
     report("E3 coalescing", [
         "5 edits between flushes -> exactly 1 repaint per view",
+        f"update.enqueued={enqueued} update.coalesced={coalesced} "
+        f"im.flush_passes={passes}",
         f"per-view repaint deltas: {deltas}",
     ])
 

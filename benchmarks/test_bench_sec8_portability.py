@@ -54,7 +54,7 @@ def test_bench_porting_surface(benchmark):
 
 
 @pytest.mark.parametrize("backend", ["ascii", "raster"])
-def test_bench_redraw(benchmark, backend):
+def test_bench_redraw(benchmark, backend, metrics):
     """Full-window redraw of the same document on each backend."""
     scale = 1 if backend == "ascii" else 8
     ez = EZApp(
@@ -65,7 +65,19 @@ def test_bench_redraw(benchmark, backend):
     ez.process()
     benchmark(ez.im.redraw)
     stats = ez.window_system.stats()
-    report(f"E6 redraw on {backend}", [f"backend stats: {stats}"])
+    # Both backends tally device requests into one registry namespace
+    # (wm.ascii.* / wm.raster.*) — the unified RequestCounter.
+    requests = metrics.counter(f"wm.{backend}.requests")
+    assert requests > 0
+    per_op = ", ".join(
+        "{}={}".format(name.rsplit(".", 1)[1], value)
+        for name, value in metrics.counters_matching(f"wm.{backend}.").items()
+        if not name.endswith(".requests")
+    )
+    report(f"E6 redraw on {backend}", [
+        f"backend stats: {stats}",
+        f"device requests: {requests} ({per_op})",
+    ])
 
 
 def test_bench_identical_behaviour(benchmark):

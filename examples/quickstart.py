@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 import tempfile
 from pathlib import Path
 
-from repro import AsciiWindowSystem, EZApp, read_document
+from repro import AsciiWindowSystem, EZApp, obs, read_document
 
 
 def main():
@@ -55,6 +55,14 @@ def main():
     restored_table = document.embeds()[0].data
     print(f"\nRe-read the document: total = "
           f"{restored_table.value_at(2, 1):g} (recomputed from =SUM)")
+
+    # With ANDREW_METRICS=1 (and optionally ANDREW_TRACE=1) the toolkit
+    # telemetry subsystem recorded every hot seam this run exercised —
+    # update queue, event dispatch, observer fan-out, dynamic loads,
+    # backend requests, datastream bytes.  Print the snapshot.
+    if obs.metrics_enabled() or obs.trace_enabled():
+        print()
+        print(obs.render_text())
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ Quickstart::
     print(ez.snapshot())
 """
 
+from . import obs
 from .class_system import (
     ATKObject,
     ClassLoader,
@@ -91,6 +92,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # telemetry
+    "obs",
     # class system
     "ATKObject",
     "classprocedure",

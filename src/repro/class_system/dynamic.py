@@ -37,6 +37,7 @@ import types
 from pathlib import Path
 from typing import Dict, List, Optional, Type
 
+from .. import obs
 from .errors import DynamicLoadError, PluginNotFoundError, PluginSyntaxError
 from .registry import ATKObject, is_registered, lookup
 
@@ -149,7 +150,8 @@ class ClassLoader:
             plugin = self._find_plugin(name)
             if plugin is None:
                 raise PluginNotFoundError(name, self._path)
-            module = self._execute_plugin(name, plugin)
+            with obs.span("loader.cold_load", plugin=name):
+                module = self._execute_plugin(name, plugin)
             self._loaded_modules[name] = module
 
         if not is_registered(name):
@@ -193,6 +195,14 @@ class ClassLoader:
         record = LoadRecord(name, kind, path, time.perf_counter() - start)
         with self._lock:
             self._history.append(record)
+        if obs.metrics_on:
+            # LoadRecord absorbed into the registry: one counter per
+            # resolution kind plus a shared latency histogram.
+            obs.registry.inc("loader.loads")
+            obs.registry.inc(f"loader.{kind}")
+            obs.registry.observe_ns(
+                "loader.load_ns", int(record.duration * 1e9)
+            )
 
     # -- introspection ------------------------------------------------------
 

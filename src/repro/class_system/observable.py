@@ -27,6 +27,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterator, List, Optional
 
+from .. import obs
+
 __all__ = ["ChangeRecord", "Observable", "Observer", "FunctionObserver"]
 
 _change_counter = itertools.count(1)
@@ -117,6 +119,7 @@ class Observable:
         self._observers: List[Observer] = []
         self._modified_serial = 0
         self._notifying = 0
+        self._pending_change: Optional[ChangeRecord] = None
 
     # -- attachment ----------------------------------------------------
 
@@ -178,20 +181,37 @@ class Observable:
         Returns the number of observers notified.  If there is neither an
         explicit nor a pending change record, a generic one is created so
         "something changed, look for yourself" notifications still work.
+
+        Delivery is exhaustive: an observer that raises does not starve
+        the observers after it.  Every observer sees the change, raised
+        exceptions are collected, and the first one is re-raised once the
+        loop completes — errors never pass silently, but one buggy view
+        cannot leave its siblings showing stale state.
         """
         if change is None:
-            change = getattr(self, "_pending_change", None)
+            change = self._pending_change
             if change is None:
                 change = ChangeRecord(self)
                 self._modified_serial = change.serial
         self._pending_change = None
         snapshot = self._observers
+        errors: List[BaseException] = []
         self._notifying += 1
         try:
             for observer in snapshot:
-                observer.observed_changed(change)
+                try:
+                    observer.observed_changed(change)
+                except Exception as exc:
+                    errors.append(exc)
         finally:
             self._notifying -= 1
+        if obs.metrics_on:
+            obs.registry.inc("notify.notifications")
+            obs.registry.inc("notify.observers", len(snapshot))
+            if errors:
+                obs.registry.inc("notify.exceptions", len(errors))
+        if errors:
+            raise errors[0]
         return len(snapshot)
 
     def changed(

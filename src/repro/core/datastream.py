@@ -38,6 +38,7 @@ from __future__ import annotations
 import io
 from typing import Dict, Iterator, List, Optional, TextIO, Union
 
+from .. import obs
 from ..class_system.dynamic import ClassLoader, default_loader
 from ..class_system.errors import ClassSystemError
 from .dataobject import DataObject
@@ -232,6 +233,9 @@ class DataStreamWriter:
     def _emit(self, line: str) -> None:
         self.stream.write(line + "\n")
         self.lines_written += 1
+        if obs.metrics_on:
+            obs.registry.inc("datastream.bytes_written", len(line) + 1)
+            obs.registry.inc("datastream.lines_written")
 
     def write_body_line(self, text: str) -> None:
         """Write one body line, enforcing the section-5 guidelines.
@@ -276,6 +280,8 @@ class DataStreamWriter:
     def write_object(self, obj: DataObject) -> int:
         """Write ``obj`` (markers + body); returns its stream id."""
         object_id = self.id_for(obj)
+        if obs.metrics_on:
+            obs.registry.inc("datastream.objects_written")
         begin = BeginObject(obj.type_tag, object_id, self.lines_written + 1)
         self._open.append(begin)
         self._emit(f"\\begindata{{{obj.type_tag}, {object_id}}}")
@@ -315,6 +321,8 @@ class DataStreamReader:
         text = source if isinstance(source, str) else source.read()
         self._lines = text.splitlines()
         self._pos = 0
+        if obs.metrics_on:
+            obs.registry.inc("datastream.bytes_read", len(text))
         self._loader = loader if loader is not None else default_loader()
         self.objects_by_id: Dict[int, DataObject] = {}
         self._depth = 0
@@ -363,6 +371,8 @@ class DataStreamReader:
                 )
             begin = event
         obj = self._construct(begin)
+        if obs.metrics_on:
+            obs.registry.inc("datastream.objects_read")
         self.objects_by_id[begin.object_id] = obj
         self._depth += 1
         try:
@@ -470,4 +480,7 @@ def scan_extents(source: Union[str, TextIO]) -> List[ObjectExtent]:
     if stack:
         begin, _ = stack[0]
         raise DataStreamError(f"unclosed object {begin!r}", begin.line)
+    if obs.metrics_on:
+        obs.registry.inc("datastream.objects_scanned", len(extents))
+        obs.registry.inc("datastream.scans")
     return extents

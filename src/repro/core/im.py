@@ -17,8 +17,10 @@ delayed-update queue (requests up, update pass back down).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
+from .. import obs
 from ..graphics.geometry import Point, Rect
 from ..wm.base import BackendWindow, Cursor, WindowSystem
 from ..wm.events import (
@@ -101,6 +103,23 @@ class InteractionManager:
         return handled
 
     def handle_event(self, event: Event) -> None:
+        """Translate one backend event into view-tree protocol."""
+        if not (obs.metrics_on or obs.trace_on):
+            return self._dispatch_event(event)
+        kind = type(event).__name__
+        with obs.span("im.dispatch", event=kind):
+            start = time.perf_counter_ns()
+            try:
+                return self._dispatch_event(event)
+            finally:
+                if obs.metrics_on:
+                    obs.registry.observe_ns(
+                        "im.dispatch_ns", time.perf_counter_ns() - start
+                    )
+                    obs.registry.inc("im.events")
+                    obs.registry.inc(f"im.events.{kind}")
+
+    def _dispatch_event(self, event: Event) -> None:
         if isinstance(event, MouseEvent):
             self._handle_mouse(event)
         elif isinstance(event, KeyEvent):
@@ -235,21 +254,48 @@ class InteractionManager:
         self.updates.enqueue(view, rect)
 
     def flush_updates(self) -> int:
-        """Send queued damage back down as clipped full-update passes."""
+        """Send queued damage back down as clipped full-update passes.
+
+        Damage rectangles from different views are first mapped into
+        window space and overlapping ones merged, so a region dirtied by
+        several views repaints once instead of once per view.  Returns
+        the number of repaint passes run.
+        """
         if self.child is None or self.updates.is_empty():
             return 0
-        flushed = 0
-        for view, rect in self.updates.drain():
-            origin = view.origin_in_window()
-            damage = rect.offset(origin.x, origin.y).intersection(
-                self.window.bounds
-            )
-            if damage.is_empty():
-                continue
-            self._repaint(damage)
-            flushed += 1
-        self.window.flush()
-        return flushed
+        with obs.span("im.flush"):
+            damages: List[Rect] = []
+            for view, rect in self.updates.drain():
+                origin = view.origin_in_window()
+                damage = rect.offset(origin.x, origin.y).intersection(
+                    self.window.bounds
+                )
+                if not damage.is_empty():
+                    damages.append(damage)
+            merged = self._merge_damage(damages)
+            if obs.metrics_on:
+                obs.registry.inc("im.flush_passes", len(merged))
+                obs.registry.inc("im.flush_merged", len(damages) - len(merged))
+            for damage in merged:
+                self._repaint(damage)
+            self.window.flush()
+            return len(merged)
+
+    @staticmethod
+    def _merge_damage(damages: List[Rect]) -> List[Rect]:
+        """Union overlapping window-space rects until none intersect."""
+        merged: List[Rect] = []
+        for rect in damages:
+            while True:
+                for index, other in enumerate(merged):
+                    if rect.intersects(other):
+                        rect = rect.union(other)
+                        del merged[index]
+                        break
+                else:
+                    break
+            merged.append(rect)
+        return merged
 
     def _repaint(self, damage: Rect) -> None:
         """The downward update pass, clipped to ``damage``."""
@@ -259,11 +305,17 @@ class InteractionManager:
         root.clip = root.clip.intersection(damage)
         if root.clip.is_empty():
             return
-        root.fill_rect(damage, 0)  # background under the damage
-        self.child.full_update(root.child(self.child.bounds))
+        if obs.metrics_on:
+            obs.registry.inc("im.repaints")
+            obs.registry.inc("im.repaint_area", damage.area)
+        with obs.span("im.repaint", area=damage.area):
+            root.fill_rect(damage, 0)  # background under the damage
+            self.child.full_update(root.child(self.child.bounds))
 
     def redraw(self) -> None:
         """Unconditional full repaint of the window."""
+        if obs.metrics_on:
+            obs.registry.inc("im.redraws")
         self.updates.drain()
         self._repaint(self.window.bounds)
         self.window.flush()

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..class_system.dynamic import ClassLoader, default_loader
 from ..class_system.errors import DynamicLoadError
 from ..wm.base import WindowSystem
@@ -78,6 +79,10 @@ class RunApp:
         kind = "cold" if len(self.loader.cold_loads()) > before else "resident"
         self.applications.append(app)
         self.launches.append(LaunchRecord(name, duration, kind))
+        if obs.metrics_on:
+            obs.registry.inc("runapp.launches")
+            obs.registry.inc(f"runapp.{kind}")
+            obs.registry.observe_ns("runapp.launch_ns", int(duration * 1e9))
         return app
 
     def running(self) -> List[str]:

@@ -1,0 +1,170 @@
+"""The metrics registry: counters, gauges and timer histograms.
+
+Every hot seam of the toolkit — the delayed-update queue, the
+interaction manager's dispatch/flush cycle, observer fan-out, the
+dynamic loader, the window-system backends, the datastream and runapp —
+reports into one process-wide :class:`MetricsRegistry` so the paper's
+quantitative claims (§2 delayed update, §3 routing, §7 sharing, §8 two
+backends) are all measured from a single consistent source instead of
+scattered ad-hoc counters.
+
+Design constraints:
+
+* **Zero dependencies** — stdlib only, like the rest of the repo.
+* **Cheap when on** — a counter increment is one dict operation; a
+  timer observation appends to a bounded deque.  (The *off* path never
+  reaches this module at all; see :mod:`repro.obs`.)
+* **Bounded memory** — timers keep aggregate stats exactly and a
+  fixed-size reservoir of recent samples for percentile estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["TimerStat", "MetricsRegistry"]
+
+#: Number of recent samples each timer keeps for percentile estimates.
+TIMER_RESERVOIR = 512
+
+
+class TimerStat:
+    """Aggregate + recent-sample statistics for one named timer.
+
+    ``count``/``total_ns``/``min_ns``/``max_ns`` are exact over the
+    timer's whole lifetime; percentiles are computed over a sliding
+    window of the most recent :data:`TIMER_RESERVOIR` samples.
+    """
+
+    __slots__ = ("name", "count", "total_ns", "min_ns", "max_ns", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+        self._samples: Deque[int] = deque(maxlen=TIMER_RESERVOIR)
+
+    def observe(self, duration_ns: int) -> None:
+        self.count += 1
+        self.total_ns += duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if self.max_ns is None or duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+        self._samples.append(duration_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """The ``q``-quantile (0..1) of the recent-sample window."""
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        index = int(q * (len(ordered) - 1))
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": round(self.mean_ns, 1),
+            "min_ns": self.min_ns or 0,
+            "max_ns": self.max_ns or 0,
+            "p50_ns": self.percentile(0.50),
+            "p95_ns": self.percentile(0.95),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TimerStat({self.name!r}, count={self.count}, "
+            f"p50={self.percentile(0.5)}ns, p95={self.percentile(0.95)}ns)"
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers with a snapshot API.
+
+    Increments and observations rely on the GIL for consistency (they
+    are single dict/deque operations); the snapshot path takes a lock so
+    a reporter never sees a half-built timer table.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last-write-wins)."""
+        self._gauges[name] = value
+
+    def observe_ns(self, name: str, duration_ns: int) -> None:
+        """Record one ``duration_ns`` observation on timer ``name``."""
+        stat = self._timers.get(name)
+        if stat is None:
+            with self._lock:
+                stat = self._timers.setdefault(name, TimerStat(name))
+        stat.observe(duration_ns)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def timer(self, name: str) -> Optional[TimerStat]:
+        return self._timers.get(name)
+
+    def counters_matching(self, prefix: str) -> Dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._timers)
+            )
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A point-in-time copy: ``{"counters", "gauges", "timers"}``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: stat.as_dict()
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation; benches call this)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._timers)} timers>"
+        )

@@ -1,0 +1,80 @@
+"""Snapshot reporters: render telemetry as text or JSON.
+
+The text form is what ``ANDREW_METRICS=1 python examples/quickstart.py``
+prints; the JSON form is for tooling (the benchmark harness greps it).
+Both render a *snapshot* dict — reporters never reach into live
+registries, so rendering cannot race recording.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["render_text", "render_json"]
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_text(snapshot: Dict[str, Any],
+                trace: Optional[List[Dict[str, Any]]] = None) -> str:
+    """Human-readable snapshot block, one metric per line."""
+    lines: List[str] = ["== andrew toolkit telemetry =="]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("-- counters --")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("-- gauges --")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append("-- timers --")
+        width = max(len(name) for name in timers)
+        for name, stat in timers.items():
+            lines.append(
+                f"  {name:<{width}}  n={stat['count']}"
+                f" mean={_fmt_ns(stat['mean_ns'])}"
+                f" p50={_fmt_ns(stat['p50_ns'])}"
+                f" p95={_fmt_ns(stat['p95_ns'])}"
+                f" max={_fmt_ns(stat['max_ns'])}"
+            )
+    if trace:
+        lines.append(f"-- trace ({len(trace)} spans, newest last) --")
+        # The ring records spans in *finish* order, so a parent lands
+        # after its children; sort the display window by span id (ids
+        # are assigned at start) so indentation nests under the right
+        # parent.
+        for record in sorted(trace[-40:], key=lambda r: r.get("id", 0)):
+            indent = "  " * record["depth"]
+            meta = record.get("meta")
+            suffix = f"  {meta}" if meta else ""
+            lines.append(
+                f"  {indent}{record['name']}"
+                f" {_fmt_ns(record['duration_ns'])}{suffix}"
+            )
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_json(snapshot: Dict[str, Any],
+                trace: Optional[List[Dict[str, Any]]] = None) -> str:
+    """Machine-readable snapshot (stable key order)."""
+    document: Dict[str, Any] = {"metrics": snapshot}
+    if trace is not None:
+        document["trace"] = trace
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,156 @@
+"""Span-based tracing with a bounded ring buffer.
+
+A *span* is one timed region of toolkit work — an event dispatch, an
+update flush, a repaint of one damage rectangle, a plugin cold load.
+Spans nest: opening a span inside another records the parent/child
+relationship, so a flush trace mirrors the view tree the same way the
+paper's update events travel down it (§3's "requests up, updates
+down").
+
+Finished spans land in a fixed-capacity ring buffer — old traces fall
+off the end, so tracing can stay on in a long-lived process without
+growing memory.  The stack of open spans is thread-local, matching the
+toolkit's one-window-per-thread usage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+#: Default ring-buffer capacity (finished spans retained).
+TRACE_CAPACITY = 2048
+
+
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "depth", "start_ns", "end_ns", "meta"
+    )
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 depth: int, start_ns: int,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.meta = meta
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "duration_ns": self.duration_ns,
+        }
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"{self.duration_ns / 1e3:.1f}us)"
+        )
+
+
+class _SpanContext:
+    """Context manager that closes its span and files it in the ring."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._finish(self.span)
+
+
+class Tracer:
+    """Opens spans, maintains the nesting stack, retains finished spans."""
+
+    def __init__(self, capacity: int = TRACE_CAPACITY) -> None:
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._next_id = 1
+        self._id_lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **meta: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("im.flush"): ...``."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id,
+            parent.span_id if parent else None,
+            name,
+            depth=len(stack),
+            start_ns=time.perf_counter_ns(),
+            meta=meta or None,
+        )
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mis-nested exit; recover rather than corrupt
+            stack.remove(span)
+        self._ring.append(span)
+
+    # -- reading -------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first, optionally filtered by name."""
+        items = list(self._ring)
+        if name is not None:
+            items = [s for s in items if s.name == name]
+        return items
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self._ring if s.parent_id == span.span_id]
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack())
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [span.as_dict() for span in self._ring]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return f"<Tracer {len(self._ring)} spans retained>"

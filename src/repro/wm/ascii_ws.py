@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .. import obs
 from ..graphics.fontdesc import FontDesc, FontMetrics
 from ..graphics.geometry import Point, Rect
 from ..graphics.graphic import Graphic
@@ -99,10 +100,19 @@ class AsciiGraphic(Graphic):
 
     # -- device primitives ---------------------------------------------
 
+    @staticmethod
+    def _tally(op: str) -> None:
+        # The ascii backend's half of the unified request accounting:
+        # same op vocabulary as the raster backend's RequestCounter.
+        if obs.metrics_on:
+            obs.registry.inc("wm.ascii.requests")
+            obs.registry.inc("wm.ascii." + op)
+
     def device_size(self) -> Tuple[int, int]:
         return (self._surface.width, self._surface.height)
 
     def device_fill_rect(self, rect: Rect, value: int) -> None:
+        self._tally("fill_rect")
         surface = self._surface
         for y in range(rect.top, rect.bottom):
             for x in range(rect.left, rect.right):
@@ -114,12 +124,14 @@ class AsciiGraphic(Graphic):
                     surface.put(x, y, " ", inverse=0, bold=0)
 
     def device_set_pixel(self, x: int, y: int, value: int) -> None:
+        self._tally("set_pixel")
         if value < 0:
             self._surface.toggle_inverse(x, y)
         else:
             self._surface.put(x, y, _INK if value else " ", inverse=0)
 
     def device_hline(self, x0: int, x1: int, y: int, value: int) -> None:
+        self._tally("hline")
         if value < 0 or not value:
             Graphic.device_hline(self, x0, x1, y, value)
             return
@@ -130,6 +142,7 @@ class AsciiGraphic(Graphic):
             self._surface.put(x, y, char, inverse=0)
 
     def device_vline(self, x: int, y0: int, y1: int, value: int) -> None:
+        self._tally("vline")
         if value < 0 or not value:
             Graphic.device_vline(self, x, y0, y1, value)
             return
@@ -139,6 +152,7 @@ class AsciiGraphic(Graphic):
             self._surface.put(x, y, char, inverse=0)
 
     def device_draw_text(self, x: int, y: int, text: str, font: FontDesc) -> None:
+        self._tally("draw_text")
         bold = 1 if font.bold else 0
         col = x
         for char in text:
@@ -151,6 +165,7 @@ class AsciiGraphic(Graphic):
             col += 1
 
     def device_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
+        self._tally("blit")
         for by in range(bitmap.height):
             for bx in range(bitmap.width):
                 if bitmap.get(bx, by):

@@ -30,6 +30,7 @@ import collections
 import inspect
 from typing import Deque, Dict, List, Optional, Type
 
+from .. import obs
 from ..class_system.registry import ATKObject
 from ..graphics.fontdesc import FontDesc, FontMetrics
 from ..graphics.geometry import Point, Rect
@@ -260,6 +261,9 @@ class WindowSystem(ATKObject):
     def create_window(self, title: str, width: int, height: int) -> BackendWindow:
         window = self._make_window(title, width, height)
         self.windows.append(window)
+        if obs.metrics_on:
+            obs.registry.inc("wm.windows_created")
+            obs.registry.inc(f"wm.windows_created.{self.name}")
         return window
 
     def _make_window(self, title: str, width: int, height: int) -> BackendWindow:

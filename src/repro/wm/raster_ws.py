@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .. import obs
 from ..graphics.fontdesc import FontDesc, FontMetrics
 from ..graphics.geometry import Point, Rect
 from ..graphics.graphic import Graphic
@@ -44,13 +45,24 @@ def _metrics_for(desc: FontDesc) -> FontMetrics:
 
 
 class RequestCounter:
-    """Counts 'protocol requests' per operation type, like an X server."""
+    """Counts 'protocol requests' per operation type, like an X server.
+
+    Unified with the toolkit telemetry registry: each tally also lands
+    there as ``wm.raster.<op>`` (plus the ``wm.raster.requests`` total)
+    when metrics are enabled, so backend request counts appear in the
+    same snapshot as the update/dispatch metrics they explain.
+    """
+
+    metric_prefix = "wm.raster."
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {}
 
     def tally(self, op: str) -> None:
         self.counts[op] = self.counts.get(op, 0) + 1
+        if obs.metrics_on:
+            obs.registry.inc(self.metric_prefix + "requests")
+            obs.registry.inc(self.metric_prefix + op)
 
     def total(self) -> int:
         return sum(self.counts.values())
