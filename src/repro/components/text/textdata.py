@@ -255,6 +255,26 @@ class TextData(DataObject):
     def styles_at(self, pos: int) -> List[Style]:
         return [span.style for span in self.spans if span.covers(pos)]
 
+    def runs(self, start: int, end: int) -> Iterator[Tuple[int, int, List[Style]]]:
+        """Yield ``(run_start, run_end, styles)`` over ``[start, end)``.
+
+        A run is a maximal range whose every position carries the same
+        style set, so consumers (the text view's wrap loop, drawing)
+        can resolve fonts and paragraph properties once per run instead
+        of once per character.  Runs are contiguous and cover the whole
+        range in order.
+        """
+        if end <= start:
+            return
+        edges = {start, end}
+        for span in self.spans:
+            for edge in (span.start, span.end):
+                if start < edge < end:
+                    edges.add(edge)
+        points = sorted(edges)
+        for run_start, run_end in zip(points, points[1:]):
+            yield (run_start, run_end, self.styles_at(run_start))
+
     # ------------------------------------------------------------------
     # Paragraph iteration (consumed by views)
     # ------------------------------------------------------------------

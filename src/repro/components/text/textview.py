@@ -23,8 +23,10 @@ Responsibilities:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Tuple
 
+from ... import obs
 from ...class_system.dynamic import load_class
 from ...class_system.errors import DynamicLoadError
 from ...class_system.observable import ChangeRecord
@@ -44,14 +46,21 @@ _clipboard: List[str] = [""]
 
 
 class _TextLine:
-    """One wrapped display line of character cells."""
+    """One wrapped display line of character cells.
 
-    __slots__ = ("doc_start", "chars", "indent", "centered", "height")
+    The characters on one display line always occupy consecutive buffer
+    positions, so the line stores a plain string plus its first
+    position; ``doc_start`` is a mutable int that the view shifts when
+    edits move content without re-wrapping the line (incremental
+    relayout).
+    """
 
-    def __init__(self, doc_start: int, chars: List[Tuple[int, str]],
+    __slots__ = ("doc_start", "text", "indent", "centered", "height")
+
+    def __init__(self, doc_start: int, text: str,
                  indent: int, centered: bool, height: int) -> None:
         self.doc_start = doc_start
-        self.chars = chars          # [(doc_pos, char)]
+        self.text = text
         self.indent = indent
         self.centered = centered
         self.height = height
@@ -59,9 +68,7 @@ class _TextLine:
     @property
     def doc_end(self) -> int:
         """One past the last position on this line."""
-        if self.chars:
-            return self.chars[-1][0] + 1
-        return self.doc_start
+        return self.doc_start + len(self.text)
 
 
 class _EmbedLine:
@@ -92,6 +99,10 @@ class TextView(View, Scrollable):
 
     base_font = FontDesc("andy", 12)
 
+    #: Class-level escape hatch: False forces every layout to re-wrap
+    #: from scratch (benchmarks use it as the control arm).
+    incremental_enabled = True
+
     def __init__(self, dataobject: Optional[TextData] = None,
                  read_only: bool = False) -> None:
         View.__init__(self)
@@ -103,6 +114,16 @@ class TextView(View, Scrollable):
         self._top = 0                          # first visible display line
         self._lines: List[object] = []
         self._embed_views: Dict[int, View] = {}
+        # Incremental-relayout state: the dirty span is kept in current
+        # buffer coordinates (each edit both widens it and shifts the
+        # cached lines' doc_starts); a full layout is forced when the
+        # cache cannot be trusted (width change, region change, embed
+        # mutations, no prior lines).
+        self._dirty_lo: Optional[int] = None
+        self._dirty_hi: Optional[int] = None
+        self._full_layout = True
+        self._prefix: Optional[List[int]] = None  # cumulative line heights
+        self._starts: Optional[List[int]] = None  # doc_start per line
         self._bind_keys()
         self._build_menus()
         if dataobject is not None:
@@ -124,6 +145,7 @@ class TextView(View, Scrollable):
         self._anchor = None
         self._region_start = None
         self._region_end = None
+        self._full_layout = True
         self._needs_layout = True
 
     def set_region(self, start: int, end: int) -> None:
@@ -139,6 +161,7 @@ class TextView(View, Scrollable):
         self._region_start = self.data.marks.create(start, LEFT)
         self._region_end = self.data.marks.create(end, RIGHT)
         self.set_dot(max(start, min(self.dot, end)))
+        self._full_layout = True
         self._needs_layout = True
         self.want_update()
 
@@ -150,6 +173,7 @@ class TextView(View, Scrollable):
             if self._region_end is not None:
                 self.data.marks.release(self._region_end)
         self._region_start = self._region_end = None
+        self._full_layout = True
         self._needs_layout = True
 
     def region(self) -> Tuple[int, int]:
@@ -206,6 +230,11 @@ class TextView(View, Scrollable):
             self.data.marks.release(self._anchor)
         self._anchor = None
 
+    def set_bounds(self, bounds: Rect) -> None:
+        if bounds.width != self.bounds.width:
+            self._full_layout = True
+        super().set_bounds(bounds)
+
     def on_data_changed(self, change: ChangeRecord) -> None:
         """Repair incrementally: "the view must determine what the
         change is and update its visual representation appropriately"
@@ -214,6 +243,10 @@ class TextView(View, Scrollable):
         the changed line's row to the bottom of the view; changes above
         or below the visible region damage everything / nothing."""
         damage_top = self._damage_row_for(change)
+        self._record_change(change)
+        # doc_starts may have shifted (cached lines and embed marks):
+        # drop the position index so pre-layout hit tests stay honest.
+        self._starts = None
         self._needs_layout = True
         if damage_top is None:
             self.want_update()
@@ -221,6 +254,79 @@ class TextView(View, Scrollable):
             self.want_update(
                 Rect(0, damage_top, self.width, self.height - damage_top)
             )
+
+    # -- incremental-relayout bookkeeping -----------------------------------
+
+    def _record_change(self, change: ChangeRecord) -> None:
+        """Fold one change record into the dirty span (current coords).
+
+        Inserts and deletes also shift the cached ``doc_start`` of every
+        unaffected line so the cache stays addressed in current buffer
+        coordinates; embed mutations and anything unclassifiable force
+        the one-shot full-layout fallback.
+        """
+        if self._full_layout:
+            return
+        what, where, extent = change.what, change.where, change.extent
+        if what not in ("insert", "delete", "style") or not isinstance(
+            where, int
+        ) or not isinstance(extent, int):
+            self._full_layout = True
+            return
+        if not self._lines:
+            self._full_layout = True
+            return
+        if what == "insert":
+            self._shift_dirty_insert(where, extent)
+            self._extend_dirty(where, where + extent)
+            for line in self._lines:
+                if isinstance(line, _TextLine) and line.doc_start >= where:
+                    line.doc_start += extent
+        elif what == "delete":
+            self._shift_dirty_delete(where, extent)
+            # The join point plus one: a cached line starting exactly at
+            # ``where`` may have lost leading characters, so it can never
+            # be trusted for suffix reuse.
+            self._extend_dirty(where, where + 1)
+            cutoff = where + extent
+            for line in self._lines:
+                if not isinstance(line, _TextLine):
+                    continue  # embed lines track their marks
+                if line.doc_start >= cutoff:
+                    line.doc_start -= extent
+                elif line.doc_start > where:
+                    line.doc_start = where  # inside the cut: dirty anyway
+        else:  # style: no positions move
+            self._extend_dirty(where, where + extent)
+
+    def _extend_dirty(self, lo: int, hi: int) -> None:
+        if self._dirty_lo is None:
+            self._dirty_lo, self._dirty_hi = lo, hi
+        else:
+            self._dirty_lo = min(self._dirty_lo, lo)
+            self._dirty_hi = max(self._dirty_hi, hi)
+
+    def _shift_dirty_insert(self, where: int, extent: int) -> None:
+        if self._dirty_lo is not None and self._dirty_lo >= where:
+            self._dirty_lo += extent
+        if self._dirty_hi is not None and self._dirty_hi >= where:
+            self._dirty_hi += extent
+
+    def _shift_dirty_delete(self, where: int, extent: int) -> None:
+        def map_pos(pos: int) -> int:
+            if pos < where:
+                return pos
+            if pos >= where + extent:
+                return pos - extent
+            return where
+        if self._dirty_lo is not None:
+            self._dirty_lo = map_pos(self._dirty_lo)
+        if self._dirty_hi is not None:
+            self._dirty_hi = map_pos(self._dirty_hi)
+
+    def _reset_dirty(self) -> None:
+        self._dirty_lo = self._dirty_hi = None
+        self._full_layout = False
 
     def _damage_row_for(self, change: ChangeRecord) -> Optional[int]:
         """First view row affected by ``change``, or None for 'all'."""
@@ -237,7 +343,11 @@ class TextView(View, Scrollable):
         for line in visible:
             if y >= self.height:
                 return self.height  # change below the window: no damage
-            if change.where < line.doc_end or line is self._lines[-1]:
+            # ``<=`` so an edit at a line's end (the caret sitting at
+            # end-of-line, the common typing position) damages that
+            # line's row; damage runs to the bottom, so attributing it
+            # one row early is always safe, never wrong.
+            if change.where <= line.doc_end or line is self._lines[-1]:
                 return y
             y += line.height
         return self.height
@@ -281,24 +391,187 @@ class TextView(View, Scrollable):
         return (indent, centered)
 
     def layout(self) -> None:
-        """Rebuild the wrapped display-line list and place embeds."""
-        self._lines = []
+        """Rebuild or incrementally repair the wrapped display-line list.
+
+        Edit-to-repaint cost stays proportional to the damage: when the
+        change records since the last layout pinned down a dirty span,
+        only the dirty paragraphs are re-wrapped and the preserved lines
+        are spliced back in.  A from-scratch wrap runs when the cache
+        cannot be trusted (first layout, width change, region change,
+        embed mutations, dataobject swap).
+        """
         if self.data is None or self.width <= 0:
+            self._lines = []
+            self._dirty_lo = self._dirty_hi = None
+            self._full_layout = True
+            self._prefix = None
+            self._starts = None
             self._place_embed_views()
             return
-        region_start, region_end = self.region()
-        base_height = self._metrics(self.base_font).height
-        current: List[Tuple[int, str]] = []
-        current_start = region_start
+        done = (
+            self.incremental_enabled
+            and not self._full_layout
+            and self._layout_incremental()
+        )
+        if not done:
+            self._layout_full()
+        self._reset_dirty()
+        self._prefix = None
+        self._starts = None
+        self._clamp_top()
+        self._place_embed_views()
+
+    def _layout_full(self) -> None:
+        lo, hi = self.region()
+        self._lines = self._wrap_range(lo, hi, final_trailing=True)
+        if obs.metrics_on:
+            obs.registry.inc("text.layout_full")
+            obs.registry.inc("text.lines_wrapped", len(self._lines))
+
+    def _layout_incremental(self) -> bool:
+        """Re-wrap only the dirty paragraphs; splice cached lines around.
+
+        Returns False when the cached line list cannot be repaired in
+        place (the caller then falls back to a full wrap).  Cached
+        ``doc_start`` values were already shifted into current buffer
+        coordinates by :meth:`_record_change`, so paragraph boundaries
+        are re-verified against the live buffer before any line is
+        trusted for reuse.
+        """
+        lines = self._lines
+        n = len(lines)
+        lo, hi = self.region()
+        if (not n or not isinstance(lines[-1], _TextLine)
+                or lines[0].doc_start != lo):
+            return False
+        if self._dirty_lo is None:
+            # Only scroll/placement state changed: reuse every line.
+            self._refresh_embed_lines()
+            if obs.metrics_on:
+                obs.registry.inc("text.layout_incremental")
+                obs.registry.inc("text.lines_reused", n)
+            return True
+        dlo = max(lo, min(self._dirty_lo, hi))
+        dhi = max(dlo, min(self._dirty_hi, hi))
+        starts = [line.doc_start for line in lines]
+        # Paragraph start at or before the dirty span (verified against
+        # the live buffer — cached lines may be stale inside the span).
+        if self._hard_start(dlo, lo):
+            para_start = dlo
+        else:
+            idx = bisect_right(starts, dlo) - 1
+            if idx < 0:
+                return False
+            while idx > 0 and not self._line_is_hard(lines[idx], lo):
+                idx -= 1
+            if not self._line_is_hard(lines[idx], lo):
+                return False
+            para_start = lines[idx].doc_start
+            if para_start > dlo:
+                return False
+        # Prefix: lines lying entirely before the re-wrapped range.  A
+        # stale line can share the paragraph's doc_start (a deletion
+        # clamps interior lines to the join point), so membership is by
+        # content extent, not by index arithmetic.
+        i0 = bisect_left(starts, para_start)
+        while i0 > 0 and lines[i0 - 1].doc_end > para_start:
+            i0 -= 1
+        # Suffix: the first verified paragraph-start line at or after
+        # the dirty end; it and everything below are reused as-is.
+        k = bisect_left(starts, dhi, i0)
+        while k < n and not self._line_is_hard(lines[k], lo):
+            k += 1
+        if k == n - 1 and not lines[k].text:
+            # The empty trailing line (the caret home) inherits its
+            # paragraph properties from the wrap state left by the
+            # content before it — re-derive it with the re-wrap.
+            k = n
+        if k == n and para_start >= hi:
+            # Empty re-wrap range ending at the buffer tail: the trailing
+            # line's paragraph properties are leftover wrap state from
+            # content before ``para_start``, which only a full pass sees.
+            return False
+        if k < n:
+            if lines[-1].doc_end != hi:
+                return False  # suffix drifted: cache not trustworthy
+            new_lines = self._wrap_range(
+                para_start, lines[k].doc_start, final_trailing=False
+            )
+            reused = i0 + (n - k)
+        else:
+            new_lines = self._wrap_range(para_start, hi, final_trailing=True)
+            reused = i0
+        self._lines[i0:k] = new_lines
+        self._refresh_embed_lines()
+        if obs.metrics_on:
+            obs.registry.inc("text.layout_incremental")
+            obs.registry.inc("text.lines_reused", reused)
+            obs.registry.inc("text.lines_wrapped", len(new_lines))
+        return True
+
+    def _refresh_embed_lines(self) -> None:
+        """Re-measure embedded blocks on reused lines.
+
+        A full layout re-asks every embedded view's ``desired_size``;
+        reused lines must do the same, or an embedded component that
+        grew (a table gaining rows, say) would keep its stale block
+        size until the next full wrap.
+        """
+        for line in self._lines:
+            if isinstance(line, _EmbedLine):
+                view = self._view_for_embed(line.embed)
+                offer_w = max(1, self.width - line.indent - 1)
+                offer_h = max(1, self.height - 1) if self.height else 8
+                w, h = view.desired_size(offer_w, offer_h)
+                line.width = max(1, w)
+                line.height = max(1, h)
+
+    def _hard_start(self, pos: int, region_lo: int) -> bool:
+        """Is ``pos`` a wrap-restart point (region or paragraph start)?
+
+        Verified against the live buffer, not cached flags, so stale
+        line state after a deletion cannot fake a boundary.
+        """
+        if pos == region_lo:
+            return True
+        if pos <= 0 or pos > self.data.length:
+            return False
+        return self.data.char_at(pos - 1) == "\n"
+
+    def _line_is_hard(self, line: object, region_lo: int) -> bool:
+        return isinstance(line, _TextLine) and self._hard_start(
+            line.doc_start, region_lo
+        )
+
+    def _wrap_range(self, start: int, end: int,
+                    final_trailing: bool) -> List[object]:
+        """Wrap buffer positions ``[start, end)`` into display lines.
+
+        The single wrap state machine: full layout runs it over the
+        whole region with ``final_trailing=True`` (the trailing line
+        exists even when empty — the caret home), incremental relayout
+        over a paragraph range ending just after a newline with
+        ``final_trailing=False``.  Fonts, metrics and paragraph
+        properties are resolved once per constant-style run, not once
+        per character.
+        """
+        data = self.data
+        out: List[object] = []
+        base_metrics = self._metrics(self.base_font)
+        base_height = base_metrics.height
+        wrap_unit = base_metrics.char_width
+        text = data.text(start, end)
+        current: List[str] = []
+        current_start = start
         current_width = 0
         line_height = base_height
-        indent, centered = self._paragraph_props(region_start)
+        indent, centered = self._paragraph_props(start)
         avail = max(1, self.width - indent - 1)
 
         def flush(next_start: int) -> None:
             nonlocal current, current_start, current_width, line_height
-            self._lines.append(
-                _TextLine(current_start, current, indent, centered,
+            out.append(
+                _TextLine(current_start, "".join(current), indent, centered,
                           max(1, line_height))
             )
             current = []
@@ -306,46 +579,49 @@ class TextView(View, Scrollable):
             current_width = 0
             line_height = base_height
 
-        for pos in range(region_start, region_end):
-            char = self.data.char_at(pos)
-            if not current:
-                current_start = pos
-                indent, centered = self._paragraph_props(pos)
-                avail = max(1, self.width - indent - 1)
-            if char == "\n":
-                flush(pos + 1)
-                continue
-            if char == OBJECT_CHAR:
-                embed = self.data.embedded_at(pos)
-                if current:
+        for run_start, run_end, styles in data.runs(start, end):
+            metrics = self._metrics(self.font_for_styles(styles))
+            run_indent = 0
+            run_centered = False
+            for style in styles:
+                run_indent += style.indent
+                run_centered = run_centered or style.centered
+            for pos in range(run_start, run_end):
+                char = text[pos - start]
+                if not current:
+                    current_start = pos
+                    indent, centered = run_indent, run_centered
+                    avail = max(1, self.width - indent - 1)
+                if char == "\n":
                     flush(pos + 1)
-                if embed is not None:
-                    view = self._view_for_embed(embed)
-                    offer_w = max(1, self.width - indent - 1)
-                    offer_h = max(1, self.height - 1) if self.height else 8
-                    w, h = view.desired_size(offer_w, offer_h)
-                    self._lines.append(
-                        _EmbedLine(embed, indent, max(1, w), max(1, h))
-                    )
-                continue
-            metrics = self._metrics(self._font_at(pos))
-            advance = metrics.char_width * (4 if char == "\t" else 1)
-            if current and current_width + advance > avail * self._metrics(
-                self.base_font
-            ).char_width:
-                flush(pos)
-                indent, centered = self._paragraph_props(pos)
-                avail = max(1, self.width - indent - 1)
-            current.append((pos, char))
-            current_width += advance
-            line_height = max(line_height, metrics.height)
-        # The final line exists even when empty (caret home of empty doc).
-        self._lines.append(
-            _TextLine(current_start, current, indent, centered,
-                      max(1, line_height))
-        )
-        self._clamp_top()
-        self._place_embed_views()
+                    continue
+                if char == OBJECT_CHAR:
+                    embed = data.embedded_at(pos)
+                    if current:
+                        flush(pos + 1)
+                    if embed is not None:
+                        view = self._view_for_embed(embed)
+                        offer_w = max(1, self.width - indent - 1)
+                        offer_h = max(1, self.height - 1) if self.height else 8
+                        w, h = view.desired_size(offer_w, offer_h)
+                        out.append(
+                            _EmbedLine(embed, indent, max(1, w), max(1, h))
+                        )
+                    continue
+                advance = metrics.char_width * (4 if char == "\t" else 1)
+                if current and current_width + advance > avail * wrap_unit:
+                    flush(pos)
+                    indent, centered = run_indent, run_centered
+                    avail = max(1, self.width - indent - 1)
+                current.append(char)
+                current_width += advance
+                line_height = max(line_height, metrics.height)
+        if final_trailing:
+            out.append(
+                _TextLine(current_start, "".join(current), indent, centered,
+                          max(1, line_height))
+            )
+        return out
 
     def _view_for_embed(self, embed: EmbeddedObject) -> View:
         """The child view displaying ``embed``, created on demand.
@@ -400,25 +676,48 @@ class TextView(View, Scrollable):
     # Scrollable protocol
     # ------------------------------------------------------------------
 
+    def _prefix_heights(self) -> List[int]:
+        """``p[i]`` = total height of display lines before index ``i``.
+
+        Cached alongside the line list (invalidated by every layout), so
+        scrollbar queries and clip searches are O(1)/O(log n) instead of
+        an O(lines) sum per call.
+        """
+        prefix = self._prefix
+        if prefix is None:
+            total = 0
+            prefix = [0]
+            for line in self._lines:
+                total += line.height
+                prefix.append(total)
+            self._prefix = prefix
+        return prefix
+
+    def _doc_starts(self) -> List[int]:
+        """Cached ``doc_start`` per line, for binary position searches."""
+        starts = self._starts
+        if starts is None:
+            starts = [line.doc_start for line in self._lines]
+            self._starts = starts
+        return starts
+
     def scroll_total(self) -> int:
         self.ensure_layout()
-        return sum(line.height for line in self._lines)
+        return self._prefix_heights()[-1]
 
     def scroll_pos(self) -> int:
-        return sum(line.height for line in self._lines[:self._top])
+        self.ensure_layout()
+        prefix = self._prefix_heights()
+        return prefix[min(self._top, len(prefix) - 1)]
 
     def scroll_visible(self) -> int:
         return self.height
 
     def set_scroll_pos(self, pos: int) -> None:
         self.ensure_layout()
-        y = 0
-        index = 0
-        for index, line in enumerate(self._lines):
-            if y + line.height > max(0, pos):
-                break
-            y += line.height
-        self._top = index
+        prefix = self._prefix_heights()
+        index = bisect_right(prefix, max(0, pos)) - 1
+        self._top = min(index, max(0, len(self._lines) - 1))
         self._clamp_top()
         self._needs_layout = True
         self.want_update()
@@ -427,22 +726,27 @@ class TextView(View, Scrollable):
         self._top = max(0, min(self._top, max(0, len(self._lines) - 1)))
 
     def _scroll_dot_visible(self) -> None:
+        # Decide against the *current* wrap, not the stale pre-edit
+        # lines: an edit that split the caret's display line would
+        # otherwise leave the caret one row below the window and the
+        # view would never follow it.  Cheap now that layout is
+        # incremental.
+        self.ensure_layout()
         index = self._line_index_of(self.dot)
         if index is None:
             return
         if index < self._top:
             self._top = index
             self._needs_layout = True
-        else:
-            # Walk down until the dot line fits in the window.
-            while True:
-                y = sum(
-                    line.height for line in self._lines[self._top:index]
-                )
-                if y < max(1, self.height) or self._top >= index:
-                    break
-                self._top += 1
-                self._needs_layout = True
+            return
+        # Walk down until the dot line starts inside the window.
+        prefix = self._prefix_heights()
+        window = max(1, self.height)
+        while self._top < index and (
+            prefix[index] - prefix[self._top] >= window
+        ):
+            self._top += 1
+            self._needs_layout = True
 
     # ------------------------------------------------------------------
     # Position mapping
@@ -450,15 +754,27 @@ class TextView(View, Scrollable):
 
     def _line_index_of(self, pos: int) -> Optional[int]:
         self.ensure_layout()
-        for index, line in enumerate(self._lines):
+        lines = self._lines
+        n = len(lines)
+        if not n:
+            return None
+        idx = bisect_right(self._doc_starts(), pos) - 1
+        if idx < 0:
+            idx = 0
+        # Earlier lines can share a doc_start boundary (an embed at the
+        # very end leaves the trailing empty line at the embed's own
+        # position); back up while a predecessor still contains ``pos``.
+        while idx > 0 and lines[idx - 1].doc_end > pos:
+            idx -= 1
+        for index in range(idx, n):
+            line = lines[index]
             if line.doc_start <= pos < line.doc_end:
                 return index
             if isinstance(line, _TextLine) and pos == line.doc_end and (
-                index == len(self._lines) - 1
-                or self._lines[index + 1].doc_start > pos
+                index == n - 1 or lines[index + 1].doc_start > pos
             ):
                 return index
-        return len(self._lines) - 1 if self._lines else None
+        return n - 1
 
     def position_at(self, point: Point) -> int:
         """Document position under a view-local point (hit test)."""
@@ -473,7 +789,8 @@ class TextView(View, Scrollable):
                 x = line.indent
                 if line.centered:
                     x += self._center_pad(line)
-                for pos, char in line.chars:
+                for offset, char in enumerate(line.text):
+                    pos = line.doc_start + offset
                     width = self._metrics(self._font_at(pos)).char_width * (
                         4 if char == "\t" else 1
                     )
@@ -486,10 +803,10 @@ class TextView(View, Scrollable):
 
     def _center_pad(self, line: _TextLine) -> int:
         used = 0
-        for pos, char in line.chars:
-            used += self._metrics(self._font_at(pos)).char_width * (
-                4 if char == "\t" else 1
-            )
+        for offset, char in enumerate(line.text):
+            used += self._metrics(
+                self._font_at(line.doc_start + offset)
+            ).char_width * (4 if char == "\t" else 1)
         return max(0, (self.width - line.indent - used) // 2)
 
     # ------------------------------------------------------------------
@@ -501,9 +818,24 @@ class TextView(View, Scrollable):
         if self.data is None:
             return
         selection = self.selection()
-        y = 0
-        for line in self._lines[self._top:]:
-            if y >= self.height:
+        caret_index = (
+            self._line_index_of(self.dot) if selection is None else None
+        )
+        lines = self._lines
+        prefix = self._prefix_heights()
+        clip = graphic.bounds
+        top_offset = prefix[min(self._top, len(prefix) - 1)]
+        limit = min(self.height, clip.bottom)
+        # Start at the first display line intersecting the clip instead
+        # of walking down from _top unconditionally (damage culling).
+        start = bisect_right(prefix, top_offset + max(0, clip.top)) - 1
+        start = max(start, self._top)
+        if start >= len(lines):
+            return
+        y = prefix[start] - top_offset
+        for index in range(start, len(lines)):
+            line = lines[index]
+            if y >= limit:
                 break
             if isinstance(line, _EmbedLine):
                 # A marker column so embedded blocks are findable in
@@ -512,17 +844,23 @@ class TextView(View, Scrollable):
                 y += line.height
                 continue
             x = line.indent + (self._center_pad(line) if line.centered else 0)
-            for pos, char in line.chars:
-                font = self._font_at(pos)
+            for run_start, run_end, styles in self.data.runs(
+                line.doc_start, line.doc_end
+            ):
+                font = self.font_for_styles(styles)
                 metrics = self._metrics(font)
                 graphic.set_font(font)
-                width = metrics.char_width * (4 if char == "\t" else 1)
-                if char != "\t":
-                    graphic.draw_string(x, y, char)
-                if selection is not None and selection[0] <= pos < selection[1]:
-                    graphic.invert_rect(Rect(x, y, width, line.height))
-                x += width
-            if selection is None and self._caret_on(line):
+                for pos in range(run_start, run_end):
+                    char = line.text[pos - line.doc_start]
+                    width = metrics.char_width * (4 if char == "\t" else 1)
+                    if char != "\t":
+                        graphic.draw_string(x, y, char)
+                    if selection is not None and (
+                        selection[0] <= pos < selection[1]
+                    ):
+                        graphic.invert_rect(Rect(x, y, width, line.height))
+                    x += width
+            if caret_index is not None and lines[caret_index] is line:
                 caret_x = self._caret_x(line)
                 graphic.invert_rect(
                     Rect(caret_x, y,
@@ -531,15 +869,10 @@ class TextView(View, Scrollable):
                 )
             y += line.height
 
-    def _caret_on(self, line: _TextLine) -> bool:
-        index = self._line_index_of(self.dot)
-        if index is None:
-            return False
-        return self._lines[index] is line
-
     def _caret_x(self, line: _TextLine) -> int:
         x = line.indent + (self._center_pad(line) if line.centered else 0)
-        for pos, char in line.chars:
+        for offset, char in enumerate(line.text):
+            pos = line.doc_start + offset
             if pos >= self.dot:
                 break
             x += self._metrics(self._font_at(pos)).char_width * (
@@ -580,6 +913,7 @@ class TextView(View, Scrollable):
         at = self.dot
         self.data.insert(at, text)
         self._dot.pos = at + len(text)
+        self._follow_caret()
 
     def insert_object(self, data, view_type: Optional[str] = None):
         """Embed a component at the caret."""
@@ -588,6 +922,7 @@ class TextView(View, Scrollable):
         at = self.dot
         embed = self.data.insert_object(at, data, view_type)
         self._dot.pos = at + 1
+        self._follow_caret()
         return embed
 
     def delete_selection_or(self, fallback_start: int, fallback_len: int) -> None:
@@ -599,6 +934,20 @@ class TextView(View, Scrollable):
             self._clear_selection()
         elif 0 <= fallback_start and fallback_start + fallback_len <= self.data.length:
             self.data.delete(fallback_start, fallback_len)
+        self._follow_caret()
+
+    def _follow_caret(self) -> None:
+        """Keep the caret in the window after an edit moved it.
+
+        Typing at the bottom row used to push the caret silently below
+        the window once its display line wrapped; the view never
+        scrolled after it.  Only an actual scroll posts (full) damage —
+        the ordinary keystroke keeps its row-clipped damage rect.
+        """
+        before = self._top
+        self._scroll_dot_visible()
+        if self._top != before:
+            self.want_update()
 
     # -- command implementations (bound in the keymap) ----------------------
 

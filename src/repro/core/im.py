@@ -283,17 +283,24 @@ class InteractionManager:
 
     @staticmethod
     def _merge_damage(damages: List[Rect]) -> List[Rect]:
-        """Union overlapping window-space rects until none intersect."""
+        """Union overlapping window-space rects until none intersect.
+
+        Each absorbed entry is swap-removed (O(1), no list shifting) and
+        the scan restarts only after a union actually grew the rect —
+        the grown bounding box may newly overlap entries that were
+        already cleared against the smaller one.
+        """
         merged: List[Rect] = []
         for rect in damages:
-            while True:
-                for index, other in enumerate(merged):
-                    if rect.intersects(other):
-                        rect = rect.union(other)
-                        del merged[index]
-                        break
+            index = 0
+            while index < len(merged):
+                if rect.intersects(merged[index]):
+                    rect = rect.union(merged[index])
+                    merged[index] = merged[-1]
+                    merged.pop()
+                    index = 0
                 else:
-                    break
+                    index += 1
             merged.append(rect)
         return merged
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..class_system.observable import ChangeRecord, Observer
 from ..class_system.registry import ATKObject
 from ..graphics.geometry import Point, Rect
@@ -226,7 +227,14 @@ class View(ATKObject, Observer):
         for child in self.children:
             if child.bounds.is_empty():
                 continue
-            child.full_update(graphic.child(child.bounds))
+            sub = graphic.child(child.bounds)
+            if sub.clip.is_empty():
+                # Damage culling: the child lies entirely outside the
+                # clipped damage region, so its whole subtree is skipped.
+                if obs.metrics_on:
+                    obs.registry.inc("view.children_culled")
+                continue
+            child.full_update(sub)
         self.draw_over(graphic)
 
     def draw(self, graphic: Graphic) -> None:

@@ -28,6 +28,18 @@ _V = "|"
 _X = "+"
 _INK = "#"
 
+#: Cell-device metrics memo, shared by the graphic (per draw_string)
+#: and the window system (per layout query): every font is one cell.
+_CELL_METRICS: Dict[FontDesc, FontMetrics] = {}
+
+
+def _cell_metrics(desc: FontDesc) -> FontMetrics:
+    cached = _CELL_METRICS.get(desc)
+    if cached is None:
+        cached = FontMetrics(desc, char_width=1, ascent=1, descent=0)
+        _CELL_METRICS[desc] = cached
+    return cached
+
 
 class CellSurface:
     """A mutable grid of character cells with inverse/bold attributes."""
@@ -173,7 +185,7 @@ class AsciiGraphic(Graphic):
 
     def font_metrics(self, desc: FontDesc) -> FontMetrics:
         # A cell device: every font is exactly one cell.
-        return FontMetrics(desc, char_width=1, ascent=1, descent=0)
+        return _cell_metrics(desc)
 
 
 class AsciiOffscreen(OffscreenWindow):
@@ -226,8 +238,8 @@ class AsciiWindowSystem(WindowSystem):
     def create_offscreen(self, width: int, height: int) -> AsciiOffscreen:
         return AsciiOffscreen(width, height)
 
-    def font_metrics(self, desc: FontDesc) -> FontMetrics:
-        return FontMetrics(desc, char_width=1, ascent=1, descent=0)
+    def _font_metrics(self, desc: FontDesc) -> FontMetrics:
+        return _cell_metrics(desc)
 
     def stats(self) -> Dict[str, int]:
         return {"windows": len(self.windows)}

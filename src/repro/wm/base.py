@@ -257,6 +257,10 @@ class WindowSystem(ATKObject):
     def __init__(self) -> None:
         super().__init__()
         self.windows: List[BackendWindow] = []
+        # FontDesc is immutable/hashable and FontMetrics carries no
+        # mutable state, so realized metrics are memoized per desc —
+        # text layout asks for metrics once per style run, per line.
+        self._metrics_cache: Dict[FontDesc, FontMetrics] = {}
 
     def create_window(self, title: str, width: int, height: int) -> BackendWindow:
         window = self._make_window(title, width, height)
@@ -276,6 +280,25 @@ class WindowSystem(ATKObject):
         return Cursor(shape)
 
     def font_metrics(self, desc: FontDesc) -> FontMetrics:
+        """Realized metrics for ``desc``, memoized per window system.
+
+        Backends implement :meth:`_font_metrics`; every caller goes
+        through this cache (hit/miss counters: ``font.metrics_hits`` /
+        ``font.metrics_misses``).
+        """
+        cached = self._metrics_cache.get(desc)
+        if cached is not None:
+            if obs.metrics_on:
+                obs.registry.inc("font.metrics_hits")
+            return cached
+        metrics = self._font_metrics(desc)
+        self._metrics_cache[desc] = metrics
+        if obs.metrics_on:
+            obs.registry.inc("font.metrics_misses")
+        return metrics
+
+    def _font_metrics(self, desc: FontDesc) -> FontMetrics:
+        """Backend hook: realize metrics for one font description."""
         raise NotImplementedError
 
     def stats(self) -> Dict[str, int]:

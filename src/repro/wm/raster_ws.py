@@ -33,15 +33,25 @@ def font_scale(desc: FontDesc) -> int:
     return max(1, round(desc.size / 14))
 
 
+#: Realized-metrics memo (FontDesc is immutable/hashable); the graphic
+#: asks per draw_string, the layout engine per style run.
+_METRICS_MEMO: Dict[FontDesc, FontMetrics] = {}
+
+
 def _metrics_for(desc: FontDesc) -> FontMetrics:
+    cached = _METRICS_MEMO.get(desc)
+    if cached is not None:
+        return cached
     scale = font_scale(desc)
     # +1 column of tracking between glyphs; one scaled row of leading.
-    return FontMetrics(
+    metrics = FontMetrics(
         desc,
         char_width=(GLYPH_WIDTH + 1) * scale,
         ascent=GLYPH_HEIGHT * scale,
         descent=1 * scale,
     )
+    _METRICS_MEMO[desc] = metrics
+    return metrics
 
 
 class RequestCounter:
@@ -195,7 +205,7 @@ class RasterWindowSystem(WindowSystem):
     def create_offscreen(self, width: int, height: int) -> RasterOffscreen:
         return RasterOffscreen(width, height, self.requests)
 
-    def font_metrics(self, desc: FontDesc) -> FontMetrics:
+    def _font_metrics(self, desc: FontDesc) -> FontMetrics:
         return _metrics_for(desc)
 
     def stats(self) -> Dict[str, int]:

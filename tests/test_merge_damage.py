@@ -1,0 +1,86 @@
+"""Damage-rectangle merging in the interaction manager.
+
+``InteractionManager._merge_damage`` folds overlapping window-space
+damage into disjoint bounding rects before the repaint passes run.
+The merge must be correct under chains (a union growing to newly
+overlap rects already cleared against the smaller box) and fast under
+many disjoint rects (the swap-remove rewrite of the quadratic
+re-scan).
+"""
+
+import random
+
+from repro.core.im import InteractionManager
+from repro.graphics import Rect
+
+merge = InteractionManager._merge_damage
+
+
+def assert_valid_merge(inputs, merged):
+    # Disjoint outputs...
+    for i, a in enumerate(merged):
+        for b in merged[i + 1:]:
+            assert not a.intersects(b), f"{a} overlaps {b}"
+    # ...that cover every input rect.
+    for rect in inputs:
+        assert any(out.contains_rect(rect) for out in merged), rect
+
+
+class TestMergeDamage:
+    def test_empty(self):
+        assert merge([]) == []
+
+    def test_single(self):
+        assert merge([Rect(1, 2, 3, 4)]) == [Rect(1, 2, 3, 4)]
+
+    def test_disjoint_rects_kept_apart(self):
+        rects = [Rect(0, 0, 2, 2), Rect(10, 0, 2, 2), Rect(0, 10, 2, 2)]
+        merged = merge(list(rects))
+        key = lambda r: (r.left, r.top, r.width, r.height)
+        assert sorted(map(key, merged)) == sorted(map(key, rects))
+
+    def test_overlapping_pair_unions(self):
+        merged = merge([Rect(0, 0, 4, 4), Rect(2, 2, 4, 4)])
+        assert merged == [Rect(0, 0, 6, 6)]
+
+    def test_chain_merge_through_bounding_box(self):
+        # A and B are disjoint; C overlaps both.  Whatever order the
+        # scan visits them, the result must collapse to one rect —
+        # the union's grown bounding box re-tests cleared entries.
+        a = Rect(0, 0, 2, 10)
+        b = Rect(8, 0, 2, 10)
+        c = Rect(1, 4, 8, 2)
+        for order in ([a, b, c], [c, a, b], [a, c, b], [b, c, a]):
+            merged = merge(list(order))
+            assert merged == [a.union(b).union(c)], order
+
+    def test_union_creates_new_overlap_with_cleared_entry(self):
+        # The incoming rect c is cleared against d (no overlap), then
+        # absorbs a; the grown a∪c bounding box swallows d, which sits
+        # *before* the absorbed entry — only the restart catches it.
+        d = Rect(5, 0, 2, 2)
+        a = Rect(0, 0, 4, 4)
+        c = Rect(2, 2, 6, 6)
+        assert not c.intersects(d) and not a.intersects(d)
+        merged = merge([d, a, c])
+        assert_valid_merge([d, a, c], merged)
+        assert merged == [Rect(0, 0, 8, 8)]
+
+    def test_many_rects_randomized(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            inputs = [
+                Rect(rng.randint(0, 60), rng.randint(0, 40),
+                     rng.randint(1, 12), rng.randint(1, 8))
+                for _ in range(rng.randint(2, 40))
+            ]
+            merged = merge(list(inputs))
+            assert_valid_merge(inputs, merged)
+
+    def test_many_disjoint_rects_stay_linear_in_output(self):
+        # A grid of disjoint cells: nothing merges, nothing is lost.
+        inputs = [Rect(x * 3, y * 3, 2, 2)
+                  for x in range(20) for y in range(20)]
+        merged = merge(list(inputs))
+        assert len(merged) == len(inputs)
+        assert_valid_merge(inputs, merged)
