@@ -1,0 +1,169 @@
+"""E15 — the per-view backing-store compositor on a multi-pane window.
+
+The 1988 window systems under the toolkit (X.11 in particular) did not
+guarantee a backing store: every expose re-entered the application's
+draw code.  This bench drives a three-pane window — a text editor next
+to a table over a drawing, the shape of the paper's application
+figures — through an editing session where every keystroke into the
+text pane is followed by a full-window expose.  Without the
+compositor, both clean panes re-execute their draw code on every
+expose; with it, their portion of the damage is satisfied by one blit
+each.
+
+Outputs ``BENCH_compositor.json`` (blit-vs-redraw ratios, repaint p50,
+telemetry snapshot) in the working directory; CI uploads it as an
+artifact.
+"""
+
+import json
+import time
+
+from conftest import report
+from repro.components.drawing.drawdata import DrawingData
+from repro.components.drawing.drawview import DrawView
+from repro.components.drawing.shapes import EllipseShape, RectShape
+from repro.components.split import SplitView
+from repro.components.table.tabledata import TableData
+from repro.components.table.tableview import TableView
+from repro.components.text.textdata import TextData
+from repro.components.text.textview import TextView
+from repro.core import InteractionManager, compositor
+from repro.graphics import Rect
+from repro.wm import AsciiWindowSystem
+
+KEYSTROKES = 40
+
+_WORK_COUNTERS = (
+    "view.cache_hits",
+    "view.cache_misses",
+    "view.cache_evictions",
+    "wm.blits",
+    "im.repaint_area_saved",
+    "im.repaint_area",
+    "wm.ascii.requests",
+)
+
+
+def build_workspace():
+    """Text | (table / drawing), the panes opted into backing stores."""
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, width=78, height=22)
+    text_view = TextView(TextData(
+        "\n".join(f"paragraph {i:03d}: the quick brown fox" for i in range(40))
+    ))
+    table = TableData(8, 3)
+    for row in range(8):
+        for col in range(3):
+            table.set_cell(row, col, row * 10 + col)
+    table_view = TableView(table)
+    drawing = DrawingData()
+    drawing.add_shape(RectShape(Rect(1, 1, 12, 5)))
+    drawing.add_shape(EllipseShape(Rect(3, 2, 8, 4)))
+    draw_view = DrawView(drawing)
+    split = SplitView(text_view,
+                      SplitView(table_view, draw_view, vertical=False),
+                      vertical=True)
+    for pane in (text_view, table_view, draw_view):
+        pane.set_backing_store(True)
+    im.set_child(split)
+    im.set_focus(text_view)
+    im.process_events()
+    return im, text_view, table_view, draw_view
+
+
+def editing_session(im, registry, timer_name):
+    """Keystrokes into the text pane, each followed by a full expose —
+    the X-without-backing-store workload the compositor targets."""
+    for _ in range(KEYSTROKES):
+        im.window.inject_key("x")
+        im.window.inject_expose()
+        start = time.perf_counter_ns()
+        im.process_events()
+        registry.observe_ns(timer_name, time.perf_counter_ns() - start)
+
+
+def run_arm(metrics, compositing, timer_name):
+    was = compositor.enabled
+    compositor.configure(compositing)
+    try:
+        im, text_view, table_view, draw_view = build_workspace()
+        metrics.reset()
+        draws_before = (table_view.draw_count, draw_view.draw_count)
+        editing_session(im, metrics, timer_name)
+        counters = {name: metrics.counter(name) for name in _WORK_COUNTERS}
+        counters["clean_pane_redraws"] = (
+            (table_view.draw_count - draws_before[0])
+            + (draw_view.draw_count - draws_before[1])
+        )
+        timer = metrics.timer(timer_name)
+        counters["repaint_p50_ns"] = timer.percentile(0.5) if timer else 0
+        return counters
+    finally:
+        compositor.configure(was)
+
+
+def test_bench_compositor_blit_vs_redraw(metrics):
+    off = run_arm(metrics, compositing=False, timer_name="bench.live_ns")
+    metrics.reset()
+    on = run_arm(metrics, compositing=True, timer_name="bench.composited_ns")
+    registry_snapshot = metrics.snapshot()
+
+    # The headline claim: clean panes stop re-executing draw code.
+    # Without the compositor every full expose redraws the table and
+    # the drawing; with it they blit, so their draw counts barely move.
+    redraws_off = off["clean_pane_redraws"]
+    redraws_on = max(1, on["clean_pane_redraws"])
+    redraw_ratio = redraws_off / redraws_on
+    assert redraws_off >= 2 * KEYSTROKES, off
+    assert redraw_ratio >= 5.0, (off, on)
+    assert on["wm.blits"] > 0
+    assert on["view.cache_hits"] > 0
+    assert on["im.repaint_area_saved"] > 0
+    # The off arm never touches a surface or records a blit.
+    assert off["wm.blits"] == 0 and off["view.cache_hits"] == 0
+
+    blit_ratio = on["wm.blits"] / max(1, on["view.cache_misses"])
+    summary = {
+        "keystrokes": KEYSTROKES,
+        "panes": ["text (edited)", "table (clean)", "drawing (clean)"],
+        "clean_pane_redraw_ratio_off_over_on": round(redraw_ratio, 1),
+        "blits_per_rerender": round(blit_ratio, 1),
+        "off": off,
+        "on": on,
+    }
+    with open("BENCH_compositor.json", "w") as fh:
+        json.dump({"summary": summary, "registry": registry_snapshot},
+                  fh, indent=2, default=str)
+    report("E15 compositor", [
+        f"{KEYSTROKES} keystrokes into the text pane, each followed by "
+        "a full-window expose",
+        f"clean-pane redraws: off={redraws_off} "
+        f"on={on['clean_pane_redraws']} ({redraw_ratio:.0f}x less)",
+        f"blits={on['wm.blits']} cache_hits={on['view.cache_hits']} "
+        f"cache_misses={on['view.cache_misses']}",
+        f"damage area satisfied by blits: {on['im.repaint_area_saved']} "
+        f"of {on['im.repaint_area']} cells",
+        f"repaint p50: off={off['repaint_p50_ns']}ns "
+        f"on={on['repaint_p50_ns']}ns",
+        "snapshot written to BENCH_compositor.json",
+    ])
+
+
+def test_bench_composited_expose_timing(benchmark, metrics):
+    """pytest-benchmark timing of one expose with warm backing stores."""
+    was = compositor.enabled
+    compositor.configure(True)
+    try:
+        im, _, _, _ = build_workspace()
+        im.window.inject_expose()
+        im.process_events()  # warm every cache
+        metrics.reset()
+
+        def one_expose():
+            im.window.inject_expose()
+            im.process_events()
+
+        benchmark(one_expose)
+        assert metrics.counter("view.cache_hits") > 0
+    finally:
+        compositor.configure(was)

@@ -59,6 +59,10 @@ class InteractionManager:
         self._timer_subscribers: List[View] = []
         self._tick = 0
         self.events_processed = 0
+        #: True only inside a window-targeted repaint pass; the view
+        #: tree consults it so backing stores are used for (and filled
+        #: from) live window rendering, never for printer drawables.
+        self.compositing = False
 
     # ------------------------------------------------------------------
     # Tree root management
@@ -309,15 +313,25 @@ class InteractionManager:
         if self.child is None:
             return
         root = self.window.graphic()
-        root.clip = root.clip.intersection(damage)
-        if root.clip.is_empty():
+        base_clip = root.clip
+        clipped = base_clip.intersection(damage)
+        if clipped.is_empty():
             return
+        root.clip = clipped
         if obs.metrics_on:
             obs.registry.inc("im.repaints")
             obs.registry.inc("im.repaint_area", damage.area)
-        with obs.span("im.repaint", area=damage.area):
-            root.fill_rect(damage, 0)  # background under the damage
-            self.child.full_update(root.child(self.child.bounds))
+        self.compositing = True
+        try:
+            with obs.span("im.repaint", area=damage.area):
+                root.fill_rect(damage, 0)  # background under the damage
+                self.child.full_update(root.child(self.child.bounds))
+        finally:
+            self.compositing = False
+            # Restore the root drawable's clip: one merged-damage pass
+            # must never leak its shrunken clip into the next (even on
+            # a backend that hands out a shared root graphic).
+            root.clip = base_clip
 
     def redraw(self) -> None:
         """Unconditional full repaint of the window."""
@@ -334,6 +348,9 @@ class InteractionManager:
     def view_unlinked(self, view: View) -> None:
         """A view left the tree: forget grabs/focus/damage it owned."""
         self.updates.discard(view)
+        self.window_system.surfaces.release(view)
+        view._backing = None
+        view._backing_valid = False
         if self._grab is view:
             self._grab = None
         if self.focus is view:

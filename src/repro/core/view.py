@@ -20,6 +20,16 @@ synchronously; it calls :meth:`want_update`, the request lands in the
 interaction manager's queue, and repaint arrives later as a top-down
 :meth:`full_update` pass whose drawable is clipped to the damage — so
 parents composite themselves and their children in the right order.
+
+**Clean subtrees blit instead of redrawing.**  A view that opted in via
+:meth:`set_backing_store` keeps its last rendered image in an offscreen
+surface (the paper's OffScreenWindow porting class).  Every damage
+request invalidates the backing stores along its ancestor chain, so at
+repaint time a view whose store is still valid is *clean* — its portion
+of the damage is satisfied by one ``copy_to`` blit; everything else
+re-renders (into the store first, when compositing).  Gated globally by
+``ANDREW_COMPOSITOR`` (see :mod:`repro.core.compositor`) and bounded by
+the window system's byte-budget LRU surface pool.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from ..graphics.geometry import Point, Rect
 from ..graphics.graphic import Graphic
 from ..wm.base import Cursor
 from ..wm.events import KeyEvent, MenuEvent, MouseEvent
+from . import compositor
 from .dataobject import DataObject
 from .keymap import Keymap
 from .menus import MenuCard
@@ -62,6 +73,9 @@ class View(ATKObject, Observer):
         self._im = None                     # set on the root child by the IM
         self._needs_layout = True
         self.draw_count = 0                 # repaints (benches read this)
+        self.backing_store = False          # compositor opt-in (see below)
+        self._backing = None                # cached OffscreenWindow, if any
+        self._backing_valid = False
         if dataobject is not None:
             self.set_dataobject(dataobject)
 
@@ -76,6 +90,7 @@ class View(ATKObject, Observer):
         self.dataobject = dataobject
         if dataobject is not None:
             dataobject.add_observer(self)
+        self.invalidate_backing_chain()
 
     def observed_changed(self, change: ChangeRecord) -> None:
         """Observer callback: the data object announced a change.
@@ -103,6 +118,7 @@ class View(ATKObject, Observer):
             child.parent.remove_child(child)
         child.parent = self
         self.children.append(child)
+        child.invalidate_backing_chain()
         if bounds is not None:
             child.set_bounds(bounds)
         return child
@@ -111,6 +127,7 @@ class View(ATKObject, Observer):
         if child in self.children:
             self.children.remove(child)
             child.parent = None
+            self.invalidate_backing_chain()
             im = self.interaction_manager()
             if im is not None:
                 im.view_unlinked(child)
@@ -125,6 +142,10 @@ class View(ATKObject, Observer):
             bounds.width != self.bounds.width
             or bounds.height != self.bounds.height
         )
+        if bounds != self.bounds:
+            # Even a position-only move stales every ancestor's cached
+            # image (it shows this view at the old spot).
+            self.invalidate_backing_chain()
         self.bounds = bounds
         if size_changed:
             self._needs_layout = True
@@ -209,13 +230,128 @@ class View(ATKObject, Observer):
         The request is posted *up* to the interaction manager; if the
         view is not yet in a window the request is simply dropped (there
         is nothing to repair and attachment triggers a full update).
+        Either way the backing stores up the ancestor chain go stale —
+        their cached images no longer match this view's content.
         """
+        self.invalidate_backing_chain()
         im = self.interaction_manager()
         if im is not None:
             im.post_update(self, rect)
 
+    # -- backing store (the compositor's per-view cache) -----------------
+
+    def set_backing_store(self, on: bool = True) -> None:
+        """Opt this view in (or out) of per-view surface caching.
+
+        Opting in asserts the subtree's image is *self-contained*: its
+        pixels are fully determined by the subtree's own draw code over
+        a background-cleared rectangle, never by ink an ancestor
+        painted underneath.  Compositing additionally requires the
+        global ``ANDREW_COMPOSITOR`` switch (`repro.core.compositor`).
+        """
+        self.backing_store = bool(on)
+        self._backing_valid = False
+        if not on:
+            self._release_backing()
+
+    def invalidate_backing_chain(self) -> None:
+        """Stale this view's cached image and every ancestor's.
+
+        Called on every damage post (`core.update` calls it again for
+        requests that bypass :meth:`want_update`), on reparenting and on
+        bounds changes.  Surfaces are kept for reuse; only their
+        *validity* is dropped.
+        """
+        node: Optional["View"] = self
+        while node is not None:
+            node._backing_valid = False
+            node = node.parent
+
+    def _backing_evicted(self) -> None:
+        """Pool callback: the LRU let this view's surface go."""
+        self._backing = None
+        self._backing_valid = False
+
+    def _release_backing(self) -> None:
+        """Hand the surface back to the pool (destroy/unlink/opt-out)."""
+        self._backing = None
+        self._backing_valid = False
+        im = self.interaction_manager()
+        if im is not None:
+            im.window_system.surfaces.release(self)
+
+    def _composite(self, graphic: Graphic) -> bool:
+        """Satisfy this repaint from the backing store if possible.
+
+        Returns True when ``graphic``'s clip was filled by a blit —
+        either of the still-valid cached image (a *clean* subtree) or
+        of a freshly re-rendered one.  Returns False when the view must
+        be drawn live (no interaction manager, zero-sized, or the
+        surface pool refused the allocation).
+        """
+        im = self.interaction_manager()
+        if im is None or not im.compositing:
+            return False
+        width, height = self.bounds.width, self.bounds.height
+        if width <= 0 or height <= 0:
+            return False
+        surface = self._backing
+        clean = (
+            self._backing_valid
+            and not self._needs_layout
+            and surface is not None
+            and surface.width == width
+            and surface.height == height
+        )
+        pool = im.window_system.surfaces
+        if clean:
+            pool.touch(self)
+            if obs.metrics_on:
+                obs.registry.inc("view.cache_hits")
+                obs.registry.inc("im.repaint_area_saved", graphic.clip.area)
+        else:
+            surface = pool.acquire(self, width, height)
+            if surface is None:
+                return False
+            off = surface.graphic()
+            # Inherit the incoming graphics state (a parent may have
+            # set a font/color before descending), then render over a
+            # cleared background — exactly what the live path sees
+            # under the interaction manager's damage prefill.
+            off.state = graphic.state.clone()
+            off.clear()
+            self._render_subtree(off)
+            if pool.get(self) is surface:
+                self._backing = surface
+                self._backing_valid = True
+            else:
+                # A descendant's acquire evicted us mid-render.  The
+                # local surface still blits correctly below, but it is
+                # no longer budget-tracked, so do not retain it.
+                self._backing = None
+                self._backing_valid = False
+            if obs.metrics_on:
+                obs.registry.inc("view.cache_misses")
+        surface.copy_to(graphic, 0, 0)
+        return True
+
     def full_update(self, graphic: Graphic) -> None:
         """Draw self and children into ``graphic`` (the top-down pass).
+
+        With the compositor on, an opted-in view first tries to satisfy
+        the pass from its backing store (blitting a clean subtree in
+        one `copy_to`); otherwise the subtree renders live.
+        """
+        if (
+            self.backing_store
+            and compositor.enabled
+            and self._composite(graphic)
+        ):
+            return
+        self._render_subtree(graphic)
+
+    def _render_subtree(self, graphic: Graphic) -> None:
+        """The unconditional render pass (live window or backing store).
 
         Order per the paper: the parent paints, then each child in its
         sub-drawable, then :meth:`draw_over` so parents may overlay

@@ -301,28 +301,36 @@ class Graphic:
     def draw_string(self, x: int, y: int, text: str) -> None:
         """Draw ``text`` with its top-left at ``(x, y)`` in the current font.
 
-        Text is clipped at whole-glyph granularity: glyphs that would
-        start outside the clip on the left or overrun it on the right
-        are dropped, matching cell devices where partial glyphs cannot
-        exist.
+        A glyph draws whenever its box *intersects* the clip; glyphs
+        wholly outside are dropped here and the device crops any glyph
+        the clip edge splits.  A damage rect that splits a text line
+        (or a glyph column) therefore still repairs exactly its share
+        of the pixels — required for partial-expose repaints to be
+        idempotent.  On cell devices a clip cannot split the one-cell
+        glyphs, so this degenerates to whole-glyph clipping there.
         """
         if not text:
             return
         metrics = self.font_metrics(self.state.font)
         device_y = y + self.origin.y
-        if device_y < self.clip.top or device_y >= self.clip.bottom:
+        if (device_y >= self.clip.bottom
+                or device_y + metrics.height <= self.clip.top):
             return
         device_x = x + self.origin.x
-        # Drop leading glyphs left of the clip.
-        while text and device_x < self.clip.left:
+        # Drop leading glyphs wholly left of the clip.
+        while text:
             advance = metrics.char_width * (4 if text[0] == "\t" else 1)
+            if device_x + advance > self.clip.left:
+                break
             device_x += advance
             text = text[1:]
-        # Drop trailing glyphs right of the clip.
-        available = self.clip.right - device_x
-        if available <= 0 or not text:
+        if not text or device_x >= self.clip.right:
             return
-        fit = metrics.chars_that_fit(text, available)
+        # Drop trailing glyphs wholly right of the clip.
+        fit, run_x = 0, device_x
+        while fit < len(text) and run_x < self.clip.right:
+            run_x += metrics.char_width * (4 if text[fit] == "\t" else 1)
+            fit += 1
         text = text[:fit]
         if text:
             self.device_draw_text(device_x, device_y, text, self.state.font)

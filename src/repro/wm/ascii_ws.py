@@ -165,15 +165,21 @@ class AsciiGraphic(Graphic):
 
     def device_draw_text(self, x: int, y: int, text: str, font: FontDesc) -> None:
         self._tally("draw_text")
+        clip = self.clip
+        if y < clip.top or y >= clip.bottom:
+            return
         bold = 1 if font.bold else 0
         col = x
         for char in text:
             if char == "\t":
+                # A tab spans four cells, so a clip edge can split it.
                 for _ in range(4):
-                    self._surface.put(col, y, " ", inverse=0, bold=bold)
+                    if clip.left <= col < clip.right:
+                        self._surface.put(col, y, " ", inverse=0, bold=bold)
                     col += 1
                 continue
-            self._surface.put(col, y, char, inverse=0, bold=bold)
+            if clip.left <= col < clip.right:
+                self._surface.put(col, y, char, inverse=0, bold=bold)
             col += 1
 
     def device_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
@@ -198,11 +204,43 @@ class AsciiOffscreen(OffscreenWindow):
     def graphic(self) -> AsciiGraphic:
         return AsciiGraphic(self.surface)
 
+    def _resize_surface(self, width: int, height: int) -> None:
+        self.surface = CellSurface(width, height)
+
+    def surface_bytes(self) -> int:
+        # One char plus the inverse and bold attribute bytes per cell.
+        return self.width * self.height * 3
+
     def copy_to(self, target: Graphic, x: int, y: int) -> None:
-        for row, line in enumerate(self.surface.lines()):
-            stripped = line.rstrip()
-            if stripped:
-                target.draw_string(x, y + row, line)
+        self.count_blit()
+        device = target.rect_to_device(Rect(x, y, self.width, self.height))
+        visible = device.intersection(target.clip)
+        if visible.is_empty():
+            return
+        if isinstance(target, AsciiGraphic):
+            # Same-device blit: copy cells verbatim (char + inverse +
+            # bold), clipped to the target — true copy semantics, so a
+            # cached backing store lands pixel-identical.
+            target._tally("blit")
+            src, dst = self.surface, target._surface
+            sx0 = visible.left - device.left
+            sy0 = visible.top - device.top
+            for row in range(visible.height):
+                sy = sy0 + row
+                dy = visible.top + row
+                for col in range(visible.width):
+                    sx = sx0 + col
+                    dst.put(
+                        visible.left + col, dy, src.char_at(sx, sy),
+                        inverse=1 if src.inverse_at(sx, sy) else 0,
+                        bold=1 if src.bold_at(sx, sy) else 0,
+                    )
+        else:
+            # Cross-medium fallback (e.g. a printer drawable): rows as
+            # text, which the target clips at glyph granularity.
+            for row, line in enumerate(self.surface.lines()):
+                if line.rstrip():
+                    target.draw_string(x, y + row, line)
 
 
 class AsciiWindow(BackendWindow):

@@ -116,10 +116,26 @@ class RasterGraphic(Graphic):
                 col += 4 * advance
                 continue
             glyph = glyph_bitmap(char, scale)
-            self._fb.blit(glyph, col, y, mode="or")
+            self._blit_glyph(glyph, col, y)
             if font.bold:  # classic poor-man's bold: double-strike, 1px right
-                self._fb.blit(glyph, col + 1, y, mode="or")
+                self._blit_glyph(glyph, col + 1, y)
             col += advance
+
+    def _blit_glyph(self, glyph: Bitmap, x: int, y: int) -> None:
+        """OR a glyph into the framebuffer, cropped to the clip.
+
+        A damage rect may split a glyph row; only the intersecting
+        pixels land, so partial-line repaints are exact and no draw
+        escapes the clip.
+        """
+        rect = Rect(x, y, glyph.width, glyph.height)
+        visible = rect.intersection(self.clip)
+        if visible.is_empty():
+            return
+        if visible != rect:
+            glyph = glyph.crop(visible.offset(-x, -y))
+            x, y = visible.left, visible.top
+        self._fb.blit(glyph, x, y, mode="or")
 
     def device_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
         self._requests.tally("blit")
@@ -140,8 +156,26 @@ class RasterOffscreen(OffscreenWindow):
     def graphic(self) -> RasterGraphic:
         return RasterGraphic(self.bitmap, self._requests)
 
+    def _resize_surface(self, width: int, height: int) -> None:
+        self.bitmap = Bitmap(width, height)
+
     def copy_to(self, target: Graphic, x: int, y: int) -> None:
-        target.draw_bitmap(self.bitmap, x, y)
+        self.count_blit()
+        device = target.rect_to_device(Rect(x, y, self.width, self.height))
+        visible = device.intersection(target.clip)
+        if visible.is_empty():
+            return
+        if isinstance(target, RasterGraphic):
+            # Same-device blit in copy mode (background pixels too), so
+            # the transferred rectangle *is* the surface — never wider
+            # than the target's clip.
+            self._requests.tally("blit")
+            source = self.bitmap
+            if visible != device:
+                source = source.crop(visible.offset(-device.left, -device.top))
+            target._fb.blit(source, visible.left, visible.top, mode="copy")
+        else:
+            target.draw_bitmap(self.bitmap, x, y)
 
 
 class RasterWindow(BackendWindow):
