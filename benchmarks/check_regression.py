@@ -1,0 +1,108 @@
+"""Compare fresh ``BENCH_*.json`` snapshots against committed baselines.
+
+CI runs the benchmarks (which write ``BENCH_*.json`` into the working
+directory) and then this script.  Every numeric ``*_ns`` field in a
+fresh snapshot is compared against the same field in the committed
+baseline under ``benchmarks/baselines/``; a value more than
+``THRESHOLD`` slower prints a warning.  Warnings are advisory — shared
+CI runners have noisy clocks — so the default exit code is 0; pass
+``--strict`` to turn warnings into a failing exit for local A/B runs.
+
+Ratio fields (request/redraw reductions) are checked the other way:
+a baseline claim (e.g. "13x fewer requests") that *drops* by more than
+the threshold is also flagged, catching coalescer regressions that
+timing noise would hide.
+
+Usage::
+
+    python benchmarks/check_regression.py [--strict] [BENCH_x.json ...]
+
+With no file arguments, every ``BENCH_*.json`` in the current
+directory that has a committed baseline is checked.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 0.20  # warn beyond 20% in the losing direction
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+
+def _numeric_leaves(obj, prefix=""):
+    """Flatten to {dotted.path: number} for every int/float leaf."""
+    out = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(_numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix[:-1]] = obj
+    return out
+
+
+def compare(fresh_path: Path, baseline_path: Path) -> list:
+    # Only the curated ``summary`` block is compared: the raw registry
+    # dump carries every timer percentile and would drown the signal
+    # in shared-runner clock noise.
+    fresh = _numeric_leaves(json.loads(fresh_path.read_text()).get("summary", {}))
+    baseline = _numeric_leaves(
+        json.loads(baseline_path.read_text()).get("summary", {})
+    )
+    warnings = []
+    for field, base in baseline.items():
+        if base <= 0 or field not in fresh:
+            continue
+        new = fresh[field]
+        leaf = field.rsplit(".", 1)[-1]
+        if leaf.endswith("_ns"):
+            # Timings: slower is worse.
+            if new > base * (1 + THRESHOLD):
+                warnings.append(
+                    f"{fresh_path.name}: {field} slowed "
+                    f"{base:.0f} -> {new:.0f} ns "
+                    f"(+{(new / base - 1) * 100:.0f}%)"
+                )
+        elif "ratio" in leaf:
+            # Reduction claims: smaller is worse.
+            if new < base * (1 - THRESHOLD):
+                warnings.append(
+                    f"{fresh_path.name}: {field} dropped "
+                    f"{base:.1f} -> {new:.1f} "
+                    f"(-{(1 - new / base) * 100:.0f}%)"
+                )
+    return warnings
+
+
+def main(argv) -> int:
+    strict = "--strict" in argv
+    paths = [Path(a) for a in argv if not a.startswith("-")]
+    if not paths:
+        paths = [Path(p) for p in sorted(glob.glob("BENCH_*.json"))]
+    checked = 0
+    warnings = []
+    for fresh in paths:
+        baseline = BASELINE_DIR / fresh.name
+        if not baseline.exists():
+            print(f"note: no committed baseline for {fresh.name}; skipped")
+            continue
+        if not fresh.exists():
+            print(f"note: {fresh} not present; skipped")
+            continue
+        checked += 1
+        warnings.extend(compare(fresh, baseline))
+    if warnings:
+        print(f"bench regression warnings ({len(warnings)}):")
+        for line in warnings:
+            print(f"  WARNING: {line}")
+    else:
+        print(f"bench regression check: {checked} snapshot(s) within "
+              f"{THRESHOLD:.0%} of committed baselines")
+    return 1 if (strict and warnings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -266,6 +266,11 @@ class InteractionManager:
         the number of repaint passes run.
         """
         if self.child is None or self.updates.is_empty():
+            # Even with no queued damage, drain the window's command
+            # buffer: a direct repaint (e.g. an UpdateEvent dispatched
+            # straight from the queue) may have recorded batched ops
+            # without going through the damage path.
+            self.window.flush()
             return 0
         with obs.span("im.flush"):
             damages: List[Rect] = []

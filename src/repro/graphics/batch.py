@@ -1,0 +1,262 @@
+"""Batched drawable command buffers (the ``ANDREW_BATCH`` gate).
+
+The paper's drawable (§4) hides the window system behind device
+primitives, but each primitive still costs one device request — the
+blocker ROADMAP names for a remote/wire backend, where one request is
+one round trip.  Behind the process-wide switch below, a
+:class:`~repro.wm.base.BackendWindow` attaches a :class:`CommandBuffer`
+to every drawable it hands out: device operations are *recorded* as
+data instead of executed, and :meth:`CommandBuffer.flush` replays the
+whole frame against the device in one pass.  Once drawing is a
+replayable op list, a wire protocol is serialization.
+
+Recording coalesces *runs* — consecutive compatible operations — into
+single device requests:
+
+* abutting ``fill_rect`` ops with the same value merge into one rect
+  (abutting means edge-sharing and disjoint, so inversion fills are
+  safe to merge too);
+* consecutive ``draw_text`` ops on the same baseline, font and clip
+  whose spans abut concatenate into one string (the big win: text
+  views draw glyph by glyph);
+* ``hline``/``vline`` spans on the same row/column union when
+  contiguous (ink/background spans may overlap — both backends are
+  idempotent there — inversion spans must exactly abut).
+
+Only consecutive ops merge and replay preserves recording order, so a
+batched frame is cell/pixel-identical to an unbatched one — proven
+across every gate combination by ``tests/conformance/``.
+
+Ordering rules the rest of the stack honours:
+
+* offscreen/compositor surfaces are exempt (their graphics never carry
+  a buffer), and ``OffscreenWindow.copy_to`` settles the target before
+  blitting, so blits always see settled pixels;
+* ``BackendWindow.flush``/``snapshot_lines``/``pending_events`` drain
+  the buffer before anything observes the surface;
+* ``BackendWindow.resize`` discards pending ops — the surface they
+  were recorded against is gone and a full expose is queued.
+
+Telemetry (gated on ``ANDREW_METRICS``): ``wm.requests_batched`` ops
+recorded instead of issued, ``wm.ops_coalesced`` merges,
+``wm.batch_flushes`` / ``wm.batch_ops_replayed`` replay passes and the
+``wm.batch_flush_ns`` flush-latency timer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional
+
+from .. import obs
+from .fontdesc import FontDesc, FontMetrics
+from .geometry import Rect
+from .image import Bitmap
+
+__all__ = ["BATCH_ENV", "enabled", "batch_enabled", "configure",
+           "CommandBuffer"]
+
+BATCH_ENV = "ANDREW_BATCH"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _env_on(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+#: Hot-path switch.  ``BackendWindow`` reads this module attribute when
+#: handing out a drawable: ``if batch.enabled: graphic._buffer = ...``.
+enabled: bool = _env_on(BATCH_ENV)
+
+
+def batch_enabled() -> bool:
+    return enabled
+
+
+def configure(on: Optional[bool] = None) -> None:
+    """Flip batching at run time (tests, benches, embedding apps).
+
+    ``None`` leaves the switch unchanged.  Turning the switch off does
+    not drop pending ops: buffers attached to live drawables keep
+    recording and drain at the next flush; newly created drawables
+    simply stop attaching one.
+    """
+    global enabled
+    if on is not None:
+        enabled = bool(on)
+
+
+# Op kinds.  Ops are small mutable lists so run coalescing can extend
+# the last op in place.
+_FILL, _HLINE, _VLINE, _TEXT, _PIXEL, _BLIT = range(6)
+
+
+def _merge_fill(a: Rect, b: Rect) -> Optional[Rect]:
+    """The union of two abutting rects, or None when they don't tile.
+
+    Abutting (edge-sharing, disjoint) is required so merging is exact
+    for every fill value, inversion included.
+    """
+    if (a.top == b.top and a.height == b.height
+            and (a.right == b.left or b.right == a.left)):
+        return a.union(b)
+    if (a.left == b.left and a.width == b.width
+            and (a.bottom == b.top or b.bottom == a.top)):
+        return a.union(b)
+    return None
+
+
+class CommandBuffer:
+    """The per-window recorded op list, drained by ``flush``."""
+
+    def __init__(self, window) -> None:
+        self._window = window
+        self._ops: List[list] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def pending(self) -> int:
+        """Recorded ops not yet replayed against the device."""
+        return len(self._ops)
+
+    # -- recording -----------------------------------------------------
+
+    def _note_recorded(self) -> None:
+        if obs.metrics_on:
+            obs.registry.inc("wm.requests_batched")
+
+    def _note_coalesced(self) -> None:
+        if obs.metrics_on:
+            obs.registry.inc("wm.ops_coalesced")
+
+    def record_fill(self, rect: Rect, value: int) -> None:
+        self._note_recorded()
+        ops = self._ops
+        if ops:
+            last = ops[-1]
+            if last[0] == _FILL and last[2] == value:
+                merged = _merge_fill(last[1], rect)
+                if merged is not None:
+                    last[1] = merged
+                    self._note_coalesced()
+                    return
+        ops.append([_FILL, rect, value])
+
+    def record_hline(self, x0: int, x1: int, y: int, value: int) -> None:
+        self._note_recorded()
+        ops = self._ops
+        if ops:
+            last = ops[-1]
+            if last[0] == _HLINE and last[3] == y and last[4] == value:
+                if self._spans_mergeable(last[1], last[2], x0, x1, value):
+                    last[1] = min(last[1], x0)
+                    last[2] = max(last[2], x1)
+                    self._note_coalesced()
+                    return
+        ops.append([_HLINE, x0, x1, y, value])
+
+    def record_vline(self, x: int, y0: int, y1: int, value: int) -> None:
+        self._note_recorded()
+        ops = self._ops
+        if ops:
+            last = ops[-1]
+            if last[0] == _VLINE and last[1] == x and last[4] == value:
+                if self._spans_mergeable(last[2], last[3], y0, y1, value):
+                    last[2] = min(last[2], y0)
+                    last[3] = max(last[3], y1)
+                    self._note_coalesced()
+                    return
+        ops.append([_VLINE, x, y0, y1, value])
+
+    @staticmethod
+    def _spans_mergeable(a0: int, a1: int, b0: int, b1: int,
+                         value: int) -> bool:
+        """True when [a0,a1] and [b0,b1] union to one contiguous span.
+
+        Ink/background spans may overlap (both backends are idempotent
+        per cell); inversion spans toggle, so they must exactly abut.
+        """
+        if value < 0:
+            return b0 == a1 + 1 or b1 == a0 - 1
+        return b0 <= a1 + 1 and b1 >= a0 - 1
+
+    def record_text(self, x: int, y: int, text: str, font: FontDesc,
+                    clip: Rect, metrics: FontMetrics) -> None:
+        self._note_recorded()
+        # Advance includes the 4-cell tab expansion both devices apply.
+        end_x = x + metrics.char_width * (len(text) + 3 * text.count("\t"))
+        ops = self._ops
+        if ops:
+            last = ops[-1]
+            if (last[0] == _TEXT and last[2] == y and last[6] == x
+                    and last[4] == font and last[5] == clip):
+                last[3] += text
+                last[6] = end_x
+                self._note_coalesced()
+                return
+        ops.append([_TEXT, x, y, text, font, clip, end_x])
+
+    def record_pixel(self, x: int, y: int, value: int) -> None:
+        self._note_recorded()
+        self._ops.append([_PIXEL, x, y, value])
+
+    def record_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
+        self._note_recorded()
+        # Defensive copy: the frame may mutate the source bitmap after
+        # this draw (a later event in the same batch) but before replay.
+        snapshot = bitmap.crop(Rect(0, 0, bitmap.width, bitmap.height))
+        self._ops.append([_BLIT, snapshot, x, y])
+
+    # -- draining ------------------------------------------------------
+
+    def discard(self) -> None:
+        """Drop pending ops (the surface they target was discarded)."""
+        self._ops.clear()
+
+    def flush(self) -> int:
+        """Replay every pending op against the device, in order.
+
+        Each coalesced op is one device request.  Text ops replay under
+        their recorded clip — the device crops clip-split glyphs (tabs
+        on the cell device, partial glyph columns on the raster), so
+        replay must crop exactly as immediate execution would have.
+        Returns the number of ops replayed.
+        """
+        ops = self._ops
+        if not ops:
+            return 0
+        self._ops = []
+        graphic = self._window._raw_graphic()
+        base_clip = graphic.clip
+        metered = obs.metrics_on
+        start = time.perf_counter_ns() if metered else 0
+        for op in ops:
+            kind = op[0]
+            if kind == _FILL:
+                graphic.device_fill_rect(op[1], op[2])
+            elif kind == _TEXT:
+                graphic.clip = op[5]
+                graphic.device_draw_text(op[1], op[2], op[3], op[4])
+                graphic.clip = base_clip
+            elif kind == _HLINE:
+                graphic.device_hline(op[1], op[2], op[3], op[4])
+            elif kind == _VLINE:
+                graphic.device_vline(op[1], op[2], op[3], op[4])
+            elif kind == _PIXEL:
+                graphic.device_set_pixel(op[1], op[2], op[3])
+            else:
+                graphic.device_blit(op[1], op[2], op[3])
+        if metered:
+            obs.registry.inc("wm.batch_flushes")
+            obs.registry.inc("wm.batch_ops_replayed", len(ops))
+            obs.registry.observe_ns(
+                "wm.batch_flush_ns", time.perf_counter_ns() - start
+            )
+        return len(ops)
+
+    def __repr__(self) -> str:
+        return f"<CommandBuffer {len(self._ops)} pending>"

@@ -66,7 +66,17 @@ class Graphic:
     (device coordinates) bounds every device write.  All the clipping
     and translation happens here, so device primitives may assume their
     arguments are in-bounds device coordinates.
+
+    A drawable may carry a :class:`~repro.graphics.batch.CommandBuffer`
+    (``_buffer``, attached by the backend window when ``ANDREW_BATCH``
+    is on): the ``_emit_*`` dispatchers below then record device ops
+    instead of executing them, and the buffer replays the frame in one
+    device pass at flush.  Child drawables share the parent's buffer —
+    the whole window records into one op stream, in drawing order.
     """
+
+    #: Attached command buffer; ``None`` means execute immediately.
+    _buffer = None
 
     def __init__(self, origin: Point = Point(0, 0), clip: Optional[Rect] = None):
         self.origin = origin
@@ -112,6 +122,60 @@ class Graphic:
             for bx in range(bitmap.width):
                 if bitmap.get(bx, by):
                     self.device_set_pixel(x + bx, y + by, 1)
+
+    # ------------------------------------------------------------------
+    # Op dispatch: record into the command buffer, or hit the device.
+    # Every drawing operation below funnels device work through these,
+    # so batching needs no cooperation from individual ops.
+    # ------------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Drain the attached command buffer, if any.
+
+        Direct surface writes (``OffscreenWindow.copy_to``) call this
+        first so the blit lands on settled pixels, in recording order.
+        """
+        if self._buffer is not None:
+            self._buffer.flush()
+
+    def _emit_fill_rect(self, rect: Rect, value: int) -> None:
+        if self._buffer is not None:
+            self._buffer.record_fill(rect, value)
+        else:
+            self.device_fill_rect(rect, value)
+
+    def _emit_hline(self, x0: int, x1: int, y: int, value: int) -> None:
+        if self._buffer is not None:
+            self._buffer.record_hline(x0, x1, y, value)
+        else:
+            self.device_hline(x0, x1, y, value)
+
+    def _emit_vline(self, x: int, y0: int, y1: int, value: int) -> None:
+        if self._buffer is not None:
+            self._buffer.record_vline(x, y0, y1, value)
+        else:
+            self.device_vline(x, y0, y1, value)
+
+    def _emit_pixel(self, x: int, y: int, value: int) -> None:
+        if self._buffer is not None:
+            self._buffer.record_pixel(x, y, value)
+        else:
+            self.device_set_pixel(x, y, value)
+
+    def _emit_text(self, x: int, y: int, text: str, font: FontDesc,
+                   metrics: FontMetrics) -> None:
+        if self._buffer is not None:
+            # The device crops clip-split glyphs, so the op must carry
+            # the clip it was recorded under.
+            self._buffer.record_text(x, y, text, font, self.clip, metrics)
+        else:
+            self.device_draw_text(x, y, text, font)
+
+    def _emit_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
+        if self._buffer is not None:
+            self._buffer.record_blit(bitmap, x, y)
+        else:
+            self.device_blit(bitmap, x, y)
 
     # ------------------------------------------------------------------
     # Coordinate system & clipping
@@ -187,12 +251,12 @@ class Graphic:
     def clear(self) -> None:
         """Erase the whole drawable to background."""
         if not self.clip.is_empty():
-            self.device_fill_rect(self.clip, 0)
+            self._emit_fill_rect(self.clip, 0)
 
     def fill_rect(self, rect: Rect, value: Optional[int] = None) -> None:
         device = self.rect_to_device(rect).intersection(self.clip)
         if not device.is_empty():
-            self.device_fill_rect(device, self._ink() if value is None else value)
+            self._emit_fill_rect(device, self._ink() if value is None else value)
 
     def erase_rect(self, rect: Rect) -> None:
         self.fill_rect(rect, 0)
@@ -218,7 +282,7 @@ class Graphic:
         left = max(min(x0, x1) + self.origin.x, self.clip.left)
         right = min(max(x0, x1) + self.origin.x, self.clip.right - 1)
         if left <= right:
-            self.device_hline(left, right, device_y, self._ink())
+            self._emit_hline(left, right, device_y, self._ink())
 
     def draw_vline(self, x: int, y0: int, y1: int) -> None:
         device_x = x + self.origin.x
@@ -227,7 +291,7 @@ class Graphic:
         top = max(min(y0, y1) + self.origin.y, self.clip.top)
         bottom = min(max(y0, y1) + self.origin.y, self.clip.bottom - 1)
         if top <= bottom:
-            self.device_vline(device_x, top, bottom, self._ink())
+            self._emit_vline(device_x, top, bottom, self._ink())
 
     def draw_line(self, x0: int, y0: int, x1: int, y1: int) -> None:
         """Draw a line segment; axis-aligned cases take the fast path."""
@@ -255,7 +319,7 @@ class Graphic:
         while True:
             device = Point(x + self.origin.x, y + self.origin.y)
             if self.clip.contains_point(device):
-                self.device_set_pixel(device.x, device.y, ink)
+                self._emit_pixel(device.x, device.y, ink)
             if x == x1 and y == y1:
                 break
             e2 = 2 * err
@@ -295,7 +359,7 @@ class Graphic:
             if (x, y) != prev:
                 device = Point(x + self.origin.x, y + self.origin.y)
                 if self.clip.contains_point(device):
-                    self.device_set_pixel(device.x, device.y, ink)
+                    self._emit_pixel(device.x, device.y, ink)
                 prev = (x, y)
 
     def draw_string(self, x: int, y: int, text: str) -> None:
@@ -333,7 +397,7 @@ class Graphic:
             fit += 1
         text = text[:fit]
         if text:
-            self.device_draw_text(device_x, device_y, text, self.state.font)
+            self._emit_text(device_x, device_y, text, self.state.font, metrics)
 
     def draw_string_centered(self, rect: Rect, text: str) -> None:
         """Draw ``text`` centered inside ``rect``."""
@@ -359,10 +423,10 @@ class Graphic:
         if visible.is_empty():
             return
         if visible == device:
-            self.device_blit(bitmap, device.left, device.top)
+            self._emit_blit(bitmap, device.left, device.top)
         else:
             cropped = bitmap.crop(visible.offset(-device.left, -device.top))
-            self.device_blit(cropped, visible.left, visible.top)
+            self._emit_blit(cropped, visible.left, visible.top)
 
     def __repr__(self) -> str:
         return (

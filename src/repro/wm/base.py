@@ -33,6 +33,7 @@ from typing import Deque, Dict, List, Optional, Type
 
 from .. import obs
 from ..class_system.registry import ATKObject
+from ..graphics import batch
 from ..graphics.fontdesc import FontDesc, FontMetrics
 from ..graphics.geometry import Point, Rect
 from ..graphics.graphic import Graphic
@@ -273,6 +274,9 @@ class BackendWindow:
         self._queue: Deque[Event] = collections.deque()
         self._button_down: Optional[MouseButton] = None
         self._window_system: Optional["WindowSystem"] = None
+        #: Recorded device ops awaiting replay (the ``ANDREW_BATCH``
+        #: command buffer); empty and inert while batching is off.
+        self.commands = batch.CommandBuffer(self)
 
     # -- porting points ---------------------------------------------------
 
@@ -280,8 +284,37 @@ class BackendWindow:
         """The root drawable covering the whole window."""
         raise NotImplementedError
 
+    def _wrap(self, graphic: Graphic) -> Graphic:
+        """Attach the command buffer to a freshly built drawable.
+
+        Backends route every ``graphic()`` result through here so the
+        whole frame records into one per-window op stream.  Child
+        drawables inherit the buffer via ``Graphic.child``.
+        """
+        if batch.enabled:
+            graphic._buffer = self.commands
+        return graphic
+
+    def _raw_graphic(self) -> Graphic:
+        """A full-window drawable that always hits the device.
+
+        The command buffer replays through this, so replay can never
+        re-record into the buffer it is draining.
+        """
+        graphic = self.graphic()
+        graphic._buffer = None
+        return graphic
+
     def flush(self) -> None:
-        """Push buffered output to the 'display' (a no-op in-process)."""
+        """Push buffered output to the 'display'.
+
+        Drains the command buffer: after ``flush`` the surface holds
+        every recorded op's pixels.  Anything that *observes* the
+        surface (``snapshot_lines``, ``pending_events``, a blit into
+        the window) must flush first — mid-frame observers would
+        otherwise see a half-settled display.
+        """
+        self.commands.flush()
 
     def set_cursor(self, cursor: Cursor) -> None:
         self.cursor = cursor
@@ -295,7 +328,10 @@ class BackendWindow:
         The old surface is gone, so every cached backing store rendered
         for it is suspect: the owning window system's offscreen pool is
         flushed, forcing the next repaint to come from live draw code.
+        Pending command-buffer ops targeted the old surface and are
+        discarded — the queued full expose re-records everything.
         """
+        self.commands.discard()
         self.width = width
         self.height = height
         self._resize_surface(width, height)
@@ -324,6 +360,9 @@ class BackendWindow:
         return self._queue.popleft() if self._queue else None
 
     def pending_events(self) -> int:
+        # An observation point: callers poll this between frames, so
+        # settle the display before they act on what they see.
+        self.flush()
         return len(self._queue)
 
     # -- synthetic input ------------------------------------------------------

@@ -1,0 +1,8 @@
+"""Rendering-conformance harness.
+
+Drives seeded randomized scenarios over a three-pane window and asserts
+the rendered surface is byte-identical under every combination of the
+toolkit's rendering gates (``ANDREW_BATCH``, ``ANDREW_COMPOSITOR``,
+``ANDREW_METRICS``) on both backends.  See ``driver`` for the scenario
+machinery and ``test_matrix`` for the gate matrix itself.
+"""

@@ -1,0 +1,216 @@
+"""Reusable randomized scenario driver for rendering conformance.
+
+The contract every rendering optimisation must meet: flipping its gate
+must not change a single cell/pixel of output.  This module provides
+the pieces the matrix test (and any future gate's tests) composes:
+
+* :func:`build_app` — a three-pane window (text | table / drawing)
+  with focus and backing-store opt-in, on any backend;
+* :func:`scenario_ops` — a seeded script of edit / scroll / expose /
+  divider / resize operations;
+* :func:`apply_op` — apply one script entry and pump the event loop;
+* :func:`fingerprint` — every cell/pixel and attribute of the window
+  surface, flushed first so batched ops cannot hide;
+* :func:`run_scenario` — the full loop, returning one fingerprint per
+  step so divergence is reported at the exact step and op;
+* :func:`gates` — a context manager configuring the whole gate set and
+  restoring the previous state afterwards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, List, Tuple
+
+from repro import obs
+from repro.core import InteractionManager
+from repro.core import compositor
+from repro.graphics import Rect
+from repro.graphics import batch
+
+__all__ = [
+    "OP_KINDS",
+    "apply_op",
+    "build_app",
+    "fingerprint",
+    "gates",
+    "run_scenario",
+    "scenario_ops",
+]
+
+#: Script-entry kinds (weights live in :func:`scenario_ops`).
+OP_KINDS = (
+    "key", "scroll_text", "scroll_table", "cell", "shape",
+    "expose_full", "expose_rect", "ratio", "resize",
+)
+
+
+def build_app(window_system, width: int, height: int,
+              backing: bool = True) -> dict:
+    """A text | (table / drawing) split window, every pane focusable.
+
+    ``backing=True`` opts every pane into the compositor's backing
+    store, so the ``ANDREW_COMPOSITOR`` axis of the matrix actually
+    exercises the blit path.
+    """
+    from repro.components.drawing.drawdata import DrawingData
+    from repro.components.drawing.drawview import DrawView
+    from repro.components.split import SplitView
+    from repro.components.table.tabledata import TableData
+    from repro.components.table.tableview import TableView
+    from repro.components.text.textdata import TextData
+    from repro.components.text.textview import TextView
+
+    im = InteractionManager(window_system, width=width, height=height)
+    text_data = TextData("\n".join(
+        f"line {i}: the quick brown fox jumps over the lazy dog"
+        for i in range(30)
+    ))
+    text_view = TextView(text_data)
+    table_data = TableData(6, 3)
+    table_view = TableView(table_data)
+    draw_data = DrawingData()
+    draw_view = DrawView(draw_data)
+    split = SplitView(text_view,
+                      SplitView(table_view, draw_view, vertical=False),
+                      vertical=True)
+    if backing:
+        for pane in (text_view, table_view, draw_view):
+            pane.set_backing_store(True)
+    im.set_child(split)
+    im.set_focus(text_view)
+    im.process_events()
+    return {
+        "im": im,
+        "window": im.window,
+        "text_data": text_data,
+        "text_view": text_view,
+        "table_data": table_data,
+        "table_view": table_view,
+        "draw_data": draw_data,
+        "draw_view": draw_view,
+        "split": split,
+        "base_size": (width, height),
+    }
+
+
+def scenario_ops(rng, count: int, width: int, height: int) -> List[Tuple]:
+    """A seeded script of ``count`` operations over the three panes.
+
+    Keystrokes dominate (they are what real sessions are made of), with
+    scrolls, data edits, partial and full exposes, divider moves and
+    occasional window resizes mixed in.
+    """
+    ops: List[Tuple] = []
+    for _ in range(count):
+        kind = rng.choice(
+            ["key", "key", "key", "scroll_text", "scroll_table", "cell",
+             "shape", "expose_full", "expose_rect", "ratio", "resize"]
+        )
+        if kind == "key":
+            ops.append(("key", rng.choice("abcdefgh XYZ\t")))
+        elif kind == "scroll_text":
+            ops.append(("scroll_text", rng.randrange(0, 20)))
+        elif kind == "scroll_table":
+            ops.append(("scroll_table", rng.randrange(0, 4)))
+        elif kind == "cell":
+            ops.append(("cell", rng.randrange(6), rng.randrange(3),
+                        rng.randrange(100)))
+        elif kind == "shape":
+            ops.append(("shape", rng.randrange(0, 10), rng.randrange(0, 6),
+                        rng.randrange(2, 6), rng.randrange(2, 4)))
+        elif kind == "expose_full":
+            ops.append(("expose_full",))
+        elif kind == "expose_rect":
+            x = rng.randrange(0, max(1, width - 4))
+            y = rng.randrange(0, max(1, height - 2))
+            ops.append(("expose_rect", x, y, rng.randrange(3, width // 2),
+                        rng.randrange(2, max(3, height // 2))))
+        elif kind == "ratio":
+            ops.append(("ratio", rng.randrange(25, 75)))
+        elif kind == "resize":
+            # Grow/shrink around the base size; the driver clamps to the
+            # app's own base so both arms see identical dimensions.
+            ops.append(("resize", rng.randrange(-6, 7), rng.randrange(-3, 4)))
+    return ops
+
+
+def apply_op(app, op: Tuple) -> None:
+    """Apply one script entry, then pump the event loop."""
+    from repro.components.drawing.shapes import RectShape
+
+    kind = op[0]
+    if kind == "key":
+        app["window"].inject_key(op[1])
+    elif kind == "scroll_text":
+        app["text_view"].set_scroll_pos(op[1])
+    elif kind == "scroll_table":
+        app["table_view"].set_scroll_pos(op[1])
+    elif kind == "cell":
+        app["table_data"].set_cell(op[1], op[2], op[3])
+        app["table_data"].notify_observers()
+    elif kind == "shape":
+        app["draw_data"].add_shape(RectShape(Rect(op[1], op[2], op[3], op[4])))
+        app["draw_data"].notify_observers()
+    elif kind == "expose_full":
+        app["window"].inject_expose()
+    elif kind == "expose_rect":
+        app["window"].inject_expose(Rect(op[1], op[2], op[3], op[4]))
+    elif kind == "ratio":
+        app["split"].ratio = op[1]
+        app["split"]._needs_layout = True
+        app["split"].want_update()
+    elif kind == "resize":
+        base_w, base_h = app["base_size"]
+        app["window"].resize(max(20, base_w + op[1]), max(10, base_h + op[2]))
+    app["im"].process_events()
+
+
+def fingerprint(window):
+    """Every cell/pixel and attribute of a backend window's surface.
+
+    Flushes first: a pending command buffer must never make two
+    identical frames look different (or two different frames alike).
+    """
+    window.flush()
+    surface = getattr(window, "surface", None)
+    if surface is not None:  # ascii: chars + inverse + bold
+        return (
+            tuple(surface._chars),
+            bytes(surface._inverse),
+            bytes(surface._bold),
+        )
+    return bytes(window.framebuffer._bits)  # raster: the bit plane
+
+
+def run_scenario(make_ws: Callable, ops: List[Tuple], width: int,
+                 height: int) -> List:
+    """Build the app, apply every op, fingerprint after each step.
+
+    Returns ``[initial, after_op_0, after_op_1, ...]`` so a comparison
+    against another arm can name the exact diverging step.
+    """
+    app = build_app(make_ws(), width, height)
+    prints = [fingerprint(app["window"])]
+    for op in ops:
+        apply_op(app, op)
+        prints.append(fingerprint(app["window"]))
+    return prints
+
+
+@contextlib.contextmanager
+def gates(batch_on: bool, compositor_on: bool,
+          metrics_on: bool) -> Iterator[None]:
+    """Configure the rendering-gate set; restore the old state after."""
+    was_batch = batch.enabled
+    was_comp = compositor.enabled
+    was_metrics = obs.metrics_enabled()
+    batch.configure(batch_on)
+    compositor.configure(compositor_on)
+    obs.configure(metrics=metrics_on, reset_data=True)
+    try:
+        yield
+    finally:
+        batch.configure(was_batch)
+        compositor.configure(was_comp)
+        obs.configure(metrics=was_metrics, reset_data=True)

@@ -1,0 +1,85 @@
+"""The gate matrix: every rendering-gate combination is pixel-identical.
+
+For each backend, one seeded scenario script (edits, scrolls, exposes,
+divider moves, resizes) runs once with every gate off — the baseline —
+and then once under every other combination of ``ANDREW_BATCH`` x
+``ANDREW_COMPOSITOR`` x ``ANDREW_METRICS``.  After every step the
+window surface must be byte-identical to the baseline's; a divergence
+names the step, the op and the seed so it replays with
+``ANDREW_TEST_SEED``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.wm.ascii_ws import AsciiWindowSystem
+from repro.wm.raster_ws import RasterWindowSystem
+from tests.randutil import describe_seed, seeded_rng
+
+from .driver import gates, run_scenario, scenario_ops
+
+#: backend -> (window system, width, height, steps, seed offset).
+#: The raster arm is smaller — every step fingerprints the whole bit
+#: plane — but the two arms together still cover > 200 scripted steps.
+BACKENDS = {
+    "ascii": (AsciiWindowSystem, 70, 20, 140, 0),
+    "raster": (RasterWindowSystem, 100, 56, 80, 5000),
+}
+
+GATE_NAMES = ("batch", "compositor", "metrics")
+ALL_OFF = (False, False, False)
+COMBOS = [combo for combo in itertools.product((False, True), repeat=3)
+          if combo != ALL_OFF]
+
+
+def _combo_id(combo):
+    on = [name for name, flag in zip(GATE_NAMES, combo) if flag]
+    return "+".join(on)
+
+
+#: Per-backend memo of (ops, stepwise baseline fingerprints): the
+#: all-off arm renders once per backend, not once per combo.
+_baselines = {}
+
+
+def _baseline(backend):
+    if backend not in _baselines:
+        make_ws, width, height, steps, offset = BACKENDS[backend]
+        ops = scenario_ops(seeded_rng(offset), steps, width, height)
+        with gates(*ALL_OFF):
+            prints = run_scenario(make_ws, ops, width, height)
+        _baselines[backend] = (ops, prints)
+    return _baselines[backend]
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_baseline_is_deterministic(backend):
+    """Two all-off runs of the same script render identically — the
+    floor under every other comparison in this matrix."""
+    make_ws, width, height, _steps, offset = BACKENDS[backend]
+    ops, expected = _baseline(backend)
+    with gates(*ALL_OFF):
+        again = run_scenario(make_ws, ops, width, height)
+    assert again == expected, (
+        f"nondeterministic baseline on {backend} ({describe_seed(offset)})"
+    )
+
+
+@pytest.mark.parametrize("combo", COMBOS, ids=_combo_id)
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_gate_combo_matches_baseline(backend, combo):
+    make_ws, width, height, _steps, offset = BACKENDS[backend]
+    ops, expected = _baseline(backend)
+    with gates(*combo):
+        actual = run_scenario(make_ws, ops, width, height)
+    assert len(actual) == len(expected)
+    for step, (got, want) in enumerate(zip(actual, expected)):
+        op = ops[step - 1] if step else ("initial paint",)
+        assert got == want, (
+            f"{backend} diverged from all-off baseline with gates "
+            f"{_combo_id(combo)} at step {step} ({op!r}); "
+            f"{describe_seed(offset)}"
+        )

@@ -12,6 +12,22 @@ PLUGIN_DIR = os.path.join(ROOT, "plugins")
 os.environ.setdefault("ANDREW_WM", "ascii")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--snapshot-update",
+        action="store_true",
+        default=False,
+        help="Regenerate the golden snapshots in tests/golden/ instead "
+             "of comparing against them.",
+    )
+
+
+@pytest.fixture
+def snapshot_update(request):
+    """True when the run should rewrite goldens rather than assert."""
+    return request.config.getoption("--snapshot-update")
+
+
 @pytest.fixture
 def ascii_ws():
     """A fresh ascii window system."""

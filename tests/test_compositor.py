@@ -15,9 +15,9 @@ Covers:
 * printing stays live (``print_to`` never reads a stale cache).
 """
 
-import random
-
 import pytest
+
+from tests.randutil import describe_seed, seeded_rng
 
 from repro import obs
 from repro.core import InteractionManager, View
@@ -508,7 +508,7 @@ def test_snapshot_equivalence_randomized(backend, seed):
         make_ws, width, height = AsciiWindowSystem, 70, 20
     else:
         make_ws, width, height = RasterWindowSystem, 120, 64
-    ops = _random_ops(random.Random(seed), 35, width, height)
+    ops = _random_ops(seeded_rng(seed), 35, width, height)
 
     was = compositor.enabled
     try:
@@ -526,7 +526,7 @@ def test_snapshot_equivalence_randomized(backend, seed):
             _apply(subject, op)
             assert _fingerprint(subject["window"]) == _fingerprint(
                 control["window"]
-            ), f"divergence at step {step}: {op!r}"
+            ), f"divergence at step {step} ({describe_seed(seed)}): {op!r}"
     finally:
         compositor.configure(was)
 
@@ -535,7 +535,7 @@ def test_snapshot_equivalence_randomized(backend, seed):
 def test_snapshot_equivalence_under_tiny_budget(seed):
     """Constant eviction pressure must not change a single cell."""
     width, height = 70, 20
-    ops = _random_ops(random.Random(seed), 25, width, height)
+    ops = _random_ops(seeded_rng(seed), 25, width, height)
     was = compositor.enabled
     try:
         compositor.configure(False)

@@ -1,0 +1,109 @@
+"""Golden ascii-backend snapshots of the example applications.
+
+Each case drives one app through a short deterministic script and
+compares the full window snapshot against the checked-in text under
+``tests/golden/``.  A failure prints a unified diff of cells, so a
+rendering change is reviewed the way the paper's figures are read — by
+looking at the screen.
+
+To regenerate after an intentional rendering change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_snapshots.py \
+        --snapshot-update
+
+then review the ``tests/golden/*.txt`` diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _ez_snapshot() -> str:
+    from repro.apps.ez import EZApp
+    from repro.wm.ascii_ws import AsciiWindowSystem
+
+    app = EZApp(window_system=AsciiWindowSystem())
+    app.im.window.inject_keys(
+        "The Andrew Toolkit\n\n"
+        "A window is a tree of views; each view draws through a\n"
+        "clipped graphic and never touches its neighbours."
+    )
+    app.process()
+    return app.snapshot()
+
+
+def _console_snapshot() -> str:
+    from repro.apps.console import ConsoleApp
+    from repro.wm.ascii_ws import AsciiWindowSystem
+
+    app = ConsoleApp(window_system=AsciiWindowSystem())
+    app.tick(5)  # five simulated minutes on the seeded machine
+    return app.snapshot()
+
+
+def _table_scroll_snapshot() -> str:
+    from repro.components.frame import Frame
+    from repro.components.scrollbar import ScrollBar
+    from repro.components.table.tabledata import TableData
+    from repro.components.table.tableview import TableView
+    from repro.core import InteractionManager
+    from repro.wm.ascii_ws import AsciiWindowSystem
+
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, title="table", width=60, height=14)
+    data = TableData(8, 4)
+    for row in range(8):
+        for col in range(4):
+            data.set_cell(row, col, (row + 1) * (col + 2))
+    view = TableView(data)
+    im.set_child(Frame(ScrollBar(view)))
+    im.process_events()
+    view.set_scroll_pos(2)
+    im.process_events()
+    return im.window.snapshot()
+
+
+def _help_snapshot() -> str:
+    from repro.apps.help import HelpApp
+    from repro.wm.ascii_ws import AsciiWindowSystem
+
+    app = HelpApp(window_system=AsciiWindowSystem())
+    app.process()
+    return app.snapshot()
+
+
+CASES = {
+    "ez": _ez_snapshot,
+    "console": _console_snapshot,
+    "table_scroll": _table_scroll_snapshot,
+    "help": _help_snapshot,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_snapshot(name, snapshot_update):
+    rendered = CASES[name]()
+    path = GOLDEN_DIR / f"{name}.txt"
+    if snapshot_update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered + "\n")
+        pytest.skip(f"golden updated: {path}")
+    assert path.exists(), (
+        f"missing golden {path}; run pytest --snapshot-update to create it"
+    )
+    expected = path.read_text().rstrip("\n")
+    if rendered != expected:
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), rendered.splitlines(),
+            fromfile=f"golden/{name}.txt", tofile="rendered", lineterm="",
+        ))
+        pytest.fail(
+            f"snapshot for {name!r} differs from the golden "
+            f"(--snapshot-update regenerates):\n{diff}"
+        )

@@ -10,9 +10,9 @@ incrementally, the control view (``incremental_enabled = False``)
 re-wraps from scratch on every layout.
 """
 
-import random
-
 import pytest
+
+from tests.randutil import describe_seed, seeded_rng
 
 from repro import obs
 from repro.components.text import TextData, TextView
@@ -280,7 +280,7 @@ def _random_edit(rng, pair, step):
 
 @pytest.mark.parametrize("seed", range(10))
 def test_randomized_equivalence_ascii(ascii_ws, seed):
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     start_text = "\n".join(
         f"paragraph {i}: the quick brown fox jumps over the lazy dog"
         for i in range(rng.randint(0, 12))
@@ -297,7 +297,7 @@ def test_randomized_equivalence_ascii(ascii_ws, seed):
 def test_randomized_equivalence_raster(raster_ws, seed):
     # The raster device realizes per-size metrics, so style edits change
     # line heights and wrap points; equivalence must hold there too.
-    rng = random.Random(1000 + seed)
+    rng = seeded_rng(1000 + seed)
     pair = make_pair(raster_ws, "one\ntwo three four five\nsix",
                      width=180, height=120)
     for step in range(30):

@@ -60,6 +60,7 @@ class TestRasterBackend:
     def test_text_produces_pixels(self, raster_ws):
         window = raster_ws.create_window("t", 100, 20)
         window.graphic().draw_string(0, 0, "HELLO")
+        window.flush()  # settle batched ops before reading raw pixels
         assert window.framebuffer.ink_count() > 0
 
     def test_font_scale_grows_with_point_size(self, raster_ws):
@@ -71,11 +72,13 @@ class TestRasterBackend:
     def test_bold_double_strikes(self, raster_ws):
         window = raster_ws.create_window("t", 60, 12)
         window.graphic().draw_string(0, 0, "I")
+        window.flush()
         plain_ink = window.framebuffer.ink_count()
         window.framebuffer.clear()
         graphic = window.graphic()
         graphic.set_font(FontDesc("andy", 12, ("bold",)))
         graphic.draw_string(0, 0, "I")
+        window.flush()
         assert window.framebuffer.ink_count() > plain_ink
 
     def test_request_counter_tallies(self, raster_ws):
@@ -83,6 +86,7 @@ class TestRasterBackend:
         graphic = window.graphic()
         graphic.fill_rect(Rect(0, 0, 5, 5), 1)
         graphic.draw_string(0, 0, "x")
+        window.flush()  # requests are tallied at replay when batching
         stats = raster_ws.stats()
         assert stats["fill_rect"] >= 1
         assert stats["draw_text"] >= 1
