@@ -28,8 +28,18 @@ import itertools
 from typing import Any, Callable, Iterator, List, Optional
 
 from .. import obs
+from ..testing import faultinject
 
-__all__ = ["ChangeRecord", "Observable", "Observer", "FunctionObserver"]
+__all__ = [
+    "ChangeRecord",
+    "Observable",
+    "Observer",
+    "FunctionObserver",
+    "OBSERVER_DROP_LIMIT",
+]
+
+#: Consecutive delivery failures after which an observer is detached.
+OBSERVER_DROP_LIMIT = 3
 
 _change_counter = itertools.count(1)
 
@@ -120,6 +130,10 @@ class Observable:
         self._modified_serial = 0
         self._notifying = 0
         self._pending_change: Optional[ChangeRecord] = None
+        # id(observer) -> consecutive delivery failures; an observer that
+        # fails OBSERVER_DROP_LIMIT times in a row is auto-detached so a
+        # permanently broken observer cannot poison every notification.
+        self._observer_failures: dict = {}
 
     # -- attachment ----------------------------------------------------
 
@@ -141,6 +155,9 @@ class Observable:
                 self._observers = observers
             else:
                 self._observers.remove(observer)
+            # Forget its failure streak: ids recycle, and a re-attached
+            # observer starts with a clean record.
+            self._observer_failures.pop(id(observer), None)
 
     def observers(self) -> Iterator[Observer]:
         """Iterate over the currently attached observers."""
@@ -187,6 +204,12 @@ class Observable:
         exceptions are collected, and the first one is re-raised once the
         loop completes — errors never pass silently, but one buggy view
         cannot leave its siblings showing stale state.
+
+        An observer that fails :data:`OBSERVER_DROP_LIMIT` consecutive
+        deliveries is detached (counter ``notify.observers_dropped``):
+        its exception is still reported this one last time, but a
+        permanently wedged observer cannot turn every future mutation
+        into a raise.  A successful delivery resets its failure count.
         """
         if change is None:
             change = self._pending_change
@@ -196,20 +219,36 @@ class Observable:
         self._pending_change = None
         snapshot = self._observers
         errors: List[BaseException] = []
+        dropped: List[Observer] = []
+        failures = self._observer_failures
         self._notifying += 1
         try:
             for observer in snapshot:
                 try:
+                    if faultinject.enabled:
+                        faultinject.maybe_raise("observer.notify")
                     observer.observed_changed(change)
                 except Exception as exc:
                     errors.append(exc)
+                    key = id(observer)
+                    count = failures.get(key, 0) + 1
+                    failures[key] = count
+                    if count >= OBSERVER_DROP_LIMIT:
+                        dropped.append(observer)
+                else:
+                    failures.pop(id(observer), None)
         finally:
             self._notifying -= 1
+        for observer in dropped:
+            self.remove_observer(observer)
+            self._observer_failures.pop(id(observer), None)
         if obs.metrics_on:
             obs.registry.inc("notify.notifications")
             obs.registry.inc("notify.observers", len(snapshot))
             if errors:
                 obs.registry.inc("notify.exceptions", len(errors))
+            if dropped:
+                obs.registry.inc("notify.observers_dropped", len(dropped))
         if errors:
             raise errors[0]
         return len(snapshot)

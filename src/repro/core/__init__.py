@@ -3,6 +3,7 @@ tree with its interaction manager, the delayed-update queue, keyboard
 and menu arbitration, the external representation, and runapp.
 """
 
+from . import faults
 from .application import Application
 from .dataobject import DataObject
 from .datastream import (
@@ -14,6 +15,7 @@ from .datastream import (
     EndObject,
     MAX_LINE,
     ObjectExtent,
+    UnknownObject,
     ViewRef,
     read_document,
     scan_extents,
@@ -46,8 +48,10 @@ __all__ = [
     "ViewRef",
     "BodyLine",
     "ObjectExtent",
+    "UnknownObject",
     "write_document",
     "read_document",
     "scan_extents",
     "MAX_LINE",
+    "faults",
 ]

@@ -11,14 +11,16 @@ dynamically from a single base program.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from .. import obs
 from ..class_system.registry import ATKObject
 from ..wm.base import WindowSystem
 from ..wm.switch import get_window_system
 from .dataobject import DataObject
-from .datastream import read_document, write_document
+from .datastream import DataStreamError, read_document, write_document
 from .im import InteractionManager
 from .view import View
 
@@ -76,13 +78,67 @@ class Application(ATKObject):
 
     # -- documents -----------------------------------------------------------
 
-    def save_document(self, obj: DataObject, path) -> None:
-        """Write ``obj`` to ``path`` in the external representation."""
-        Path(path).write_text(write_document(obj), encoding="ascii")
+    def save_document(self, obj: DataObject, path,
+                      _crash: Optional[Callable[[str], None]] = None) -> None:
+        """Write ``obj`` to ``path``; never corrupts an existing save.
 
-    def open_document(self, path) -> DataObject:
-        """Read a document; embedded component code loads on demand."""
-        return read_document(Path(path).read_text(encoding="ascii"))
+        The document is serialised and validated *before* the filesystem
+        is touched, then written to a temporary file in the target
+        directory, fsynced, and moved into place with ``os.replace`` —
+        the previous version (if any) survives as ``<path>.bak``.  A
+        crash at any step leaves either the old document, the ``.bak``,
+        or the complete new file; never a truncated one.
+
+        Raises :class:`DataStreamError` (with the offending character
+        offset) instead of an opaque ``UnicodeEncodeError`` when the
+        serialised form is not 7-bit ASCII.
+
+        ``_crash`` is a test hook: called with a step name (``"tmp"``,
+        ``"bak"``, ``"replace"``) just before that step's rename, so the
+        kill-between-steps test can die at every seam.
+        """
+        text = write_document(obj)
+        try:
+            payload = text.encode("ascii")
+        except UnicodeEncodeError as exc:
+            raise DataStreamError(
+                f"document is not 7-bit ASCII: {exc.object[exc.start]!r} "
+                f"at offset {exc.start}"
+            ) from exc
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o666)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if _crash is not None:
+            _crash("tmp")
+        if target.exists():
+            os.replace(target, target.with_name(target.name + ".bak"))
+            if _crash is not None:
+                _crash("bak")
+        os.replace(tmp, target)
+        if _crash is not None:
+            _crash("replace")
+        if obs.metrics_on:
+            obs.registry.inc("io.atomic_saves")
+
+    def open_document(self, path, salvage: bool = False) -> DataObject:
+        """Read a document; embedded component code loads on demand.
+
+        With ``salvage=True`` unreadable embedded objects come back as
+        :class:`~repro.core.datastream.UnknownObject` placeholders.
+        """
+        try:
+            text = Path(path).read_text(encoding="ascii")
+        except UnicodeDecodeError as exc:
+            raise DataStreamError(
+                f"document is not 7-bit ASCII: byte {exc.object[exc.start]!r} "
+                f"at offset {exc.start}"
+            ) from exc
+        return read_document(text, salvage=salvage)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, TextIO, Union
 from .. import obs
 from ..class_system.dynamic import ClassLoader, default_loader
 from ..class_system.errors import ClassSystemError
+from ..testing import faultinject
 from .dataobject import DataObject
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "ViewRef",
     "BodyLine",
     "ObjectExtent",
+    "UnknownObject",
     "DataStreamWriter",
     "DataStreamReader",
     "write_document",
@@ -201,6 +203,80 @@ def _classify_line(line: str, lineno: int):
     return BodyLine(line, lineno)
 
 
+def _lenient_marker(line: str):
+    """Classify one raw line for salvage capture.
+
+    Returns ``("begin"|"end", type_tag, object_id)`` for a *cleanly*
+    parseable marker, else ``None`` — a garbled marker or unknown
+    directive is just body as far as salvage is concerned, because the
+    whole point of salvage is surviving bytes the strict classifier
+    rejects.  Escaped lines are body by construction.
+    """
+    if line.startswith("\\\\"):
+        return None
+    for prefix, kind in ((_BEGIN, "begin"), (_END, "end")):
+        if line.startswith(prefix):
+            try:
+                parsed = _parse_marker(line, prefix, 0)
+            except DataStreamError:
+                return None
+            if parsed is not None:
+                return kind, parsed[0], parsed[1]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Salvage placeholder
+# ---------------------------------------------------------------------------
+
+class UnknownObject(DataObject):
+    """A component the reader could not reconstruct, preserved verbatim.
+
+    The paper promises that a document survives travelling through an
+    application that lacks (or mis-executes) one of its component
+    classes: the unreadable object rides along untouched.  This is the
+    data half of that promise (the view half is the quarantine
+    placeholder): :attr:`raw_lines` holds the object's body exactly as
+    it appeared on the wire — escapes intact, nested markers intact —
+    and :meth:`write_body` re-emits it byte-for-byte under the original
+    :attr:`type_tag`, so a salvaged document round-trips losslessly and
+    a reader that *does* have the component gets the original data back.
+    """
+
+    atk_register = False
+
+    def __init__(self, type_tag: str = "unknown",
+                 raw_lines: Optional[List[str]] = None,
+                 error: str = "") -> None:
+        super().__init__()
+        self._type_tag = type_tag
+        self.raw_lines: List[str] = list(raw_lines or [])
+        #: Human-readable reason the original read failed.
+        self.error = error
+
+    @property
+    def type_tag(self) -> str:
+        """The *original* component's tag, so round-trips are faithful."""
+        return self._type_tag
+
+    def write_body(self, writer: "DataStreamWriter") -> None:
+        writer.write_raw_lines(self.raw_lines)
+
+    def read_body(self, reader: "DataStreamReader") -> None:
+        # Never reached through the normal path: the stream carries the
+        # original component's tag, so re-reading either constructs the
+        # real class or goes through salvage again.
+        raise DataStreamError(
+            f"UnknownObject({self._type_tag!r}) cannot parse a body"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<UnknownObject {self._type_tag!r} "
+            f"lines={len(self.raw_lines)} error={self.error!r}>"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Writer
 # ---------------------------------------------------------------------------
@@ -262,6 +338,16 @@ class DataStreamWriter:
             )
         self._emit(text)
 
+    def write_raw_lines(self, lines: List[str]) -> None:
+        """Re-emit already-encoded physical lines verbatim (salvage path).
+
+        The lines came off a stream, so escapes and any nested markers
+        are already in wire form; running them through
+        :meth:`write_body_line` would double-escape them.
+        """
+        for line in lines:
+            self._emit(line)
+
     def write_wrapped(self, text: str, width: int = 78) -> None:
         """Write arbitrary-length text as multiple body lines.
 
@@ -314,10 +400,19 @@ class DataStreamReader:
     registry, falling back to the dynamic loader for never-imported
     component types.  Objects are registered by stream id so ``\\view``
     references resolve (``objects_by_id``).
+
+    With ``salvage=True`` an embedded object that cannot be read — its
+    class is unknown, or its ``read_body`` raises on its own data —
+    becomes an :class:`UnknownObject` preserving the raw bytes instead
+    of failing the whole document.  Structural corruption (truncated
+    stream, mismatched markers) still raises :class:`DataStreamError`:
+    salvage preserves what is bracketed, it does not invent brackets.
+    Salvaged placeholders are appended to :attr:`salvaged`.
     """
 
     def __init__(self, source: Union[str, TextIO],
-                 loader: Optional[ClassLoader] = None) -> None:
+                 loader: Optional[ClassLoader] = None,
+                 salvage: bool = False) -> None:
         text = source if isinstance(source, str) else source.read()
         self._lines = text.splitlines()
         self._pos = 0
@@ -326,6 +421,8 @@ class DataStreamReader:
         self._loader = loader if loader is not None else default_loader()
         self.objects_by_id: Dict[int, DataObject] = {}
         self._depth = 0
+        self.salvage = bool(salvage)
+        self.salvaged: List["UnknownObject"] = []
 
     # -- event stream ---------------------------------------------------------
 
@@ -370,15 +467,24 @@ class DataStreamReader:
                     getattr(event, "line", 0),
                 )
             begin = event
-        obj = self._construct(begin)
-        if obs.metrics_on:
-            obs.registry.inc("datastream.objects_read")
-        self.objects_by_id[begin.object_id] = obj
-        self._depth += 1
+        body_start = self._pos
         try:
-            obj.read_body(self)
-        finally:
-            self._depth -= 1
+            obj = self._construct(begin)
+            if obs.metrics_on:
+                obs.registry.inc("datastream.objects_read")
+            self.objects_by_id[begin.object_id] = obj
+            if faultinject.enabled:
+                faultinject.maybe_raise("datastream.read")
+            self._depth += 1
+            try:
+                obj.read_body(self)
+            finally:
+                self._depth -= 1
+        except Exception as exc:
+            if not self.salvage:
+                raise
+            obj = self._salvage_object(begin, body_start, exc)
+            self.objects_by_id[begin.object_id] = obj
         return obj
 
     def skip_object(self, begin: BeginObject) -> ObjectExtent:
@@ -411,6 +517,60 @@ class DataStreamReader:
                     )
         raise AssertionError("unreachable")
 
+    def _salvage_object(self, begin: BeginObject, body_start: int,
+                        exc: BaseException) -> "UnknownObject":
+        """Re-read ``begin``'s body verbatim after a failed parse.
+
+        The reader rewinds to the first body line (the failed
+        ``read_body`` may have consumed any amount of the stream) and
+        re-scans by marker nesting only — the section-5 guarantee that
+        an object's data can be located without parsing it is exactly
+        what makes salvage possible.
+        """
+        self._pos = body_start
+        raw = self._capture_raw_body(begin)
+        message = str(exc) or type(exc).__name__
+        obj = UnknownObject(begin.type_tag, raw, error=message)
+        self.salvaged.append(obj)
+        if obs.metrics_on:
+            obs.registry.inc("io.salvaged_objects")
+        return obj
+
+    def _capture_raw_body(self, begin: BeginObject) -> List[str]:
+        """Collect ``begin``'s body as raw physical lines, escapes intact.
+
+        Classification is deliberately lenient — only cleanly parseable
+        begin/end markers count as structure; garbled lines are body.
+        Truncation or a mismatched closing marker is structural
+        corruption and raises :class:`DataStreamError`.
+        """
+        depth = 1
+        raw: List[str] = []
+        while True:
+            if self._pos >= len(self._lines):
+                raise DataStreamError(
+                    f"no matching \\enddata for {begin!r}", begin.line
+                )
+            line = self._lines[self._pos]
+            self._pos += 1
+            marker = _lenient_marker(line)
+            if marker is not None:
+                kind, type_tag, object_id = marker
+                if kind == "begin":
+                    depth += 1
+                else:
+                    depth -= 1
+                    if depth == 0:
+                        if (type_tag != begin.type_tag
+                                or object_id != begin.object_id):
+                            raise DataStreamError(
+                                f"mismatched markers: {begin!r} closed by "
+                                f"\\enddata{{{type_tag}, {object_id}}}",
+                                self._pos,
+                            )
+                        return raw
+            raw.append(line)
+
     def _construct(self, begin: BeginObject) -> DataObject:
         try:
             cls = self._loader.load(begin.type_tag)
@@ -440,9 +600,14 @@ def write_document(obj: DataObject, stream: Optional[TextIO] = None) -> str:
 
 
 def read_document(source: Union[str, TextIO],
-                  loader: Optional[ClassLoader] = None) -> DataObject:
-    """Read one top-level data object from ``source``."""
-    return DataStreamReader(source, loader).read_object()
+                  loader: Optional[ClassLoader] = None,
+                  salvage: bool = False) -> DataObject:
+    """Read one top-level data object from ``source``.
+
+    With ``salvage=True`` unreadable embedded objects come back as
+    :class:`UnknownObject` placeholders instead of failing the read.
+    """
+    return DataStreamReader(source, loader, salvage=salvage).read_object()
 
 
 def scan_extents(source: Union[str, TextIO]) -> List[ObjectExtent]:

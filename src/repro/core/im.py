@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from .. import obs
 from ..graphics.geometry import Point, Rect
+from ..testing import faultinject
 from ..wm.base import BackendWindow, Cursor, WindowSystem
 from ..wm.events import (
     Event,
@@ -33,6 +34,7 @@ from ..wm.events import (
     TimerEvent,
     UpdateEvent,
 )
+from . import faults
 from .keymap import Keymap
 from .menus import MenuSet
 from .update import UpdateQueue
@@ -94,27 +96,53 @@ class InteractionManager:
         Returns the number of events handled.  This is the reproduction
         of the main loop: applications inject synthetic input into the
         backend window and call this to let the toolkit react.
+
+        One handler raising never starves the rest of the session: the
+        remaining queue still drains and ``flush_updates`` always runs.
+        With containment on (``ANDREW_QUARANTINE``, the default) the
+        offending view is quarantined and nothing escapes this method;
+        with it off, the first exception re-raises *after* the drain
+        and flush complete — errors never pass silently, but they no
+        longer cost the user their queued keystrokes either.
         """
         handled = 0
-        while limit is None or handled < limit:
-            event = self.window.next_event()
-            if event is None:
-                break
-            self.handle_event(event)
-            handled += 1
-        self.flush_updates()
-        self.events_processed += handled
+        errors: List[BaseException] = []
+        try:
+            while limit is None or handled < limit:
+                event = self.window.next_event()
+                if event is None:
+                    break
+                try:
+                    self.handle_event(event)
+                except Exception as exc:
+                    errors.append(exc)
+                handled += 1
+        finally:
+            self.events_processed += handled
+            try:
+                self.flush_updates()
+            except Exception as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
         return handled
 
     def handle_event(self, event: Event) -> None:
-        """Translate one backend event into view-tree protocol."""
+        """Translate one backend event into view-tree protocol.
+
+        This is the IM boundary of the fault-containment layer: with
+        ``ANDREW_QUARANTINE`` on, an exception the per-view guards
+        below did not attribute to a view is still contained here
+        (counter ``im.dispatch_contained``) rather than aborting the
+        event loop.
+        """
         if not (obs.metrics_on or obs.trace_on):
-            return self._dispatch_event(event)
+            return self._contained_dispatch(event)
         kind = type(event).__name__
         with obs.span("im.dispatch", event=kind):
             start = time.perf_counter_ns()
             try:
-                return self._dispatch_event(event)
+                return self._contained_dispatch(event)
             finally:
                 if obs.metrics_on:
                     obs.registry.observe_ns(
@@ -122,6 +150,15 @@ class InteractionManager:
                     )
                     obs.registry.inc("im.events")
                     obs.registry.inc(f"im.events.{kind}")
+
+    def _contained_dispatch(self, event: Event) -> None:
+        if not faults.enabled:
+            return self._dispatch_event(event)
+        try:
+            return self._dispatch_event(event)
+        except Exception:
+            if obs.metrics_on:
+                obs.registry.inc("im.dispatch_contained")
 
     def _dispatch_event(self, event: Event) -> None:
         if isinstance(event, MouseEvent):
@@ -137,7 +174,12 @@ class InteractionManager:
                 self.child.set_bounds(Rect(0, 0, event.width, event.height))
         elif isinstance(event, TimerEvent):
             for view in list(self._timer_subscribers):
-                view.handle_timer(event)
+                try:
+                    view.handle_timer(event)
+                except Exception as exc:
+                    if not faults.enabled:
+                        raise
+                    faults.contain_handler(view, exc)
 
     # -- mouse ------------------------------------------------------------
 
@@ -149,7 +191,13 @@ class InteractionManager:
         ):
             # Once a view accepts a DOWN it owns the interaction until UP.
             origin = self._grab.origin_in_window()
-            self._grab.handle_mouse(event.offset(-origin.x, -origin.y))
+            try:
+                self._grab.handle_mouse(event.offset(-origin.x, -origin.y))
+            except Exception as exc:
+                if not faults.enabled:
+                    raise
+                faults.contain_handler(self._grab, exc)
+                self._grab = None  # a broken grab must not eat the session
             if event.action == MouseAction.UP:
                 self._grab = None
         else:
@@ -180,12 +228,25 @@ class InteractionManager:
             if isinstance(binding, Keymap):
                 self._pending_keymap, self._pending_owner = binding, owner
             elif binding is not None:
-                binding(owner, event)
+                try:
+                    binding(owner, event)
+                except Exception as exc:
+                    if not faults.enabled:
+                        raise
+                    faults.contain_handler(owner, exc)
             return
         for view in self._focus_chain():
-            if view.handle_key(event):
-                return
-            binding = view.keymap.resolve(event)
+            # A broken handler quarantines its view; the keystroke then
+            # keeps bubbling so an ancestor may still consume it.
+            try:
+                if view.handle_key(event):
+                    return
+                binding = view.keymap.resolve(event)
+            except Exception as exc:
+                if not faults.enabled:
+                    raise
+                faults.contain_handler(view, exc)
+                continue
             if isinstance(binding, Keymap):
                 self._pending_keymap = binding
                 self._pending_owner = view
@@ -225,8 +286,13 @@ class InteractionManager:
 
     def _handle_menu(self, event: MenuEvent) -> None:
         for view in self._focus_chain():
-            if view.handle_menu(event):
-                return
+            try:
+                if view.handle_menu(event):
+                    return
+            except Exception as exc:
+                if not faults.enabled:
+                    raise
+                faults.contain_handler(view, exc)
 
     # -- timers ----------------------------------------------------------------
 
@@ -286,7 +352,17 @@ class InteractionManager:
                 obs.registry.inc("im.flush_passes", len(merged))
                 obs.registry.inc("im.flush_merged", len(damages) - len(merged))
             for damage in merged:
-                self._repaint(damage)
+                try:
+                    self._repaint(damage)
+                except Exception:
+                    # Backstop: per-view containment already caught
+                    # anything attributable; what reaches here is IM or
+                    # device trouble, and the other damage rects (and
+                    # the flush below) must still happen.
+                    if not faults.enabled:
+                        raise
+                    if obs.metrics_on:
+                        obs.registry.inc("im.flush_contained")
             self.window.flush()
             return len(merged)
 
@@ -329,7 +405,10 @@ class InteractionManager:
         self.compositing = True
         try:
             with obs.span("im.repaint", area=damage.area):
-                root.fill_rect(damage, 0)  # background under the damage
+                with faultinject.suspended():
+                    # IM's own prefill is toolkit ink, not component ink:
+                    # injected device faults here would be unattributable.
+                    root.fill_rect(damage, 0)  # background under the damage
                 self.child.full_update(root.child(self.child.bounds))
         finally:
             self.compositing = False

@@ -41,9 +41,11 @@ from ..class_system.observable import ChangeRecord, Observer
 from ..class_system.registry import ATKObject
 from ..graphics.geometry import Point, Rect
 from ..graphics.graphic import Graphic
+from ..testing import faultinject
 from ..wm.base import Cursor
 from ..wm.events import KeyEvent, MenuEvent, MouseEvent
 from . import compositor
+from . import faults
 from .dataobject import DataObject
 from .keymap import Keymap
 from .menus import MenuCard
@@ -76,6 +78,8 @@ class View(ATKObject, Observer):
         self.backing_store = False          # compositor opt-in (see below)
         self._backing = None                # cached OffscreenWindow, if any
         self._backing_valid = False
+        #: Containment record (None = healthy); see repro.core.faults.
+        self._quarantine: Optional[faults.Quarantine] = None
         if dataobject is not None:
             self.set_dataobject(dataobject)
 
@@ -97,8 +101,17 @@ class View(ATKObject, Observer):
 
         The default asks for a full repaint; views with incremental
         repair (text, table) override and consult the change record.
+        With containment on, a view whose repair code raises is
+        quarantined here — the *right* view gets the placeholder, and
+        the notifying data object's other observers are unaffected.
         """
-        self.on_data_changed(change)
+        if not faults.enabled:
+            self.on_data_changed(change)
+            return
+        try:
+            self.on_data_changed(change)
+        except Exception as exc:
+            faults.contain_handler(self, exc)
 
     def on_data_changed(self, change: ChangeRecord) -> None:
         self.want_update()
@@ -341,7 +354,42 @@ class View(ATKObject, Observer):
         With the compositor on, an opted-in view first tries to satisfy
         the pass from its backing store (blitting a clean subtree in
         one `copy_to`); otherwise the subtree renders live.
+
+        With containment on (``ANDREW_QUARANTINE``, the default), any
+        exception escaping the subtree's render is caught *here*: the
+        subtree is quarantined, its pending damage is discarded, and a
+        bordered placeholder naming the error paints in its place —
+        siblings and ancestors keep painting.  Quarantined subtrees
+        retry on later passes with capped backoff and recover the
+        moment a render succeeds.
         """
+        if not faults.enabled:
+            self._update_subtree(graphic)
+            return
+        quarantined = self._quarantine
+        if quarantined is not None and not quarantined.should_retry():
+            quarantined.note_skipped_pass()
+            self._draw_quarantined(graphic)
+            return
+        try:
+            self._update_subtree(graphic)
+        except Exception as exc:
+            im = self.interaction_manager()
+            if im is not None:
+                # Damage this subtree asked for cannot be repaired by
+                # its own draw code right now; the placeholder below
+                # covers the same cells.
+                im.updates.discard(self)
+            self.quarantine_failure(exc)
+            self._draw_quarantined(graphic)
+        else:
+            if quarantined is not None:
+                self._quarantine = None
+                if obs.metrics_on:
+                    obs.registry.inc("view.recovered")
+
+    def _update_subtree(self, graphic: Graphic) -> None:
+        """Composite from the backing store, or render live."""
         if (
             self.backing_store
             and compositor.enabled
@@ -350,6 +398,61 @@ class View(ATKObject, Observer):
             return
         self._render_subtree(graphic)
 
+    # -- quarantine (see repro.core.faults) ------------------------------
+
+    def quarantine_failure(self, exc: BaseException) -> None:
+        """Record one containment event against this view."""
+        quarantined = self._quarantine
+        if quarantined is None:
+            self._quarantine = quarantined = faults.Quarantine()
+            if obs.metrics_on:
+                obs.registry.inc("view.quarantined")
+        else:
+            if obs.metrics_on:
+                obs.registry.inc("view.quarantine_hits")
+        quarantined.record_failure(exc)
+
+    @property
+    def quarantined(self) -> Optional["faults.Quarantine"]:
+        """The active quarantine record, or None when healthy."""
+        return self._quarantine
+
+    def reset_quarantine(self) -> None:
+        """Lift a (possibly sticky) quarantine: the next pass retries live.
+
+        The record itself stays until a render actually succeeds — the
+        view proves its own recovery, and ``view.recovered`` keeps
+        balancing ``view.quarantined`` in telemetry.  The backoff ladder
+        restarts from scratch if the retry fails again.
+        """
+        quarantined = self._quarantine
+        if quarantined is not None:
+            quarantined.sticky = False
+            quarantined.cooldown = 0
+            quarantined.failures = 0
+            self.want_update()
+
+    def _draw_quarantined(self, graphic: Graphic) -> None:
+        """Paint the placeholder box: border plus the error's name.
+
+        The visual analogue of ATK's unknown-object behaviour — the
+        document keeps working around a component it cannot render.
+        Drawn with injection suspended (it is toolkit ink, not
+        component ink) and double-contained: placeholder drawing must
+        never raise.
+        """
+        with faultinject.suspended():
+            try:
+                area = self.local_bounds
+                graphic.fill_rect(area, 0)
+                graphic.draw_rect(area)
+                label = self._quarantine.error if self._quarantine else ""
+                graphic.draw_string_centered(
+                    area, f"[{type(self).__name__}! {label}]"
+                )
+            except Exception:  # pragma: no cover - last-resort guard
+                pass
+
     def _render_subtree(self, graphic: Graphic) -> None:
         """The unconditional render pass (live window or backing store).
 
@@ -357,6 +460,8 @@ class View(ATKObject, Observer):
         sub-drawable, then :meth:`draw_over` so parents may overlay
         their children.
         """
+        if faultinject.enabled:
+            faultinject.maybe_raise("view.draw")
         self.ensure_layout()
         self.draw_count += 1
         self.draw(graphic)
@@ -414,17 +519,27 @@ class View(ATKObject, Observer):
 
         Returns the accepting view (so the interaction manager can set
         the mouse grab for the rest of the drag), or None.
+
+        With containment on, an exception in *this* view's routing or
+        handler quarantines this view and declines the event (a deeper
+        view's failure was already contained by its own dispatch).
         """
-        self.ensure_layout()
-        child = self.route_mouse(event)
-        if child is not None and child is not self:
-            handled = child.dispatch_mouse(
-                event.offset(-child.bounds.left, -child.bounds.top)
-            )
-            if handled is not None:
-                return handled
-            # The child declined: the parent gets a second chance.
-        return self if self.handle_mouse(event) else None
+        try:
+            self.ensure_layout()
+            child = self.route_mouse(event)
+            if child is not None and child is not self:
+                handled = child.dispatch_mouse(
+                    event.offset(-child.bounds.left, -child.bounds.top)
+                )
+                if handled is not None:
+                    return handled
+                # The child declined: the parent gets a second chance.
+            return self if self.handle_mouse(event) else None
+        except Exception as exc:
+            if not faults.enabled:
+                raise
+            faults.contain_handler(self, exc)
+            return None
 
     def handle_mouse(self, event: MouseEvent) -> bool:
         """Consume a mouse event aimed at this view.  Override point."""

@@ -26,6 +26,7 @@ import copy
 import math
 from typing import List, Optional, Tuple
 
+from ..testing import faultinject
 from .color import BLACK, Color, TransferMode
 from .fontdesc import FontDesc, FontMetrics
 from .geometry import Point, Rect
@@ -139,6 +140,8 @@ class Graphic:
             self._buffer.flush()
 
     def _emit_fill_rect(self, rect: Rect, value: int) -> None:
+        if faultinject.enabled:
+            faultinject.maybe_raise("wm.device")
         if self._buffer is not None:
             self._buffer.record_fill(rect, value)
         else:
@@ -164,6 +167,8 @@ class Graphic:
 
     def _emit_text(self, x: int, y: int, text: str, font: FontDesc,
                    metrics: FontMetrics) -> None:
+        if faultinject.enabled:
+            faultinject.maybe_raise("wm.device")
         if self._buffer is not None:
             # The device crops clip-split glyphs, so the op must carry
             # the clip it was recorded under.

@@ -1,0 +1,26 @@
+"""``repro.testing`` — deterministic chaos tooling for the toolkit.
+
+The fault-injection harness lives here rather than under ``tests/``
+because it is part of the product's robustness story: the same seams
+that the conformance chaos matrix drives in CI can be switched on in a
+staging deployment (``ANDREW_FAULTS=<seed>:<rate>``) to rehearse
+component failures against real documents.
+"""
+
+from .faultinject import (
+    FAULTS_ENV,
+    FaultInjector,
+    InjectedFault,
+    configure,
+    maybe_raise,
+    suspended,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjector",
+    "InjectedFault",
+    "configure",
+    "maybe_raise",
+    "suspended",
+]

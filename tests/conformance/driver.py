@@ -25,6 +25,7 @@ from typing import Callable, Iterator, List, Tuple
 from repro import obs
 from repro.core import InteractionManager
 from repro.core import compositor
+from repro.core import faults
 from repro.graphics import Rect
 from repro.graphics import batch
 
@@ -34,6 +35,7 @@ __all__ = [
     "build_app",
     "fingerprint",
     "gates",
+    "inject_op",
     "run_scenario",
     "scenario_ops",
 ]
@@ -135,8 +137,14 @@ def scenario_ops(rng, count: int, width: int, height: int) -> List[Tuple]:
     return ops
 
 
-def apply_op(app, op: Tuple) -> None:
-    """Apply one script entry, then pump the event loop."""
+def inject_op(app, op: Tuple) -> None:
+    """Apply one script entry *without* pumping the event loop.
+
+    Split from :func:`apply_op` for the chaos matrix: direct mutator
+    calls here stand in for application code (a ``notify_observers``
+    re-raise is the app's to handle), while the ``process_events`` pump
+    must never leak an exception — the two need separate try scopes.
+    """
     from repro.components.drawing.shapes import RectShape
 
     kind = op[0]
@@ -163,6 +171,11 @@ def apply_op(app, op: Tuple) -> None:
     elif kind == "resize":
         base_w, base_h = app["base_size"]
         app["window"].resize(max(20, base_w + op[1]), max(10, base_h + op[2]))
+
+
+def apply_op(app, op: Tuple) -> None:
+    """Apply one script entry, then pump the event loop."""
+    inject_op(app, op)
     app["im"].process_events()
 
 
@@ -199,18 +212,28 @@ def run_scenario(make_ws: Callable, ops: List[Tuple], width: int,
 
 
 @contextlib.contextmanager
-def gates(batch_on: bool, compositor_on: bool,
-          metrics_on: bool) -> Iterator[None]:
-    """Configure the rendering-gate set; restore the old state after."""
+def gates(batch_on: bool, compositor_on: bool, metrics_on: bool,
+          quarantine: bool = None) -> Iterator[None]:
+    """Configure the rendering-gate set; restore the old state after.
+
+    ``quarantine`` is keyword-ish and defaults to ``None`` (leave the
+    containment gate alone — it is on by default and fault-free runs
+    must render identically either way, which the matrix proves by
+    flipping it explicitly).
+    """
     was_batch = batch.enabled
     was_comp = compositor.enabled
     was_metrics = obs.metrics_enabled()
+    was_quarantine = faults.enabled
     batch.configure(batch_on)
     compositor.configure(compositor_on)
     obs.configure(metrics=metrics_on, reset_data=True)
+    if quarantine is not None:
+        faults.configure(quarantine)
     try:
         yield
     finally:
         batch.configure(was_batch)
         compositor.configure(was_comp)
         obs.configure(metrics=was_metrics, reset_data=True)
+        faults.configure(was_quarantine)

@@ -68,6 +68,25 @@ def test_baseline_is_deterministic(backend):
     )
 
 
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_quarantine_off_matches_baseline(backend):
+    """Fault containment is on by default, so every arm above already
+    runs contained; this arm proves the *un*-contained path renders the
+    same bytes — the containment layer is pure overhead-free plumbing
+    until something actually raises."""
+    make_ws, width, height, _steps, offset = BACKENDS[backend]
+    ops, expected = _baseline(backend)
+    with gates(*ALL_OFF, quarantine=False):
+        actual = run_scenario(make_ws, ops, width, height)
+    assert len(actual) == len(expected)
+    for step, (got, want) in enumerate(zip(actual, expected)):
+        op = ops[step - 1] if step else ("initial paint",)
+        assert got == want, (
+            f"{backend} quarantine-off arm diverged at step {step} "
+            f"({op!r}); {describe_seed(offset)}"
+        )
+
+
 @pytest.mark.parametrize("combo", COMBOS, ids=_combo_id)
 @pytest.mark.parametrize("backend", sorted(BACKENDS))
 def test_gate_combo_matches_baseline(backend, combo):

@@ -12,6 +12,21 @@ PLUGIN_DIR = os.path.join(ROOT, "plugins")
 os.environ.setdefault("ANDREW_WM", "ascii")
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _no_ambient_fault_injection():
+    """Disarm any ``ANDREW_FAULTS`` injector for the suite as a whole.
+
+    The env var is how CI pins the chaos schedule, but an *ambient*
+    injector firing from process start would poison every non-chaos
+    test (the byte-identity matrix most of all).  The chaos matrix
+    re-arms the injector explicitly from the very same spec.
+    """
+    from repro.testing import faultinject
+
+    faultinject.configure(None)
+    yield
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--snapshot-update",

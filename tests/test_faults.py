@@ -1,0 +1,351 @@
+"""The fault-containment layer: quarantine lifecycle and the injector.
+
+Chaos-level properties (accounting under sustained injection) live in
+``tests/conformance/test_chaos.py``; these are the unit-level promises:
+a broken view becomes a placeholder and its siblings keep painting,
+retries back off and go sticky, recovery is observable, handler faults
+at every dispatch path quarantine the right view, broken observers are
+dropped after a streak, and the injector is a deterministic function of
+its seed.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import InteractionManager, View, faults
+from repro.graphics import Rect
+from repro.testing import faultinject
+from repro.testing.faultinject import FaultInjector, InjectedFault, parse_spec
+from repro.wm.events import MouseAction
+
+
+@pytest.fixture(autouse=True)
+def _containment_on():
+    """These tests are about the gate being on; restore whatever was."""
+    was = faults.enabled
+    faults.configure(True)
+    yield
+    faults.configure(was)
+
+
+class Flaky(View):
+    """Draws fine — until told to fail."""
+
+    atk_register = False
+
+    def __init__(self):
+        super().__init__()
+        self.fail = False
+        self.draws = 0
+
+    def draw(self, graphic):
+        self.draws += 1
+        if self.fail:
+            raise ValueError("broken draw")
+        graphic.draw_string(0, 0, "FLAKY-OK")
+
+
+class Sibling(View):
+    atk_register = False
+
+    def draw(self, graphic):
+        graphic.draw_string(0, 0, "SIBLING")
+
+
+def _build(make_im):
+    im = make_im()
+    root = View()
+    flaky = Flaky()
+    sibling = Sibling()
+    root.add_child(flaky, Rect(0, 0, 30, 4))
+    root.add_child(sibling, Rect(30, 0, 30, 4))
+    im.set_child(root)
+    im.process_events()
+    return im, flaky, sibling
+
+
+def _screen(im):
+    return "\n".join(im.snapshot_lines())
+
+
+class TestQuarantineLifecycle:
+    def test_placeholder_paints_and_siblings_survive(self, make_im):
+        im, flaky, sibling = _build(make_im)
+        assert "FLAKY-OK" in _screen(im)
+        flaky.fail = True
+        im.window.inject_expose()
+        im.process_events()  # must not raise
+        screen = _screen(im)
+        assert flaky.quarantined is not None
+        assert "Flaky!" in screen and "ValueError" in screen
+        assert "FLAKY-OK" not in screen
+        assert "SIBLING" in screen  # the sibling kept painting
+
+    def test_pending_damage_is_discarded(self, make_im):
+        im, flaky, _sibling = _build(make_im)
+        flaky.fail = True
+        flaky.want_update()
+        im.process_events()
+        assert flaky.quarantined is not None
+        # The failed subtree's queue entry is gone: the next flush has
+        # nothing to do unless someone posts fresh damage.
+        assert im.flush_updates() == 0
+
+    def test_backoff_doubles_and_goes_sticky(self, make_im):
+        im, flaky, _sibling = _build(make_im)
+        flaky.fail = True
+        expected_cooldowns = [1, 2, 4, 8]
+        for attempt, cooldown in enumerate(expected_cooldowns, start=1):
+            # Expose until the quarantine actually retries (and fails).
+            while flaky.quarantined is None or (
+                flaky.quarantined.failures < attempt
+            ):
+                im.window.inject_expose()
+                im.process_events()
+            assert flaky.quarantined.cooldown == cooldown
+        # One more failed retry crosses STICKY_LIMIT.
+        while flaky.quarantined.failures < faults.STICKY_LIMIT:
+            im.window.inject_expose()
+            im.process_events()
+        assert flaky.quarantined.sticky
+        draws = flaky.draws
+        for _ in range(faults.COOLDOWN_CAP + 2):
+            im.window.inject_expose()
+            im.process_events()
+        assert flaky.draws == draws  # sticky: no more live attempts
+
+    def test_reset_lifts_sticky_and_recovery_balances(self, make_im):
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            im, flaky, _sibling = _build(make_im)
+            flaky.fail = True
+            for _ in range(40):
+                im.window.inject_expose()
+                im.process_events()
+                if flaky.quarantined is not None and flaky.quarantined.sticky:
+                    break
+            assert flaky.quarantined.sticky
+            flaky.fail = False
+            flaky.reset_quarantine()
+            im.process_events()
+            assert flaky.quarantined is None
+            assert "FLAKY-OK" in _screen(im)
+            counters = obs.registry.snapshot()["counters"]
+            assert counters["view.recovered"] == counters["view.quarantined"]
+        finally:
+            obs.configure(metrics=False, reset_data=True)
+
+    def test_recovery_without_reset_on_transient_failure(self, make_im):
+        im, flaky, _sibling = _build(make_im)
+        flaky.fail = True
+        im.window.inject_expose()
+        im.process_events()
+        assert flaky.quarantined is not None
+        flaky.fail = False
+        for _ in range(4):  # cooldown 1 + the retry pass
+            im.window.inject_expose()
+            im.process_events()
+        assert flaky.quarantined is None
+        assert "FLAKY-OK" in _screen(im)
+
+
+class TestHandlerContainment:
+    def test_key_handler_fault_quarantines_focus_view(self, make_im):
+        im = make_im()
+
+        class BadKeys(View):
+            atk_register = False
+
+            def handle_key(self, event):
+                raise RuntimeError("key bug")
+
+        bad = BadKeys()
+        im.set_child(bad)
+        im.set_focus(bad)
+        im.window.inject_key("x")
+        im.process_events()
+        assert bad.quarantined is not None
+        assert "key bug" in bad.quarantined.error
+
+    def test_mouse_handler_fault_quarantines_hit_view(self, make_im):
+        im = make_im()
+        root = View()
+
+        class BadMouse(View):
+            atk_register = False
+
+            def handle_mouse(self, event):
+                raise RuntimeError("mouse bug")
+
+        bad = BadMouse()
+        root.add_child(bad, Rect(0, 0, 10, 5))
+        im.set_child(root)
+        im.process_events()
+        im.window.inject_mouse(MouseAction.DOWN, 2, 2)
+        im.process_events()
+        assert bad.quarantined is not None
+
+    def test_timer_fault_quarantines_subscriber_only(self, make_im):
+        im = make_im()
+        ticks = []
+
+        class BadClock(View):
+            atk_register = False
+
+            def handle_timer(self, event):
+                raise RuntimeError("tick bug")
+
+        class GoodClock(View):
+            atk_register = False
+
+            def handle_timer(self, event):
+                ticks.append(event.tick)
+
+        root = View()
+        bad, good = BadClock(), GoodClock()
+        root.add_child(bad, Rect(0, 0, 5, 2))
+        root.add_child(good, Rect(5, 0, 5, 2))
+        im.set_child(root)
+        im.add_timer_subscriber(bad)
+        im.add_timer_subscriber(good)
+        im.tick()
+        im.process_events()
+        assert bad.quarantined is not None
+        assert good.quarantined is None
+        assert ticks == [1]  # delivery continued past the bad subscriber
+
+    def test_observer_callback_fault_quarantines_observing_view(self, make_im):
+        from repro.core import DataObject
+
+        im = make_im()
+        data = DataObject()
+
+        class BadObserverView(View):
+            atk_register = False
+
+            def on_data_changed(self, change):
+                raise RuntimeError("observer bug")
+
+        bad = BadObserverView()
+        im.set_child(bad)
+        data.add_observer(bad)
+        data.changed()  # must not raise: the view contains its own fault
+        assert bad.quarantined is not None
+
+
+class TestObserverDrop:
+    def test_broken_observer_dropped_after_streak(self):
+        from repro.class_system.observable import (
+            OBSERVER_DROP_LIMIT,
+            FunctionObserver,
+            Observable,
+        )
+
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            subject = Observable()
+            Observable.__init__(subject)
+            calls = []
+
+            def broken(change):
+                calls.append(change)
+                raise RuntimeError("wedged")
+
+            observer = FunctionObserver(broken)
+            subject.add_observer(observer)
+            for _ in range(OBSERVER_DROP_LIMIT):
+                with pytest.raises(RuntimeError):
+                    subject.notify_observers()
+            assert subject.observer_count == 0  # auto-deregistered
+            subject.notify_observers()  # silence: nothing left to fail
+            assert len(calls) == OBSERVER_DROP_LIMIT
+            counters = obs.registry.snapshot()["counters"]
+            assert counters["notify.observers_dropped"] == 1
+        finally:
+            obs.configure(metrics=False, reset_data=True)
+
+    def test_success_resets_failure_streak(self):
+        from repro.class_system.observable import (
+            OBSERVER_DROP_LIMIT,
+            FunctionObserver,
+            Observable,
+        )
+
+        subject = Observable()
+        Observable.__init__(subject)
+        state = {"fail": True}
+
+        def sometimes(change):
+            if state["fail"]:
+                raise RuntimeError("transient")
+
+        observer = FunctionObserver(sometimes)
+        subject.add_observer(observer)
+        for _ in range(OBSERVER_DROP_LIMIT - 1):
+            with pytest.raises(RuntimeError):
+                subject.notify_observers()
+        state["fail"] = False
+        subject.notify_observers()  # success: streak resets
+        state["fail"] = True
+        for _ in range(OBSERVER_DROP_LIMIT - 1):
+            with pytest.raises(RuntimeError):
+                subject.notify_observers()
+        assert subject.observer_count == 1  # never hit the limit
+
+
+class TestInjector:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(seed, 0.3)
+            fired = []
+            for index in range(200):
+                try:
+                    injector.maybe_raise("view.draw")
+                except InjectedFault:
+                    fired.append(index)
+            return fired
+
+        assert schedule(99) == schedule(99)
+        assert schedule(99) != schedule(100)
+
+    def test_suspension_does_not_shift_schedule(self):
+        def run(with_suspended_noise):
+            injector = FaultInjector(7, 0.5)
+            fired = []
+            for index in range(50):
+                if with_suspended_noise:
+                    with injector.suspended_region():
+                        injector.maybe_raise("view.draw")
+                try:
+                    injector.maybe_raise("view.draw")
+                except InjectedFault:
+                    fired.append(index)
+            return fired
+
+        assert run(False) == run(True)
+
+    def test_unlisted_seam_never_fires(self):
+        injector = FaultInjector(1, 1.0, seams=("view.draw",))
+        injector.maybe_raise("wm.device")  # not in the seam set
+        assert injector.calls == 0
+        with pytest.raises(InjectedFault):
+            injector.maybe_raise("view.draw")
+
+    def test_parse_spec(self):
+        assert parse_spec("1234:0.05") == (1234, 0.05)
+        assert parse_spec(" 7:1.0 ") == (7, 1.0)
+        assert parse_spec("1234") is None
+        assert parse_spec("a:b") is None
+        assert parse_spec("1234:0") is None  # rate must be > 0
+        assert parse_spec("1234:1.5") is None
+        assert parse_spec("") is None
+
+    def test_configure_none_disables(self):
+        try:
+            active = faultinject.configure(5, 1.0)
+            assert faultinject.enabled and faultinject.injector is active
+            faultinject.configure(None)
+            assert not faultinject.enabled
+            faultinject.maybe_raise("view.draw")  # no-op when off
+        finally:
+            faultinject.configure(None)

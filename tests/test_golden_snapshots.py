@@ -78,11 +78,41 @@ def _help_snapshot() -> str:
     return app.snapshot()
 
 
+def _quarantine_snapshot() -> str:
+    """A broken view's placeholder next to a healthy sibling."""
+    from repro.components import Label
+    from repro.components.frame import Frame
+    from repro.core import InteractionManager, View, faults
+    from repro.graphics import Rect
+    from repro.wm.ascii_ws import AsciiWindowSystem
+
+    class Broken(View):
+        atk_register = False
+
+        def draw(self, graphic):
+            raise ValueError("component bug")
+
+    ws = AsciiWindowSystem()
+    im = InteractionManager(ws, title="quarantine", width=60, height=12)
+    root = View()
+    root.add_child(Frame(Label("healthy sibling")), Rect(0, 0, 60, 5))
+    root.add_child(Broken(), Rect(4, 5, 52, 6))
+    was = faults.enabled
+    faults.configure(True)
+    try:
+        im.set_child(root)
+        im.process_events()
+        return im.window.snapshot()
+    finally:
+        faults.configure(was)
+
+
 CASES = {
     "ez": _ez_snapshot,
     "console": _console_snapshot,
     "table_scroll": _table_scroll_snapshot,
     "help": _help_snapshot,
+    "quarantine": _quarantine_snapshot,
 }
 
 

@@ -335,3 +335,83 @@ class TestTimers:
         im.tick()
         im.process_events()
         assert ticks == []
+
+
+class TestHandlerFaultRegression:
+    """A raising handler must not cost the user queued input or repaints.
+
+    Regression for the seed behaviour where the first handler exception
+    aborted ``process_events`` mid-queue: the remaining events were
+    lost and ``flush_updates`` never ran, leaving posted damage
+    unpainted until some later interaction.
+    """
+
+    def _build(self, make_im):
+        from repro.graphics import Rect
+
+        im = make_im()
+        root = View()
+        typist = Typist()
+
+        class Exploding(View):
+            atk_register = False
+
+            def __init__(self):
+                super().__init__()
+                self.keymap.bind_printables(self._boom)
+
+            def _boom(self, view, key):
+                typist.want_update()
+                raise RuntimeError("handler bug")
+
+        class Painter(View):
+            atk_register = False
+            paints = 0
+
+            def draw(self, graphic):
+                type(self).paints += 1
+
+        painter = Painter()
+        exploding = Exploding()
+        root.add_child(exploding, Rect(0, 0, 10, 5))
+        root.add_child(painter, Rect(10, 0, 10, 5))
+        im.set_child(root)
+        im.set_focus(exploding)
+        im.process_events()
+        return im, exploding, painter, type(painter)
+
+    def test_queue_drains_and_flush_runs_with_containment_off(self, make_im):
+        from repro.core import faults
+
+        im, exploding, painter, painter_cls = self._build(make_im)
+        was = faults.enabled
+        faults.configure(False)
+        try:
+            before = painter_cls.paints
+            for char in "abc":
+                im.window.inject_key(char)
+            painter.want_update()
+            with pytest.raises(RuntimeError, match="handler bug"):
+                im.process_events()
+            # Every queued event was consumed, not just the first.
+            assert im.window.pending_events() == 0
+            # The flush still happened: posted damage got painted.
+            assert painter_cls.paints > before
+        finally:
+            faults.configure(was)
+
+    def test_containment_on_quarantines_instead_of_raising(self, make_im):
+        from repro.core import faults
+
+        im, exploding, painter, painter_cls = self._build(make_im)
+        was = faults.enabled
+        faults.configure(True)
+        try:
+            for char in "abc":
+                im.window.inject_key(char)
+            im.process_events()  # must not raise
+            assert im.window.pending_events() == 0
+            assert exploding.quarantined is not None
+            assert "handler bug" in exploding.quarantined.error
+        finally:
+            faults.configure(was)
