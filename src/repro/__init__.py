@@ -87,6 +87,7 @@ from .apps import (
     PreviewApp,
     TypescriptApp,
 )
+from .server import ServerLoop, Session
 
 __version__ = "1.0.0"
 
@@ -120,6 +121,9 @@ __all__ = [
     "InteractionManager",
     "Application",
     "RunApp",
+    # server
+    "ServerLoop",
+    "Session",
     "write_document",
     "read_document",
     "scan_extents",

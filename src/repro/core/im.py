@@ -71,9 +71,20 @@ class InteractionManager:
     # ------------------------------------------------------------------
 
     def set_child(self, view: View) -> View:
-        """Install the IM's single child view, filling the window."""
-        if self.child is not None:
-            self.child._im = None
+        """Install the IM's single child view, filling the window.
+
+        Replacing an existing child unlinks the *whole* outgoing
+        subtree through :meth:`view_unlinked` first: queued damage is
+        discarded, backing-store surfaces go back to the pool, and any
+        grab, focus or timer subscription held by a detached view dies
+        with the tree instead of leaking into the new one.
+        """
+        previous = self.child
+        if previous is not None and previous is not view:
+            self.child = None
+            for node in self._iter_subtree(previous):
+                self.view_unlinked(node)
+            previous._im = None
         self.child = view
         view.parent = None
         view._im = self
@@ -81,6 +92,17 @@ class InteractionManager:
         self.set_focus(view)
         self.post_update(view, None)
         return view
+
+    @staticmethod
+    def _iter_subtree(view: View) -> List[View]:
+        """``view`` and every descendant, parents before children."""
+        out: List[View] = []
+        stack = [view]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return out
 
     @property
     def bounds(self) -> Rect:
@@ -104,6 +126,12 @@ class InteractionManager:
         with it off, the first exception re-raises *after* the drain
         and flush complete — errors never pass silently, but they no
         longer cost the user their queued keystrokes either.
+
+        A drain that collects *several* errors raises the first with
+        the rest chained behind it (``__context__``, plus a note on
+        Pythons that support it) and counts the surplus as
+        ``im.errors_dropped`` — a multi-failure drain stays fully
+        diagnosable from the one traceback.
         """
         handled = 0
         errors: List[BaseException] = []
@@ -124,8 +152,47 @@ class InteractionManager:
             except Exception as exc:
                 errors.append(exc)
         if errors:
-            raise errors[0]
+            raise self._chain_errors(errors)
         return handled
+
+    @staticmethod
+    def _chain_errors(errors: List[BaseException]) -> BaseException:
+        """Fold a drain's error list into one chained exception.
+
+        The first error stays primary; each subsequent one is attached
+        to the tail of its ``__context__`` chain (never overwriting a
+        context Python already recorded, never creating a cycle), so
+        the traceback shows every failure from the drain in order.
+        """
+        primary = errors[0]
+        extra = 0
+        seen = {id(primary)}
+        tail = primary
+        while tail.__context__ is not None and id(tail.__context__) not in seen:
+            tail = tail.__context__
+            seen.add(id(tail))
+        for exc in errors[1:]:
+            if id(exc) in seen:
+                continue
+            extra += 1
+            tail.__context__ = exc
+            tail = exc
+            seen.add(id(exc))
+            while (
+                tail.__context__ is not None
+                and id(tail.__context__) not in seen
+            ):
+                tail = tail.__context__
+                seen.add(id(tail))
+        if extra:
+            if obs.metrics_on:
+                obs.registry.inc("im.errors_dropped", extra)
+            if hasattr(primary, "add_note"):  # Python >= 3.11
+                primary.add_note(
+                    f"[im] {extra} further error(s) from the same event "
+                    f"drain are chained via __context__"
+                )
+        return primary
 
     def handle_event(self, event: Event) -> None:
         """Translate one backend event into view-tree protocol.
@@ -264,16 +331,41 @@ class InteractionManager:
         return chain
 
     def set_focus(self, view: Optional[View]) -> None:
+        """Move the keyboard focus to ``view`` (exception-safely).
+
+        The transition commits in order: the outgoing view's
+        ``focus_lost`` runs *before* the reassignment, so a raising
+        hook (with quarantine off) propagates with the focus still on
+        the view that failed — never a half-applied transfer where the
+        new view is installed but its ``focus_gained`` never ran.  If
+        ``focus_gained`` itself raises, the assignment rolls back to
+        no-focus: the previous view already relinquished cleanly, and
+        no view is left believing it holds a keyboard it never
+        accepted.  With quarantine on, either hook failing quarantines
+        its own view and the transfer completes.
+        """
         if view is not None:
             view = view.initial_focus()
         if view is self.focus:
             return
-        previous, self.focus = self.focus, view
+        previous = self.focus
         self._pending_keymap = self._pending_owner = None
         if previous is not None:
-            previous.focus_lost()
+            try:
+                previous.focus_lost()
+            except Exception as exc:
+                if not faults.enabled:
+                    raise  # focus unchanged: still `previous`
+                faults.contain_handler(previous, exc)
+        self.focus = view
         if view is not None:
-            view.focus_gained()
+            try:
+                view.focus_gained()
+            except Exception as exc:
+                if not faults.enabled:
+                    self.focus = None
+                    raise
+                faults.contain_handler(view, exc)
 
     # -- menus ---------------------------------------------------------------
 

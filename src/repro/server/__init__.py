@@ -1,0 +1,31 @@
+"""The multi-session server layer (the ROADMAP's "millions of users"
+prerequisite).
+
+The paper's §7 ``runapp`` shares one resident toolkit image across
+many applications — one user per process.  This package lifts the same
+architecture to server scale: each user session is a
+:class:`~repro.server.session.Session` (one interaction manager, one
+bounded input queue, per-session telemetry), and a
+:class:`~repro.server.serverloop.ServerLoop` multiplexes thousands of
+them through one asyncio process with a timer wheel, fair round-robin
+slicing and cooperative repaint budgeting.
+
+The rendering contract is unchanged — ``process_events`` remains the
+synchronous inner drain each slice calls — so a session hosted by the
+server loop renders byte-for-byte what the standalone loop renders
+(proved by ``tests/conformance/test_server_matrix.py``).
+"""
+
+from .session import DEFAULT_QUEUE_LIMIT, Session, SessionStats
+from .serverloop import DEFAULT_SLICE_EVENTS, ServerLoop
+from .timerwheel import TimerHandle, TimerWheel
+
+__all__ = [
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_SLICE_EVENTS",
+    "Session",
+    "SessionStats",
+    "ServerLoop",
+    "TimerHandle",
+    "TimerWheel",
+]

@@ -1,0 +1,302 @@
+"""The asyncio multi-session server loop.
+
+This is the ROADMAP's "many IMs share one process" step: the §7
+``runapp`` shared-image idea taken from *many applications, one user*
+to *many users, one resident toolkit*.  The loop owns a fleet of
+:class:`~repro.server.session.Session` objects and schedules them
+fairly; all rendering work stays inside each session's synchronous
+``process_events`` drain, so session state management lives entirely
+outside the render path.
+
+Scheduling policy
+-----------------
+
+* **Cycles, not threads.**  :meth:`ServerLoop.run_cycle` is one fair
+  pass: the timer wheel advances one tick, then every *ready* session
+  (queued input or pending damage) is granted one slice of at most
+  ``slice_events`` events — transfer, drain, repaint, synchronously.
+  A session with 10,000 queued keystrokes therefore takes exactly one
+  slice per cycle, the same as a session with one keystroke: busy
+  neighbours cost latency proportional to fleet readiness, never
+  starvation.
+* **Rotating head.**  The round-robin order rotates one position per
+  cycle, so no session is structurally first (or last) every cycle —
+  with a per-cycle repaint budget in force, the sessions deferred this
+  cycle are the first served on the next.
+* **Cooperative repaint budgeting.**  ``cycle_budget_ns`` (optional)
+  caps the wall-clock a single cycle may spend repainting; once
+  exceeded, remaining sessions are deferred to the next cycle (counter
+  ``server.cycle_deferred``) rather than run late.
+* **Fault isolation.**  View-level faults are already quarantined
+  inside the IM; anything that still escapes a session's drain is
+  contained at the session boundary (``server.session_errors``,
+  ``Session.last_error``) and the cycle moves on — one broken session
+  never stalls another.
+
+:meth:`ServerLoop.run` is the asyncio driver: it awaits between
+cycles, so producers submitting input from asyncio tasks (network
+readers, replay feeders) interleave with scheduling on one event loop.
+:meth:`run_until_idle` is the deterministic synchronous wrapper the
+conformance matrix and tests drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Deque, Dict, List, Optional
+
+import collections
+
+from .. import obs
+from ..core.im import InteractionManager
+from ..wm.base import WindowSystem
+from .session import DEFAULT_QUEUE_LIMIT, Session
+from .timerwheel import TimerHandle, TimerWheel
+
+__all__ = ["ServerLoop", "DEFAULT_SLICE_EVENTS"]
+
+#: Events a session may drain per scheduling slice.  Small enough that
+#: a cycle over a mostly-idle fleet is dominated by ready sessions;
+#: large enough that an interactive burst (a word, a paste chunk)
+#: lands in one or two slices.
+DEFAULT_SLICE_EVENTS = 8
+
+
+class ServerLoop:
+    """Fair, cooperative scheduler for many sessions in one process."""
+
+    def __init__(self, *, slice_events: int = DEFAULT_SLICE_EVENTS,
+                 cycle_budget_ns: Optional[int] = None,
+                 wheel_slots: int = 256) -> None:
+        self.slice_events = max(1, int(slice_events))
+        self.cycle_budget_ns = cycle_budget_ns
+        self.wheel = TimerWheel(wheel_slots)
+        self._sessions: Dict[str, Session] = {}
+        self._rr: Deque[str] = collections.deque()
+        self.cycles = 0
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    # Fleet management
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def add_session(self, session: Optional[Session] = None, *,
+                    session_id: Optional[str] = None,
+                    im: Optional[InteractionManager] = None,
+                    window_system: Optional[WindowSystem] = None,
+                    width: int = 80, height: int = 24,
+                    queue_limit: int = DEFAULT_QUEUE_LIMIT) -> Session:
+        """Register a session (or build one around ``im``/``window_system``)."""
+        if session is None:
+            if session_id is None:
+                self._serial += 1
+                session_id = f"s{self._serial}"
+            session = Session(
+                session_id, im, window_system=window_system,
+                width=width, height=height, queue_limit=queue_limit,
+            )
+        if session.id in self._sessions:
+            raise ValueError(f"duplicate session id {session.id!r}")
+        self._sessions[session.id] = session
+        self._rr.append(session.id)
+        if obs.metrics_on:
+            obs.registry.inc("server.sessions_added")
+            obs.registry.gauge("server.sessions", len(self._sessions))
+        return session
+
+    def remove_session(self, session_id: str, close: bool = True) -> Session:
+        session = self._sessions.pop(session_id)
+        try:
+            self._rr.remove(session_id)
+        except ValueError:
+            pass
+        if close:
+            session.close()
+        if obs.metrics_on:
+            obs.registry.inc("server.sessions_removed")
+            obs.registry.gauge("server.sessions", len(self._sessions))
+        return session
+
+    def session(self, session_id: str) -> Session:
+        return self._sessions[session_id]
+
+    @property
+    def sessions(self) -> List[Session]:
+        return list(self._sessions.values())
+
+    def ready_sessions(self) -> List[Session]:
+        return [s for s in self._sessions.values() if s.ready]
+
+    # ------------------------------------------------------------------
+    # Timers (sessions share one wheel instead of per-window clocks)
+    # ------------------------------------------------------------------
+
+    def call_later(self, delay: int, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` scheduler cycles."""
+        return self.wheel.schedule(delay, callback)
+
+    def call_every(self, interval: int,
+                   callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` every ``interval`` cycles until cancelled."""
+        if interval < 1:
+            raise ValueError("interval must be >= 1 cycle")
+        return self.wheel.schedule(interval - 1, callback, interval=interval)
+
+    def schedule_tick(self, session: Session, every: int) -> TimerHandle:
+        """Deliver the session's timer events every ``every`` cycles.
+
+        The wheel posts one :class:`~repro.wm.events.TimerEvent` into
+        the session's window (via ``im.tick``), which makes the session
+        ready; animation views and the console then advance on their
+        usual subscription path.
+        """
+        return self.call_every(every, session.im.tick)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> int:
+        """One fair pass over the fleet; returns events handled.
+
+        Timer wheel first (ticks make sessions ready in the same cycle
+        their timers fire), then one bounded slice per ready session in
+        rotating round-robin order.
+        """
+        self.cycles += 1
+        self.wheel.advance(1)
+        order = list(self._rr)
+        if self._rr:
+            self._rr.rotate(-1)
+        handled = 0
+        deferred = 0
+        start = time.perf_counter_ns() if self.cycle_budget_ns else 0
+        for session_id in order:
+            session = self._sessions.get(session_id)
+            if session is None or not session.ready:
+                continue
+            if (
+                self.cycle_budget_ns is not None
+                and time.perf_counter_ns() - start >= self.cycle_budget_ns
+            ):
+                # Budget exhausted: the rest wait one cycle.  Rotation
+                # puts them at the head next time, so deferral spreads
+                # across the fleet instead of pinning the tail.
+                deferred += 1
+                continue
+            try:
+                handled += session.pump(self.slice_events)
+            except Exception as exc:
+                # The session-boundary backstop: per-view quarantine
+                # and the IM's own containment sit below this, so what
+                # lands here is session-fatal, not server-fatal.
+                session.last_error = exc
+                session.stats.errors += 1
+                if obs.metrics_on:
+                    obs.registry.inc("server.session_errors")
+        if obs.metrics_on:
+            obs.registry.inc("server.cycles")
+            if deferred:
+                obs.registry.inc("server.cycle_deferred", deferred)
+        return handled
+
+    def run_until_idle(self, max_cycles: Optional[int] = None) -> int:
+        """Synchronous drain: cycle until no session is ready.
+
+        Deterministic (no clock, no asyncio) — the conformance matrix
+        drives single sessions through this to prove byte-identity with
+        the standalone loop.  Returns total events handled.
+        """
+        total = 0
+        cycles = 0
+        while any(s.ready for s in self._sessions.values()):
+            total += self.run_cycle()
+            cycles += 1
+            if max_cycles is not None and cycles >= max_cycles:
+                break
+        return total
+
+    async def run(self, *, stop_when_idle: bool = True,
+                  idle_cycles: int = 2,
+                  max_cycles: Optional[int] = None) -> int:
+        """The asyncio main loop: cycle, yield, repeat.
+
+        Awaiting between cycles hands the asyncio loop to producer
+        tasks (feeders calling :meth:`Session.submit`), so input
+        arrival and scheduling interleave cooperatively on one thread.
+        With ``stop_when_idle`` the loop returns after ``idle_cycles``
+        consecutive cycles in which no session was ready; otherwise it
+        runs until ``max_cycles`` (or cancellation).  Returns total
+        events handled.
+        """
+        total = 0
+        idle = 0
+        cycles = 0
+        while True:
+            handled = self.run_cycle()
+            total += handled
+            cycles += 1
+            if max_cycles is not None and cycles >= max_cycles:
+                break
+            if handled or any(s.ready for s in self._sessions.values()):
+                idle = 0
+            else:
+                idle += 1
+                if stop_when_idle and idle >= idle_cycles:
+                    break
+            # The cooperative yield: producers run between cycles.
+            await asyncio.sleep(0)
+        return total
+
+    # ------------------------------------------------------------------
+    # Fleet observability
+    # ------------------------------------------------------------------
+
+    def fleet_stats(self) -> Dict[str, object]:
+        """Aggregate the per-session stats into one fairness report.
+
+        ``frame_p95_spread`` is the fleet's fairness number: the ratio
+        of the worst session's p95 slice latency to the fleet median —
+        1.0 is perfect fairness, and a busy neighbour blowing up the
+        tail shows here long before users file tickets.
+        """
+        sessions = list(self._sessions.values())
+        p95s = sorted(
+            s.stats.frame_ns.percentile(0.95) for s in sessions
+            if s.stats.slices
+        )
+        spread = 0.0
+        if p95s:
+            median = p95s[len(p95s) // 2]
+            spread = (p95s[-1] / median) if median else 0.0
+        return {
+            "sessions": len(sessions),
+            "cycles": self.cycles,
+            "events_in": sum(s.stats.events_in for s in sessions),
+            "events_dropped": sum(s.stats.events_dropped for s in sessions),
+            "events_processed": sum(
+                s.stats.events_processed for s in sessions
+            ),
+            "errors": sum(s.stats.errors for s in sessions),
+            "max_queue_depth": max(
+                (s.queue_depth() for s in sessions), default=0
+            ),
+            "frame_p95_ns_median": p95s[len(p95s) // 2] if p95s else 0,
+            "frame_p95_ns_worst": p95s[-1] if p95s else 0,
+            "frame_p95_spread": round(spread, 2),
+        }
+
+    def close(self) -> None:
+        """Close every session and empty the fleet."""
+        for session_id in list(self._sessions):
+            self.remove_session(session_id, close=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerLoop sessions={len(self._sessions)} "
+            f"cycles={self.cycles} slice={self.slice_events}>"
+        )

@@ -1,0 +1,149 @@
+"""A hashed timer wheel for the multi-session server loop.
+
+The standalone toolkit advances simulated time by posting
+:class:`~repro.wm.events.TimerEvent` straight into one window's queue
+(:meth:`~repro.core.im.InteractionManager.tick`).  A server hosting
+thousands of sessions needs the classic O(1) structure instead: a ring
+of slots, one per scheduler tick, each holding the callbacks due when
+the cursor reaches it.  Scheduling, cancelling and advancing are all
+constant-time per timer; a delay longer than the ring is carried as a
+remaining-rounds count on the entry.
+
+The wheel is deliberately clockless — :meth:`TimerWheel.advance` is
+called by the :class:`~repro.server.serverloop.ServerLoop` once per
+scheduling cycle (or explicitly by tests), so timer order is exactly as
+deterministic as the rest of the toolkit.  Callbacks fire in schedule
+order within a slot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+__all__ = ["TimerHandle", "TimerWheel"]
+
+
+class TimerHandle:
+    """One scheduled callback; hold it to :meth:`cancel` the timer."""
+
+    __slots__ = ("callback", "interval", "_rounds", "_cancelled")
+
+    def __init__(self, callback: Callable[[], None], interval: int) -> None:
+        self.callback = callback
+        #: Re-arm period in ticks; 0 means one-shot.
+        self.interval = interval
+        self._rounds = 0        # full ring rotations still to wait
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Unschedule; safe to call more than once, or from a callback."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "armed"
+        return f"<TimerHandle {state} interval={self.interval}>"
+
+
+class TimerWheel:
+    """Slots arranged in a ring; the cursor advances one slot per tick."""
+
+    def __init__(self, slots: int = 256) -> None:
+        if slots < 1:
+            raise ValueError("a timer wheel needs at least one slot")
+        self._slots: List[List[TimerHandle]] = [[] for _ in range(slots)]
+        self._cursor = 0
+        #: Total ticks advanced since construction (the wheel's clock).
+        self.now = 0
+        #: Live (scheduled, not yet fired or cancelled) timer count.
+        self.scheduled = 0
+
+    def __len__(self) -> int:
+        return self.scheduled
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 interval: int = 0) -> TimerHandle:
+        """Run ``callback`` after ``delay`` ticks (0 = on the next tick).
+
+        ``interval`` > 0 re-arms the timer every ``interval`` ticks
+        after it first fires, until cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if interval < 0:
+            raise ValueError(f"negative interval {interval}")
+        handle = TimerHandle(callback, interval)
+        self._place(handle, delay)
+        return handle
+
+    def _place(self, handle: TimerHandle, delay: int) -> None:
+        # ``delay`` is measured from the *next* tick: advance() moves the
+        # cursor first, so delay=0 fires on the very next advance.
+        size = len(self._slots)
+        handle._rounds, offset = divmod(delay, size)
+        self._slots[(self._cursor + 1 + offset) % size].append(handle)
+        self.scheduled += 1
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move the cursor ``ticks`` slots, firing everything due.
+
+        Returns the number of callbacks fired.  A callback scheduling a
+        new zero-delay timer sees it fire on the *next* tick, never
+        within the same one — no tick can loop forever.
+        """
+        fired = 0
+        for _ in range(ticks):
+            self._cursor = (self._cursor + 1) % len(self._slots)
+            self.now += 1
+            due = self._slots[self._cursor]
+            if not due:
+                continue
+            remaining: List[TimerHandle] = []
+            # Swap the slot out first: timers (re)scheduled by callbacks
+            # land in fresh lists, a full-rotation round later at worst.
+            self._slots[self._cursor] = remaining
+            for handle in due:
+                self.scheduled -= 1
+                if handle._cancelled:
+                    continue
+                if handle._rounds > 0:
+                    handle._rounds -= 1
+                    remaining.append(handle)
+                    self.scheduled += 1
+                    continue
+                fired += 1
+                handle.callback()
+                if handle.interval > 0 and not handle._cancelled:
+                    self._place(handle, handle.interval - 1)
+        return fired
+
+    def next_due_in(self, horizon: Optional[int] = None) -> Optional[int]:
+        """Ticks until the nearest live timer fires, or None if empty.
+
+        ``horizon`` caps the scan; the default is one full rotation per
+        remaining-rounds level (exact, but O(slots) in the worst case —
+        call this from idle paths, not per-event).
+        """
+        if self.scheduled == 0:
+            return None
+        size = len(self._slots)
+        limit = size if horizon is None else min(horizon, size)
+        best: Optional[int] = None
+        for ahead in range(1, limit + 1):
+            slot = self._slots[(self._cursor + ahead) % size]
+            for handle in slot:
+                if handle._cancelled:
+                    continue
+                due = ahead + handle._rounds * size
+                if best is None or due < best:
+                    best = due
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimerWheel slots={len(self._slots)} now={self.now} "
+            f"scheduled={self.scheduled}>"
+        )

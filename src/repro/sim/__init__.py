@@ -4,12 +4,14 @@ for the section-7 runapp experiment (E4)."""
 from .filestore import DistributedFileStore
 from .loadmodel import (
     APP_CODE_KB,
+    FLEET_MIX,
     RUNAPP_STUB_KB,
     TOOLKIT_KB,
     World,
     build_runapp_world,
     build_static_world,
     compare,
+    fleet_profile,
     simulate_world,
 )
 from .paging import Lcg, PAGE_SIZE_KB, PhysicalMemory, Segment
@@ -26,9 +28,11 @@ __all__ = [
     "TOOLKIT_KB",
     "APP_CODE_KB",
     "RUNAPP_STUB_KB",
+    "FLEET_MIX",
     "World",
     "build_static_world",
     "build_runapp_world",
     "simulate_world",
     "compare",
+    "fleet_profile",
 ]

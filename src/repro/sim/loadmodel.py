@@ -25,16 +25,18 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .filestore import DistributedFileStore
-from .paging import PhysicalMemory, Segment
+from .paging import Lcg, PhysicalMemory, Segment
 from .process import SimProcess, run_workload
 
 __all__ = [
     "TOOLKIT_KB",
     "APP_CODE_KB",
     "RUNAPP_STUB_KB",
+    "FLEET_MIX",
     "build_static_world",
     "build_runapp_world",
     "compare",
+    "fleet_profile",
     "World",
 ]
 
@@ -135,6 +137,50 @@ def simulate_world(world: World, memory_kb: int, steps: int) -> Dict[str, float]
         if world.binaries else 0.0
     )
     return metrics
+
+
+#: The §9 campus population by application, as (app, weight, typical
+#: window, typical session length in edit actions).  EZ and messages
+#: dominate — the paper's two daily-driver applications — with the
+#: utility windows as a long tail of smaller, shorter sessions.
+FLEET_MIX: List[Tuple[str, int, Tuple[int, int], Tuple[int, int]]] = [
+    ("ez", 35, (80, 24), (24, 48)),
+    ("messages", 30, (76, 22), (16, 32)),
+    ("help", 12, (60, 18), (6, 14)),
+    ("typescript", 10, (64, 16), (10, 24)),
+    ("console", 8, (48, 10), (4, 10)),
+    ("preview", 5, (70, 20), (4, 8)),
+]
+
+
+def fleet_profile(count: int, seed: int = 2026) -> List[Dict[str, object]]:
+    """Per-session profiles for a ``count``-user fleet (the soak bench).
+
+    Deterministically draws each simulated user an application from
+    :data:`FLEET_MIX`, with that application's window geometry and a
+    session length from its typical range.  ``session_seed`` feeds
+    :func:`repro.workloads.sessions.generate_session`, so two runs with
+    the same seed replay byte-identical fleets.
+    """
+    rng = Lcg(seed)
+    total = sum(weight for _, weight, _, _ in FLEET_MIX)
+    profiles: List[Dict[str, object]] = []
+    for index in range(count):
+        pick = rng.randint(0, total - 1)
+        app, _, geometry, length_range = FLEET_MIX[-1]
+        for name, weight, geo, lengths in FLEET_MIX:
+            if pick < weight:
+                app, geometry, length_range = name, geo, lengths
+                break
+            pick -= weight
+        profiles.append({
+            "app": app,
+            "width": geometry[0],
+            "height": geometry[1],
+            "actions": rng.randint(*length_range),
+            "session_seed": seed * 1000003 + index,
+        })
+    return profiles
 
 
 def compare(apps: List[str], memory_kb: int = 512,

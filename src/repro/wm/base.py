@@ -365,6 +365,13 @@ class BackendWindow:
         self.flush()
         return len(self._queue)
 
+    def queued_events(self) -> int:
+        """Queue depth *without* flushing — the scheduler's readiness
+        probe.  A server loop polling thousands of idle windows must
+        not force a command-buffer replay on each; anything that acts
+        on the display itself still goes through ``pending_events``."""
+        return len(self._queue)
+
     # -- synthetic input ------------------------------------------------------
 
     def inject_mouse(

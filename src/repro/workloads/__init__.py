@@ -10,6 +10,7 @@ from .documents import (
 from .sessions import (
     EditAction,
     TASK_MIX,
+    actions_to_keys,
     generate_session,
     replay_on_textview,
     score_editor_capabilities,
@@ -23,6 +24,7 @@ __all__ = [
     "big_cat_raster",
     "EditAction",
     "TASK_MIX",
+    "actions_to_keys",
     "generate_session",
     "replay_on_textview",
     "score_editor_capabilities",

@@ -16,6 +16,7 @@ from ..sim.paging import Lcg
 
 __all__ = [
     "EditAction",
+    "actions_to_keys",
     "generate_session",
     "replay_on_textview",
     "TASK_MIX",
@@ -91,6 +92,30 @@ def generate_session(length: int, seed: int = 42) -> List[EditAction]:
         else:
             actions.append(EditAction("newline"))
     return actions
+
+
+def actions_to_keys(actions: List[EditAction]) -> List[str]:
+    """Lower an action stream to the key names a session's window takes.
+
+    This is the adapter between the E3/E12 replay corpus and the
+    multi-session server soak: the same deterministic streams, but
+    expressed as keystrokes (:meth:`repro.server.session.Session.submit_key`
+    names) so they travel the full input path — queue, scheduler slice,
+    keymap — instead of calling mutators directly.  Styles and embeds
+    have no single-key form and are skipped, exactly as they are in the
+    plain-editor arm of E12.
+    """
+    keys: List[str] = []
+    for action in actions:
+        if action.kind == "type":
+            keys.extend(action.payload)
+        elif action.kind == "move":
+            keys.append(action.payload)
+        elif action.kind == "delete":
+            keys.append("Backspace")
+        elif action.kind == "newline":
+            keys.append("Return")
+    return keys
 
 
 def replay_on_textview(textview, actions: List[EditAction],

@@ -37,6 +37,7 @@ __all__ = [
     "gates",
     "inject_op",
     "run_scenario",
+    "run_scenario_server",
     "scenario_ops",
 ]
 
@@ -207,6 +208,31 @@ def run_scenario(make_ws: Callable, ops: List[Tuple], width: int,
     prints = [fingerprint(app["window"])]
     for op in ops:
         apply_op(app, op)
+        prints.append(fingerprint(app["window"]))
+    return prints
+
+
+def run_scenario_server(make_ws: Callable, ops: List[Tuple], width: int,
+                        height: int, *, slice_events: int = 1) -> List:
+    """:func:`run_scenario`, but the session is hosted by a ServerLoop.
+
+    The same app, the same script — except every pump goes through
+    :meth:`ServerLoop.run_until_idle` with a deliberately tiny
+    ``slice_events`` budget, so each op is drained across several
+    bounded scheduler slices (with an update flush after every slice)
+    instead of one synchronous ``process_events`` call.  The server
+    matrix compares the resulting stepwise fingerprints against the
+    standalone baseline: scheduling must be invisible in the bytes.
+    """
+    from repro.server import ServerLoop
+
+    loop = ServerLoop(slice_events=slice_events)
+    app = build_app(make_ws(), width, height)
+    loop.add_session(im=app["im"], session_id="conformance")
+    prints = [fingerprint(app["window"])]
+    for op in ops:
+        inject_op(app, op)
+        loop.run_until_idle()
         prints.append(fingerprint(app["window"]))
     return prints
 

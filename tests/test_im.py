@@ -415,3 +415,256 @@ class TestHandlerFaultRegression:
             assert "handler bug" in exploding.quarantined.error
         finally:
             faults.configure(was)
+
+
+class TestSetChildReplacement:
+    """Replacing the IM child must unlink the whole outgoing subtree.
+
+    Regression: ``set_child`` used to swap the pointer and nothing
+    else — queued damage for the detached views stayed in the update
+    queue, backing-store surfaces stayed in the pool, and stale
+    grab/focus/timer registrations survived into the new tree.
+    """
+
+    def _old_tree(self, make_im):
+        from repro.graphics import Rect
+
+        im = make_im()
+        root = View()
+        leaf = View()
+        deep = View()
+        root.add_child(leaf, Rect(0, 0, 10, 5))
+        leaf.add_child(deep, Rect(1, 1, 5, 3))
+        im.set_child(root)
+        im.process_events()
+        return im, root, leaf, deep
+
+    def test_detached_damage_is_discarded(self, make_im):
+        im, root, leaf, deep = self._old_tree(make_im)
+        leaf.want_update()
+        deep.want_update()
+        assert len(im.updates) > 0
+        im.set_child(View())
+        pending = im.updates.pending_views()
+        assert leaf not in pending and deep not in pending
+        assert root not in pending
+
+    def test_detached_surfaces_are_released(self, make_im):
+        im, root, leaf, deep = self._old_tree(make_im)
+        pool = im.window_system.surfaces
+        pool.acquire(leaf, 10, 5)
+        pool.acquire(deep, 5, 3)
+        assert pool.get(leaf) is not None
+        im.set_child(View())
+        assert pool.get(leaf) is None
+        assert pool.get(deep) is None
+        assert leaf._backing is None and not leaf._backing_valid
+
+    def test_detached_grab_focus_and_timers_die(self, make_im):
+        from repro.graphics import Rect
+        from repro.wm.events import MouseAction
+
+        im = make_im()
+        root = View()
+
+        class Grabby(View):
+            atk_register = False
+
+            def handle_mouse(self, event):
+                return True
+
+        grabby = Grabby()
+        root.add_child(grabby, Rect(0, 0, 20, 10))
+        im.set_child(root)
+        im.set_focus(grabby)
+        im.add_timer_subscriber(grabby)
+        im.window.inject_mouse(MouseAction.DOWN, 5, 5)
+        im.process_events()
+        assert im._grab is grabby
+        replacement = View()
+        im.set_child(replacement)
+        assert im._grab is None
+        assert grabby not in im._timer_subscribers
+        assert im.focus is replacement
+        assert root._im is None
+        # Ticks now go nowhere near the detached subscriber.
+        ticks = []
+        grabby.handle_timer = lambda event: ticks.append(event)
+        im.tick()
+        im.process_events()
+        assert ticks == []
+
+    def test_reinstalling_same_child_is_a_noop_unlink(self, make_im):
+        im, root, leaf, deep = self._old_tree(make_im)
+        im.set_focus(leaf)
+        im.set_child(root)
+        # Same subtree: nothing was unlinked out from under it.
+        assert root._im is im
+        assert im.focus is root  # set_child refocuses the (same) child
+
+
+class TestDrainErrorChaining:
+    """A multi-failure drain raises one exception carrying the rest."""
+
+    def _exploding_pair(self, make_im):
+        from repro.graphics import Rect
+
+        im = make_im()
+        root = View()
+
+        class Boom(View):
+            atk_register = False
+
+            def __init__(self, label):
+                super().__init__()
+                self.keymap.bind_printables(
+                    lambda view, key, lab=label: (_ for _ in ()).throw(
+                        RuntimeError(f"{lab}:{key.char}")
+                    )
+                )
+
+        boom = Boom("boom")
+        root.add_child(boom, Rect(0, 0, 10, 5))
+        im.set_child(root)
+        im.set_focus(boom)
+        im.process_events()
+        return im, boom
+
+    def test_subsequent_errors_are_chained_not_discarded(self, make_im):
+        from repro.core import faults
+
+        im, boom = self._exploding_pair(make_im)
+        was = faults.enabled
+        faults.configure(False)
+        try:
+            im.window.inject_key("a")
+            im.window.inject_key("b")
+            im.window.inject_key("c")
+            with pytest.raises(RuntimeError, match="boom:a") as excinfo:
+                im.process_events()
+            chain = []
+            node = excinfo.value.__context__
+            while node is not None:
+                chain.append(str(node))
+                node = node.__context__
+            assert "boom:b" in chain and "boom:c" in chain
+        finally:
+            faults.configure(was)
+
+    def test_surplus_errors_are_counted(self, make_im):
+        from repro import obs
+        from repro.core import faults
+
+        im, boom = self._exploding_pair(make_im)
+        was_faults = faults.enabled
+        was_metrics = obs.metrics_enabled()
+        faults.configure(False)
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            im.window.inject_key("a")
+            im.window.inject_key("b")
+            with pytest.raises(RuntimeError, match="boom:a"):
+                im.process_events()
+            assert obs.registry.counter("im.errors_dropped") == 1
+        finally:
+            faults.configure(was_faults)
+            obs.configure(metrics=was_metrics, reset_data=True)
+
+    def test_single_error_drain_is_unchained(self, make_im):
+        from repro.core import faults
+
+        im, boom = self._exploding_pair(make_im)
+        was = faults.enabled
+        faults.configure(False)
+        try:
+            im.window.inject_key("a")
+            with pytest.raises(RuntimeError, match="boom:a") as excinfo:
+                im.process_events()
+            assert excinfo.value.__context__ is None
+        finally:
+            faults.configure(was)
+
+
+class TestFocusTransitionSafety:
+    """``set_focus`` must never leave a half-applied transfer."""
+
+    def _views(self, make_im, lost_raises=False, gained_raises=False):
+        from repro.graphics import Rect
+
+        im = make_im()
+        root = View()
+
+        class Hooked(View):
+            atk_register = False
+
+            def __init__(self, raise_on_lost=False, raise_on_gained=False):
+                super().__init__()
+                self.raise_on_lost = raise_on_lost
+                self.raise_on_gained = raise_on_gained
+                self.lost = 0
+                self.gained = 0
+
+            def focus_lost(self):
+                self.lost += 1
+                if self.raise_on_lost:
+                    raise RuntimeError("lost hook bug")
+
+            def focus_gained(self):
+                self.gained += 1
+                if self.raise_on_gained:
+                    raise RuntimeError("gained hook bug")
+
+        old = Hooked(raise_on_lost=lost_raises)
+        new = Hooked(raise_on_gained=gained_raises)
+        root.add_child(old, Rect(0, 0, 10, 5))
+        root.add_child(new, Rect(10, 0, 10, 5))
+        im.set_child(root)
+        im.set_focus(old)
+        assert im.focus is old
+        return im, old, new
+
+    def test_raising_focus_lost_leaves_focus_unchanged(self, make_im):
+        from repro.core import faults
+
+        im, old, new = self._views(make_im, lost_raises=True)
+        was = faults.enabled
+        faults.configure(False)
+        try:
+            with pytest.raises(RuntimeError, match="lost hook bug"):
+                im.set_focus(new)
+            assert im.focus is old        # not half-transferred
+            assert new.gained == 0        # never told it won focus
+        finally:
+            faults.configure(was)
+
+    def test_raising_focus_gained_rolls_back_to_no_focus(self, make_im):
+        from repro.core import faults
+
+        im, old, new = self._views(make_im, gained_raises=True)
+        was = faults.enabled
+        faults.configure(False)
+        try:
+            with pytest.raises(RuntimeError, match="gained hook bug"):
+                im.set_focus(new)
+            # The old view relinquished cleanly; nobody claims a
+            # keyboard whose focus_gained never completed.
+            assert old.lost == 1
+            assert im.focus is None
+        finally:
+            faults.configure(was)
+
+    def test_contained_hooks_complete_the_transfer(self, make_im):
+        from repro.core import faults
+
+        im, old, new = self._views(
+            make_im, lost_raises=True, gained_raises=True
+        )
+        was = faults.enabled
+        faults.configure(True)
+        try:
+            im.set_focus(new)             # must not raise
+            assert im.focus is new
+            assert old.quarantined is not None
+            assert new.quarantined is not None
+        finally:
+            faults.configure(was)

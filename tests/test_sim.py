@@ -198,3 +198,37 @@ class TestLoadModel:
         first = compare(["ez", "help"], steps=100)
         second = compare(["ez", "help"], steps=100)
         assert first == second
+
+
+class TestFleetProfile:
+    def test_deterministic_and_weighted(self):
+        from repro.sim import APP_CODE_KB, FLEET_MIX, fleet_profile
+
+        first = fleet_profile(500, seed=7)
+        second = fleet_profile(500, seed=7)
+        assert first == second
+        counts = {}
+        for profile in first:
+            assert profile["app"] in APP_CODE_KB
+            assert profile["width"] > 0 and profile["height"] > 0
+            assert profile["actions"] > 0
+            counts[profile["app"]] = counts.get(profile["app"], 0) + 1
+        # The two daily drivers dominate the draw, per the mix weights.
+        heavy = {name for name, weight, _, _ in FLEET_MIX if weight >= 30}
+        for app in heavy:
+            assert counts[app] > counts.get("preview", 0)
+
+    def test_session_seeds_are_unique(self):
+        from repro.sim import fleet_profile
+
+        profiles = fleet_profile(200, seed=9)
+        seeds = [p["session_seed"] for p in profiles]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_lengths_respect_the_apps_range(self):
+        from repro.sim import FLEET_MIX, fleet_profile
+
+        ranges = {name: lengths for name, _, _, lengths in FLEET_MIX}
+        for profile in fleet_profile(300, seed=11):
+            lo, hi = ranges[profile["app"]]
+            assert lo <= profile["actions"] <= hi

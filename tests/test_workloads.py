@@ -112,3 +112,36 @@ class TestSessions:
         replay_on_textview(view, generate_session(150, seed=4))
         stream = write_document(view.data)
         assert write_document(read_document(stream)) == stream
+
+
+class TestActionsToKeys:
+    def test_lowering_covers_every_key_kind(self):
+        from repro.workloads import actions_to_keys
+        from repro.workloads.sessions import EditAction
+
+        keys = actions_to_keys([
+            EditAction("type", "ab "),
+            EditAction("move", "Left"),
+            EditAction("delete"),
+            EditAction("newline"),
+            EditAction("style", "bold"),
+            EditAction("embed", "table"),
+        ])
+        assert keys == ["a", "b", " ", "Left", "Backspace", "Return"]
+
+    def test_lowered_stream_replays_through_a_window(self, make_im):
+        """The keystroke form of a session drives a live editor through
+        the real input path and actually mutates the document."""
+        from repro.components import TextData, TextView
+        from repro.workloads import actions_to_keys, generate_session
+
+        im = make_im(width=50, height=12)
+        view = TextView(TextData())
+        im.set_child(view)
+        im.set_focus(view)
+        keys = actions_to_keys(generate_session(60, seed=5))
+        assert len(keys) > 60  # typing expands words into keystrokes
+        for key in keys:
+            im.window.inject_key(key)
+        im.process_events()
+        assert view.data.length > 0
