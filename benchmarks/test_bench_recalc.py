@@ -1,0 +1,153 @@
+"""E18 — dependency-graph incremental recalc on a 100k-cell sheet.
+
+The production-spreadsheet scenario from the ROADMAP: a 10,000 x 10
+sheet of numbers carrying a 2,000-cell running-sum chain (each formula
+reads the previous chain cell plus its row's input — the deep-cone
+shape) and one 9,000-cell ``SUM`` fan-in aggregate.  The sheet is
+materialised once (one full recalculation, every cell evaluated), then
+single cells are edited mid-chain.
+
+The claim under test: an edit pays for its dependency *cone*, not the
+sheet.  ``table.cells_recomputed`` after one edit must be the cone size
+(seed + downstream chain + the aggregate), at least 100x fewer
+evaluations than the full pass, with values provably identical to a
+from-scratch recalculation (the equivalence fuzzer in
+``tests/test_table_incremental.py`` carries the general proof; this
+bench asserts it at scale on the chain tail and aggregate).
+
+Outputs ``BENCH_recalc.json``; CI uploads it and gates the ``*_ns``
+timings and ``*_ratio`` claims against the committed baseline via
+``benchmarks/check_regression.py``.
+
+``ANDREW_RECALC_ROWS`` scales the sheet (default 10000 rows x 10 cols).
+"""
+
+import json
+import os
+import time
+
+from conftest import report
+from repro.components.table import TableData
+
+ROWS = int(os.environ.get("ANDREW_RECALC_ROWS", "10000"))
+COLS = 10
+CHAIN = min(2000, ROWS // 5)          # running-sum chain down column B
+FANIN = min(9000, ROWS - ROWS // 10)  # =SUM(A1:A<FANIN>) aggregate
+EDIT_ROW = CHAIN * 3 // 4             # mid-chain edit: cone = tail + SUM
+
+
+def build_sheet():
+    """Every cell non-empty: numbers everywhere, formulas in col B."""
+    table = TableData(ROWS, COLS)
+    for row in range(ROWS):
+        for col in range(COLS):
+            table.set_cell(row, col, float(row + col))
+    table.set_cell(0, 1, "=A1")
+    for row in range(1, CHAIN):
+        # 1-based names: B<row> is the previous chain cell, A<row+1>
+        # this row's input — the deep dependency chain.
+        table.set_cell(row, 1, f"=B{row}+A{row + 1}")
+    table.set_cell(0, 2, f"=SUM(A1:A{FANIN})")  # the wide fan-in
+    return table
+
+
+def chain_tail_expected(table):
+    return sum(table.value_at(row, 0) for row in range(CHAIN))
+
+
+def test_bench_incremental_recalc(metrics):
+    build_start = time.perf_counter_ns()
+    table = build_sheet()
+    build_ns = time.perf_counter_ns() - build_start
+    cells = ROWS * COLS
+    formulas = CHAIN + 1
+    # The gauge is maintained at assign time, so read it post-build
+    # (metrics.reset() clears gauges along with counters).
+    deps_edges = metrics.gauge_value("table.deps_edges")
+
+    metrics.reset()
+    full_start = time.perf_counter_ns()
+    assert table.value_at(CHAIN - 1, 1) == chain_tail_expected(table)
+    full_ns = time.perf_counter_ns() - full_start
+    full_recomputed = metrics.counter("table.cells_recomputed")
+    assert metrics.counter("table.recalc_full") == 1
+    assert full_recomputed == cells
+    assert deps_edges == 2 * (CHAIN - 1) + 1 + FANIN
+
+    # Single mid-chain edits: each cone is the seed, the chain tail
+    # below it, and the SUM aggregate.
+    cone = (CHAIN - EDIT_ROW) + 2
+    edit_ns = []
+    expected_tail = table.value_at(CHAIN - 1, 1)
+    expected_sum = table.value_at(0, 2)
+    for trial in range(5):
+        metrics.reset()
+        old = table.value_at(EDIT_ROW, 0)
+        start = time.perf_counter_ns()
+        table.set_cell(EDIT_ROW, 0, old + 1.0)
+        edit_ns.append(time.perf_counter_ns() - start)
+        assert metrics.counter("table.recalc_full") == 0
+        assert metrics.counter("table.recalc_incremental") == 1
+        assert metrics.counter("table.cells_recomputed") == cone
+        expected_tail += 1.0
+        expected_sum += 1.0
+        assert table.value_at(CHAIN - 1, 1) == expected_tail
+        assert table.value_at(0, 2) == expected_sum
+    edit_p50_ns = sorted(edit_ns)[len(edit_ns) // 2]
+
+    # An edit with no dependents at all: the cone is one cell.
+    metrics.reset()
+    table.set_cell(ROWS - 1, COLS - 1, 0.0)
+    assert metrics.counter("table.cells_recomputed") == 1
+
+    # The acceptance bar: >= 100x fewer evaluations than the full pass.
+    recompute_ratio = full_recomputed / cone
+    assert recompute_ratio >= 100.0, (full_recomputed, cone)
+
+    summary = {
+        "cells": cells,
+        "formulas": formulas,
+        "chain_len": CHAIN,
+        "fanin": FANIN,
+        "deps_edges": int(deps_edges),
+        "build_ns": build_ns,
+        "full_recalc_ns": full_ns,
+        "edit_recalc_p50_ns": edit_p50_ns,
+        "cells_recomputed_full": full_recomputed,
+        "cells_recomputed_edit": cone,
+        "recompute_ratio": round(recompute_ratio, 1),
+        "speedup_ratio": round(full_ns / max(1, edit_p50_ns), 1),
+    }
+    registry_snapshot = metrics.snapshot()
+    with open("BENCH_recalc.json", "w") as fh:
+        json.dump({"summary": summary, "registry": registry_snapshot},
+                  fh, indent=2, default=str)
+    report("E18 incremental recalc (100k-cell sheet)", [
+        f"{cells} cells, {formulas} formulas "
+        f"(chain {CHAIN}, fan-in {FANIN}), {int(deps_edges)} graph edges",
+        f"full recalc: {cells} evaluations in {full_ns / 1e6:.1f}ms",
+        f"one edit: {cone} evaluations in {edit_p50_ns / 1e6:.2f}ms (p50)",
+        f"recompute reduction: {recompute_ratio:.0f}x fewer evaluations, "
+        f"{full_ns / max(1, edit_p50_ns):.0f}x faster",
+        "snapshot written to BENCH_recalc.json",
+    ])
+
+
+def test_bench_single_edit(benchmark):
+    """pytest-benchmark timing of one mid-chain edit + cone repair."""
+    table = TableData(1000, 4)
+    for row in range(1000):
+        table.set_cell(row, 0, float(row))
+    table.set_cell(0, 1, "=A1")
+    for row in range(1, 500):
+        table.set_cell(row, 1, f"=B{row}+A{row + 1}")
+    table.value_at(499, 1)  # materialise
+
+    state = {"value": 0.0}
+
+    def edit():
+        state["value"] += 1.0
+        table.set_cell(250, 0, state["value"])
+        return table.value_at(499, 1)
+
+    benchmark(edit)

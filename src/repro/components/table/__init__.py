@@ -5,6 +5,7 @@ from .formula import (
     CellRef,
     Formula,
     FormulaError,
+    REF_DELETED,
     col_name,
     evaluate,
     extract_refs,
@@ -12,6 +13,7 @@ from .formula import (
     parse_ref,
     ref_name,
 )
+from .recalc import CycleError, DependencyGraph
 from .tabledata import CYCLE_ERROR, Cell, TableData, VALUE_ERROR
 from .tableview import TableView
 
@@ -21,8 +23,11 @@ __all__ = [
     "Cell",
     "CYCLE_ERROR",
     "VALUE_ERROR",
+    "REF_DELETED",
     "Formula",
     "FormulaError",
+    "CycleError",
+    "DependencyGraph",
     "CellRef",
     "parse_ref",
     "ref_name",

@@ -79,7 +79,22 @@ class ChartData(DataObject, Observer):
 
     def observed_changed(self, change: ChangeRecord) -> None:
         """The table changed: refresh the series, then tell *our*
-        observers (the chart views) — the paper's two-hop update."""
+        observers (the chart views) — the paper's two-hop update.
+
+        Cell-level records carry the edited coordinate, so edits in
+        rows/columns outside the charted series are ignored entirely —
+        the table's incremental recalc announces one record per changed
+        value, and only the ones crossing our series cost a recompute.
+        """
+        if change.what == "cell" and isinstance(change.where, tuple):
+            row, col = change.where
+            in_series = (
+                col == self.series_index
+                if self.series_axis == "col"
+                else row == self.series_index
+            )
+            if not in_series:
+                return
         self._recompute()
 
     def observed_destroyed(self, source) -> None:

@@ -8,9 +8,15 @@ the formula language:
 * ranges ``A1:B3`` as function arguments;
 * operators ``+ - * / ^``, unary minus, parentheses;
 * functions ``SUM AVG MIN MAX COUNT ABS SQRT``;
+* the ``#REF`` marker left behind when a structural edit deletes a
+  referenced row or column — it parses, survives the external
+  representation, and always evaluates to an error;
 
-plus dependency extraction (for recalculation ordering) and cycle
-detection (a cell in a reference cycle evaluates to an error value).
+plus dependency extraction (for recalculation ordering) and reference
+*rebasing*: :meth:`Formula.rebase` rewrites every reference through a
+mapping function and regenerates canonical source text, which is how
+``insert_row``/``delete_col`` keep formulas pointing at the cells they
+meant.
 
 The engine is standalone: it evaluates against any ``resolve(row, col)``
 callback, so tests exercise it without a table.
@@ -25,6 +31,7 @@ from typing import Callable, Iterator, List, Optional, Set, Union
 __all__ = [
     "FormulaError",
     "CellRef",
+    "REF_DELETED",
     "parse_ref",
     "ref_name",
     "col_name",
@@ -41,6 +48,12 @@ Resolver = Callable[[int, int], Number]
 
 class FormulaError(ValueError):
     """Raised for syntax errors, bad references, and evaluation faults."""
+
+
+#: The token a deleted reference rebases to.  ``=A1+#REF`` is legal
+#: source (it round-trips through the datastream) and evaluating it
+#: raises :class:`FormulaError`, so the cell displays ``#VALUE``.
+REF_DELETED = "#REF"
 
 
 class CellRef:
@@ -111,6 +124,7 @@ _TOKEN_RE = re.compile(
     r"\s*(?:"
     r"(?P<number>\d+\.?\d*(?:[eE][-+]?\d+)?)"
     r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<badref>#REF)"
     r"|(?P<op>[-+*/^():,])"
     r")"
 )
@@ -177,6 +191,7 @@ def _tokenize(source: str) -> List[str]:
 # Node shapes:
 #   ("num", float) | ("ref", CellRef) | ("range", CellRef, CellRef)
 #   ("neg", node) | ("bin", op, left, right) | ("call", name, [nodes])
+#   ("badref",)  — a reference destroyed by a structural edit
 
 class _Parser:
     def __init__(self, tokens: List[str]) -> None:
@@ -240,6 +255,8 @@ class _Parser:
             node = self.expr()
             self.expect(")")
             return node
+        if token == REF_DELETED:
+            return ("badref",)
         if re.match(r"^\d", token):
             return ("num", float(token))
         upper = token.upper()
@@ -282,6 +299,8 @@ def _eval(node, resolve: Resolver) -> Union[float, List[float]]:
     kind = node[0]
     if kind == "num":
         return node[1]
+    if kind == "badref":
+        raise FormulaError(f"{REF_DELETED}: reference was deleted")
     if kind == "ref":
         return float(resolve(node[1].row, node[1].col))
     if kind == "range":
@@ -323,6 +342,116 @@ def _scalar(value) -> float:
     return value
 
 
+# Operator/node precedence for the unparser.  Atoms bind tightest;
+# unary minus binds tighter than ``^`` (mirroring the parser, where
+# ``power`` descends into ``unary``: ``-2^2`` is ``(-2)^2``).
+_PREC = {"+": 1, "-": 1, "*": 2, "/": 2, "^": 3}
+_NEG_PREC = 4
+_ATOM_PREC = 9
+
+
+def _node_prec(node) -> int:
+    kind = node[0]
+    if kind == "bin":
+        return _PREC[node[1]]
+    if kind == "neg":
+        return _NEG_PREC
+    return _ATOM_PREC
+
+
+def _format_number(value: float) -> str:
+    text = f"{value:g}"
+    # The tokenizer has no leading-sign or bare-dot numbers; ``%g``
+    # never emits either for the non-negative finite floats the parser
+    # produced, so canonical output is always re-parseable.
+    return text
+
+
+def _unparse(node) -> str:
+    """Canonical source text for an AST; ``parse(unparse(n)) == n``."""
+    kind = node[0]
+    if kind == "num":
+        return _format_number(node[1])
+    if kind == "ref":
+        return ref_name(node[1].row, node[1].col)
+    if kind == "range":
+        return (f"{ref_name(node[1].row, node[1].col)}"
+                f":{ref_name(node[2].row, node[2].col)}")
+    if kind == "badref":
+        return REF_DELETED
+    if kind == "neg":
+        inner = _unparse(node[1])
+        if _node_prec(node[1]) < _NEG_PREC:
+            inner = f"({inner})"
+        return f"-{inner}"
+    if kind == "bin":
+        _, op, left, right = node
+        prec = _PREC[op]
+        left_text = _unparse(left)
+        right_text = _unparse(right)
+        if op == "^":
+            # Right associative: parenthesise an exponent on the left.
+            if _node_prec(left) <= prec and left[0] != "neg":
+                left_text = f"({left_text})"
+            if _node_prec(right) < prec:
+                right_text = f"({right_text})"
+        else:
+            if _node_prec(left) < prec:
+                left_text = f"({left_text})"
+            if _node_prec(right) <= prec:
+                right_text = f"({right_text})"
+        return f"{left_text}{op}{right_text}"
+    if kind == "call":
+        args = ",".join(_unparse(arg) for arg in node[2])
+        return f"{node[1]}({args})"
+    raise FormulaError(f"bad AST node {node!r}")  # pragma: no cover
+
+
+RefMapper = Callable[[CellRef], Optional[CellRef]]
+
+
+def _rebase_node(node, mapper: RefMapper):
+    """Rewrite every reference through ``mapper``; ``None`` destroys it.
+
+    Returns ``(new_node, changed)``.  A destroyed plain reference — or a
+    range either of whose *endpoints* is destroyed — becomes the
+    ``("badref",)`` node, so the formula survives structurally but
+    evaluates to an error.  Interior range rows/columns are not the
+    range's responsibility: their deletion merely shrinks the span via
+    the shifted endpoints.
+    """
+    kind = node[0]
+    if kind == "ref":
+        mapped = mapper(node[1])
+        if mapped is None:
+            return ("badref",), True
+        if mapped == node[1]:
+            return node, False
+        return ("ref", mapped), True
+    if kind == "range":
+        start, end = mapper(node[1]), mapper(node[2])
+        if start is None or end is None:
+            return ("badref",), True
+        if start == node[1] and end == node[2]:
+            return node, False
+        return ("range", start, end), True
+    if kind == "neg":
+        inner, changed = _rebase_node(node[1], mapper)
+        return (("neg", inner), True) if changed else (node, False)
+    if kind == "bin":
+        left, left_changed = _rebase_node(node[2], mapper)
+        right, right_changed = _rebase_node(node[3], mapper)
+        if left_changed or right_changed:
+            return ("bin", node[1], left, right), True
+        return node, False
+    if kind == "call":
+        args = [_rebase_node(arg, mapper) for arg in node[2]]
+        if any(changed for _, changed in args):
+            return ("call", node[1], [arg for arg, _ in args]), True
+        return node, False
+    return node, False  # num, badref
+
+
 def _walk_refs(node) -> Iterator[CellRef]:
     kind = node[0]
     if kind == "ref":
@@ -349,9 +478,28 @@ class Formula:
         stripped = source[1:] if source.startswith("=") else source
         self._ast = _Parser(_tokenize(stripped)).parse()
 
+    @classmethod
+    def _from_ast(cls, ast) -> "Formula":
+        formula = cls.__new__(cls)
+        formula._ast = ast
+        formula.source = "=" + _unparse(ast)
+        return formula
+
     def refs(self) -> Set[CellRef]:
         """Every cell this formula reads."""
         return set(_walk_refs(self._ast))
+
+    def rebase(self, mapper: RefMapper) -> "Formula":
+        """This formula with every reference rewritten through ``mapper``.
+
+        ``mapper(ref) -> CellRef`` relocates a reference, ``None``
+        destroys it (the node becomes ``#REF``).  Returns ``self`` when
+        no reference moved, so callers can cheaply detect the formulas
+        a structural edit actually touched; otherwise a new formula
+        with regenerated canonical source.
+        """
+        ast, changed = _rebase_node(self._ast, mapper)
+        return Formula._from_ast(ast) if changed else self
 
     def evaluate(self, resolve: Resolver) -> float:
         result = _eval(self._ast, resolve)

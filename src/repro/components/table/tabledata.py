@@ -6,11 +6,30 @@ multi-media component just like text: "The text and table components
 are multi-media components, in that they allow the embedding [of] other
 components within their description."
 
-Formulas recalculate through a dependency graph with cycle detection
-(cycles display as ``#CYCLE``); every mutation follows the
-delayed-update discipline, announcing ``("cell", (row, col))`` changes
-so any number of views — the table view, the pie chart's auxiliary data
-object (§2's observer example) — repair themselves afterwards.
+Formulas recalculate **incrementally** through a dependency graph
+(:mod:`.recalc`): every cell assignment updates the graph's edges from
+:meth:`Formula.refs`, and once values have been materialised an edit
+recomputes only the edited cell's *dirty cone* — the transitive
+dependents, in topological order, with iterative-Tarjan cycle
+detection stamping exactly the members of a reference cycle
+``#CYCLE``.  Cells that merely *read* a cyclic cell display ``#VALUE``
+(the read raises the typed :class:`~.recalc.CycleError`).  Structural
+edits (``insert_row`` .. ``delete_col``) rebase cells, cached values,
+formula references and the graph through one coordinate mapping;
+references into a deleted row/column become ``#REF`` and evaluate to
+``#VALUE``.
+
+Every mutation follows the delayed-update discipline, announcing
+``("cell", (row, col))`` for the edited cell and one further
+``("cell", (row, col), detail="recalc")`` record **per downstream cell
+whose value actually changed**, so any number of views — the table
+view, the pie chart's auxiliary data object (§2's observer example) —
+can repair exactly the damaged cells afterwards.
+
+Telemetry (``ANDREW_METRICS=1``): ``table.recalc_full`` /
+``table.recalc_incremental`` count the two recalc kinds,
+``table.cells_recomputed`` counts every cell evaluation either way,
+and the ``table.deps_edges`` gauge tracks the live graph size.
 
 External representation body::
 
@@ -27,8 +46,20 @@ Text cells escape backslash as ``\\`` and newline as ``\n``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+import math
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
+from ... import obs
 from ...core.dataobject import DataObject
 from ...core.datastream import (
     BeginObject,
@@ -37,12 +68,33 @@ from ...core.datastream import (
     EndObject,
     ViewRef,
 )
-from .formula import Formula, FormulaError, ref_name
+from .formula import CellRef, Formula, FormulaError, ref_name
+from .recalc import CycleError, DependencyGraph
 
 __all__ = ["TableData", "Cell", "CYCLE_ERROR", "VALUE_ERROR"]
 
 CYCLE_ERROR = "#CYCLE"
 VALUE_ERROR = "#VALUE"
+
+
+class _ErrorValue(str):
+    """A computed error value (``#CYCLE``/``#VALUE``).
+
+    A distinct type so recalculation can tell an error *result* from a
+    text cell that happens to spell the same string — equality and
+    display still behave like the plain string.
+    """
+
+    __slots__ = ()
+
+
+_CYCLE = _ErrorValue(CYCLE_ERROR)
+_VALUE = _ErrorValue(VALUE_ERROR)
+
+#: Distinguishes "no cached value" from every real value in
+#: change-detection comparisons (``None`` is not used: an empty cell's
+#: computed value is represented by *absence* from the cache).
+_ABSENT = object()
 
 
 class Cell:
@@ -80,6 +132,12 @@ class TableData(DataObject):
 
     atk_name = "table"
 
+    #: Class-level switch: instances (the equivalence fuzzer's control
+    #: arm, A/B benches) may set ``incremental_enabled = False`` to get
+    #: the seed behaviour — every edit invalidates, every read recalcs
+    #: the whole sheet.
+    incremental_enabled = True
+
     def __init__(self, rows: int = 4, cols: int = 4) -> None:
         super().__init__()
         if rows < 1 or cols < 1:
@@ -89,7 +147,9 @@ class TableData(DataObject):
         self._cells: Dict[Tuple[int, int], Cell] = {}
         self._values: Dict[Tuple[int, int], Union[float, str]] = {}
         self._values_valid = False
+        self._graph = DependencyGraph()
         self.recalc_count = 0  # full recalculations (benches read this)
+        self.incremental_count = 0  # cone recalculations
 
     # ------------------------------------------------------------------
     # Cell access
@@ -113,15 +173,46 @@ class TableData(DataObject):
         become numbers, everything else is text.  Pass a
         :class:`DataObject` to embed a component (default view type
         ``<tag>view``).
+
+        Once values have been materialised (any :meth:`value_at` read),
+        the edit recomputes only its dependency cone and announces one
+        ``("cell", ...)`` change per cell whose value actually changed
+        — the edited cell's record always comes first.
         """
         self._check(row, col)
+        key = (row, col)
         cell = self._coerce(value)
         if cell.content is None:
-            self._cells.pop((row, col), None)
+            self._cells.pop(key, None)
         else:
-            self._cells[(row, col)] = cell
-        self._values_valid = False
-        self.changed("cell", where=(row, col))
+            self._cells[key] = cell
+        self._after_assign(key, cell)
+
+    def _after_assign(self, key: Tuple[int, int], cell: Cell) -> None:
+        """Re-index the graph for ``key`` and repair/announce values."""
+        if isinstance(cell.content, Formula):
+            self._graph.set_refs(
+                key, ((ref.row, ref.col) for ref in cell.content.refs())
+            )
+        else:
+            self._graph.clear(key)
+        if obs.metrics_on:
+            obs.registry.gauge("table.deps_edges", self._graph.edge_count)
+        if not (self.incremental_enabled and self._values_valid):
+            # Values were never materialised (sheet still being built,
+            # or incremental repair disabled): stay lazy, one record.
+            self._values_valid = False
+            self.changed("cell", where=key)
+            return
+        self.incremental_count += 1
+        if obs.metrics_on:
+            obs.registry.inc("table.recalc_incremental")
+        cone = self._graph.dirty_cone((key,))
+        changed_keys = self._recompute(cone, seeds=(key,))
+        self.changed("cell", where=key)
+        for other in changed_keys:
+            if other != key:
+                self.changed("cell", where=other, detail="recalc")
 
     @staticmethod
     def _coerce(value) -> Cell:
@@ -142,9 +233,14 @@ class TableData(DataObject):
                 except FormulaError:
                     return Cell(value)  # keep the bad formula as text
             try:
-                return Cell(float(value))
+                number = float(value)
             except ValueError:
                 return Cell(value)
+            if not math.isfinite(number):
+                # float() accepts "nan"/"inf"/"infinity" (any case/sign)
+                # but a spreadsheet user typing those means text.
+                return Cell(value)
+            return Cell(number)
         raise TypeError(f"cannot store {value!r} in a table cell")
 
     def embed_object(self, row: int, col: int, data: DataObject,
@@ -153,8 +249,7 @@ class TableData(DataObject):
         self._check(row, col)
         cell = Cell(data, view_type or f"{data.type_tag}view")
         self._cells[(row, col)] = cell
-        self._values_valid = False
-        self.changed("cell", where=(row, col))
+        self._after_assign((row, col), cell)
 
     def clear_cell(self, row: int, col: int) -> None:
         self.set_cell(row, col, None)
@@ -195,55 +290,113 @@ class TableData(DataObject):
         return str(value)
 
     def _recalculate(self) -> None:
-        """Full-table recalc with cycle detection (DFS, three colors)."""
+        """Full-sheet recalc: the cone is "every non-empty cell"."""
         self.recalc_count += 1
+        if obs.metrics_on:
+            obs.registry.inc("table.recalc_full")
         self._values = {}
-        states: Dict[Tuple[int, int], int] = {}  # 1=in progress, 2=done
-
-        def resolve(row: int, col: int) -> float:
-            if not (0 <= row < self.rows and 0 <= col < self.cols):
-                raise FormulaError(f"reference {ref_name(row, col)} off table")
-            value = compute(row, col)
-            if isinstance(value, float):
-                return value
-            if value in (CYCLE_ERROR, VALUE_ERROR):
-                raise FormulaError(value)
-            return 0.0  # text/objects/empty read as 0 in formulas
-
-        def compute(row: int, col: int) -> Union[float, str]:
-            key = (row, col)
-            if key in self._values:
-                return self._values[key]
-            cell = self._cells.get(key)
-            if cell is None or cell.content is None:
-                return ""
-            if states.get(key) == 1:
-                self._values[key] = CYCLE_ERROR
-                return CYCLE_ERROR
-            if isinstance(cell.content, float):
-                self._values[key] = cell.content
-                return cell.content
-            if isinstance(cell.content, Formula):
-                states[key] = 1
-                try:
-                    value: Union[float, str] = cell.content.evaluate(resolve)
-                except FormulaError as exc:
-                    value = (
-                        CYCLE_ERROR if CYCLE_ERROR in str(exc) else VALUE_ERROR
-                    )
-                states[key] = 2
-                # A cycle may have already stamped this cell; keep that.
-                self._values.setdefault(key, value)
-                return self._values[key]
-            if isinstance(cell.content, str):
-                self._values[key] = cell.content
-                return cell.content
-            self._values[key] = ""  # embedded object: no scalar value
-            return ""
-
-        for (row, col) in list(self._cells):
-            compute(row, col)
+        everything = set(self._cells)
+        self._recompute(everything, seeds=everything)
         self._values_valid = True
+
+    def _resolve(self, row: int, col: int) -> float:
+        """Read a referenced cell's cached value for formula evaluation.
+
+        Text, objects and empty cells read as 0; reading a cycle member
+        raises the typed :class:`CycleError`; any other error value (or
+        an off-table reference) raises :class:`FormulaError`, so the
+        reading formula displays ``#VALUE``.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise FormulaError(f"reference {ref_name(row, col)} off table")
+        value = self._values.get((row, col), "")
+        if isinstance(value, float):
+            return value
+        if isinstance(value, _ErrorValue):
+            if value == CYCLE_ERROR:
+                raise CycleError(
+                    f"{ref_name(row, col)} is in a reference cycle"
+                )
+            raise FormulaError(f"{ref_name(row, col)} has no value")
+        return 0.0  # text/objects/empty read as 0 in formulas
+
+    def _compute_one(self, key: Tuple[int, int]):
+        """One cell's value from its content; ``None`` means empty."""
+        cell = self._cells.get(key)
+        if cell is None or cell.content is None:
+            return None
+        content = cell.content
+        if isinstance(content, float):
+            return content
+        if isinstance(content, Formula):
+            try:
+                value = content.evaluate(self._resolve)
+            except (ValueError, ArithmeticError):
+                # FormulaError (a ValueError), math domain errors, and
+                # overflow/zero-division all surface as #VALUE.
+                return _VALUE
+            if not math.isfinite(value):
+                return _VALUE  # non-finite results are errors, not data
+            return value
+        if isinstance(content, str):
+            return content
+        return ""  # embedded object: no scalar value
+
+    def _recompute(
+        self,
+        cone: Set[Tuple[int, int]],
+        seeds: Iterable[Tuple[int, int]],
+    ) -> List[Tuple[int, int]]:
+        """Re-evaluate ``cone`` in dependency order; return changed keys.
+
+        Propagation is change-driven: a strongly connected component is
+        re-evaluated only if it contains a seed, reads a cell that
+        changed earlier in the pass, or carries a ``#CYCLE`` stamp that
+        no longer matches its cycle-ness (an edit elsewhere can dissolve
+        a cycle without changing any input *value* of the remnant
+        cells).  So an edit whose value lands equal to the old one stops
+        dead instead of recomputing its whole cone.  Components that are
+        true cycles are stamped ``#CYCLE`` member-by-member, never
+        evaluated.
+        """
+        graph = self._graph
+        seed_set = set(seeds)
+        changed: List[Tuple[int, int]] = []
+        changed_set: Set[Tuple[int, int]] = set()
+        recomputed = 0
+        values = self._values
+        for component in graph.scc_order(cone):
+            is_cycle = graph.is_cycle(component)
+            if not (
+                seed_set.intersection(component)
+                or any(
+                    (values.get(key, _ABSENT) is _CYCLE) != is_cycle
+                    for key in component
+                )
+                or any(
+                    dep in changed_set
+                    for key in component
+                    for dep in graph.refs_of(key)
+                )
+            ):
+                continue  # no input changed: the cached value stands
+            for key in component:
+                recomputed += 1
+                new = _CYCLE if is_cycle else self._compute_one(key)
+                old = values.get(key, _ABSENT)
+                if new is None:
+                    if old is not _ABSENT:
+                        del values[key]
+                        changed.append(key)
+                        changed_set.add(key)
+                    continue
+                if old is _ABSENT or old != new or type(old) is not type(new):
+                    values[key] = new
+                    changed.append(key)
+                    changed_set.add(key)
+        if obs.metrics_on:
+            obs.registry.inc("table.cells_recomputed", recomputed)
+        return changed
 
     def column_values(self, col: int) -> List[float]:
         """The numeric values down a column (non-numbers skipped)."""
@@ -266,58 +419,123 @@ class TableData(DataObject):
     # Structure edits
     # ------------------------------------------------------------------
 
+    def _structural_edit(
+        self,
+        row_map: Callable[[int], Optional[int]],
+        col_map: Callable[[int], Optional[int]],
+    ) -> List[Tuple[int, int]]:
+        """Rebase cells, cached values, formulas and the graph.
+
+        ``row_map``/``col_map`` send an old index to its new index, or
+        to ``None`` if the structural edit deleted it.  One mapping
+        drives everything: cell keys shift, cached values shift with
+        them, and every formula is rewritten through
+        :meth:`Formula.rebase` — a reference into a deleted row/column
+        (or a destroyed range endpoint) becomes ``#REF``, which
+        evaluates to ``#VALUE``.
+
+        Returns the keys of *retouched* formulas (those whose source
+        actually changed) after recomputing their dirty cones, as the
+        list of value-changed keys — empty when values are still lazy.
+        The caller must have updated ``self.rows``/``self.cols`` first
+        (bounds checks during recompute use the new shape).
+        """
+
+        def map_ref(ref: CellRef) -> Optional[CellRef]:
+            row, col = row_map(ref.row), col_map(ref.col)
+            if row is None or col is None:
+                return None
+            return ref if (row, col) == (ref.row, ref.col) else CellRef(row, col)
+
+        moved_cells: Dict[Tuple[int, int], Cell] = {}
+        retouched: List[Tuple[int, int]] = []
+        for (row, col), cell in self._cells.items():
+            new_row, new_col = row_map(row), col_map(col)
+            if new_row is None or new_col is None:
+                continue  # the cell itself was deleted
+            key = (new_row, new_col)
+            content = cell.content
+            if isinstance(content, Formula):
+                rebased = content.rebase(map_ref)
+                if rebased is not content:
+                    cell = Cell(rebased, cell.view_type)
+                    retouched.append(key)
+            moved_cells[key] = cell
+        self._cells = moved_cells
+
+        moved_values: Dict[Tuple[int, int], Union[float, str]] = {}
+        for (row, col), value in self._values.items():
+            new_row, new_col = row_map(row), col_map(col)
+            if new_row is not None and new_col is not None:
+                moved_values[(new_row, new_col)] = value
+        self._values = moved_values
+
+        self._graph.rebuild({
+            key: tuple((ref.row, ref.col) for ref in cell.content.refs())
+            for key, cell in self._cells.items()
+            if isinstance(cell.content, Formula)
+        })
+        if obs.metrics_on:
+            obs.registry.gauge("table.deps_edges", self._graph.edge_count)
+        if not (self.incremental_enabled and self._values_valid):
+            self._values_valid = False
+            return []
+        if not retouched:
+            return []
+        self.incremental_count += 1
+        if obs.metrics_on:
+            obs.registry.inc("table.recalc_incremental")
+        cone = self._graph.dirty_cone(retouched)
+        return self._recompute(cone, seeds=retouched)
+
+    def _announce_structure(self, kind: str, at: int, extent: int,
+                            changed_keys: List[Tuple[int, int]]) -> None:
+        self.changed("shape", where=(kind, at), extent=extent)
+        for key in changed_keys:
+            self.changed("cell", where=key, detail="recalc")
+
     def insert_row(self, at: int) -> None:
         """Insert an empty row before ``at`` (0..rows)."""
         if not 0 <= at <= self.rows:
             raise IndexError(f"row {at} outside 0..{self.rows}")
-        moved = {}
-        for (row, col), cell in self._cells.items():
-            moved[(row + 1 if row >= at else row, col)] = cell
-        self._cells = moved
         self.rows += 1
-        self._values_valid = False
-        self.changed("shape", where=("row", at), extent=1)
+        changed = self._structural_edit(
+            lambda row: row + 1 if row >= at else row, lambda col: col
+        )
+        self._announce_structure("row", at, 1, changed)
 
     def delete_row(self, at: int) -> None:
         if not 0 <= at < self.rows:
             raise IndexError(f"row {at} outside 0..{self.rows - 1}")
         if self.rows == 1:
             raise ValueError("cannot delete the last row")
-        moved = {}
-        for (row, col), cell in self._cells.items():
-            if row == at:
-                continue
-            moved[(row - 1 if row > at else row, col)] = cell
-        self._cells = moved
         self.rows -= 1
-        self._values_valid = False
-        self.changed("shape", where=("row", at), extent=-1)
+        changed = self._structural_edit(
+            lambda row: None if row == at else (row - 1 if row > at else row),
+            lambda col: col,
+        )
+        self._announce_structure("row", at, -1, changed)
 
     def insert_col(self, at: int) -> None:
         if not 0 <= at <= self.cols:
             raise IndexError(f"column {at} outside 0..{self.cols}")
-        moved = {}
-        for (row, col), cell in self._cells.items():
-            moved[(row, col + 1 if col >= at else col)] = cell
-        self._cells = moved
         self.cols += 1
-        self._values_valid = False
-        self.changed("shape", where=("col", at), extent=1)
+        changed = self._structural_edit(
+            lambda row: row, lambda col: col + 1 if col >= at else col
+        )
+        self._announce_structure("col", at, 1, changed)
 
     def delete_col(self, at: int) -> None:
         if not 0 <= at < self.cols:
             raise IndexError(f"column {at} outside 0..{self.cols - 1}")
         if self.cols == 1:
             raise ValueError("cannot delete the last column")
-        moved = {}
-        for (row, col), cell in self._cells.items():
-            if col == at:
-                continue
-            moved[(row, col - 1 if col > at else col)] = cell
-        self._cells = moved
         self.cols -= 1
-        self._values_valid = False
-        self.changed("shape", where=("col", at), extent=-1)
+        changed = self._structural_edit(
+            lambda row: row,
+            lambda col: None if col == at else (col - 1 if col > at else col),
+        )
+        self._announce_structure("col", at, -1, changed)
 
     # ------------------------------------------------------------------
     # External representation
@@ -373,7 +591,9 @@ class TableData(DataObject):
 
     def read_body(self, reader) -> None:
         self._cells = {}
+        self._values = {}
         self._values_valid = False
+        self._graph = DependencyGraph()
         pending_object_cell: Optional[Tuple[int, int]] = None
         last_text_cell: Optional[Tuple[int, int]] = None
         for event in reader.body_events():
@@ -400,6 +620,11 @@ class TableData(DataObject):
                 pending_object_cell = None
             elif isinstance(event, EndObject):
                 break
+        self._graph.rebuild({
+            key: tuple((ref.row, ref.col) for ref in cell.content.refs())
+            for key, cell in self._cells.items()
+            if isinstance(cell.content, Formula)
+        })
         self.changed("shape", where=("all", 0))
 
     def _read_line(self, event: BodyLine, pending, last_text):

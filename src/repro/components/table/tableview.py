@@ -6,6 +6,14 @@ child views by name through the dynamic loader, exactly like the text
 view; a cell's row grows to give the embedded view room (the Fig. 5
 document embeds text, an equation and an animation inside table cells).
 
+Repaint is region-level: a ``("cell", (row, col))`` change record
+damages only that cell's rectangle (tracked in ``_damaged_cells`` and
+consumed by :meth:`draw`, which restricts its row/column sweep to the
+graphic's clip band), and moving the selection repaints exactly the two
+cells involved.  Full relayout (``_needs_layout``) is reserved for
+shape changes, column-width drags, scrolling, and cells whose embedded
+component arrives or departs — the cases where geometry actually moves.
+
 The datastream view-type tag for this class is ``spread`` (the paper's
 section-5 example places ``\\view{spread, 2}`` on a table), registered
 as an alias alongside ``tableview``.
@@ -13,7 +21,7 @@ as an alias alongside ``tableview``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ...class_system.dynamic import load_class
 from ...class_system.errors import DynamicLoadError
@@ -44,6 +52,7 @@ class TableView(View, Scrollable):
         self._top_row = 0
         self.col_widths: Dict[int, int] = {}
         self._embed_views: Dict[Tuple[int, int], View] = {}
+        self._damaged_cells: Set[Tuple[int, int]] = set()
         self._dragging_col: Optional[int] = None
         self._bind_keys()
         self._build_menus()
@@ -55,9 +64,32 @@ class TableView(View, Scrollable):
         return self.dataobject
 
     def on_data_changed(self, change) -> None:
+        data = self.data
+        if (
+            change.what == "cell"
+            and data is not None
+            and not self._needs_layout
+            and isinstance(change.where, tuple)
+        ):
+            row, col = change.where
+            key = (row, col)
+            if key in self._embed_views or data.cell(row, col).kind == "object":
+                # An embedded component arrived or departed: row heights
+                # move, so geometry must be rebuilt.
+                self._needs_layout = True
+                self.want_update()
+                return
+            if key in self._damaged_cells:
+                return  # damage already posted, repaint still pending
+            rect = self.cell_rect(row, col).intersection(self.local_bounds)
+            if rect.is_empty():
+                return  # scrolled off or clipped away: nothing to paint
+            self._damaged_cells.add(key)
+            self.want_update(rect)
+            return
         self._needs_layout = True
-        if self.data is not None:
-            rows, cols = self.data.rows, self.data.cols
+        if data is not None:
+            rows, cols = data.rows, data.cols
             self.selected = (
                 min(self.selected[0], rows - 1),
                 min(self.selected[1], cols - 1),
@@ -207,27 +239,40 @@ class TableView(View, Scrollable):
         if self.data is None:
             return
         data = self.data
-        # Column headers.
+        clip = graphic.bounds
+        # Column headers and the full-height separators.  Separators are
+        # outside every cell rect, so cell-level damage never needs them;
+        # the clip makes skipping them free when it excludes them.
         for col in range(data.cols):
             x = self._col_x(col)
-            if x >= self.width:
+            if x >= self.width or x - 1 >= clip.right:
                 break
-            graphic.draw_string_centered(
-                Rect(x, 0, self.col_width(col), 1), col_name(col)
-            )
+            if clip.top < 1:
+                graphic.draw_string_centered(
+                    Rect(x, 0, self.col_width(col), 1), col_name(col)
+                )
             graphic.draw_vline(x - 1, 0, self.height - 1)
-        graphic.draw_hline(0, self.width - 1, 1)
-        # Rows.
+        if clip.top < HEADER_ROWS:
+            graphic.draw_hline(0, self.width - 1, 1)
+        # Rows: only the band the clip touches pays per-cell work, so a
+        # single damaged cell redraws one string, not the whole grid.
         y = HEADER_ROWS
         for row in range(self._top_row, data.rows):
-            if y >= self.height:
+            if y >= self.height or y >= clip.bottom:
                 break
-            graphic.draw_string(0, y, f"{row + 1:>3}")
+            height = self.row_height(row)
+            if y + height <= clip.top:
+                y += height
+                continue  # row wholly above the damage band
+            if clip.left < ROW_LABEL_WIDTH:
+                graphic.draw_string(0, y, f"{row + 1:>3}")
             for col in range(data.cols):
                 x = self._col_x(col)
-                if x >= self.width:
+                if x >= self.width or x >= clip.right:
                     break
                 width = self.col_width(col)
+                if x + width <= clip.left:
+                    continue  # column wholly left of the damage band
                 if (row, col) == self.selected and self.editing is not None:
                     text = self.editing[-width:]
                 else:
@@ -235,7 +280,8 @@ class TableView(View, Scrollable):
                 graphic.draw_string(x, y, text)
                 if (row, col) == self.selected:
                     graphic.invert_rect(Rect(x, y, width, 1))
-            y += self.row_height(row)
+            y += height
+        self._damaged_cells.clear()  # repainted everything we damaged
 
     # ------------------------------------------------------------------
     # Interaction
@@ -267,8 +313,10 @@ class TableView(View, Scrollable):
             hit = self.cell_at(event.point)
             if hit is not None:
                 self._commit_edit()
+                old = self.selected
                 self.selected = hit
-                self.want_update()
+                self._damage_cell(*old)
+                self._damage_cell(*hit)
             self.want_input_focus()
             return True
         if event.action == MouseAction.DRAG and self._dragging_col is not None:
@@ -280,21 +328,36 @@ class TableView(View, Scrollable):
             return True
         return event.action == MouseAction.DRAG
 
+    def _damage_cell(self, row: int, col: int) -> None:
+        """Post repaint damage for exactly one cell's rectangle."""
+        rect = self.cell_rect(row, col).intersection(self.local_bounds)
+        if not rect.is_empty():
+            self.want_update(rect)
+
     def select(self, row: int, col: int) -> None:
         if self.data is None:
             return
         self._commit_edit()
+        old = self.selected
         self.selected = (
             max(0, min(row, self.data.rows - 1)),
             max(0, min(col, self.data.cols - 1)),
         )
+        scrolled = False
         if self.selected[0] < self._top_row:
             self._top_row = self.selected[0]
-            self._needs_layout = True
+            scrolled = True
         while self.selected[0] >= self._top_row + self.scroll_visible():
             self._top_row += 1
+            scrolled = True
+        if scrolled:
             self._needs_layout = True
-        self.want_update()
+            self.want_update()
+            return
+        # The grid did not move: repaint exactly the two cells whose
+        # highlight changed.
+        self._damage_cell(*old)
+        self._damage_cell(*self.selected)
 
     def _commit_edit(self) -> None:
         if self.editing is not None and self.data is not None:
@@ -304,20 +367,20 @@ class TableView(View, Scrollable):
 
     def _cancel_edit(self) -> None:
         self.editing = None
-        self.want_update()
+        self._damage_cell(*self.selected)
 
     # -- keymap commands ----------------------------------------------------
 
     def _cmd_type(self, view, key) -> None:
         self.editing = (self.editing or "") + key.char
-        self.want_update()
+        self._damage_cell(*self.selected)
 
     def _cmd_backspace(self, view, key) -> None:
         if self.editing:
             self.editing = self.editing[:-1]
         elif self.data is not None:
             self.data.clear_cell(*self.selected)
-        self.want_update()
+        self._damage_cell(*self.selected)
 
     def _cmd_commit(self, view, key) -> None:
         self._commit_edit()

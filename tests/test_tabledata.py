@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.class_system import FunctionObserver
 from repro.components.table import (
     CYCLE_ERROR,
     Cell,
@@ -51,8 +52,6 @@ class TestCells:
             table.cell(0, 9)
 
     def test_mutation_notifies(self):
-        from repro.class_system import FunctionObserver
-
         table = TableData(2, 2)
         changes = []
         table.add_observer(FunctionObserver(lambda c: changes.append(c)))
@@ -168,6 +167,220 @@ class TestStructureEdits:
     def test_minimum_size_enforced(self):
         with pytest.raises(ValueError):
             TableData(0, 3)
+
+
+class TestStructureEditRebasing:
+    """Formulas must keep pointing at the cells they meant."""
+
+    def test_insert_row_rebases_refs(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 5)
+        table.set_cell(1, 0, "=A1*2")
+        assert table.value_at(1, 0) == 10.0
+        table.insert_row(0)  # formula and its input both shift down
+        assert table.cell(2, 0).content.source == "=A2*2"
+        assert table.value_at(2, 0) == 10.0
+        table.set_cell(1, 0, 7)
+        assert table.value_at(2, 0) == 14.0
+
+    def test_delete_row_rebases_refs(self):
+        table = TableData(4, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "filler")  # the row being deleted
+        table.set_cell(2, 0, 3)
+        table.set_cell(3, 0, "=A1+A3")
+        assert table.value_at(3, 0) == 4.0
+        table.delete_row(1)
+        assert table.cell(2, 0).content.source == "=A1+A2"
+        assert table.value_at(2, 0) == 4.0
+
+    def test_delete_referenced_row_yields_value_error(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 9)
+        table.set_cell(2, 0, "=A1*3")
+        assert table.value_at(2, 0) == 27.0
+        table.delete_row(0)
+        assert table.cell(1, 0).content.source == "=#REF*3"
+        assert table.value_at(1, 0) == VALUE_ERROR
+
+    def test_insert_col_rebases_refs(self):
+        table = TableData(1, 3)
+        table.set_cell(0, 0, 2)
+        table.set_cell(0, 1, "=A1+1")
+        assert table.value_at(0, 1) == 3.0
+        table.insert_col(1)  # formula shifts right, its input stays
+        assert table.cell(0, 2).content.source == "=A1+1"
+        assert table.value_at(0, 2) == 3.0
+        assert table.cell(0, 1).kind == "empty"
+
+    def test_delete_col_rebases_and_kills_deleted_refs(self):
+        table = TableData(1, 4)
+        table.set_cell(0, 0, 1)       # A1
+        table.set_cell(0, 1, 2)       # B1 (deleted)
+        table.set_cell(0, 2, "=B1")   # C1: loses its referent
+        table.set_cell(0, 3, "=A1")   # D1: untouched reference
+        assert table.value_at(0, 2) == 2.0
+        table.delete_col(1)
+        assert table.value_at(0, 1) == VALUE_ERROR
+        assert table.cell(0, 2).content.source == "=A1"
+        assert table.value_at(0, 2) == 1.0
+
+    def test_range_shrinks_when_interior_row_deleted(self):
+        table = TableData(4, 1)
+        for row in range(3):
+            table.set_cell(row, 0, row + 1)  # 1, 2, 3
+        table.set_cell(3, 0, "=SUM(A1:A3)")
+        assert table.value_at(3, 0) == 6.0
+        table.delete_row(1)  # interior row: the span just shrinks
+        assert table.cell(2, 0).content.source == "=SUM(A1:A2)"
+        assert table.value_at(2, 0) == 4.0
+
+    def test_range_endpoint_deletion_is_value_error(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, 2)
+        table.set_cell(2, 0, "=SUM(A1:A2)")
+        assert table.value_at(2, 0) == 3.0
+        table.delete_row(1)  # destroys the range's bottom endpoint
+        assert table.value_at(1, 0) == VALUE_ERROR
+
+    def test_ref_marker_roundtrips_through_datastream(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1")
+        table.delete_row(0)
+        stream = write_document(table)
+        restored = read_document(stream)
+        assert write_document(restored) == stream
+        assert restored.value_at(0, 0) == VALUE_ERROR
+
+    def test_structure_edit_announces_recalc_records(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 9)
+        table.set_cell(2, 0, "=A1")
+        assert table.value_at(2, 0) == 9.0
+        changes = []
+        table.add_observer(FunctionObserver(changes.append))
+        table.delete_row(0)  # destroys the referent: formula -> #REF
+        assert changes[0].what == "shape"
+        cells = [(c.where, c.detail) for c in changes if c.what == "cell"]
+        assert ((1, 0), "recalc") in cells
+        assert table.value_at(1, 0) == VALUE_ERROR
+
+
+class TestCycleSemantics:
+    def test_only_cycle_members_show_cycle_error(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, "=A2")
+        table.set_cell(1, 0, "=A1")
+        table.set_cell(2, 0, "=A1+1")  # downstream of the cycle
+        assert table.value_at(0, 0) == CYCLE_ERROR
+        assert table.value_at(1, 0) == CYCLE_ERROR
+        assert table.value_at(2, 0) == VALUE_ERROR
+
+    def test_text_cell_spelling_cycle_is_plain_text(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, CYCLE_ERROR)  # literal text "#CYCLE"
+        table.set_cell(1, 0, "=A1+1")
+        assert table.value_at(0, 0) == CYCLE_ERROR
+        assert table.value_at(1, 0) == 1.0  # text reads as zero
+
+    def test_breaking_a_cycle_heals_incrementally(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, "=A2")
+        table.set_cell(1, 0, "=A1")
+        assert table.value_at(0, 0) == CYCLE_ERROR
+        table.set_cell(1, 0, 5)
+        assert table.value_at(0, 0) == 5.0
+        assert table.value_at(1, 0) == 5.0
+
+    def test_cycle_remnant_recomputes_when_cycle_shrinks(self):
+        # A1 -> B1 -> A2 -> A1; rewriting A2 shrinks the cycle to
+        # {B1, A2}, whose values (still #CYCLE) do not change — the
+        # ex-member A1 must nevertheless drop its stale #CYCLE stamp.
+        table = TableData(2, 2)
+        table.set_cell(0, 0, "=B1")
+        table.set_cell(0, 1, "=A2")
+        table.set_cell(1, 0, "=A1")
+        assert table.value_at(0, 0) == CYCLE_ERROR
+        table.set_cell(1, 0, "=B1")
+        assert table.value_at(0, 1) == CYCLE_ERROR
+        assert table.value_at(1, 0) == CYCLE_ERROR
+        assert table.value_at(0, 0) == VALUE_ERROR
+
+
+class TestNonFiniteValues:
+    def test_non_finite_strings_stay_text(self):
+        table = TableData(1, 1)
+        for text in ("nan", "inf", "infinity", "-inf", "+NaN", "Infinity"):
+            table.set_cell(0, 0, text)
+            assert table.cell(0, 0).kind == "text", text
+            assert table.value_at(0, 0) == text
+
+    def test_finite_numeric_strings_still_coerce(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "-2.5e3")
+        assert table.cell(0, 0).kind == "number"
+        assert table.value_at(0, 0) == -2500.0
+
+    def test_overflowing_formula_is_value_error(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "=2^10000")  # raises OverflowError
+        assert table.value_at(0, 0) == VALUE_ERROR
+
+    def test_infinite_formula_result_is_value_error(self):
+        table = TableData(1, 1)
+        table.set_cell(0, 0, "=1e308*10")  # quietly overflows to inf
+        assert table.value_at(0, 0) == VALUE_ERROR
+
+
+class TestIncrementalRecalc:
+    def test_edit_after_read_skips_full_recalc(self):
+        table = TableData(3, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1+1")
+        table.set_cell(2, 0, "=A2+1")
+        assert table.value_at(2, 0) == 3.0
+        fulls = table.recalc_count
+        table.set_cell(0, 0, 10)
+        assert table.value_at(2, 0) == 12.0
+        assert table.recalc_count == fulls
+        assert table.incremental_count >= 1
+
+    def test_downstream_records_carry_recalc_detail(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, 2)
+        table.set_cell(1, 0, "=A1+1")
+        table.value_at(1, 0)
+        changes = []
+        table.add_observer(FunctionObserver(changes.append))
+        table.set_cell(0, 0, 5)
+        records = [(c.where, c.detail) for c in changes if c.what == "cell"]
+        assert records[0] == ((0, 0), None)  # the edit itself comes first
+        assert ((1, 0), "recalc") in records
+
+    def test_unchanged_downstream_value_not_announced(self):
+        table = TableData(2, 1)
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1*0")  # always 0, whatever A1 is
+        table.value_at(1, 0)
+        changes = []
+        table.add_observer(FunctionObserver(changes.append))
+        table.set_cell(0, 0, 99)
+        records = [c.where for c in changes if c.what == "cell"]
+        assert records == [(0, 0)]
+
+    def test_incremental_disabled_restores_lazy_behaviour(self):
+        table = TableData(2, 1)
+        table.incremental_enabled = False
+        table.set_cell(0, 0, 1)
+        table.set_cell(1, 0, "=A1+1")
+        assert table.value_at(1, 0) == 2.0
+        fulls = table.recalc_count
+        table.set_cell(0, 0, 3)
+        assert table.value_at(1, 0) == 4.0
+        assert table.recalc_count == fulls + 1  # every edit -> full pass
+        assert table.incremental_count == 0
 
 
 class TestEmbedding:
