@@ -4,21 +4,30 @@ CI runs the benchmarks (which write ``BENCH_*.json`` into the working
 directory) and then this script.  Every numeric ``*_ns`` field in a
 fresh snapshot is compared against the same field in the committed
 baseline under ``benchmarks/baselines/``; a value more than
-``THRESHOLD`` slower prints a warning.  Warnings are advisory — shared
-CI runners have noisy clocks — so the default exit code is 0; pass
-``--strict`` to turn warnings into a failing exit for local A/B runs.
+``THRESHOLD`` slower is flagged.  Ratio fields (request/redraw
+reductions) are checked the other way: a baseline claim (e.g. "13x
+fewer requests") that *drops* by more than the threshold is also
+flagged, catching coalescer regressions that timing noise would hide.
 
-Ratio fields (request/redraw reductions) are checked the other way:
-a baseline claim (e.g. "13x fewer requests") that *drops* by more than
-the threshold is also flagged, catching coalescer regressions that
-timing noise would hide.
+Most flags are advisory — shared CI runners have noisy clocks — so
+they print as warnings and the exit code stays 0 (pass ``--strict``
+to turn every warning into a failure for local A/B runs).  The
+**budgeted** interactive-latency metrics in :data:`BUDGETS` are the
+exception: they are the product's responsiveness contract (keystroke
+p50, scroll p95, expose p95), so for them both an absolute ceiling
+and a >``THRESHOLD`` regression against the baseline *fail the run*.
+``--budget PATTERN`` demotes budgeted metrics whose dotted path
+matches the substring ``PATTERN`` back to warnings — the escape hatch
+for runners known to blow the absolute numbers.
 
 Usage::
 
-    python benchmarks/check_regression.py [--strict] [BENCH_x.json ...]
+    python benchmarks/check_regression.py [--strict] [--budget PATTERN]
+                                          [BENCH_x.json ...]
 
 With no file arguments, every ``BENCH_*.json`` in the current
-directory that has a committed baseline is checked.
+directory is checked (budgets apply even without a committed
+baseline; baseline comparisons are skipped for files that lack one).
 """
 
 from __future__ import annotations
@@ -28,9 +37,23 @@ import json
 import sys
 from pathlib import Path
 
-THRESHOLD = 0.20  # warn beyond 20% in the losing direction
+THRESHOLD = 0.20  # flag beyond 20% in the losing direction
 
 BASELINE_DIR = Path(__file__).parent / "baselines"
+
+#: Hard interactive-latency ceilings, in nanoseconds, per snapshot
+#: file and dotted summary path.  Values are deliberately several
+#: times the observed numbers so they catch a lost optimisation (a
+#: disabled cache, a full-pane scroll repaint), not clock jitter.
+BUDGETS = {
+    "BENCH_text_editing.json": {
+        "incremental.keystroke_p50_ns": 10_000_000,   # 10 ms per keystroke
+    },
+    "BENCH_scroll.json": {
+        "blit.scroll_p95_ns": 10_000_000,             # 10 ms per scroll tick
+        "blit.expose_p95_ns": 40_000_000,             # 40 ms per full expose
+    },
+}
 
 
 def _numeric_leaves(obj, prefix=""):
@@ -44,24 +67,57 @@ def _numeric_leaves(obj, prefix=""):
     return out
 
 
-def compare(fresh_path: Path, baseline_path: Path) -> list:
+def _summary_leaves(path: Path):
     # Only the curated ``summary`` block is compared: the raw registry
     # dump carries every timer percentile and would drown the signal
     # in shared-runner clock noise.
-    fresh = _numeric_leaves(json.loads(fresh_path.read_text()).get("summary", {}))
-    baseline = _numeric_leaves(
-        json.loads(baseline_path.read_text()).get("summary", {})
-    )
-    warnings = []
+    return _numeric_leaves(json.loads(path.read_text()).get("summary", {}))
+
+
+def _is_budgeted(name: str, field: str, waivers) -> bool:
+    if field not in BUDGETS.get(name, {}):
+        return False
+    return not any(pat in field or pat in name for pat in waivers)
+
+
+def check_budgets(fresh_path: Path, fresh: dict, waivers) -> tuple:
+    """Absolute ceilings: these hold even without a baseline."""
+    errors, warnings = [], []
+    for field, ceiling in BUDGETS.get(fresh_path.name, {}).items():
+        if field not in fresh:
+            errors.append(
+                f"{fresh_path.name}: budgeted metric {field} missing "
+                "from snapshot"
+            )
+            continue
+        new = fresh[field]
+        if new > ceiling:
+            line = (
+                f"{fresh_path.name}: {field} = {new:.0f} ns exceeds the "
+                f"{ceiling:.0f} ns budget "
+                f"(+{(new / ceiling - 1) * 100:.0f}%)"
+            )
+            if _is_budgeted(fresh_path.name, field, waivers):
+                errors.append(line)
+            else:
+                warnings.append(f"{line} [budget waived]")
+    return errors, warnings
+
+
+def compare(fresh_path: Path, fresh: dict, baseline_path: Path,
+            waivers) -> tuple:
+    baseline = _summary_leaves(baseline_path)
+    errors, warnings = [], []
     for field, base in baseline.items():
         if base <= 0 or field not in fresh:
             continue
         new = fresh[field]
         leaf = field.rsplit(".", 1)[-1]
+        line = None
         if leaf.endswith("_ns"):
             # Timings: slower is worse.
             if new > base * (1 + THRESHOLD):
-                warnings.append(
+                line = (
                     f"{fresh_path.name}: {field} slowed "
                     f"{base:.0f} -> {new:.0f} ns "
                     f"(+{(new / base - 1) * 100:.0f}%)"
@@ -69,39 +125,65 @@ def compare(fresh_path: Path, baseline_path: Path) -> list:
         elif "ratio" in leaf:
             # Reduction claims: smaller is worse.
             if new < base * (1 - THRESHOLD):
-                warnings.append(
+                line = (
                     f"{fresh_path.name}: {field} dropped "
                     f"{base:.1f} -> {new:.1f} "
                     f"(-{(1 - new / base) * 100:.0f}%)"
                 )
-    return warnings
+        if line is None:
+            continue
+        if _is_budgeted(fresh_path.name, field, waivers):
+            errors.append(line)
+        else:
+            warnings.append(line)
+    return errors, warnings
 
 
 def main(argv) -> int:
     strict = "--strict" in argv
-    paths = [Path(a) for a in argv if not a.startswith("-")]
+    waivers = []
+    positional = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--budget":
+            waivers.append(next(it, ""))
+        elif not arg.startswith("-"):
+            positional.append(arg)
+    paths = [Path(a) for a in positional]
     if not paths:
         paths = [Path(p) for p in sorted(glob.glob("BENCH_*.json"))]
     checked = 0
+    errors = []
     warnings = []
-    for fresh in paths:
-        baseline = BASELINE_DIR / fresh.name
-        if not baseline.exists():
-            print(f"note: no committed baseline for {fresh.name}; skipped")
-            continue
-        if not fresh.exists():
-            print(f"note: {fresh} not present; skipped")
+    for fresh_path in paths:
+        if not fresh_path.exists():
+            print(f"note: {fresh_path} not present; skipped")
             continue
         checked += 1
-        warnings.extend(compare(fresh, baseline))
+        fresh = _summary_leaves(fresh_path)
+        errs, warns = check_budgets(fresh_path, fresh, waivers)
+        errors.extend(errs)
+        warnings.extend(warns)
+        baseline = BASELINE_DIR / fresh_path.name
+        if baseline.exists():
+            errs, warns = compare(fresh_path, fresh, baseline, waivers)
+            errors.extend(errs)
+            warnings.extend(warns)
+        else:
+            print(f"note: no committed baseline for {fresh_path.name}; "
+                  "budgets only")
     if warnings:
         print(f"bench regression warnings ({len(warnings)}):")
         for line in warnings:
             print(f"  WARNING: {line}")
-    else:
+    if errors:
+        print(f"bench budget FAILURES ({len(errors)}):")
+        for line in errors:
+            print(f"  ERROR: {line}")
+    if not warnings and not errors:
         print(f"bench regression check: {checked} snapshot(s) within "
-              f"{THRESHOLD:.0%} of committed baselines")
-    return 1 if (strict and warnings) else 0
+              f"{THRESHOLD:.0%} of committed baselines and budgets")
+    return 1 if (errors or (strict and warnings)) else 0
 
 
 if __name__ == "__main__":

@@ -212,9 +212,8 @@ class PreviewView(View, Scrollable):
     def scroll_visible(self) -> int:
         return self.height
 
-    def set_scroll_pos(self, pos: int) -> None:
-        self._top = max(0, min(pos, max(0, self.scroll_total() - 1)))
-        self.want_update()
+    def apply_scroll_pos(self, pos: int) -> None:
+        self._top = pos
 
     def draw(self, graphic: Graphic) -> None:
         y = -self._top

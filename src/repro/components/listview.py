@@ -97,9 +97,8 @@ class ListView(View, Scrollable):
     def scroll_visible(self) -> int:
         return max(1, self.height)
 
-    def set_scroll_pos(self, pos: int) -> None:
-        self._top = max(0, min(pos, max(0, len(self._items) - 1)))
-        self.want_update()
+    def apply_scroll_pos(self, pos: int) -> None:
+        self._top = pos
 
     # -- drawing ----------------------------------------------------------------
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from .. import obs
 from ..core.view import View
+from ..graphics.fontdesc import FontDesc
 from ..graphics.geometry import Rect
 from ..graphics.graphic import Graphic
 from ..wm.events import MouseAction, MouseEvent
@@ -29,12 +31,23 @@ __all__ = ["Scrollable", "ScrollBar"]
 
 BAR_WIDTH = 2  # one column of bar, one of separation
 
+#: The body font every scrolling view draws with; its device height
+#: tells a view whether one scroll unit is one device row (cell
+#: backends) or several overlapping glyph rows (raster).
+_PROBE_FONT = FontDesc("andy", 12)
+
 
 class Scrollable:
-    """Protocol a view implements to be adjusted by a scroll bar.
+    """Protocol and shared mechanics for views a scroll bar adjusts.
 
     Positions are in the scrollee's own units (wrapped display lines
-    for the text view, rows for the table view).
+    for the text view, rows for the table view).  Subclasses implement
+    the three state queries plus :meth:`apply_scroll_pos`; the
+    :meth:`set_scroll_pos` template clamps, applies, and posts the
+    cheapest damage that repairs the move — a surface shift plus one
+    exposed strip when :meth:`~repro.core.view.View.want_scroll`
+    accepts it, full-area damage otherwise.  The five scrolling views
+    used to carry copy-pasted clamp implementations of exactly this.
     """
 
     def scroll_total(self) -> int:
@@ -49,9 +62,57 @@ class Scrollable:
         """How many positions are visible at once."""
         raise NotImplementedError
 
+    def apply_scroll_pos(self, pos: int) -> None:
+        """Move the viewport origin to the (already clamped) ``pos``,
+        touching *only* viewport state — no damage posts, and no layout
+        invalidation unless content geometry really changed."""
+        raise NotImplementedError
+
+    def scroll_clamp(self, pos: int) -> int:
+        """Clamp a requested position into the scrollable range."""
+        return max(0, min(pos, max(0, self.scroll_total() - 1)))
+
+    def scroll_device_offset(self) -> int:
+        """The viewport origin in *device rows* (feeds the shift
+        distance).  Default: positions are device rows already."""
+        return self.scroll_pos()
+
+    def scroll_blit_area(self) -> Rect:
+        """The local region that scrolls (excludes fixed headers)."""
+        return self.local_bounds
+
+    def scroll_blit_ok(self) -> bool:
+        """May this move be satisfied by a surface shift?
+
+        Default: only when one scroll unit is one device row — on the
+        raster backend glyphs are taller than the 1-unit rows list-like
+        views draw on, so vertically shifted rows would interleave.
+        """
+        return self._scroll_unit_is_device_row()
+
+    def _scroll_unit_is_device_row(self) -> bool:
+        im = self.interaction_manager()
+        if im is None:
+            return False
+        return im.window_system.font_metrics(_PROBE_FONT).height == 1
+
     def set_scroll_pos(self, pos: int) -> None:
         """Jump so ``pos`` is the first visible position (clamped)."""
-        raise NotImplementedError
+        before = self.scroll_device_offset()
+        self.apply_scroll_pos(self.scroll_clamp(pos))
+        self.scroll_moved(before - self.scroll_device_offset())
+
+    def scroll_moved(self, dy: int) -> None:
+        """Post repair for a viewport move of ``dy`` device rows."""
+        if dy == 0:
+            self.want_update()
+            return
+        area = self.scroll_blit_area()
+        if self.scroll_blit_ok() and self.want_scroll(area, dy):
+            return
+        if obs.metrics_on:
+            obs.registry.inc("view.rows_repainted", area.height)
+        self.want_update(area)
 
 
 class ScrollBar(View):
@@ -103,11 +164,32 @@ class ScrollBar(View):
         return (top, height)
 
     def _pos_for_row(self, row: int) -> int:
+        """Map a track row to a scroll position.
+
+        The track's rows [0, track-1] span positions [0, max_pos] where
+        ``max_pos`` pins the *last* visible page against the bottom —
+        so dragging the thumb to the final track row reaches
+        ``scroll_total - scroll_visible`` exactly.  (The old
+        ``row * total // track`` mapping could never return max_pos on
+        short tracks: the final line stayed unreachable by thumb.)
+
+        A document that fits the view keeps the classic proportional
+        reach ``[0, total - 1]`` instead: ATK's bars let a short
+        document scroll partly off the top, and views whose units are
+        not device rows (the text view's positions are wrapped-height
+        offsets) clamp for themselves.
+        """
         body = self._scrollable()
         if body is None:
             return 0
         track = max(1, self.height)
-        return max(0, min(row, track)) * body.scroll_total() // track
+        total = body.scroll_total()
+        max_pos = max(0, total - min(body.scroll_visible(), total))
+        if max_pos == 0:
+            max_pos = max(0, total - 1)
+        if track <= 1:
+            return 0
+        return max(0, min(row, track - 1)) * max_pos // (track - 1)
 
     # -- drawing --------------------------------------------------------------
 
@@ -125,6 +207,15 @@ class ScrollBar(View):
             return None  # the bar's own column: handle here
         return self.body
 
+    def _bar_update(self) -> None:
+        """Repaint the bar's own column (the thumb moved).
+
+        Deliberately *not* a full-view update: damage covering the body
+        would force the body's scroll to repaint everything, defeating
+        the shift-blit the body just queued.
+        """
+        self.want_update(Rect(0, 0, BAR_WIDTH, self.height))
+
     def handle_mouse(self, event: MouseEvent) -> bool:
         body = self._scrollable()
         if body is None:
@@ -132,11 +223,11 @@ class ScrollBar(View):
         if event.action == MouseAction.DOWN:
             self._dragging = True
             body.set_scroll_pos(self._pos_for_row(event.point.y))
-            self.want_update()
+            self._bar_update()
             return True
         if event.action == MouseAction.DRAG and self._dragging:
             body.set_scroll_pos(self._pos_for_row(event.point.y))
-            self.want_update()
+            self._bar_update()
             return True
         if event.action == MouseAction.UP:
             self._dragging = False
@@ -151,10 +242,10 @@ class ScrollBar(View):
             return super().handle_key(event)
         if event.keysym() in ("Next", "C-v"):
             body.set_scroll_pos(body.scroll_pos() + max(1, body.scroll_visible() - 1))
-            self.want_update()
+            self._bar_update()
             return True
         if event.keysym() in ("Prior", "M-v"):
             body.set_scroll_pos(body.scroll_pos() - max(1, body.scroll_visible() - 1))
-            self.want_update()
+            self._bar_update()
             return True
         return super().handle_key(event)

@@ -224,12 +224,25 @@ class TableView(View, Scrollable):
             visible += 1
         return max(1, visible)
 
-    def set_scroll_pos(self, pos: int) -> None:
+    def apply_scroll_pos(self, pos: int) -> None:
         if self.data is None:
             return
-        self._top_row = max(0, min(pos, self.data.rows - 1))
-        self._needs_layout = True
-        self.want_update()
+        self._top_row = pos
+        if self._embed_views:
+            # Embedded cell views are children placed by layout(); a
+            # viewport move really does change their bounds.
+            self._needs_layout = True
+
+    def scroll_blit_area(self) -> Rect:
+        """Only the body scrolls; the column-letter header is fixed."""
+        return Rect(0, HEADER_ROWS, self.width,
+                    max(0, self.height - HEADER_ROWS))
+
+    def scroll_blit_ok(self) -> bool:
+        # Embedded views may be clipped at the bottom edge (they render
+        # content the shift could not source); rows are 1 device row
+        # only on a cell backend and only without embeds.
+        return not self._embed_views and self._scroll_unit_is_device_row()
 
     # ------------------------------------------------------------------
     # Drawing
@@ -240,6 +253,15 @@ class TableView(View, Scrollable):
             return
         data = self.data
         clip = graphic.bounds
+        # Culling must account for ink extent, not just the grid pitch:
+        # on raster backends glyphs are line_height device rows tall and
+        # char_width columns wide, spilling past the 1-unit row/column
+        # pitch.  Skipping a string whose anchor is outside the clip but
+        # whose ink reaches into it would make a clipped repaint diverge
+        # from the full render — the idempotence the damage system (and
+        # the compositor's sub-rect store repair) relies on.
+        ink_h = graphic.line_height()
+        ink_w = graphic.string_width("0")
         # Column headers and the full-height separators.  Separators are
         # outside every cell rect, so cell-level damage never needs them;
         # the clip makes skipping them free when it excludes them.
@@ -247,7 +269,7 @@ class TableView(View, Scrollable):
             x = self._col_x(col)
             if x >= self.width or x - 1 >= clip.right:
                 break
-            if clip.top < 1:
+            if clip.top < ink_h:
                 graphic.draw_string_centered(
                     Rect(x, 0, self.col_width(col), 1), col_name(col)
                 )
@@ -261,18 +283,18 @@ class TableView(View, Scrollable):
             if y >= self.height or y >= clip.bottom:
                 break
             height = self.row_height(row)
-            if y + height <= clip.top:
+            if y + max(height, ink_h) <= clip.top:
                 y += height
-                continue  # row wholly above the damage band
-            if clip.left < ROW_LABEL_WIDTH:
+                continue  # row (and its glyph ink) wholly above the band
+            if clip.left < max(ROW_LABEL_WIDTH, 3 * ink_w):
                 graphic.draw_string(0, y, f"{row + 1:>3}")
             for col in range(data.cols):
                 x = self._col_x(col)
                 if x >= self.width or x >= clip.right:
                     break
                 width = self.col_width(col)
-                if x + width <= clip.left:
-                    continue  # column wholly left of the damage band
+                if x + max(width, width * ink_w) <= clip.left:
+                    continue  # column (and its ink) wholly left of the band
                 if (row, col) == self.selected and self.editing is not None:
                     text = self.editing[-width:]
                 else:

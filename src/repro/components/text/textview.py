@@ -713,14 +713,31 @@ class TextView(View, Scrollable):
     def scroll_visible(self) -> int:
         return self.height
 
-    def set_scroll_pos(self, pos: int) -> None:
+    def scroll_clamp(self, pos: int) -> int:
+        # Positions are device pixels into the wrapped document; the
+        # bisect in apply_scroll_pos snaps them to a line start, so the
+        # only clamp needed here is non-negativity.
+        return max(0, pos)
+
+    def apply_scroll_pos(self, pos: int) -> None:
+        # A viewport-origin move: the wrap (line list, prefix heights)
+        # is untouched, so _needs_layout stays clear — scrolling must
+        # never re-run layout.  Only embedded children, whose bounds
+        # are viewport-relative, need replacing.
         self.ensure_layout()
         prefix = self._prefix_heights()
-        index = bisect_right(prefix, max(0, pos)) - 1
+        index = bisect_right(prefix, pos) - 1
         self._top = min(index, max(0, len(self._lines) - 1))
         self._clamp_top()
-        self._needs_layout = True
-        self.want_update()
+        if self._embed_views:
+            self._place_embed_views()
+
+    def scroll_blit_ok(self) -> bool:
+        # Display lines occupy disjoint vertical bands on every backend
+        # (line.height covers the glyphs), so TextView may shift on the
+        # raster device too — unless embeds are present: a bottom-
+        # clipped embedded view renders content a shift cannot source.
+        return not self._embed_views
 
     def _clamp_top(self) -> None:
         self._top = max(0, min(self._top, max(0, len(self._lines) - 1)))
@@ -730,23 +747,26 @@ class TextView(View, Scrollable):
         # lines: an edit that split the caret's display line would
         # otherwise leave the caret one row below the window and the
         # view would never follow it.  Cheap now that layout is
-        # incremental.
+        # incremental.  Like apply_scroll_pos, this moves only the
+        # viewport origin: the wrap stays valid and _needs_layout
+        # stays clear.
         self.ensure_layout()
         index = self._line_index_of(self.dot)
         if index is None:
             return
+        before = self._top
         if index < self._top:
             self._top = index
-            self._needs_layout = True
-            return
-        # Walk down until the dot line starts inside the window.
-        prefix = self._prefix_heights()
-        window = max(1, self.height)
-        while self._top < index and (
-            prefix[index] - prefix[self._top] >= window
-        ):
-            self._top += 1
-            self._needs_layout = True
+        else:
+            # Walk down until the dot line starts inside the window.
+            prefix = self._prefix_heights()
+            window = max(1, self.height)
+            while self._top < index and (
+                prefix[index] - prefix[self._top] >= window
+            ):
+                self._top += 1
+        if self._top != before and self._embed_views:
+            self._place_embed_views()
 
     # ------------------------------------------------------------------
     # Position mapping

@@ -61,6 +61,11 @@ class InteractionManager:
         self._timer_subscribers: List[View] = []
         self._tick = 0
         self.events_processed = 0
+        #: Queued scroll shifts: id(view) -> [view, area, dy, strip].
+        #: Executed (oldest first) at the head of the next repaint or
+        #: flush, *before* any damage repaint touches the surface.
+        self._pending_scrolls: dict = {}
+        self._shift_capable: Optional[bool] = None
         #: True only inside a window-targeted repaint pass; the view
         #: tree consults it so backing stores are used for (and filled
         #: from) live window rendering, never for printer drawables.
@@ -415,6 +420,149 @@ class InteractionManager:
         """A view posted an update request up the tree."""
         self.updates.enqueue(view, rect)
 
+    # -- scroll shift-blit (see repro.core.scrollblit) -------------------
+
+    def post_scroll(self, view: View, area: Rect, dy: int) -> bool:
+        """Queue a same-surface shift of ``area`` (``view``-local) by
+        ``dy`` device rows, posting damage only for the exposed strip.
+
+        Returns False — posting nothing — when the shift cannot be
+        proven pixel-identical to repainting ``area``: the move is
+        larger than the area, the backend has no ``copy_area``, the
+        area is clipped by the window edge, or damage already queued
+        intersects the area (its stale pixels must not be moved).
+        The caller then posts ordinary area damage instead.
+        """
+        if area.is_empty() or dy == 0 or abs(dy) >= area.height:
+            return False
+        if not self._can_shift():
+            return False
+        origin = view.origin_in_window()
+        window_area = area.offset(origin.x, origin.y)
+        if not self.window.bounds.contains_rect(window_area):
+            return False
+        key = id(view)
+        record = self._pending_scrolls.get(key)
+        if record is not None:
+            return self._compose_scroll(record, view, area, dy)
+        if self._scroll_blocked(window_area):
+            return False
+        strip = self._exposed_strip(area, dy)
+        self._pending_scrolls[key] = [view, area, dy, strip]
+        if obs.metrics_on:
+            obs.registry.inc("view.rows_repainted", strip.height)
+        self.post_update(view, strip)
+        return True
+
+    def _compose_scroll(self, record: list, view: View, area: Rect,
+                        dy: int) -> bool:
+        """Fold a second scroll of ``view`` into its queued record.
+
+        Two same-direction scrolls compose into one shift of the summed
+        distance with one summed exposed strip.  Anything else — a
+        direction reversal, a changed area, a summed distance at least
+        the area height, or damage that joined the view's queue entry
+        since the first scroll (whose stale pixels the bigger shift
+        would relocate) — drops the record and reports failure; the
+        caller's fallback area damage covers the already-posted strip.
+        """
+        _, old_area, old_dy, old_strip = record
+        total = old_dy + dy
+        origin = view.origin_in_window()
+        if (
+            area != old_area
+            or (old_dy > 0) != (dy > 0)
+            or abs(total) >= area.height
+            or self.updates.pending_rect(view) != old_strip
+            or self._scroll_blocked(area.offset(origin.x, origin.y),
+                                    exclude=view)
+        ):
+            del self._pending_scrolls[id(view)]
+            return False
+        strip = self._exposed_strip(area, total)
+        record[2] = total
+        record[3] = strip
+        if obs.metrics_on:
+            obs.registry.inc("view.rows_repainted",
+                             strip.height - old_strip.height)
+        self.post_update(view, strip)
+        return True
+
+    @staticmethod
+    def _exposed_strip(area: Rect, dy: int) -> Rect:
+        """The rows of ``area`` a shift by ``dy`` leaves unsourced."""
+        if dy < 0:  # content moved up: the bottom rows are exposed
+            return Rect(area.left, area.bottom + dy, area.width, -dy)
+        return Rect(area.left, area.top, area.width, dy)
+
+    def _can_shift(self) -> bool:
+        """Does the window's drawable support same-surface copies?"""
+        if self._shift_capable is None:
+            self._shift_capable = bool(
+                getattr(self.window.graphic(), "can_copy_area", False)
+            )
+        return self._shift_capable
+
+    def _scroll_blocked(self, window_area: Rect,
+                        exclude: Optional[View] = None) -> bool:
+        """Does queued damage overlap ``window_area`` (window coords)?
+
+        Pixels under queued damage are stale — their repaint is still
+        pending — so a shift must not relocate them: the repaint would
+        land at the old spot and the staleness would survive at the new
+        one.  ``exclude`` skips one view's own entry (used when
+        composing scrolls, where that entry is the already-verified
+        exposed strip).
+        """
+        for view, rect in self.updates.pending_damage():
+            if view is exclude:
+                continue
+            origin = view.origin_in_window()
+            if rect.offset(origin.x, origin.y).intersects(window_area):
+                return True
+        return False
+
+    def _run_scrolls(self) -> None:
+        """Execute queued shifts against the window and backing stores.
+
+        Runs at the head of every repaint pass, so shifts always move
+        *pre-repaint* pixels; the exposed-strip damage queued alongside
+        then repaints on the shifted surface.  Backing stores along the
+        scrolled view's ancestor chain shift too — that is what keeps a
+        scrolled clean pane satisfiable by a single blit.
+        """
+        if not self._pending_scrolls:
+            return
+        records = list(self._pending_scrolls.values())
+        self._pending_scrolls.clear()
+        root = self.window.graphic()
+        metered = obs.metrics_on
+        for view, area, dy, _strip in records:
+            if view.interaction_manager() is not self:
+                continue
+            origin = view.origin_in_window()
+            with faultinject.suspended():
+                # Toolkit ink: shifts are the IM's own surface surgery.
+                root.copy_area(area.offset(origin.x, origin.y), 0, dy)
+                if metered:
+                    obs.registry.inc("view.scroll_blits")
+                    obs.registry.inc(
+                        "im.scroll_area_saved",
+                        (area.height - abs(dy)) * area.width,
+                    )
+                node, off_x, off_y = view, 0, 0
+                while node is not None:
+                    surface = node._backing
+                    if surface is not None and node._backing_valid:
+                        surface.graphic().copy_area(
+                            area.offset(off_x, off_y), 0, dy
+                        )
+                        if metered:
+                            obs.registry.inc("view.scroll_blits")
+                    off_x += node.bounds.left
+                    off_y += node.bounds.top
+                    node = node.parent
+
     def flush_updates(self) -> int:
         """Send queued damage back down as clipped full-update passes.
 
@@ -423,6 +571,7 @@ class InteractionManager:
         several views repaints once instead of once per view.  Returns
         the number of repaint passes run.
         """
+        self._run_scrolls()
         if self.child is None or self.updates.is_empty():
             # Even with no queued damage, drain the window's command
             # buffer: a direct repaint (e.g. an UpdateEvent dispatched
@@ -485,6 +634,10 @@ class InteractionManager:
         """The downward update pass, clipped to ``damage``."""
         if self.child is None:
             return
+        # Shifts queued before this repaint must move *pre-repaint*
+        # pixels — a direct UpdateEvent repaint racing a queued scroll
+        # would otherwise paint fresh content and then shift it.
+        self._run_scrolls()
         root = self.window.graphic()
         base_clip = root.clip
         clipped = base_clip.intersection(damage)
@@ -524,9 +677,11 @@ class InteractionManager:
     def view_unlinked(self, view: View) -> None:
         """A view left the tree: forget grabs/focus/damage it owned."""
         self.updates.discard(view)
+        self._pending_scrolls.pop(id(view), None)
         self.window_system.surfaces.release(view)
         view._backing = None
         view._backing_valid = False
+        view._backing_dirty = None
         if self._grab is view:
             self._grab = None
         if self.focus is view:

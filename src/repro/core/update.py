@@ -60,7 +60,7 @@ class UpdateQueue:
         # requests posted straight to the IM (bypassing want_update).
         stale = getattr(view, "invalidate_backing_chain", None)
         if stale is not None:
-            stale()
+            stale(rect)
         local = Rect(0, 0, view.bounds.width, view.bounds.height)
         if rect is None:
             rect = local
@@ -96,6 +96,20 @@ class UpdateQueue:
 
     def pending_views(self) -> List[object]:
         return [view for view, _ in self._damage.values()]
+
+    def pending_damage(self) -> List[Tuple[object, Rect]]:
+        """The queued (view, local-rect) pairs, without draining them.
+
+        The scroll shift-blit inspects this before committing to a
+        shift: damage already queued against the scroll area means the
+        on-screen pixels there are stale and must not be moved.
+        """
+        return list(self._damage.values())
+
+    def pending_rect(self, view) -> Optional[Rect]:
+        """The coalesced damage rect queued for ``view``, or None."""
+        entry = self._damage.get(id(view))
+        return entry[1] if entry is not None else None
 
     def discard(self, view) -> None:
         """Drop pending damage for ``view`` (it was destroyed/unlinked)."""

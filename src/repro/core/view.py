@@ -46,6 +46,7 @@ from ..wm.base import Cursor
 from ..wm.events import KeyEvent, MenuEvent, MouseEvent
 from . import compositor
 from . import faults
+from . import scrollblit
 from .dataobject import DataObject
 from .keymap import Keymap
 from .menus import MenuCard
@@ -78,6 +79,7 @@ class View(ATKObject, Observer):
         self.backing_store = False          # compositor opt-in (see below)
         self._backing = None                # cached OffscreenWindow, if any
         self._backing_valid = False
+        self._backing_dirty: Optional[Rect] = None  # sub-rect to repair
         #: Containment record (None = healthy); see repro.core.faults.
         self._quarantine: Optional[faults.Quarantine] = None
         if dataobject is not None:
@@ -246,10 +248,28 @@ class View(ATKObject, Observer):
         Either way the backing stores up the ancestor chain go stale —
         their cached images no longer match this view's content.
         """
-        self.invalidate_backing_chain()
+        self.invalidate_backing_chain(rect)
         im = self.interaction_manager()
         if im is not None:
             im.post_update(self, rect)
+
+    def want_scroll(self, area: Rect, dy: int) -> bool:
+        """Announce that the content of ``area`` (local coords) moved by
+        ``dy`` device rows, and try to satisfy the scroll with a surface
+        shift plus one exposed-strip repaint.
+
+        Returns True when the shift was queued (the exposed strip's
+        damage is posted here; the caller must post *nothing else*).
+        Returns False — having posted nothing at all — whenever the
+        shift cannot be proven pixel-identical to a full repaint; the
+        caller then falls back to ordinary area damage.
+        """
+        if not scrollblit.enabled:
+            return False
+        im = self.interaction_manager()
+        if im is None:
+            return False
+        return im.post_scroll(self, area.intersection(self.local_bounds), dy)
 
     # -- backing store (the compositor's per-view cache) -----------------
 
@@ -264,31 +284,53 @@ class View(ATKObject, Observer):
         """
         self.backing_store = bool(on)
         self._backing_valid = False
+        self._backing_dirty = None
         if not on:
             self._release_backing()
 
-    def invalidate_backing_chain(self) -> None:
+    def invalidate_backing_chain(self, rect: Optional[Rect] = None) -> None:
         """Stale this view's cached image and every ancestor's.
 
         Called on every damage post (`core.update` calls it again for
         requests that bypass :meth:`want_update`), on reparenting and on
         bounds changes.  Surfaces are kept for reuse; only their
         *validity* is dropped.
+
+        When the damage is a known sub-rect, a still-valid store is not
+        invalidated outright: the rect (translated into each ancestor's
+        coordinates on the way up) accumulates in ``_backing_dirty`` and
+        :meth:`_composite` repairs just that region — the sub-rect
+        store-repair half of the scroll work.  ``rect=None`` keeps the
+        old everything-stales contract.
         """
         node: Optional["View"] = self
         while node is not None:
-            node._backing_valid = False
+            if rect is None:
+                node._backing_valid = False
+                node._backing_dirty = None
+            elif node._backing_valid:
+                dirty = node._backing_dirty
+                dirty = rect if dirty is None else dirty.union(rect)
+                if dirty.contains_rect(node.local_bounds):
+                    node._backing_valid = False
+                    node._backing_dirty = None
+                else:
+                    node._backing_dirty = dirty
+            if rect is not None:
+                rect = rect.offset(node.bounds.left, node.bounds.top)
             node = node.parent
 
     def _backing_evicted(self) -> None:
         """Pool callback: the LRU let this view's surface go."""
         self._backing = None
         self._backing_valid = False
+        self._backing_dirty = None
 
     def _release_backing(self) -> None:
         """Hand the surface back to the pool (destroy/unlink/opt-out)."""
         self._backing = None
         self._backing_valid = False
+        self._backing_dirty = None
         im = self.interaction_manager()
         if im is not None:
             im.window_system.surfaces.release(self)
@@ -317,11 +359,35 @@ class View(ATKObject, Observer):
             and surface.height == height
         )
         pool = im.window_system.surfaces
-        if clean:
+        if clean and self._backing_dirty is None:
             pool.touch(self)
             if obs.metrics_on:
                 obs.registry.inc("view.cache_hits")
                 obs.registry.inc("im.repaint_area_saved", graphic.clip.area)
+        elif clean:
+            # Sub-rect repair: the store is valid except for the
+            # accumulated dirty region — re-render only that, under a
+            # clip restricted to it, instead of repainting the whole
+            # offscreen surface.  After the repair the store is fully
+            # valid again whatever the incoming damage clip was.
+            dirty = self._backing_dirty.intersection(self.local_bounds)
+            # Drop validity across the repair: a render that raises
+            # (containment) must not leave a half-repaired store
+            # masquerading as clean.
+            self._backing_dirty = None
+            self._backing_valid = False
+            pool.touch(self)
+            off = surface.graphic()
+            off.state = graphic.state.clone()
+            off.clip = off.clip.intersection(dirty)
+            off.clear()
+            self._render_subtree(off)
+            self._backing_valid = True
+            if obs.metrics_on:
+                obs.registry.inc("view.store_subrect_repairs")
+                saved = self.local_bounds.area - dirty.area
+                if saved > 0:
+                    obs.registry.inc("im.repaint_area_saved", saved)
         else:
             surface = pool.acquire(self, width, height)
             if surface is None:
@@ -334,6 +400,7 @@ class View(ATKObject, Observer):
             off.state = graphic.state.clone()
             off.clear()
             self._render_subtree(off)
+            self._backing_dirty = None
             if pool.get(self) is surface:
                 self._backing = surface
                 self._backing_valid = True

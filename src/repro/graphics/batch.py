@@ -90,7 +90,7 @@ def configure(on: Optional[bool] = None) -> None:
 
 # Op kinds.  Ops are small mutable lists so run coalescing can extend
 # the last op in place.
-_FILL, _HLINE, _VLINE, _TEXT, _PIXEL, _BLIT = range(6)
+_FILL, _HLINE, _VLINE, _TEXT, _PIXEL, _BLIT, _COPY = range(7)
 
 
 def _merge_fill(a: Rect, b: Rect) -> Optional[Rect]:
@@ -211,6 +211,13 @@ class CommandBuffer:
         snapshot = bitmap.crop(Rect(0, 0, bitmap.width, bitmap.height))
         self._ops.append([_BLIT, snapshot, x, y])
 
+    def record_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        """A same-surface shift.  Never coalesced: the copy reads pixels
+        earlier ops in this buffer may still have to produce, and replay
+        order alone guarantees it reads them settled."""
+        self._note_recorded()
+        self._ops.append([_COPY, rect, dx, dy])
+
     # -- draining ------------------------------------------------------
 
     def discard(self) -> None:
@@ -248,6 +255,8 @@ class CommandBuffer:
                 graphic.device_vline(op[1], op[2], op[3], op[4])
             elif kind == _PIXEL:
                 graphic.device_set_pixel(op[1], op[2], op[3])
+            elif kind == _COPY:
+                graphic.device_copy_area(op[1], op[2], op[3])
             else:
                 graphic.device_blit(op[1], op[2], op[3])
         if metered:

@@ -124,6 +124,16 @@ class Graphic:
                 if bitmap.get(bx, by):
                     self.device_set_pixel(x + bx, y + by, 1)
 
+    #: True on backends whose surface supports a same-surface region
+    #: copy (:meth:`device_copy_area`); scroll shift-blit keys off it.
+    can_copy_area = False
+
+    def device_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        """Copy ``rect`` (device coords) to ``rect.offset(dx, dy)`` on
+        the same surface, overlap-safe.  Optional: only backends that
+        declare :attr:`can_copy_area` implement it."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Op dispatch: record into the command buffer, or hit the device.
     # Every drawing operation below funnels device work through these,
@@ -181,6 +191,36 @@ class Graphic:
             self._buffer.record_blit(bitmap, x, y)
         else:
             self.device_blit(bitmap, x, y)
+
+    def copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        """Shift the pixels of ``rect`` (local coords) by ``(dx, dy)``
+        on the same surface.
+
+        Both the source and the destination are restricted to ``rect``
+        *and* the clip: a scroll of an area must never write outside
+        that area (the rows uncovered by the move are damage, not copy
+        targets), and pixels outside the clip are neither read nor
+        written, so a shift can never smear another view's ink into
+        this one.  A no-op when the backend lacks
+        :attr:`can_copy_area` support or nothing survives clipping.
+        """
+        if (dx == 0 and dy == 0) or not self.can_copy_area:
+            return
+        device = self.rect_to_device(rect)
+        src = device.intersection(device.offset(-dx, -dy))
+        src = src.intersection(self.clip)
+        src = src.intersection(self.clip.offset(-dx, -dy))
+        if src.is_empty():
+            return
+        self._emit_copy_area(src, dx, dy)
+
+    def _emit_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        if faultinject.enabled:
+            faultinject.maybe_raise("wm.device")
+        if self._buffer is not None:
+            self._buffer.record_copy_area(rect, dx, dy)
+        else:
+            self.device_copy_area(rect, dx, dy)
 
     # ------------------------------------------------------------------
     # Coordinate system & clipping

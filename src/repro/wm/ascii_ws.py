@@ -142,6 +142,30 @@ class AsciiGraphic(Graphic):
         else:
             self._surface.put(x, y, _INK if value else " ", inverse=0)
 
+    can_copy_area = True
+
+    def device_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        self._tally("copy_area")
+        surface = self._surface
+        rect = rect.intersection(Rect(0, 0, surface.width, surface.height))
+        rect = rect.intersection(
+            Rect(-dx, -dy, surface.width, surface.height))
+        if rect.is_empty():
+            return
+        chars, inverse, bold = surface._chars, surface._inverse, surface._bold
+        width, span = surface.width, rect.width
+        rows = range(rect.top, rect.bottom)
+        if dy > 0:  # shifting down: copy bottom-up so sources stay unread
+            rows = reversed(rows)
+        for y in rows:
+            src = y * width + rect.left
+            dst = (y + dy) * width + rect.left + dx
+            # RHS slices materialize copies, so horizontal overlap within
+            # a row is safe in either direction.
+            chars[dst:dst + span] = chars[src:src + span]
+            inverse[dst:dst + span] = inverse[src:src + span]
+            bold[dst:dst + span] = bold[src:src + span]
+
     def device_hline(self, x0: int, x1: int, y: int, value: int) -> None:
         self._tally("hline")
         if value < 0 or not value:

@@ -141,6 +141,24 @@ class RasterGraphic(Graphic):
         self._requests.tally("blit")
         self._fb.blit(bitmap, x, y, mode="or")
 
+    can_copy_area = True
+
+    def device_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
+        self._requests.tally("copy_area")
+        fb = self._fb
+        rect = rect.intersection(Rect(0, 0, fb.width, fb.height))
+        rect = rect.intersection(Rect(-dx, -dy, fb.width, fb.height))
+        if rect.is_empty():
+            return
+        bits, width, span = fb._bits, fb.width, rect.width
+        rows = range(rect.top, rect.bottom)
+        if dy > 0:  # shifting down: copy bottom-up so sources stay unread
+            rows = reversed(rows)
+        for y in rows:
+            src = y * width + rect.left
+            dst = (y + dy) * width + rect.left + dx
+            bits[dst:dst + span] = bits[src:src + span]
+
     def font_metrics(self, desc: FontDesc) -> FontMetrics:
         return _metrics_for(desc)
 

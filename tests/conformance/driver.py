@@ -26,6 +26,7 @@ from repro import obs
 from repro.core import InteractionManager
 from repro.core import compositor
 from repro.core import faults
+from repro.core import scrollblit as scrollblit_mod
 from repro.graphics import Rect
 from repro.graphics import batch
 
@@ -239,23 +240,27 @@ def run_scenario_server(make_ws: Callable, ops: List[Tuple], width: int,
 
 @contextlib.contextmanager
 def gates(batch_on: bool, compositor_on: bool, metrics_on: bool,
-          quarantine: bool = None) -> Iterator[None]:
+          quarantine: bool = None, *,
+          scrollblit: bool = None) -> Iterator[None]:
     """Configure the rendering-gate set; restore the old state after.
 
-    ``quarantine`` is keyword-ish and defaults to ``None`` (leave the
-    containment gate alone — it is on by default and fault-free runs
-    must render identically either way, which the matrix proves by
-    flipping it explicitly).
+    ``quarantine`` and ``scrollblit`` default to ``None`` (leave those
+    gates alone — both are on by default and fault-free runs must
+    render identically either way, which their matrices prove by
+    flipping them explicitly).
     """
     was_batch = batch.enabled
     was_comp = compositor.enabled
     was_metrics = obs.metrics_enabled()
     was_quarantine = faults.enabled
+    was_scrollblit = scrollblit_mod.enabled
     batch.configure(batch_on)
     compositor.configure(compositor_on)
     obs.configure(metrics=metrics_on, reset_data=True)
     if quarantine is not None:
         faults.configure(quarantine)
+    if scrollblit is not None:
+        scrollblit_mod.configure(scrollblit)
     try:
         yield
     finally:
@@ -263,3 +268,4 @@ def gates(batch_on: bool, compositor_on: bool, metrics_on: bool,
         compositor.configure(was_comp)
         obs.configure(metrics=was_metrics, reset_data=True)
         faults.configure(was_quarantine)
+        scrollblit_mod.configure(was_scrollblit)

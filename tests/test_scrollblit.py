@@ -1,0 +1,388 @@
+"""Unit tests for the scroll shift-blit machinery.
+
+Covers the layers one by one: the backend ``copy_area`` device op
+(both surfaces, both shift directions, attribute planes, containment
+within the shifted area), command-buffer record/replay, the
+``want_scroll`` accept/fallback rules on the interaction manager,
+scroll composition, the telemetry counters, the sub-rect backing-store
+repair, and the two satellite regressions (scrolling must not dirty
+text layout; the scroll-bar thumb must reach the bottom exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.components import ListView, ScrollBar, TextView
+from repro.components.scrollbar import Scrollable
+from repro.components.text.textdata import TextData
+from repro.core import InteractionManager, compositor, scrollblit
+from repro.core.view import View
+from repro.graphics import Rect
+from repro.graphics import batch
+from repro.wm import AsciiWindowSystem, RasterWindowSystem
+
+
+@pytest.fixture(autouse=True)
+def _scrollblit_on():
+    was = scrollblit.enabled
+    scrollblit.configure(True)
+    yield
+    scrollblit.configure(was)
+
+
+@pytest.fixture
+def telemetry():
+    was = obs.metrics_enabled()
+    obs.configure(metrics=True, reset_data=True)
+    yield obs.registry
+    obs.configure(metrics=was, reset_data=True)
+
+
+def _build_text_app(ws, width=60, height=18, lines=60, backing=False):
+    im = InteractionManager(ws, title="scroll", width=width, height=height)
+    view = TextView(TextData("\n".join(f"line {i}" for i in range(lines))))
+    if backing:
+        view.set_backing_store(True)
+    im.set_child(view)
+    im.process_events()
+    return im, view
+
+
+# ---------------------------------------------------------------------------
+# Device op: copy_area on both backends
+# ---------------------------------------------------------------------------
+
+
+class TestAsciiCopyArea:
+    def _window(self, ws=None):
+        ws = ws or AsciiWindowSystem()
+        window = ws.create_window("t", 20, 10)
+        return window
+
+    def test_shift_up_moves_chars_and_attrs(self):
+        window = self._window()
+        g = window.graphic()
+        g.draw_string(0, 3, "hello")
+        g.invert_rect(Rect(0, 3, 5, 1))
+        g.copy_area(Rect(0, 1, 20, 5), 0, -2)
+        window.flush()
+        surface = window.surface
+        row = "".join(surface._chars[1 * 20:1 * 20 + 5])
+        assert row == "hello"
+        assert surface._inverse[1 * 20] == 1
+        # Row 3 is a destination too: it received (blank) row 5.  The
+        # exposed strip is damage for the repaint, never a device job.
+        assert "".join(surface._chars[3 * 20:3 * 20 + 5]) == "     "
+
+    def test_shift_down_uses_reverse_row_order(self):
+        window = self._window()
+        g = window.graphic()
+        for i in range(6):
+            g.draw_string(0, i, str(i))
+        g.copy_area(Rect(0, 0, 20, 6), 0, 3)
+        window.flush()
+        surface = window.surface
+        got = [surface._chars[y * 20] for y in range(6)]
+        # dst rows 3..5 receive src rows 0..2 even though they overlap.
+        assert got[3:6] == ["0", "1", "2"]
+
+    def test_copy_never_writes_outside_the_area(self):
+        window = self._window()
+        g = window.graphic()
+        g.draw_string(0, 0, "header")
+        g.draw_string(0, 4, "body")
+        g.copy_area(Rect(0, 2, 20, 6), 0, -3)
+        window.flush()
+        surface = window.surface
+        # Rows 0-1 are outside the scrolled area: the shift must not
+        # have sourced row 4 into row 1 (dst is clamped to the area).
+        assert "".join(surface._chars[0:6]) == "header"
+        assert surface._chars[1 * 20] == " "
+
+
+class TestRasterCopyArea:
+    def test_shift_up_moves_pixels(self):
+        ws = RasterWindowSystem()
+        window = ws.create_window("t", 30, 20)
+        g = window.graphic()
+        g.fill_rect(Rect(2, 10, 5, 2), 1)
+        g.copy_area(Rect(0, 4, 30, 12), 0, -4)
+        window.flush()
+        bits = window.framebuffer._bits
+        assert bits[6 * 30 + 2] == 1
+        assert bits[7 * 30 + 6] == 1
+
+    def test_overlapping_shift_down(self):
+        ws = RasterWindowSystem()
+        window = ws.create_window("t", 10, 10)
+        g = window.graphic()
+        g.fill_rect(Rect(0, 0, 10, 1), 1)
+        g.copy_area(Rect(0, 0, 10, 8), 0, 2)
+        window.flush()
+        bits = window.framebuffer._bits
+        assert bits[2 * 10] == 1      # moved copy
+        assert bits[0] == 1           # source untouched
+        assert bits[4 * 10] == 0      # only dy rows moved
+
+
+def test_batch_records_and_replays_copy_area(telemetry):
+    was = batch.enabled
+    batch.configure(True)
+    try:
+        ws = AsciiWindowSystem()
+        window = ws.create_window("t", 20, 10)
+        g = window.graphic()
+        g.draw_string(0, 5, "xyz")
+        window.flush()
+        g.copy_area(Rect(0, 0, 20, 10), 0, -4)
+        # Buffered: the surface must not show the shift until flush.
+        assert "".join(window.surface._chars[1 * 20:1 * 20 + 3]) == "   "
+        assert telemetry.counter("wm.ascii.copy_area") == 0
+        window.flush()
+        assert telemetry.counter("wm.ascii.copy_area") == 1
+        assert "".join(window.surface._chars[1 * 20:1 * 20 + 3]) == "xyz"
+    finally:
+        batch.configure(was)
+
+
+# ---------------------------------------------------------------------------
+# want_scroll: accept and fallback rules
+# ---------------------------------------------------------------------------
+
+
+class TestWantScroll:
+    def test_gate_off_falls_back(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        scrollblit.configure(False)
+        assert view.want_scroll(view.local_bounds, 2) is False
+
+    def test_move_larger_than_area_falls_back(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        assert view.want_scroll(view.local_bounds, view.height) is False
+        assert view.want_scroll(view.local_bounds, -view.height - 3) is False
+
+    def test_zero_move_falls_back(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        assert view.want_scroll(view.local_bounds, 0) is False
+
+    def test_pending_damage_in_area_falls_back(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        view.want_update(Rect(0, 4, 10, 2))  # stale pixels must not move
+        assert view.want_scroll(view.local_bounds, 2) is False
+
+    def test_accepts_and_posts_only_the_strip(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        assert view.want_scroll(view.local_bounds, -3) is True
+        pending = im.updates.pending_rect(view)
+        assert pending == Rect(0, view.height - 3, view.width, 3)
+        im.flush_updates()
+
+    def test_shift_produces_correct_bytes(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        view.set_scroll_pos(7)
+        im.process_events()
+        lines = im.snapshot_lines()
+        assert lines[0].startswith("line 7")
+        assert lines[10].startswith("line 17")
+
+    def test_composed_scrolls_in_one_flush(self, ascii_ws, telemetry):
+        im, view = _build_text_app(ascii_ws)
+        view.set_scroll_pos(2)
+        view.set_scroll_pos(5)   # composes with the queued shift
+        im.process_events()
+        assert telemetry.counter("view.scroll_blits") == 1
+        assert im.snapshot_lines()[0].startswith("line 5")
+
+    def test_direction_flip_falls_back_to_area_damage(self, ascii_ws):
+        im, view = _build_text_app(ascii_ws)
+        view.set_scroll_pos(6)
+        im.process_events()
+        view.set_scroll_pos(9)
+        view.set_scroll_pos(3)   # sign flip: cannot compose
+        im.process_events()
+        assert im.snapshot_lines()[0].startswith("line 3")
+
+    def test_raster_listview_does_not_shift(self, raster_ws, telemetry):
+        # List rows are 1 unit tall but raster glyphs are taller:
+        # shifting would interleave glyph halves, so the probe refuses.
+        im = InteractionManager(raster_ws, title="l", width=60, height=40)
+        view = ListView([f"item {i}" for i in range(40)])
+        im.set_child(view)
+        im.process_events()
+        assert view.scroll_blit_ok() is False
+        view.set_scroll_pos(5)
+        im.process_events()
+        assert telemetry.counter("view.scroll_blits") == 0
+
+    def test_raster_textview_does_shift(self, raster_ws, telemetry):
+        # Text lines occupy disjoint glyph-height bands, so the text
+        # view may shift even on the raster backend.
+        im = InteractionManager(raster_ws, title="t", width=80, height=50)
+        view = TextView(TextData("\n".join(f"line {i}" for i in range(40))))
+        im.set_child(view)
+        im.process_events()
+        obs.registry.reset()
+        # Positions snap to line starts; two lines' worth of device
+        # rows survives the snap yet stays well inside the viewport.
+        line_height = view.scroll_total() // 40
+        view.set_scroll_pos(2 * line_height)
+        im.process_events()
+        assert obs.registry.counter("view.scroll_blits") >= 1
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+def test_scroll_counters(ascii_ws, telemetry):
+    im, view = _build_text_app(ascii_ws)
+    view.set_scroll_pos(3)
+    im.process_events()
+    assert telemetry.counter("view.scroll_blits") == 1
+    assert telemetry.counter("view.rows_repainted") == 3
+    saved = (view.height - 3) * view.width
+    assert telemetry.counter("im.scroll_area_saved") == saved
+
+
+def test_fallback_counts_full_area_rows(ascii_ws, telemetry):
+    im, view = _build_text_app(ascii_ws)
+    scrollblit.configure(False)
+    view.set_scroll_pos(3)
+    im.process_events()
+    assert telemetry.counter("view.scroll_blits") == 0
+    assert telemetry.counter("view.rows_repainted") == view.height
+
+
+# ---------------------------------------------------------------------------
+# Backing stores: the store shifts too, and repairs sub-rects
+# ---------------------------------------------------------------------------
+
+
+def test_scrolled_clean_pane_stays_one_blit(ascii_ws, telemetry):
+    was = compositor.enabled
+    compositor.configure(True)
+    try:
+        im, view = _build_text_app(ascii_ws, backing=True)
+        im.process_events()
+        obs.registry.reset()
+        view.set_scroll_pos(4)
+        im.process_events()
+        repairs = obs.registry.counter("view.store_subrect_repairs")
+        assert repairs == 1          # only the exposed strip re-rendered
+        # The store was shifted alongside the window...
+        assert obs.registry.counter("view.scroll_blits") == 2
+        obs.registry.reset()
+        # ...so a full expose now is a pure cache hit: zero draws.
+        draws = view.draw_count
+        im.window.inject_expose()
+        im.process_events()
+        assert view.draw_count == draws
+        assert obs.registry.counter("view.cache_hits") == 1
+    finally:
+        compositor.configure(was)
+
+
+def test_subrect_repair_renders_only_dirty_band(ascii_ws, telemetry):
+    was = compositor.enabled
+    compositor.configure(True)
+    try:
+        im, view = _build_text_app(ascii_ws, backing=True)
+        im.process_events()
+        obs.registry.reset()
+        view.want_update(Rect(0, 2, view.width, 1))
+        im.flush_updates()
+        assert obs.registry.counter("view.store_subrect_repairs") == 1
+        assert obs.registry.counter("view.cache_misses") == 0
+        # The repaired store still matches a full fresh render.
+        before = list(im.window.surface._chars)
+        view.want_update()
+        im.flush_updates()
+        assert list(im.window.surface._chars) == before
+    finally:
+        compositor.configure(was)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: scrolling must not dirty text layout
+# ---------------------------------------------------------------------------
+
+
+def test_scroll_sweep_keeps_layout_counters_flat(ascii_ws, telemetry):
+    im, view = _build_text_app(ascii_ws, lines=120)
+    im.process_events()
+    obs.registry.reset()
+    for pos in (5, 17, 3, 60, 59, 0, 104, 30):
+        view.set_scroll_pos(pos)
+        im.process_events()
+    assert telemetry.counter("text.layout_full") == 0
+    assert telemetry.counter("text.layout_incremental") == 0
+    assert view._needs_layout is False
+
+
+def test_follow_caret_does_not_relayout(ascii_ws, telemetry):
+    im, view = _build_text_app(ascii_ws, lines=120)
+    im.process_events()
+    obs.registry.reset()
+    view.set_dot(len(view.data.text()))  # jump to the end: view follows
+    im.process_events()
+    assert view.scroll_pos() > 0
+    assert telemetry.counter("text.layout_full") == 0
+    assert telemetry.counter("text.layout_incremental") == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the thumb reaches the bottom exactly
+# ---------------------------------------------------------------------------
+
+
+class _FakeBody(View, Scrollable):
+    def __init__(self, total, visible):
+        super().__init__()
+        self._total, self._visible, self.pos = total, visible, 0
+
+    def scroll_total(self):
+        return self._total
+
+    def scroll_pos(self):
+        return self.pos
+
+    def scroll_visible(self):
+        return self._visible
+
+    def apply_scroll_pos(self, pos):
+        self.pos = pos
+
+    def want_update(self, rect=None):
+        pass
+
+
+def test_pos_for_row_reaches_exact_bottom():
+    body = _FakeBody(total=100, visible=20)
+    bar = ScrollBar(body)
+    bar.set_bounds(Rect(0, 0, 2, 16))
+    assert bar._pos_for_row(0) == 0
+    assert bar._pos_for_row(15) == 80          # total - visible, exactly
+    rows = [bar._pos_for_row(r) for r in range(16)]
+    assert rows == sorted(rows)                # monotone track
+
+def test_pos_for_row_short_document_keeps_proportional_reach():
+    body = _FakeBody(total=10, visible=16)     # fits: classic ATK reach
+    bar = ScrollBar(body)
+    bar.set_bounds(Rect(0, 0, 2, 16))
+    assert bar._pos_for_row(0) == 0
+    assert bar._pos_for_row(15) == 9
+    assert bar._pos_for_row(8) > 0
+
+
+def test_thumb_drag_to_last_track_row_hits_bottom(ascii_ws):
+    im = InteractionManager(ascii_ws, title="bar", width=40, height=16)
+    view = ListView([f"item {i}" for i in range(100)])
+    bar = ScrollBar(view)
+    im.set_child(bar)
+    im.process_events()
+    im.window.inject_drag(0, 2, 0, bar.height - 1)
+    im.process_events()
+    assert view.scroll_pos() == view.scroll_total() - view.scroll_visible()
