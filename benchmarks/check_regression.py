@@ -41,10 +41,11 @@ THRESHOLD = 0.20  # flag beyond 20% in the losing direction
 
 BASELINE_DIR = Path(__file__).parent / "baselines"
 
-#: Hard interactive-latency ceilings, in nanoseconds, per snapshot
-#: file and dotted summary path.  Values are deliberately several
-#: times the observed numbers so they catch a lost optimisation (a
-#: disabled cache, a full-pane scroll repaint), not clock jitter.
+#: Hard ceilings per snapshot file and dotted summary path — latency
+#: metrics in nanoseconds, wire costs in bytes (``*_bytes``).  Values
+#: are deliberately several times the observed numbers so they catch a
+#: lost optimisation (a disabled cache, a full-pane scroll repaint, a
+#: delta encoder shipping literals), not clock jitter.
 BUDGETS = {
     "BENCH_text_editing.json": {
         "incremental.keystroke_p50_ns": 10_000_000,   # 10 ms per keystroke
@@ -52,6 +53,9 @@ BUDGETS = {
     "BENCH_scroll.json": {
         "blit.scroll_p95_ns": 10_000_000,             # 10 ms per scroll tick
         "blit.expose_p95_ns": 40_000_000,             # 40 ms per full expose
+    },
+    "BENCH_remote.json": {
+        "delta.per_frame_bytes": 600,                 # wire cost per frame
     },
 }
 
@@ -92,9 +96,10 @@ def check_budgets(fresh_path: Path, fresh: dict, waivers) -> tuple:
             continue
         new = fresh[field]
         if new > ceiling:
+            unit = "bytes" if field.endswith("_bytes") else "ns"
             line = (
-                f"{fresh_path.name}: {field} = {new:.0f} ns exceeds the "
-                f"{ceiling:.0f} ns budget "
+                f"{fresh_path.name}: {field} = {new:.0f} {unit} exceeds "
+                f"the {ceiling:.0f} {unit} budget "
                 f"(+{(new / ceiling - 1) * 100:.0f}%)"
             )
             if _is_budgeted(fresh_path.name, field, waivers):
@@ -120,6 +125,15 @@ def compare(fresh_path: Path, fresh: dict, baseline_path: Path,
                 line = (
                     f"{fresh_path.name}: {field} slowed "
                     f"{base:.0f} -> {new:.0f} ns "
+                    f"(+{(new / base - 1) * 100:.0f}%)"
+                )
+        elif leaf.endswith("_bytes"):
+            # Wire/storage costs: bigger is worse (and deterministic,
+            # so drift here is a real codec change, not clock noise).
+            if new > base * (1 + THRESHOLD):
+                line = (
+                    f"{fresh_path.name}: {field} grew "
+                    f"{base:.0f} -> {new:.0f} bytes "
                     f"(+{(new / base - 1) * 100:.0f}%)"
                 )
         elif "ratio" in leaf:

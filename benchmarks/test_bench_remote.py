@@ -1,0 +1,179 @@
+"""E20 — remote display wire traffic (the ``repro.remote`` port).
+
+The remote port's whole value proposition is that a frame costs a few
+hundred bytes, not a full screen.  This bench drives the E16 editing
+session — typing, scrolling, full exposes on the three-pane workspace
+— through a :class:`~repro.remote.RemoteWindowSystem` twice, with
+frame delta-encoding off and on, and reports bytes shipped per frame.
+Delta-on elides unchanged ops, ships scroll copies verbatim plus a
+cell-level repair diff, and skips flushes that changed nothing at all,
+so both the per-frame and the whole-session byte counts must collapse.
+
+Outputs ``BENCH_remote.json`` (byte counts per arm, encoder counters,
+the reduction ratio) in the working directory; CI uploads it as an
+artifact and compares it against the committed copy, with a hard
+bytes/frame budget on the delta arm in ``check_regression.py``.
+"""
+
+import json
+import time
+
+from conftest import report
+from repro.components.drawing.drawdata import DrawingData
+from repro.components.drawing.drawview import DrawView
+from repro.components.drawing.shapes import EllipseShape, RectShape
+from repro.components.split import SplitView
+from repro.components.table.tabledata import TableData
+from repro.components.table.tableview import TableView
+from repro.components.text.textdata import TextData
+from repro.components.text.textview import TextView
+from repro.core import InteractionManager
+from repro.graphics import Rect
+from repro.remote import CaptureSink, RemoteRenderer, RemoteWindowSystem
+
+KEYSTROKES = 30
+SCROLLS = 12
+EXPOSES = 20
+
+
+def build_workspace(ws):
+    """The E16 three-pane workspace, on the caller's window system."""
+    im = InteractionManager(ws, width=78, height=22)
+    text_view = TextView(TextData(
+        "\n".join(f"paragraph {i:03d}: the quick brown fox jumps over "
+                  "the lazy dog" for i in range(60))
+    ))
+    table = TableData(8, 3)
+    for row in range(8):
+        for col in range(3):
+            table.set_cell(row, col, row * 10 + col)
+    table_view = TableView(table)
+    drawing = DrawingData()
+    drawing.add_shape(RectShape(Rect(1, 1, 12, 5)))
+    drawing.add_shape(EllipseShape(Rect(3, 2, 8, 4)))
+    draw_view = DrawView(drawing)
+    split = SplitView(text_view,
+                      SplitView(table_view, draw_view, vertical=False),
+                      vertical=True)
+    im.set_child(split)
+    im.set_focus(text_view)
+    im.process_events()
+    return im, text_view
+
+
+def session(im, text_view, registry, timer_name):
+    """The E16 editing session: typing, scrolling and full exposes."""
+    for i in range(KEYSTROKES):
+        im.window.inject_key("x")
+        if i % 3 == 2:
+            im.window.inject_expose()
+        start = time.perf_counter_ns()
+        im.process_events()
+        registry.observe_ns(timer_name, time.perf_counter_ns() - start)
+    for i in range(SCROLLS):
+        text_view.set_scroll_pos(i * 3)
+        im.process_events()
+    for _ in range(EXPOSES):
+        im.window.inject_expose()
+        im.process_events()
+
+
+def run_arm(metrics, delta, timer_name):
+    sink = CaptureSink()
+    ws = RemoteWindowSystem("ascii", delta=delta, sink=sink)
+    im, text_view = build_workspace(ws)
+    metrics.reset()
+    session(im, text_view, metrics, timer_name)
+    im.window.flush()
+
+    # The stream is only a valid measurement if it reproduces the
+    # sender's screen: decode it and compare before counting bytes.
+    renderer = RemoteRenderer()
+    renderer.feed(sink.stream())
+    window = ws.windows[0]
+    assert renderer.surface.lines() == window.surface.lines(), (
+        f"delta={delta}: decoded replica diverged from the sender"
+    )
+    assert renderer.resyncs == 0 and renderer.frames_skipped == 0
+
+    encoder = window._encoder
+    frames = len(sink.frames)
+    counters = {
+        "frames_sent_frames": frames,
+        "keyframes_sent_frames": encoder.keyframes_sent,
+        "total_bytes": sink.total_bytes,
+        "per_frame_bytes": round(sink.total_bytes / max(1, frames), 1),
+        "ops_elided": encoder.ops_elided,
+        "cell_diff_cells": encoder.cell_diff_cells,
+    }
+    timer = metrics.timer(timer_name)
+    counters["frame_p50_ns"] = timer.percentile(0.5) if timer else 0
+    return counters
+
+
+def test_bench_remote_bytes_per_frame(metrics):
+    off = run_arm(metrics, delta=False, timer_name="bench.nodelta_ns")
+    metrics.reset()
+    on = run_arm(metrics, delta=True, timer_name="bench.delta_ns")
+    registry_snapshot = metrics.snapshot()
+
+    # The headline claim: delta-encoding cuts wire traffic >= 5x, both
+    # per shipped frame and over the whole session (delta additionally
+    # skips flushes that changed nothing, so session bytes fall even
+    # further than frame size alone).
+    frame_ratio = off["per_frame_bytes"] / max(1.0, on["per_frame_bytes"])
+    session_ratio = off["total_bytes"] / max(1, on["total_bytes"])
+    assert off["total_bytes"] > 50_000, off  # the workload ships real data
+    assert frame_ratio >= 5.0, (off, on)
+    assert session_ratio >= 5.0, (off, on)
+    # The compression actually engaged, in both of its modes.
+    assert on["ops_elided"] > 0, on
+    assert on["cell_diff_cells"] > 0, on
+    # Delta never ships *more* frames than the literal arm.
+    assert on["frames_sent_frames"] <= off["frames_sent_frames"], (off, on)
+
+    summary = {
+        "workload": {
+            "keystrokes": KEYSTROKES,
+            "scrolls": SCROLLS,
+            "full_exposes": EXPOSES,
+        },
+        "bytes_ratio_off_over_on": round(session_ratio, 1),
+        "frame_bytes_ratio_off_over_on": round(frame_ratio, 1),
+        "nodelta": off,
+        "delta": on,
+    }
+    with open("BENCH_remote.json", "w") as fh:
+        json.dump({"summary": summary, "registry": registry_snapshot},
+                  fh, indent=2, default=str)
+    report("E20 remote display delta-encoding", [
+        f"{KEYSTROKES} keystrokes (expose every 3rd), {SCROLLS} scrolls, "
+        f"{EXPOSES} full exposes on the three-pane workspace",
+        f"session bytes: off={off['total_bytes']} on={on['total_bytes']} "
+        f"({session_ratio:.1f}x fewer)",
+        f"bytes/frame: off={off['per_frame_bytes']} "
+        f"on={on['per_frame_bytes']} ({frame_ratio:.1f}x smaller)",
+        f"frames: off={off['frames_sent_frames']} "
+        f"on={on['frames_sent_frames']} "
+        f"(keyframes {off['keyframes_sent_frames']}/"
+        f"{on['keyframes_sent_frames']})",
+        f"delta arm: ops_elided={on['ops_elided']} "
+        f"cell_diff_cells={on['cell_diff_cells']}",
+        "snapshot written to BENCH_remote.json",
+    ])
+
+
+def test_bench_remote_flush_timing(benchmark, metrics):
+    """pytest-benchmark timing of one delta-encoded expose+ship."""
+    sink = CaptureSink()
+    ws = RemoteWindowSystem("ascii", delta=True, sink=sink)
+    im, _ = build_workspace(ws)
+    im.window.inject_expose()
+    im.process_events()
+
+    def one_expose():
+        im.window.inject_expose()
+        im.process_events()
+
+    benchmark(one_expose)
+    assert sink.frames

@@ -87,6 +87,7 @@ from .apps import (
     PreviewApp,
     TypescriptApp,
 )
+from .remote import RemoteRenderer, RemoteWindowSystem
 from .server import ServerLoop, Session
 
 __version__ = "1.0.0"
@@ -115,6 +116,9 @@ __all__ = [
     "RasterWindowSystem",
     "get_window_system",
     "PrinterJob",
+    # remote display
+    "RemoteWindowSystem",
+    "RemoteRenderer",
     # core
     "DataObject",
     "View",

@@ -55,7 +55,8 @@ from .geometry import Rect
 from .image import Bitmap
 
 __all__ = ["BATCH_ENV", "enabled", "batch_enabled", "configure",
-           "CommandBuffer"]
+           "CommandBuffer", "OP_NAMES",
+           "FILL", "HLINE", "VLINE", "TEXT", "PIXEL", "BLIT", "COPY"]
 
 BATCH_ENV = "ANDREW_BATCH"
 
@@ -89,8 +90,29 @@ def configure(on: Optional[bool] = None) -> None:
 
 
 # Op kinds.  Ops are small mutable lists so run coalescing can extend
-# the last op in place.
-_FILL, _HLINE, _VLINE, _TEXT, _PIXEL, _BLIT, _COPY = range(7)
+# the last op in place.  The kinds and per-kind layouts below are the
+# stable op schema the remote wire protocol serializes
+# (:mod:`repro.remote.wire`):
+#
+# =======  ==================================================
+# kind     op layout (after the kind tag)
+# =======  ==================================================
+# FILL     ``rect, value``
+# HLINE    ``x0, x1, y, value``
+# VLINE    ``x, y0, y1, value``
+# TEXT     ``x, y, text, font, clip, end_x`` (end_x is a
+#          recording-side coalescing cursor, not replayed)
+# PIXEL    ``x, y, value``
+# BLIT     ``bitmap_snapshot, x, y``
+# COPY     ``rect, dx, dy``
+# =======  ==================================================
+FILL, HLINE, VLINE, TEXT, PIXEL, BLIT, COPY = range(7)
+
+#: Kind tag -> name, for introspection/debugging and wire tooling.
+OP_NAMES = {
+    FILL: "fill", HLINE: "hline", VLINE: "vline", TEXT: "text",
+    PIXEL: "pixel", BLIT: "blit", COPY: "copy",
+}
 
 
 def _merge_fill(a: Rect, b: Rect) -> Optional[Rect]:
@@ -114,6 +136,10 @@ class CommandBuffer:
     def __init__(self, window) -> None:
         self._window = window
         self._ops: List[list] = []
+        # Content-hash intern of blit snapshots for the current frame:
+        # (width, height, pixel bytes) -> the one shared snapshot.
+        # Cleared whenever the op list drains (flush/discard).
+        self._blit_cache: dict = {}
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -138,39 +164,39 @@ class CommandBuffer:
         ops = self._ops
         if ops:
             last = ops[-1]
-            if last[0] == _FILL and last[2] == value:
+            if last[0] == FILL and last[2] == value:
                 merged = _merge_fill(last[1], rect)
                 if merged is not None:
                     last[1] = merged
                     self._note_coalesced()
                     return
-        ops.append([_FILL, rect, value])
+        ops.append([FILL, rect, value])
 
     def record_hline(self, x0: int, x1: int, y: int, value: int) -> None:
         self._note_recorded()
         ops = self._ops
         if ops:
             last = ops[-1]
-            if last[0] == _HLINE and last[3] == y and last[4] == value:
+            if last[0] == HLINE and last[3] == y and last[4] == value:
                 if self._spans_mergeable(last[1], last[2], x0, x1, value):
                     last[1] = min(last[1], x0)
                     last[2] = max(last[2], x1)
                     self._note_coalesced()
                     return
-        ops.append([_HLINE, x0, x1, y, value])
+        ops.append([HLINE, x0, x1, y, value])
 
     def record_vline(self, x: int, y0: int, y1: int, value: int) -> None:
         self._note_recorded()
         ops = self._ops
         if ops:
             last = ops[-1]
-            if last[0] == _VLINE and last[1] == x and last[4] == value:
+            if last[0] == VLINE and last[1] == x and last[4] == value:
                 if self._spans_mergeable(last[2], last[3], y0, y1, value):
                     last[2] = min(last[2], y0)
                     last[3] = max(last[3], y1)
                     self._note_coalesced()
                     return
-        ops.append([_VLINE, x, y0, y1, value])
+        ops.append([VLINE, x, y0, y1, value])
 
     @staticmethod
     def _spans_mergeable(a0: int, a1: int, b0: int, b1: int,
@@ -192,37 +218,61 @@ class CommandBuffer:
         ops = self._ops
         if ops:
             last = ops[-1]
-            if (last[0] == _TEXT and last[2] == y and last[6] == x
+            if (last[0] == TEXT and last[2] == y and last[6] == x
                     and last[4] == font and last[5] == clip):
                 last[3] += text
                 last[6] = end_x
                 self._note_coalesced()
                 return
-        ops.append([_TEXT, x, y, text, font, clip, end_x])
+        ops.append([TEXT, x, y, text, font, clip, end_x])
 
     def record_pixel(self, x: int, y: int, value: int) -> None:
         self._note_recorded()
-        self._ops.append([_PIXEL, x, y, value])
+        self._ops.append([PIXEL, x, y, value])
 
     def record_blit(self, bitmap: Bitmap, x: int, y: int) -> None:
         self._note_recorded()
         # Defensive copy: the frame may mutate the source bitmap after
         # this draw (a later event in the same batch) but before replay.
-        snapshot = bitmap.crop(Rect(0, 0, bitmap.width, bitmap.height))
-        self._ops.append([_BLIT, snapshot, x, y])
+        # Identical contents within one frame intern to a single
+        # snapshot — an animation blitting the same cel N times costs
+        # one copy (and the wire encoder ships the pixels once).  Keyed
+        # by content, so a source mutated between blits still snapshots
+        # fresh.
+        key = (bitmap.width, bitmap.height, bytes(bitmap._bits))
+        snapshot = self._blit_cache.get(key)
+        if snapshot is None:
+            snapshot = bitmap.crop(Rect(0, 0, bitmap.width, bitmap.height))
+            self._blit_cache[key] = snapshot
+        elif obs.metrics_on:
+            obs.registry.inc("wm.blit_snapshots_deduped")
+        self._ops.append([BLIT, snapshot, x, y])
 
     def record_copy_area(self, rect: Rect, dx: int, dy: int) -> None:
         """A same-surface shift.  Never coalesced: the copy reads pixels
         earlier ops in this buffer may still have to produce, and replay
         order alone guarantees it reads them settled."""
         self._note_recorded()
-        self._ops.append([_COPY, rect, dx, dy])
+        self._ops.append([COPY, rect, dx, dy])
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot_ops(self) -> List[list]:
+        """Copies of the pending ops, safe to hold across the flush.
+
+        Run coalescing mutates the *last* recorded op in place, so a
+        consumer that outlives this recording window (the remote wire
+        encoder) gets per-op copies.  Referenced objects (rects, fonts,
+        blit snapshots) are immutable or frame-private and are shared.
+        """
+        return [list(op) for op in self._ops]
 
     # -- draining ------------------------------------------------------
 
     def discard(self) -> None:
         """Drop pending ops (the surface they target was discarded)."""
         self._ops.clear()
+        self._blit_cache.clear()
 
     def flush(self) -> int:
         """Replay every pending op against the device, in order.
@@ -237,25 +287,26 @@ class CommandBuffer:
         if not ops:
             return 0
         self._ops = []
+        self._blit_cache.clear()
         graphic = self._window._raw_graphic()
         base_clip = graphic.clip
         metered = obs.metrics_on
         start = time.perf_counter_ns() if metered else 0
         for op in ops:
             kind = op[0]
-            if kind == _FILL:
+            if kind == FILL:
                 graphic.device_fill_rect(op[1], op[2])
-            elif kind == _TEXT:
+            elif kind == TEXT:
                 graphic.clip = op[5]
                 graphic.device_draw_text(op[1], op[2], op[3], op[4])
                 graphic.clip = base_clip
-            elif kind == _HLINE:
+            elif kind == HLINE:
                 graphic.device_hline(op[1], op[2], op[3], op[4])
-            elif kind == _VLINE:
+            elif kind == VLINE:
                 graphic.device_vline(op[1], op[2], op[3], op[4])
-            elif kind == _PIXEL:
+            elif kind == PIXEL:
                 graphic.device_set_pixel(op[1], op[2], op[3])
-            elif kind == _COPY:
+            elif kind == COPY:
                 graphic.device_copy_area(op[1], op[2], op[3])
             else:
                 graphic.device_blit(op[1], op[2], op[3])

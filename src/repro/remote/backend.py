@@ -1,0 +1,237 @@
+"""``RemoteWindowSystem`` — the seventh-class port (paper §8).
+
+The paper counts six porting classes and ~70 routines for a new
+display server; the remote backend is that port against a *wire*
+instead of a device.  Each window keeps a full local replica (a
+:class:`~repro.wm.ascii_ws.CellSurface` or raster framebuffer — the
+encoder's diff source and the conformance baseline), and at ``flush``
+the frame's recorded ops go through a :class:`~repro.remote.encoder.
+FrameEncoder` and out every attached sink to dumb renderers.
+
+Two deviations from a plain local backend:
+
+* drawables *always* carry a recording buffer (a wire needs ops as
+  data even when ``ANDREW_BATCH`` is off) — conformance already proves
+  batched replay byte-identical to immediate execution, so the local
+  replica is unaffected;
+* the buffer is a :class:`_RecordingBuffer`: any flush — including the
+  compositor's mid-frame ``settle()`` before an offscreen blit —
+  stashes op copies for the encoder before replaying, so the wire sees
+  every op the frame executed, in order.
+
+Select it like any backend: ``ANDREW_WM=remote`` builds one from the
+environment (``ANDREW_REMOTE_TARGET``, ``ANDREW_REMOTE_DELTA``,
+``ANDREW_REMOTE_ADDR=host:port`` for a loopback socket sink).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..graphics import batch
+from ..graphics.fontdesc import FontDesc, FontMetrics
+from ..wm.ascii_ws import AsciiOffscreen, AsciiWindow, _cell_metrics
+from ..wm.base import WindowSystem
+from ..wm.raster_ws import (
+    RasterOffscreen,
+    RasterWindow,
+    RequestCounter,
+    _metrics_for,
+)
+from . import wire
+from .encoder import FrameEncoder, ops_from_batch
+from .transport import FanoutSink, RendererSink, SocketSink, faulty_send
+
+__all__ = ["RemoteWindowSystem", "RemoteAsciiWindow", "RemoteRasterWindow",
+           "REMOTE_TARGET_ENV", "REMOTE_DELTA_ENV", "REMOTE_ADDR_ENV"]
+
+REMOTE_TARGET_ENV = "ANDREW_REMOTE_TARGET"
+REMOTE_DELTA_ENV = "ANDREW_REMOTE_DELTA"
+REMOTE_ADDR_ENV = "ANDREW_REMOTE_ADDR"
+
+
+class _RecordingBuffer(batch.CommandBuffer):
+    """A command buffer that hands the encoder op copies at each drain.
+
+    ``flush`` runs not just at frame boundaries but whenever something
+    must observe settled pixels mid-frame (the compositor settles the
+    window before blitting a backing store into it).  Every drain
+    appends wire-shaped op copies to the window's stash; the window's
+    own ``flush`` encodes the accumulated stash as one frame.
+    ``discard`` (resize) drops ops without stashing — the surface they
+    targeted is gone and the resize keyframe carries the new state.
+    """
+
+    def flush(self) -> int:
+        if self._ops:
+            self._window._wire_stash.extend(
+                ops_from_batch(self.snapshot_ops())
+            )
+        return super().flush()
+
+
+class _RemoteWindowMixin:
+    """The wire-shipping half of a remote window (both targets)."""
+
+    def _init_remote(self) -> None:
+        self.commands = _RecordingBuffer(self)
+        self._wire_stash: List[tuple] = []
+        self._encoder: Optional[FrameEncoder] = None
+        self._sink = FanoutSink()
+
+    def _wrap(self, graphic):
+        # Always record — the wire needs the frame as data even with
+        # ANDREW_BATCH off (replay is proven byte-identical either way).
+        graphic._buffer = self.commands
+        return graphic
+
+    def _wire_surface(self):
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        super().flush()
+        self._ship()
+
+    def _ship(self) -> None:
+        encoder = self._encoder
+        ops = self._wire_stash
+        if encoder is None or not self._sink.sinks:
+            # No viewer: drop the stash; the attach keyframe will carry
+            # whatever state accumulates meanwhile.
+            if ops:
+                self._wire_stash = []
+            return
+        self._wire_stash = []
+        data = encoder.encode(ops, self._wire_surface())
+        if data is not None:
+            faulty_send(self._sink, data)
+
+    def resize(self, width: int, height: int) -> None:
+        self._wire_stash = []  # stashed ops targeted the old surface
+        super().resize(width, height)
+        if self._encoder is not None:
+            self._encoder.resize(width, height)
+
+    def attach_sink(self, sink) -> None:
+        """Add a viewer; the next frame is a keyframe so it can join."""
+        self._sink.add(sink)
+        if self._encoder is not None:
+            self._encoder.request_keyframe()
+
+    def attach_renderer(self, renderer,
+                        chunk_size: Optional[int] = None) -> None:
+        """Attach an in-process renderer (the deterministic pipe)."""
+        self.attach_sink(RendererSink(renderer, chunk_size))
+
+    def detach_sink(self, sink) -> None:
+        self._sink.remove(sink)
+
+    def close(self) -> None:
+        super().close()
+        self._sink.close()
+
+
+class RemoteAsciiWindow(_RemoteWindowMixin, AsciiWindow):
+    """A remote window whose local replica is a cell grid."""
+
+    def __init__(self, title: str, width: int, height: int) -> None:
+        super().__init__(title, width, height)
+        self._init_remote()
+
+    def _wire_surface(self):
+        return self.surface
+
+
+class RemoteRasterWindow(_RemoteWindowMixin, RasterWindow):
+    """A remote window whose local replica is a pixel framebuffer."""
+
+    def __init__(self, title: str, width: int, height: int,
+                 requests: RequestCounter) -> None:
+        super().__init__(title, width, height, requests)
+        self._init_remote()
+
+    def _wire_surface(self):
+        return self.framebuffer
+
+
+class RemoteWindowSystem(WindowSystem):
+    """The wire-shipping window system (``ANDREW_WM=remote``).
+
+    ``target`` names the renderer-side surface type (``ascii`` or
+    ``raster``); the local replica uses the matching local backend's
+    surface, graphic and offscreen classes, so everything above the
+    porting interface behaves exactly as it does locally.  ``sink`` /
+    ``renderer`` seed every window's fan-out list; more viewers attach
+    per window with ``attach_renderer``/``attach_sink``.
+    """
+
+    atk_name = "remotews"
+    name = "remote"
+
+    def __init__(self, target: str = "ascii", *, delta: bool = True,
+                 keyframe_interval: int = 64, sink=None,
+                 renderer=None) -> None:
+        super().__init__()
+        if target not in wire.TARGETS:
+            raise ValueError(f"unknown remote target {target!r}")
+        self.target = target
+        self.delta = delta
+        self.keyframe_interval = keyframe_interval
+        self.requests = RequestCounter()
+        self._seed_sinks: list = []
+        if sink is not None:
+            self._seed_sinks.append(sink)
+        if renderer is not None:
+            self._seed_sinks.append(RendererSink(renderer))
+
+    @classmethod
+    def from_env(cls) -> "RemoteWindowSystem":
+        """Build from ``ANDREW_REMOTE_*`` (the ``ANDREW_WM=remote`` path)."""
+        target = os.environ.get(REMOTE_TARGET_ENV, "ascii").strip() or "ascii"
+        delta_raw = os.environ.get(REMOTE_DELTA_ENV, "1").strip().lower()
+        delta = delta_raw not in {"0", "false", "no", "off"}
+        sink = None
+        addr = os.environ.get(REMOTE_ADDR_ENV, "").strip()
+        if addr:
+            host, _, port = addr.rpartition(":")
+            sink = SocketSink(host or "127.0.0.1", int(port))
+        return cls(target, delta=delta, sink=sink)
+
+    def _make_window(self, title: str, width: int, height: int):
+        if self.target == "ascii":
+            window = RemoteAsciiWindow(title, width, height)
+        else:
+            window = RemoteRasterWindow(title, width, height, self.requests)
+        window._encoder = FrameEncoder(
+            self.target, width, height,
+            delta=self.delta, keyframe_interval=self.keyframe_interval,
+        )
+        for sink in self._seed_sinks:
+            window.attach_sink(sink)
+        return window
+
+    def create_offscreen(self, width: int, height: int):
+        if self.target == "ascii":
+            return AsciiOffscreen(width, height)
+        return RasterOffscreen(width, height, self.requests)
+
+    def _font_metrics(self, desc: FontDesc) -> FontMetrics:
+        if self.target == "ascii":
+            return _cell_metrics(desc)
+        return _metrics_for(desc)
+
+    def stats(self) -> dict:
+        stats = {"windows": len(self.windows), "target": self.target}
+        frames = bytes_sent = keyframes = 0
+        for window in self.windows:
+            encoder = window._encoder
+            if encoder is not None:
+                frames += encoder.frames_sent
+                bytes_sent += encoder.bytes_sent
+                keyframes += encoder.keyframes_sent
+        stats.update(frames_sent=frames, bytes_sent=bytes_sent,
+                     keyframes_sent=keyframes)
+        if self.target == "raster":
+            stats.update(self.requests.counts)
+        return stats

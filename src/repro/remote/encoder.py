@@ -1,0 +1,362 @@
+"""Frame encoding: batch ops -> wire frames, with delta compression.
+
+The encoder consumes the already-settled :class:`CommandBuffer` op list
+at flush (GUI Easy's render-path discipline: no encoder state inside
+stateful draw code) and emits at most one wire frame per window flush.
+
+The correctness anchor is the **shadow surface**: an exact replica of
+the renderer's surface, maintained by applying every emitted frame's
+ops through the *same* :mod:`repro.remote.renderer` appliers the
+client uses.  After predicting, the encoder diffs shadow vs the
+window's actual settled surface and appends repair ops for anything
+the op list missed — the compositor's ``OffscreenWindow.copy_to``
+writes window surfaces directly without recording, so prediction alone
+can't be complete.  With repairs, byte-identity is unconditional.
+
+Frame shapes per mode:
+
+* **keyframe** — the whole surface as one ``grid`` (ascii) or
+  ``snapshot`` (raster) op; emitted on the first frame, on resize, on
+  :meth:`FrameEncoder.request_keyframe` (late-joining viewer), and
+  every ``keyframe_interval`` sent frames so a lossy transport
+  resynchronizes without a back-channel.
+* **delta on, ascii** — scroll ``copy`` ops ship verbatim (a cell diff
+  would re-send every shifted row), then ``cells`` runs carry exactly
+  the cells that differ from the post-scroll shadow — the terminal
+  emits only changed cells.
+* **delta on, raster** — :func:`delta_compress` elides runs of ops
+  unchanged from the previous frame into ``("ref", start, count)``
+  tuples, then ``rowbits`` spans repair prediction gaps.
+* **delta off** — the literal op list plus repair ops.
+
+Unchanged frames (surface identical to shadow, no keyframe due) encode
+to nothing at all: ``encode`` returns ``None`` and the sequence number
+does not advance — essential because event polling flushes constantly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .. import obs
+from ..graphics import batch
+from . import wire
+from .renderer import make_applier
+from .wire import Frame
+
+__all__ = ["ops_from_batch", "delta_compress", "diff_cells",
+           "diff_rowbits", "FrameEncoder"]
+
+
+def ops_from_batch(raw_ops: List[list]) -> List[tuple]:
+    """Batch op lists -> immutable wire op tuples.
+
+    Input is ``CommandBuffer.snapshot_ops()`` output; rects/fonts
+    flatten to scalars and blit snapshots to ``(w, h, bytes)`` so wire
+    ops are hashable (delta matching keys on the tuple).
+    """
+    out: List[tuple] = []
+    for op in raw_ops:
+        kind = op[0]
+        if kind == batch.FILL:
+            rect = op[1]
+            out.append(("fill", rect.left, rect.top,
+                        rect.width, rect.height, op[2]))
+        elif kind == batch.TEXT:
+            clip = op[5]
+            out.append(("text", op[1], op[2], op[3], op[4].spec(),
+                        clip.left, clip.top, clip.width, clip.height))
+        elif kind == batch.HLINE:
+            out.append(("hline", op[1], op[2], op[3], op[4]))
+        elif kind == batch.VLINE:
+            out.append(("vline", op[1], op[2], op[3], op[4]))
+        elif kind == batch.PIXEL:
+            out.append(("pixel", op[1], op[2], op[3]))
+        elif kind == batch.BLIT:
+            bitmap = op[1]
+            out.append(("blit",
+                        (bitmap.width, bitmap.height, bytes(bitmap._bits)),
+                        op[2], op[3]))
+        elif kind == batch.COPY:
+            rect = op[1]
+            out.append(("copy", rect.left, rect.top,
+                        rect.width, rect.height, op[2], op[3]))
+        else:
+            raise ValueError(f"unknown batch op kind {kind!r}")
+    return out
+
+
+_MAX_CANDIDATES = 8
+
+
+def delta_compress(ops: List[tuple],
+                   prev_ops: List[tuple]) -> Tuple[List[tuple], int]:
+    """Elide runs of ops repeated from the previous frame.
+
+    Greedy longest-run: each op indexes its positions in ``prev_ops``
+    (first ``_MAX_CANDIDATES`` occurrences) and the longest contiguous
+    match wins, emitted as ``("ref", start, count)``.  Returns
+    ``(compressed_ops, ops_elided)``.
+    """
+    if not prev_ops:
+        return list(ops), 0
+    index: dict = {}
+    for pos, op in enumerate(prev_ops):
+        slots = index.setdefault(op, [])
+        if len(slots) < _MAX_CANDIDATES:
+            slots.append(pos)
+    out: List[tuple] = []
+    elided = 0
+    i = 0
+    n, m = len(ops), len(prev_ops)
+    while i < n:
+        best_start, best_len = -1, 0
+        for start in index.get(ops[i], ()):
+            length = 0
+            while (i + length < n and start + length < m
+                   and ops[i + length] == prev_ops[start + length]):
+                length += 1
+            if length > best_len:
+                best_start, best_len = start, length
+        if best_len > 0:
+            out.append(("ref", best_start, best_len))
+            elided += best_len
+            i += best_len
+        else:
+            out.append(ops[i])
+            i += 1
+    return out, elided
+
+
+def diff_cells(old, new, max_gap: int = 4) -> Tuple[List[tuple], int]:
+    """Changed-cell runs between two equally sized ``CellSurface``s.
+
+    Per row, changed cells group into runs; gaps of up to ``max_gap``
+    unchanged cells merge into the surrounding run (re-sending a few
+    identical cells is cheaper than another op header).  Returns
+    ``(cells_ops, changed_cell_count)``.
+    """
+    ops: List[tuple] = []
+    changed = 0
+    width = new.width
+    for y in range(new.height):
+        base = y * width
+        row_changed = [
+            x for x in range(width)
+            if (old._chars[base + x] != new._chars[base + x]
+                or old._inverse[base + x] != new._inverse[base + x]
+                or old._bold[base + x] != new._bold[base + x])
+        ]
+        if not row_changed:
+            continue
+        changed += len(row_changed)
+        run_start = prev = row_changed[0]
+        runs = []
+        for x in row_changed[1:]:
+            if x - prev > max_gap + 1:
+                runs.append((run_start, prev))
+                run_start = x
+            prev = x
+        runs.append((run_start, prev))
+        for x0, x1 in runs:
+            count = x1 - x0 + 1
+            chars = "".join(new._chars[base + x0:base + x1 + 1])
+            inverse = wire.pack_bits(new._inverse[base + x0:base + x1 + 1])
+            bold = wire.pack_bits(new._bold[base + x0:base + x1 + 1])
+            ops.append(("cells", y, x0, chars, inverse, bold))
+    return ops, changed
+
+
+def diff_rowbits(old, new) -> List[tuple]:
+    """Changed-row spans between two equally sized ``Bitmap``s.
+
+    One ``rowbits`` op per changed row, spanning the first through last
+    differing pixel.
+    """
+    ops: List[tuple] = []
+    width = new.width
+    for y in range(new.height):
+        base = y * width
+        old_row = old._bits[base:base + width]
+        new_row = new._bits[base:base + width]
+        if old_row == new_row:
+            continue
+        x0 = next(x for x in range(width) if old_row[x] != new_row[x])
+        x1 = next(x for x in range(width - 1, -1, -1)
+                  if old_row[x] != new_row[x])
+        count = x1 - x0 + 1
+        ops.append(("rowbits", y, x0, count,
+                    wire.pack_bits(new_row[x0:x1 + 1])))
+    return ops
+
+
+def _new_shadow(target: str, width: int, height: int):
+    if target == "ascii":
+        from ..wm.ascii_ws import CellSurface
+        return CellSurface(width, height)
+    from ..graphics.image import Bitmap
+    return Bitmap(width, height)
+
+
+class FrameEncoder:
+    """Per-window frame producer with shadow-diff repair.
+
+    ``encode(wire_ops, surface)`` is called once per window flush with
+    that flush's op list (already through :func:`ops_from_batch`) and
+    the settled surface; it returns the encoded frame bytes, or
+    ``None`` when nothing visible changed and no keyframe is due.
+    """
+
+    def __init__(self, target: str, width: int, height: int, *,
+                 delta: bool = True, keyframe_interval: int = 64) -> None:
+        if target not in wire.TARGETS:
+            raise ValueError(f"unknown target {target!r}")
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        self.target = target
+        self.width = width
+        self.height = height
+        self.delta = delta
+        self.keyframe_interval = keyframe_interval
+        self.frames_sent = 0
+        self.keyframes_sent = 0
+        self.bytes_sent = 0
+        self.ops_elided = 0
+        self.cell_diff_cells = 0
+        self._seq = 0
+        self._since_keyframe = 0
+        self._force_keyframe = True
+        self._prev_ops: List[tuple] = []
+        self._shadow = _new_shadow(target, width, height)
+        self._applier = make_applier(target, self._shadow)
+
+    # -- keyframe control ------------------------------------------------
+
+    def request_keyframe(self) -> None:
+        """Force the next frame to be a keyframe (late-joining viewer)."""
+        self._force_keyframe = True
+
+    def resize(self, width: int, height: int) -> None:
+        """The window resized: new shadow, keyframe next."""
+        self.width = width
+        self.height = height
+        self._shadow = _new_shadow(self.target, width, height)
+        self._applier = make_applier(self.target, self._shadow)
+        self._force_keyframe = True
+
+    # -- shadow plumbing -------------------------------------------------
+
+    def _surface_matches_shadow(self, surface) -> bool:
+        shadow = self._shadow
+        if self.target == "ascii":
+            return (shadow._chars == surface._chars
+                    and shadow._inverse == surface._inverse
+                    and shadow._bold == surface._bold)
+        return shadow._bits == surface._bits
+
+    def _sync_shadow(self, surface) -> None:
+        shadow = self._shadow
+        if self.target == "ascii":
+            shadow._chars[:] = list(surface._chars)
+            shadow._inverse[:] = surface._inverse
+            shadow._bold[:] = surface._bold
+        else:
+            shadow._bits[:] = surface._bits
+
+    def _keyframe_ops(self, surface) -> List[tuple]:
+        if self.target == "ascii":
+            return [("grid", "".join(surface._chars),
+                     wire.pack_bits(surface._inverse),
+                     wire.pack_bits(surface._bold))]
+        return [("snapshot",
+                 (surface.width, surface.height, bytes(surface._bits)))]
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(self, wire_ops: List[tuple], surface) -> Optional[bytes]:
+        keyframe_due = (self._force_keyframe
+                        or self._since_keyframe >= self.keyframe_interval)
+        if keyframe_due:
+            out_ops = self._keyframe_ops(surface)
+            elided = diffed = 0
+            keyframe = True
+        elif self.delta:
+            out_ops, elided, diffed = self._delta_ops(wire_ops, surface)
+            if not out_ops:
+                return None  # nothing visible changed
+            keyframe = False
+        else:
+            if not wire_ops and self._surface_matches_shadow(surface):
+                return None
+            out_ops, elided, diffed = self._literal_ops(wire_ops, surface)
+            keyframe = False
+
+        frame = Frame(keyframe=keyframe, seq=self._seq, target=self.target,
+                      width=self.width, height=self.height, ops=out_ops)
+        data = wire.encode_frame(frame)
+        self._seq += 1
+        self._sync_shadow(surface)
+        # What the renderer will hold as "previous ops" for refs.
+        self._prev_ops = (list(out_ops) if keyframe
+                          else wire.expand_refs(out_ops, self._prev_ops))
+        if keyframe:
+            self._force_keyframe = False
+            self._since_keyframe = 0
+            self.keyframes_sent += 1
+        else:
+            self._since_keyframe += 1
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        self.ops_elided += elided
+        self.cell_diff_cells += diffed
+        if obs.metrics_on:
+            obs.registry.inc("remote.frames_sent")
+            if keyframe:
+                obs.registry.inc("remote.keyframes_sent")
+            obs.registry.inc("remote.bytes_sent", len(data))
+            obs.registry.observe_ns("remote.bytes_per_frame", len(data))
+            if elided:
+                obs.registry.inc("remote.ops_elided", elided)
+            if diffed:
+                obs.registry.inc("remote.cell_diff_cells", diffed)
+        return data
+
+    def _delta_ops(self, wire_ops, surface):
+        """Minimal delta frame; empty result means skip the frame."""
+        if self.target == "ascii":
+            # Scrolls ship verbatim (a cell diff would re-send whole
+            # shifted rows); anything after them becomes a cell diff
+            # against the post-scroll shadow.  A copy recorded *after*
+            # a draw can't be split out safely, so that rare shape
+            # falls back to a pure cell diff.
+            copies: List[tuple] = []
+            for op in wire_ops:
+                if op[0] != "copy":
+                    break
+                copies.append(op)
+            if any(op[0] == "copy" for op in wire_ops[len(copies):]):
+                copies = []
+            for op in copies:
+                self._applier.apply(op)
+            cells, diffed = diff_cells(self._shadow, surface)
+            elided = len(wire_ops) - len(copies)
+            return copies + cells, max(0, elided), diffed
+        compressed, elided = delta_compress(wire_ops, self._prev_ops)
+        for op in wire_ops:
+            self._applier.apply(op)
+        repairs = diff_rowbits(self._shadow, surface)
+        return compressed + repairs, elided, 0
+
+    def _literal_ops(self, wire_ops, surface):
+        """The full op list plus shadow-diff repairs (delta off)."""
+        for op in wire_ops:
+            self._applier.apply(op)
+        if self.target == "ascii":
+            repairs, diffed = diff_cells(self._shadow, surface)
+        else:
+            repairs, diffed = diff_rowbits(self._shadow, surface), 0
+        return list(wire_ops) + repairs, 0, diffed
+
+    def __repr__(self) -> str:
+        return (f"<FrameEncoder {self.target} {self.width}x{self.height} "
+                f"delta={self.delta} sent={self.frames_sent}>")

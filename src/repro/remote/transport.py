@@ -1,0 +1,149 @@
+"""Frame sinks: where an encoded frame goes after ``flush``.
+
+A sink is anything with ``send(data: bytes) -> None`` (and an optional
+``close()``).  Three ship with the toolkit:
+
+* :class:`CaptureSink` — collects raw frame bytes in memory; the
+  deterministic in-process pipe benches and golden tests use.
+* :class:`RendererSink` — feeds a :class:`~repro.remote.renderer.
+  RemoteRenderer` directly, optionally through a chunker that splits
+  writes to exercise partial-frame buffering.
+* :class:`SocketSink` — a loopback (or any TCP) socket to a remote
+  renderer process.
+
+Sends cross the ``remote.send`` fault seam
+(:mod:`repro.testing.faultinject`): under an armed ``ANDREW_FAULTS``
+schedule a crossing drops the whole frame (even ordinals) or truncates
+the write (odd ordinals) instead of raising — simulating a lossy
+transport so the chaos suite can prove the renderer resynchronizes at
+the next keyframe.  ``frames_dropped`` counts both.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional
+
+from .. import obs
+from ..testing import faultinject
+
+__all__ = ["CaptureSink", "RendererSink", "SocketSink", "FanoutSink",
+           "faulty_send"]
+
+
+def faulty_send(sink, data: bytes) -> None:
+    """Send ``data`` through ``sink.send`` via the fault seam.
+
+    An injected fault at ``remote.send`` becomes transport loss, not an
+    exception: odd ordinals short-write the first half of the frame,
+    even ordinals drop it entirely.  The sender deliberately does NOT
+    force a keyframe — recovery must come from the renderer's resync
+    scan plus the periodic keyframe, which is the property the chaos
+    tests pin down.
+    """
+    try:
+        faultinject.maybe_raise("remote.send")
+    except faultinject.InjectedFault as fault:
+        if obs.metrics_on:
+            obs.registry.inc("remote.frames_dropped")
+        if fault.ordinal % 2 == 1:
+            sink.send(data[:max(1, len(data) // 2)])
+        return
+    sink.send(data)
+
+
+class CaptureSink:
+    """Collects frames in memory (deterministic tests and benches)."""
+
+    def __init__(self) -> None:
+        self.frames: List[bytes] = []
+        self.closed = False
+
+    def send(self, data: bytes) -> None:
+        self.frames.append(data)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(frame) for frame in self.frames)
+
+    def stream(self) -> bytes:
+        return b"".join(self.frames)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class RendererSink:
+    """The in-process pipe: bytes go straight into a renderer's feed.
+
+    ``chunk_size`` splits each send into smaller writes so tests
+    exercise the renderer's partial-frame buffering on a deterministic
+    transport.
+    """
+
+    def __init__(self, renderer, chunk_size: Optional[int] = None) -> None:
+        self.renderer = renderer
+        self.chunk_size = chunk_size
+
+    def send(self, data: bytes) -> None:
+        if self.chunk_size is None:
+            self.renderer.feed(data)
+            return
+        for start in range(0, len(data), self.chunk_size):
+            self.renderer.feed(data[start:start + self.chunk_size])
+
+    def close(self) -> None:
+        pass
+
+
+class SocketSink:
+    """Frames over a TCP (normally loopback) socket.
+
+    A dead peer is transport loss, not an application error: sends
+    after a failure are dropped silently and ``alive`` goes False.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7788,
+                 *, sock: Optional[socket.socket] = None) -> None:
+        if sock is None:
+            sock = socket.create_connection((host, port))
+        self._sock = sock
+        self.alive = True
+
+    def send(self, data: bytes) -> None:
+        if not self.alive:
+            return
+        try:
+            self._sock.sendall(data)
+        except OSError:
+            self.alive = False
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class FanoutSink:
+    """One sender, N sinks (a session mirrored to many viewers)."""
+
+    def __init__(self, sinks: Optional[list] = None) -> None:
+        self.sinks: list = list(sinks) if sinks else []
+
+    def add(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def remove(self, sink) -> None:
+        self.sinks.remove(sink)
+
+    def send(self, data: bytes) -> None:
+        for sink in self.sinks:
+            sink.send(data)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

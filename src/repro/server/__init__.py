@@ -16,6 +16,7 @@ server loop renders byte-for-byte what the standalone loop renders
 (proved by ``tests/conformance/test_server_matrix.py``).
 """
 
+from .fanout import add_remote_session, attach_viewer, session_window
 from .session import DEFAULT_QUEUE_LIMIT, Session, SessionStats
 from .serverloop import DEFAULT_SLICE_EVENTS, ServerLoop
 from .timerwheel import TimerHandle, TimerWheel
@@ -28,4 +29,7 @@ __all__ = [
     "ServerLoop",
     "TimerHandle",
     "TimerWheel",
+    "add_remote_session",
+    "attach_viewer",
+    "session_window",
 ]

@@ -21,6 +21,11 @@ Seams (each names the third-party code it stands in for):
 ``datastream.read``
     An embedded object's ``read_body`` dying on its own data
     (:meth:`repro.core.datastream.DataStreamReader.read_object`).
+``remote.send``
+    A lossy remote-display transport: the sender turns a crossing into
+    a dropped or short-written frame instead of an exception
+    (:func:`repro.remote.transport.faulty_send`), and the chaos suite
+    proves the renderer resynchronizes at the next keyframe.
 
 Switched on by ``ANDREW_FAULTS=<seed>:<rate>`` (e.g. ``1234:0.05``) or
 at run time with :func:`configure`.  The schedule is a function of the
@@ -52,7 +57,8 @@ __all__ = [
 FAULTS_ENV = "ANDREW_FAULTS"
 
 #: The instrumented seams, for validation and reporting.
-SEAMS = ("view.draw", "wm.device", "observer.notify", "datastream.read")
+SEAMS = ("view.draw", "wm.device", "observer.notify", "datastream.read",
+         "remote.send")
 
 
 class InjectedFault(RuntimeError):

@@ -33,9 +33,17 @@ __all__ = [
 
 WM_ENV_VAR = "ANDREW_WM"
 
+def _remote_from_env() -> WindowSystem:
+    # Imported lazily: repro.remote imports the wm package back.
+    from ..remote.backend import RemoteWindowSystem
+
+    return RemoteWindowSystem.from_env()
+
+
 _FACTORIES: Dict[str, Callable[[], WindowSystem]] = {
     "ascii": AsciiWindowSystem,
     "raster": RasterWindowSystem,
+    "remote": _remote_from_env,
 }
 
 

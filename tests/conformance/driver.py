@@ -38,6 +38,7 @@ __all__ = [
     "gates",
     "inject_op",
     "run_scenario",
+    "run_scenario_remote",
     "run_scenario_server",
     "scenario_ops",
 ]
@@ -235,6 +236,38 @@ def run_scenario_server(make_ws: Callable, ops: List[Tuple], width: int,
         inject_op(app, op)
         loop.run_until_idle()
         prints.append(fingerprint(app["window"]))
+    return prints
+
+
+def run_scenario_remote(target: str, ops: List[Tuple], width: int,
+                        height: int, *, delta: bool = True,
+                        keyframe_interval: int = 64,
+                        chunk_size: int = None) -> List:
+    """:func:`run_scenario`, but rendered by a wire-fed remote client.
+
+    The app runs on a :class:`~repro.remote.RemoteWindowSystem`; every
+    frame is encoded, shipped through the in-process pipe (optionally
+    split into ``chunk_size``-byte writes to exercise partial-frame
+    buffering) and decoded by a dumb :class:`~repro.remote.
+    RemoteRenderer`.  Fingerprints are taken from the **renderer's**
+    replica, so comparing against :func:`run_scenario`'s local baseline
+    proves the whole encode/wire/decode path byte-identical at every
+    step.  The renderer attaches *after* the app's first paint — the
+    late-joiner path — so step 0 also proves keyframe convergence.
+    """
+    from repro.remote import RemoteRenderer, RemoteWindowSystem
+
+    renderer = RemoteRenderer()
+    ws = RemoteWindowSystem(target, delta=delta,
+                            keyframe_interval=keyframe_interval)
+    app = build_app(ws, width, height)
+    app["window"].attach_renderer(renderer, chunk_size)
+    app["window"].flush()
+    prints = [fingerprint(renderer)]
+    for op in ops:
+        apply_op(app, op)
+        app["window"].flush()
+        prints.append(fingerprint(renderer))
     return prints
 
 

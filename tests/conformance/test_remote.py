@@ -1,0 +1,164 @@
+"""The remote matrix: a wire-fed renderer is byte-identical to local.
+
+The same seeded scenario scripts the gate matrix runs are driven
+through a :class:`~repro.remote.RemoteWindowSystem`: every frame is
+encoded, shipped through the in-process pipe and decoded by a dumb
+:class:`~repro.remote.RemoteRenderer`, and after every step the
+*renderer's* replica must be byte-identical to a plain local backend
+run of the same script.  Axes:
+
+* ``ANDREW_BATCH`` x ``ANDREW_COMPOSITOR`` x ``ANDREW_SCROLLBLIT`` —
+  all eight combinations, on both render targets (the compositor's
+  direct surface writes and scroll shift-blits are exactly what the
+  encoder's shadow-diff repair must absorb);
+* delta-encoding off vs on (identity must not depend on compression);
+* a short keyframe interval + chunked 13-byte writes (periodic
+  keyframes and partial-frame buffering must be invisible);
+* a chaos arm: seeded ``remote.send`` faults drop/truncate frames and
+  the renderer must resynchronize at the next keyframe.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import obs
+from repro.testing import faultinject
+from repro.wm.ascii_ws import AsciiWindowSystem
+from repro.wm.raster_ws import RasterWindowSystem
+from tests.randutil import describe_seed, seeded_rng
+
+from .driver import (
+    apply_op,
+    build_app,
+    fingerprint,
+    gates,
+    run_scenario,
+    run_scenario_remote,
+    scenario_ops,
+)
+
+#: target -> (local window system, width, height, steps, seed offset).
+BACKENDS = {
+    "ascii": (AsciiWindowSystem, 70, 20, 60, 0),
+    "raster": (RasterWindowSystem, 100, 56, 36, 5000),
+}
+
+GATE_NAMES = ("batch", "compositor", "scrollblit")
+COMBOS = list(itertools.product((False, True), repeat=3))
+
+
+def _combo_id(combo):
+    on = [name for name, flag in zip(GATE_NAMES, combo) if flag]
+    return "+".join(on) or "all-off"
+
+
+#: Per-target memo of (ops, stepwise local-baseline fingerprints).
+_baselines = {}
+
+
+def _baseline(target):
+    if target not in _baselines:
+        make_ws, width, height, steps, offset = BACKENDS[target]
+        ops = scenario_ops(seeded_rng(offset), steps, width, height)
+        with gates(False, False, metrics_on=False):
+            prints = run_scenario(make_ws, ops, width, height)
+        _baselines[target] = (ops, prints)
+    return _baselines[target]
+
+
+def _compare(target, actual, ops, expected, context):
+    assert len(actual) == len(expected)
+    offset = BACKENDS[target][4]
+    for step, (got, want) in enumerate(zip(actual, expected)):
+        op = ops[step - 1] if step else ("initial paint",)
+        assert got == want, (
+            f"{target} remote run diverged from local baseline at step "
+            f"{step} ({op!r}) [{context}]; {describe_seed(offset)}"
+        )
+
+
+@pytest.mark.parametrize("combo", COMBOS, ids=_combo_id)
+@pytest.mark.parametrize("target", sorted(BACKENDS))
+def test_remote_matches_local_across_gates(target, combo):
+    _, width, height, _steps, _offset = BACKENDS[target]
+    ops, expected = _baseline(target)
+    batch_on, compositor_on, scrollblit_on = combo
+    with gates(batch_on, compositor_on, metrics_on=False,
+               scrollblit=scrollblit_on):
+        actual = run_scenario_remote(target, ops, width, height)
+    _compare(target, actual, ops, expected, f"gates={_combo_id(combo)}")
+
+
+@pytest.mark.parametrize("target", sorted(BACKENDS))
+def test_remote_delta_off_matches_local(target):
+    """Identity must not depend on the compression arm."""
+    _, width, height, _steps, _offset = BACKENDS[target]
+    ops, expected = _baseline(target)
+    with gates(True, True, metrics_on=False):
+        actual = run_scenario_remote(target, ops, width, height,
+                                     delta=False)
+    _compare(target, actual, ops, expected, "delta=off")
+
+
+@pytest.mark.parametrize("target", sorted(BACKENDS))
+def test_remote_keyframes_and_chunked_feed_match_local(target):
+    """Periodic keyframes + 13-byte writes: resync machinery and
+    partial-frame buffering exercised on every step, same bytes out."""
+    _, width, height, _steps, _offset = BACKENDS[target]
+    ops, expected = _baseline(target)
+    with gates(True, True, metrics_on=False):
+        actual = run_scenario_remote(target, ops, width, height,
+                                     keyframe_interval=3, chunk_size=13)
+    _compare(target, actual, ops, expected,
+             "keyframe_interval=3 chunk=13")
+
+
+@pytest.mark.parametrize("target", sorted(BACKENDS))
+def test_remote_resynchronizes_after_transport_faults(target):
+    """Seeded socket drops and short writes: frames are lost mid-run,
+    the renderer never raises, and it converges at a keyframe.
+
+    The sender deliberately does not request a keyframe on a failed
+    send (it has no back-channel); recovery must come from the
+    periodic keyframe alone, so the interval is kept short.
+    """
+    from repro.remote import RemoteRenderer, RemoteWindowSystem
+
+    _, width, height, steps, offset = BACKENDS[target]
+    interval = 4
+    ops = scenario_ops(seeded_rng(offset), steps, width, height)
+    with gates(True, True, metrics_on=True):
+        renderer = RemoteRenderer()
+        ws = RemoteWindowSystem(target, keyframe_interval=interval)
+        app = build_app(ws, width, height)
+        app["window"].attach_renderer(renderer)
+        faultinject.configure(20260807, 0.2, seams=("remote.send",))
+        try:
+            for op in ops:
+                apply_op(app, op)
+                app["window"].flush()
+        finally:
+            faultinject.configure(None)
+        counters = obs.registry.snapshot()["counters"]
+        dropped = counters.get("remote.frames_dropped", 0)
+        assert dropped > 0, (
+            f"chaos arm injected nothing — seam wiring broken; "
+            f"{describe_seed(offset)}"
+        )
+        # Faults off: within one keyframe interval of healthy frames
+        # the renderer must be back in lockstep with the sender.
+        for _ in range(interval + 1):
+            app["window"].inject_expose()
+            app["im"].process_events()
+            app["window"].flush()
+        assert renderer.synchronized, (
+            f"renderer never resynchronized after {dropped} lost frames"
+        )
+        assert fingerprint(renderer) == fingerprint(app["window"]), (
+            f"replica diverged after resync ({dropped} frames lost, "
+            f"{renderer.resyncs} resyncs, {renderer.frames_skipped} "
+            f"skipped); {describe_seed(offset)}"
+        )

@@ -159,6 +159,42 @@ class TestCoalescing:
         buffer.record_fill(Rect(4, 0, 2, 3), 1)
         assert buffer.pending == 3
 
+    def test_repeated_blits_of_one_bitmap_snapshot_once(self):
+        # The latent bug the wire encoder surfaced: record_blit used to
+        # snapshot the source eagerly per call, so an animation blitting
+        # one cel N times copied (and would have wire-encoded) the
+        # pixels N times.  Identical contents now intern per frame.
+        from repro.graphics import Bitmap
+
+        bitmap = Bitmap(4, 4)
+        bitmap.set(1, 1, 1)
+        buffer = CommandBuffer(None)
+        for i in range(5):
+            buffer.record_blit(bitmap, i * 4, 0)
+        snapshots = {id(op[1]) for op in buffer._ops}
+        assert len(snapshots) == 1
+        # A mutation between blits must still snapshot fresh pixels —
+        # the intern keys on content, not identity.
+        bitmap.set(2, 2, 1)
+        buffer.record_blit(bitmap, 20, 0)
+        assert len({id(op[1]) for op in buffer._ops}) == 2
+        assert not buffer._ops[-1][1].get(1, 1) == 0
+        # Draining the buffer clears the intern: the source may mutate
+        # freely between frames.
+        buffer.discard()
+        assert buffer._blit_cache == {}
+
+    def test_blit_dedupe_counts_in_telemetry(self, telemetry):
+        from repro.graphics import Bitmap
+
+        bitmap = Bitmap(2, 2)
+        buffer = CommandBuffer(None)
+        for _ in range(4):
+            buffer.record_blit(bitmap, 0, 0)
+        assert telemetry.snapshot()["counters"][
+            "wm.blit_snapshots_deduped"
+        ] == 3
+
 
 # ---------------------------------------------------------------------------
 # The switch and the telemetry
