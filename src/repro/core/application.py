@@ -24,7 +24,44 @@ from .datastream import DataStreamError, read_document, write_document
 from .im import InteractionManager
 from .view import View
 
-__all__ = ["Application"]
+__all__ = ["Application", "atomic_write_bytes"]
+
+
+def atomic_write_bytes(path, payload: bytes,
+                       _crash: Optional[Callable[[str], None]] = None) -> None:
+    """Write ``payload`` to ``path`` without ever corrupting it.
+
+    The shared crash-safe write: a temporary file in the target
+    directory, fsynced, then moved into place with ``os.replace``; the
+    previous version (if any) survives as ``<path>.bak``.  A crash at
+    any step leaves either the old file, the ``.bak``, or the complete
+    new file — never a truncated one.  ``Application.save_document``
+    and the server supervisor's session checkpoints both write through
+    here.
+
+    ``_crash`` is a test hook: called with a step name (``"tmp"``,
+    ``"bak"``, ``"replace"``) just before that step's rename, so
+    kill-between-steps tests can die at every seam.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o666)
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    if _crash is not None:
+        _crash("tmp")
+    if target.exists():
+        os.replace(target, target.with_name(target.name + ".bak"))
+        if _crash is not None:
+            _crash("bak")
+    os.replace(tmp, target)
+    if _crash is not None:
+        _crash("replace")
+    if obs.metrics_on:
+        obs.registry.inc("io.atomic_saves")
 
 
 class Application(ATKObject):
@@ -105,25 +142,7 @@ class Application(ATKObject):
                 f"document is not 7-bit ASCII: {exc.object[exc.start]!r} "
                 f"at offset {exc.start}"
             ) from exc
-        target = Path(path)
-        tmp = target.with_name(target.name + ".tmp")
-        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o666)
-        try:
-            os.write(fd, payload)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        if _crash is not None:
-            _crash("tmp")
-        if target.exists():
-            os.replace(target, target.with_name(target.name + ".bak"))
-            if _crash is not None:
-                _crash("bak")
-        os.replace(tmp, target)
-        if _crash is not None:
-            _crash("replace")
-        if obs.metrics_on:
-            obs.registry.inc("io.atomic_saves")
+        atomic_write_bytes(path, payload, _crash)
 
     def open_document(self, path, salvage: bool = False) -> DataObject:
         """Read a document; embedded component code loads on demand.

@@ -20,6 +20,10 @@ Layers, bottom up:
   replica cell grid or framebuffer, resynchronizing on loss;
 * :mod:`~repro.remote.transport` — sinks (in-memory capture,
   in-process pipe, loopback socket, fan-out);
+* :mod:`~repro.remote.reconnect` — resumable connections: the
+  reconnecting sink (capped backoff over the ``remote.connect`` fault
+  seam) and the hello/replay seq-resume handshake
+  (``ANDREW_RECONNECT=1``);
 * :mod:`~repro.remote.backend` — :class:`RemoteWindowSystem`, the
   seventh-class port selected by ``ANDREW_WM=remote``.
 """
@@ -33,15 +37,28 @@ from .backend import (
     RemoteWindowSystem,
 )
 from .encoder import FrameEncoder, delta_compress, diff_cells, ops_from_batch
+from .reconnect import RECONNECT_ENV, ReconnectingSink, resume_viewer
 from .renderer import RemoteRenderer
 from .transport import CaptureSink, FanoutSink, RendererSink, SocketSink
-from .wire import Frame, WireError, decode_frame, encode_frame
+from .wire import (
+    Frame,
+    Hello,
+    Ping,
+    WireError,
+    decode_frame,
+    encode_frame,
+    encode_hello,
+    encode_ping,
+)
 
 __all__ = [
     "CaptureSink",
     "FanoutSink",
     "Frame",
     "FrameEncoder",
+    "Hello",
+    "Ping",
+    "ReconnectingSink",
     "RemoteAsciiWindow",
     "RemoteRasterWindow",
     "RemoteRenderer",
@@ -49,6 +66,7 @@ __all__ = [
     "RendererSink",
     "SocketSink",
     "WireError",
+    "RECONNECT_ENV",
     "REMOTE_ADDR_ENV",
     "REMOTE_DELTA_ENV",
     "REMOTE_TARGET_ENV",
@@ -56,5 +74,8 @@ __all__ = [
     "delta_compress",
     "diff_cells",
     "encode_frame",
+    "encode_hello",
+    "encode_ping",
     "ops_from_batch",
+    "resume_viewer",
 ]

@@ -21,7 +21,10 @@ Two deviations from a plain local backend:
 
 Select it like any backend: ``ANDREW_WM=remote`` builds one from the
 environment (``ANDREW_REMOTE_TARGET``, ``ANDREW_REMOTE_DELTA``,
-``ANDREW_REMOTE_ADDR=host:port`` for a loopback socket sink).
+``ANDREW_REMOTE_ADDR=host:port`` for a loopback socket sink;
+``ANDREW_RECONNECT=1`` wraps that socket in a
+:class:`~repro.remote.reconnect.ReconnectingSink` and turns on
+heartbeat pings, making the connection self-healing).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional
 
+from .. import obs
 from ..graphics import batch
 from ..graphics.fontdesc import FontDesc, FontMetrics
 from ..wm.ascii_ws import AsciiOffscreen, AsciiWindow, _cell_metrics
@@ -41,6 +45,7 @@ from ..wm.raster_ws import (
 )
 from . import wire
 from .encoder import FrameEncoder, ops_from_batch
+from .reconnect import ReconnectingSink, reconnect_from_env, resume_viewer
 from .transport import FanoutSink, RendererSink, SocketSink, faulty_send
 
 __all__ = ["RemoteWindowSystem", "RemoteAsciiWindow", "RemoteRasterWindow",
@@ -79,6 +84,11 @@ class _RemoteWindowMixin:
         self._wire_stash: List[tuple] = []
         self._encoder: Optional[FrameEncoder] = None
         self._sink = FanoutSink()
+        #: Heartbeat cadence: after this many consecutive flushes that
+        #: shipped nothing, send one tiny ping (None = heartbeats off).
+        self.ping_every: Optional[int] = None
+        self.pings_sent = 0
+        self._quiet_flushes = 0
 
     def _wrap(self, graphic):
         # Always record — the wire needs the frame as data even with
@@ -105,7 +115,19 @@ class _RemoteWindowMixin:
         self._wire_stash = []
         data = encoder.encode(ops, self._wire_surface())
         if data is not None:
+            self._quiet_flushes = 0
             faulty_send(self._sink, data)
+        elif self.ping_every is not None and encoder.last_seq >= 0:
+            # Idle heartbeat: a dozen bytes proving liveness (and the
+            # sender's position) — deliberately not an encoder frame,
+            # so it never perturbs seq or the byte-budget benches.
+            self._quiet_flushes += 1
+            if self._quiet_flushes >= self.ping_every:
+                self._quiet_flushes = 0
+                self.pings_sent += 1
+                if obs.metrics_on:
+                    obs.registry.inc("remote.pings_sent")
+                faulty_send(self._sink, wire.encode_ping(encoder.last_seq))
 
     def resize(self, width: int, height: int) -> None:
         self._wire_stash = []  # stashed ops targeted the old surface
@@ -113,16 +135,32 @@ class _RemoteWindowMixin:
         if self._encoder is not None:
             self._encoder.resize(width, height)
 
-    def attach_sink(self, sink) -> None:
-        """Add a viewer; the next frame is a keyframe so it can join."""
+    def attach_sink(self, sink, keyframe: bool = True) -> None:
+        """Add a viewer; the next frame is a keyframe so it can join.
+
+        ``keyframe=False`` skips the join keyframe — only correct when
+        the viewer is already synchronized (the seq-resume path, which
+        has just replayed the missed frames into it).
+        """
         self._sink.add(sink)
-        if self._encoder is not None:
+        if keyframe and self._encoder is not None:
             self._encoder.request_keyframe()
 
     def attach_renderer(self, renderer,
                         chunk_size: Optional[int] = None) -> None:
         """Attach an in-process renderer (the deterministic pipe)."""
         self.attach_sink(RendererSink(renderer, chunk_size))
+
+    def resume_renderer(self, renderer,
+                        chunk_size: Optional[int] = None):
+        """Re-attach a rejoining renderer at its last applied seq.
+
+        The hello/replay handshake (:func:`~repro.remote.reconnect.
+        resume_viewer`): history replays the missed frames verbatim
+        when it can, otherwise the next frame is a keyframe.  Returns
+        the attached sink.
+        """
+        return resume_viewer(self, renderer, chunk_size=chunk_size)
 
     def detach_sink(self, sink) -> None:
         self._sink.remove(sink)
@@ -169,15 +207,24 @@ class RemoteWindowSystem(WindowSystem):
     atk_name = "remotews"
     name = "remote"
 
+    #: Heartbeat cadence used when reconnect is enabled and the caller
+    #: did not choose one: one ping per this many quiet flushes.
+    DEFAULT_PING_EVERY = 16
+
     def __init__(self, target: str = "ascii", *, delta: bool = True,
                  keyframe_interval: int = 64, sink=None,
-                 renderer=None) -> None:
+                 renderer=None,
+                 ping_every: Optional[int] = None,
+                 resume_window: int = FrameEncoder.DEFAULT_RESUME_WINDOW,
+                 ) -> None:
         super().__init__()
         if target not in wire.TARGETS:
             raise ValueError(f"unknown remote target {target!r}")
         self.target = target
         self.delta = delta
         self.keyframe_interval = keyframe_interval
+        self.ping_every = ping_every
+        self.resume_window = resume_window
         self.requests = RequestCounter()
         self._seed_sinks: list = []
         if sink is not None:
@@ -187,16 +234,30 @@ class RemoteWindowSystem(WindowSystem):
 
     @classmethod
     def from_env(cls) -> "RemoteWindowSystem":
-        """Build from ``ANDREW_REMOTE_*`` (the ``ANDREW_WM=remote`` path)."""
+        """Build from ``ANDREW_REMOTE_*`` (the ``ANDREW_WM=remote`` path).
+
+        With ``ANDREW_RECONNECT=1`` the socket sink becomes a
+        :class:`~repro.remote.reconnect.ReconnectingSink` (lazy
+        connect, capped backoff, automatic keyframe on reconnect) and
+        heartbeat pings default on.
+        """
         target = os.environ.get(REMOTE_TARGET_ENV, "ascii").strip() or "ascii"
         delta_raw = os.environ.get(REMOTE_DELTA_ENV, "1").strip().lower()
         delta = delta_raw not in {"0", "false", "no", "off"}
         sink = None
+        ping_every = None
         addr = os.environ.get(REMOTE_ADDR_ENV, "").strip()
         if addr:
             host, _, port = addr.rpartition(":")
-            sink = SocketSink(host or "127.0.0.1", int(port))
-        return cls(target, delta=delta, sink=sink)
+            host = host or "127.0.0.1"
+            if reconnect_from_env():
+                sink = ReconnectingSink(
+                    lambda h=host, p=int(port): SocketSink(h, p),
+                    name=f"{host}:{port}")
+                ping_every = cls.DEFAULT_PING_EVERY
+            else:
+                sink = SocketSink(host, int(port))
+        return cls(target, delta=delta, sink=sink, ping_every=ping_every)
 
     def _make_window(self, title: str, width: int, height: int):
         if self.target == "ascii":
@@ -206,9 +267,17 @@ class RemoteWindowSystem(WindowSystem):
         window._encoder = FrameEncoder(
             self.target, width, height,
             delta=self.delta, keyframe_interval=self.keyframe_interval,
+            resume_window=self.resume_window,
         )
+        window.ping_every = self.ping_every
         for sink in self._seed_sinks:
             window.attach_sink(sink)
+            # A reconnecting seed sink should ask this window for a
+            # fresh keyframe every time its transport comes back.
+            if isinstance(sink, ReconnectingSink) and sink.on_connect is None:
+                encoder = window._encoder
+                sink.on_connect = (
+                    lambda _s, _e=encoder: _e.request_keyframe())
         return window
 
     def create_offscreen(self, width: int, height: int):

@@ -32,11 +32,20 @@ Frame shapes per mode:
 Unchanged frames (surface identical to shadow, no keyframe due) encode
 to nothing at all: ``encode`` returns ``None`` and the sequence number
 does not advance — essential because event polling flushes constantly.
+
+For resumable connections the encoder also keeps a bounded **frame
+history** (the last ``resume_window`` encoded frames, verbatim).  A
+renderer rejoining with *last applied seq N* gets exactly the frames
+it missed replayed from history (:meth:`FrameEncoder.resume_frames`)
+— byte-identical to having never disconnected — or ``None`` when the
+gap fell out of the window, in which case the caller falls back to
+:meth:`FrameEncoder.request_keyframe`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import collections
+from typing import Deque, List, Optional, Tuple
 
 from .. import obs
 from ..graphics import batch
@@ -207,8 +216,13 @@ class FrameEncoder:
     ``None`` when nothing visible changed and no keyframe is due.
     """
 
+    #: Encoded frames retained for seq-based resume.  Small on purpose:
+    #: a rejoiner further behind than this gets a keyframe instead.
+    DEFAULT_RESUME_WINDOW = 32
+
     def __init__(self, target: str, width: int, height: int, *,
-                 delta: bool = True, keyframe_interval: int = 64) -> None:
+                 delta: bool = True, keyframe_interval: int = 64,
+                 resume_window: int = DEFAULT_RESUME_WINDOW) -> None:
         if target not in wire.TARGETS:
             raise ValueError(f"unknown target {target!r}")
         if keyframe_interval < 1:
@@ -229,12 +243,56 @@ class FrameEncoder:
         self._prev_ops: List[tuple] = []
         self._shadow = _new_shadow(target, width, height)
         self._applier = make_applier(target, self._shadow)
+        #: (seq, encoded bytes) of the most recent frames, oldest first.
+        self._history: Deque[Tuple[int, bytes]] = collections.deque(
+            maxlen=max(0, resume_window))
 
     # -- keyframe control ------------------------------------------------
 
     def request_keyframe(self) -> None:
         """Force the next frame to be a keyframe (late-joining viewer)."""
         self._force_keyframe = True
+
+    def stretch_keyframes(self, factor: int) -> None:
+        """Degraded mode: multiply the keyframe interval (idempotent).
+
+        Keyframes are the bursty bytes; a loaded server stretches them
+        to shed bandwidth before any input is refused.  The base
+        interval is remembered so :meth:`restore_keyframes` snaps back.
+        """
+        if getattr(self, "_base_keyframe_interval", None) is None:
+            self._base_keyframe_interval = self.keyframe_interval
+        self.keyframe_interval = max(
+            1, self._base_keyframe_interval * max(1, factor))
+
+    def restore_keyframes(self) -> None:
+        """Leave degraded mode: restore the configured keyframe interval."""
+        base = getattr(self, "_base_keyframe_interval", None)
+        if base is not None:
+            self.keyframe_interval = base
+            self._base_keyframe_interval = None
+
+    # -- seq-based resume ------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the most recently sent frame (-1 before the first)."""
+        return self._seq - 1
+
+    def resume_frames(self, last_seq: int) -> Optional[List[bytes]]:
+        """The verbatim frames a rejoiner missed after ``last_seq``.
+
+        Returns ``[]`` when the renderer is already current, the missed
+        frames oldest-first when they are still in the history window,
+        or ``None`` when the gap is unservable (too old, or a fresh
+        renderer) — the caller then falls back to a keyframe.
+        """
+        if last_seq >= self.last_seq:
+            return []
+        if last_seq < 0 or not self._history \
+                or self._history[0][0] > last_seq + 1:
+            return None
+        return [data for seq, data in self._history if seq > last_seq]
 
     def resize(self, width: int, height: int) -> None:
         """The window resized: new shadow, keyframe next."""
@@ -294,6 +352,7 @@ class FrameEncoder:
         frame = Frame(keyframe=keyframe, seq=self._seq, target=self.target,
                       width=self.width, height=self.height, ops=out_ops)
         data = wire.encode_frame(frame)
+        self._history.append((frame.seq, data))
         self._seq += 1
         self._sync_shadow(surface)
         # What the renderer will hold as "previous ops" for refs.

@@ -197,6 +197,9 @@ class RemoteRenderer:
         self.frames_skipped = 0
         self.resyncs = 0
         self.bytes_received = 0
+        self.pings_received = 0
+        #: Sender's last shipped seq as of the latest ping (liveness).
+        self.last_ping_seq: Optional[int] = None
         self.last_seq: Optional[int] = None
         self._on_frame = on_frame
         self._buffer = bytearray()
@@ -245,7 +248,19 @@ class RemoteRenderer:
 
     # -- frame application ----------------------------------------------
 
-    def _handle(self, frame: wire.Frame) -> bool:
+    def _handle(self, frame) -> bool:
+        if isinstance(frame, wire.Ping):
+            # Liveness only: note the sender's position, touch nothing
+            # else — a ping between deltas must not break the seq chain.
+            self.pings_received += 1
+            self.last_ping_seq = frame.seq
+            if obs.metrics_on:
+                obs.registry.inc("remote.pings_received")
+            return False
+        if isinstance(frame, wire.Hello):
+            # Hellos flow renderer -> server; one arriving here is a
+            # misdirected stream, not corruption.  Ignore it.
+            return False
         if frame.keyframe:
             return self._apply_keyframe(frame)
         if (self._awaiting_keyframe
@@ -308,6 +323,17 @@ class RemoteRenderer:
     def synchronized(self) -> bool:
         """True when the replica tracks the sender's frame sequence."""
         return not self._awaiting_keyframe
+
+    def hello(self) -> bytes:
+        """The resume handshake this renderer would send on (re)attach.
+
+        Encodes the last seq actually *applied* while synchronized
+        (``-1`` for a fresh or desynchronized replica, which asks for a
+        keyframe) — the server replays everything after it.
+        """
+        last = self.last_seq if self.synchronized and \
+            self.last_seq is not None else -1
+        return wire.encode_hello(last)
 
     def flush(self) -> None:
         """No-op: a replica is always settled (fingerprint parity)."""

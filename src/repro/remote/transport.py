@@ -99,24 +99,40 @@ class RendererSink:
 class SocketSink:
     """Frames over a TCP (normally loopback) socket.
 
-    A dead peer is transport loss, not an application error: sends
-    after a failure are dropped silently and ``alive`` goes False.
+    A dead peer is transport loss, not an application error — but not
+    *silent* loss: the first failed send counts ``remote.send_errors``,
+    records the exception on :attr:`last_error`, closes the socket
+    (writing to a dead file descriptor helps nobody) and flips
+    :attr:`alive`; ``on_broken`` (if set) fires exactly once so a
+    reconnect layer can take over.  Later sends drop without another
+    syscall.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7788,
-                 *, sock: Optional[socket.socket] = None) -> None:
+                 *, sock: Optional[socket.socket] = None,
+                 on_broken=None) -> None:
         if sock is None:
             sock = socket.create_connection((host, port))
         self._sock = sock
         self.alive = True
+        self.send_errors = 0
+        self.last_error: Optional[OSError] = None
+        #: Called once, with this sink, when the first send fails.
+        self.on_broken = on_broken
 
     def send(self, data: bytes) -> None:
         if not self.alive:
             return
         try:
             self._sock.sendall(data)
-        except OSError:
-            self.alive = False
+        except OSError as exc:
+            self.send_errors += 1
+            self.last_error = exc
+            if obs.metrics_on:
+                obs.registry.inc("remote.send_errors")
+            self.close()
+            if self.on_broken is not None:
+                self.on_broken(self)
 
     def close(self) -> None:
         self.alive = False

@@ -1,4 +1,4 @@
-"""The remote display wire format (version 1).
+"""The remote display wire format (version 2).
 
 One *frame* is everything a window's :meth:`flush` produced: the
 coalesced :class:`~repro.graphics.batch.CommandBuffer` op list plus any
@@ -10,7 +10,7 @@ stream and recover from corruption at the next keyframe:
 field              encoding
 =================  ====================================================
 magic              ``b"AW"``
-version            varint (this module speaks exactly ``1``)
+version            varint (this module speaks exactly ``2``)
 payload length     varint (bytes; bounded by ``MAX_FRAME_BYTES``)
 payload            see below
 checksum           CRC-32 of the payload, 4 bytes little-endian
@@ -22,6 +22,21 @@ Payload::
     | width | height
     | string table | font table | bitmap table
     | op count | ops...
+
+Version 2 adds two tiny *control* frames sharing the same envelope
+(magic/version/length/CRC), distinguished by the frame-type byte:
+
+``ping`` (type 3)
+    ``seq`` varint — the sender's last shipped display seq.  A
+    liveness heartbeat: it proves the connection and tells an idle
+    renderer what seq it should be caught up to.  Carries no display
+    ops and never disturbs renderer synchronization.
+``hello`` (type 4)
+    ``last_seq`` zigzag varint — sent *renderer → server* on
+    (re)attach: the last display seq the renderer applied, ``-1`` for
+    a fresh renderer that has applied nothing.  The server answers by
+    replaying the missed frames verbatim from its history (seq-based
+    resume) or, when the gap is out of window, with a fresh keyframe.
 
 Integers are unsigned LEB128 varints; values that can be negative
 (coordinates, fill values — ``-1`` means invert) are zigzag-encoded
@@ -63,7 +78,9 @@ fuzzes exactly that contract.
 Versioning rule: any change to the layout above (a new opcode, a field
 reordering, a different intern scheme) bumps :data:`VERSION`; decoders
 reject other versions with a typed error so a stale renderer fails
-loudly rather than misrendering.
+loudly rather than misrendering.  The ping/hello control frames are
+exactly such a change: version 1 decoders reject a version-2 stream at
+the first envelope rather than choking on an unknown frame type.
 """
 
 from __future__ import annotations
@@ -77,8 +94,12 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "TARGETS",
     "Frame",
+    "Hello",
+    "Ping",
     "WireError",
     "encode_frame",
+    "encode_hello",
+    "encode_ping",
     "decode_frame",
     "expand_refs",
     "pack_bits",
@@ -86,7 +107,7 @@ __all__ = [
 ]
 
 MAGIC = b"AW"
-VERSION = 1
+VERSION = 2
 
 #: Upper bound on one frame's payload; anything claiming more is
 #: corrupt by definition (a full 4096x4096 raster keyframe packs to
@@ -97,7 +118,7 @@ MAX_FRAME_BYTES = 1 << 24
 TARGETS = {"ascii": 0x41, "raster": 0x52}  # 'A' / 'R'
 _TARGET_BY_TAG = {tag: name for name, tag in TARGETS.items()}
 
-_KEYFRAME, _DELTA = 1, 2
+_KEYFRAME, _DELTA, _PING, _HELLO = 1, 2, 3, 4
 
 #: Sanity caps: table/op counts and surface dimensions beyond these are
 #: treated as corruption rather than honoured with huge allocations.
@@ -151,6 +172,36 @@ class Frame:
             f"<Frame {kind} seq={self.seq} {self.target} "
             f"{self.width}x{self.height} ops={len(self.ops)}>"
         )
+
+
+class Ping:
+    """Liveness heartbeat (server → renderer): no ops, just a seq."""
+
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Ping) and self.seq == other.seq
+
+    def __repr__(self) -> str:
+        return f"<Ping seq={self.seq}>"
+
+
+class Hello:
+    """Resume handshake (renderer → server): last applied seq, -1=fresh."""
+
+    __slots__ = ("last_seq",)
+
+    def __init__(self, last_seq: int) -> None:
+        self.last_seq = last_seq
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Hello) and self.last_seq == other.last_seq
+
+    def __repr__(self) -> str:
+        return f"<Hello last_seq={self.last_seq}>"
 
 
 # ---------------------------------------------------------------------------
@@ -451,12 +502,35 @@ def encode_frame(frame: Frame) -> bytes:
 
     if len(final) > MAX_FRAME_BYTES:
         raise WireError(f"frame payload {len(final)} exceeds cap")
+    return _seal(final)
+
+
+def _seal(payload: bytearray) -> bytes:
+    """Wrap one payload in the envelope: magic, version, length, CRC."""
     out = bytearray(MAGIC)
     _write_varint(out, VERSION)
-    _write_varint(out, len(final))
-    out += final
-    out += (zlib.crc32(final) & 0xFFFFFFFF).to_bytes(4, "little")
+    _write_varint(out, len(payload))
+    out += payload
+    out += (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little")
     return bytes(out)
+
+
+def encode_ping(seq: int) -> bytes:
+    """Serialize a liveness :class:`Ping` (a dozen bytes on the wire)."""
+    if seq < 0:
+        raise WireError(f"negative ping seq {seq}")
+    payload = bytearray([_PING])
+    _write_varint(payload, seq)
+    return _seal(payload)
+
+
+def encode_hello(last_seq: int) -> bytes:
+    """Serialize a resume :class:`Hello` (``last_seq`` -1 = fresh)."""
+    if last_seq < -1:
+        raise WireError(f"hello last_seq {last_seq} below -1")
+    payload = bytearray([_HELLO])
+    _write_svarint(payload, last_seq)
+    return _seal(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -560,7 +634,9 @@ def decode_frame(data: bytes, offset: int = 0, *,
                  partial: bool = False) -> Optional[Tuple[Frame, int]]:
     """Decode one frame starting at ``offset``.
 
-    Returns ``(frame, next_offset)``.  With ``partial=True`` (stream
+    Returns ``(frame, next_offset)`` where ``frame`` is a
+    :class:`Frame`, or a :class:`Ping`/:class:`Hello` control frame
+    (match on type).  With ``partial=True`` (stream
     consumption), returns ``None`` when the buffer holds a valid
     *prefix* of a frame that more bytes could complete; definite
     corruption still raises :class:`WireError`.  With ``partial=False``
@@ -616,6 +692,18 @@ def decode_frame(data: bytes, offset: int = 0, *,
 
     cur = _Cursor(payload, 0, len(payload))
     frame_type = cur.read_u8()
+    if frame_type == _PING:
+        ping = Ping(cur.read_varint())
+        if cur.remaining():
+            raise WireError(f"{cur.remaining()} trailing bytes in ping")
+        return ping, end + 4
+    if frame_type == _HELLO:
+        hello = Hello(cur.read_svarint())
+        if hello.last_seq < -1:
+            raise WireError(f"hello last_seq {hello.last_seq} below -1")
+        if cur.remaining():
+            raise WireError(f"{cur.remaining()} trailing bytes in hello")
+        return hello, end + 4
     if frame_type not in (_KEYFRAME, _DELTA):
         raise WireError(f"unknown frame type {frame_type}")
     seq = cur.read_varint()

@@ -14,22 +14,46 @@ The rendering contract is unchanged — ``process_events`` remains the
 synchronous inner drain each slice calls — so a session hosted by the
 server loop renders byte-for-byte what the standalone loop renders
 (proved by ``tests/conformance/test_server_matrix.py``).
+
+Above the loop sits the supervision layer
+(:class:`~repro.server.supervisor.Supervisor`): a slice watchdog, a
+contain → restart-from-checkpoint → sticky-dead crash ladder with
+deterministic backoff, and periodic document checkpoints through the
+toolkit's atomic-save machinery — so a crashed session comes back with
+its document intact instead of parking on ``last_error`` forever.
 """
 
-from .fanout import add_remote_session, attach_viewer, session_window
+from .fanout import (
+    add_remote_session,
+    attach_viewer,
+    resume_viewer,
+    session_window,
+)
 from .session import DEFAULT_QUEUE_LIMIT, Session, SessionStats
-from .serverloop import DEFAULT_SLICE_EVENTS, ServerLoop
+from .serverloop import AdmissionRefused, DEFAULT_SLICE_EVENTS, ServerLoop
+from .supervisor import (
+    DocumentBinding,
+    SupervisedEntry,
+    Supervisor,
+    SupervisorPolicy,
+)
 from .timerwheel import TimerHandle, TimerWheel
 
 __all__ = [
+    "AdmissionRefused",
     "DEFAULT_QUEUE_LIMIT",
     "DEFAULT_SLICE_EVENTS",
+    "DocumentBinding",
     "Session",
     "SessionStats",
     "ServerLoop",
+    "SupervisedEntry",
+    "Supervisor",
+    "SupervisorPolicy",
     "TimerHandle",
     "TimerWheel",
     "add_remote_session",
     "attach_viewer",
+    "resume_viewer",
     "session_window",
 ]

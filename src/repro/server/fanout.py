@@ -22,7 +22,8 @@ from ..remote.renderer import RemoteRenderer
 from .serverloop import ServerLoop
 from .session import DEFAULT_QUEUE_LIMIT, Session
 
-__all__ = ["add_remote_session", "attach_viewer", "session_window"]
+__all__ = ["add_remote_session", "attach_viewer", "resume_viewer",
+           "session_window"]
 
 
 def add_remote_session(loop: ServerLoop, *,
@@ -63,4 +64,16 @@ def attach_viewer(session: Session, renderer: RemoteRenderer,
     renderer for chaining.
     """
     session_window(session).attach_renderer(renderer, chunk_size)
+    return renderer
+
+
+def resume_viewer(session: Session, renderer: RemoteRenderer,
+                  chunk_size: Optional[int] = None) -> RemoteRenderer:
+    """Re-attach a disconnected viewer, resuming at its last seq.
+
+    The hello/replay handshake: missed frames replay verbatim from the
+    encoder's history when the gap is in window, else the next flush
+    keyframes.  Returns the renderer for chaining.
+    """
+    session_window(session).resume_renderer(renderer, chunk_size)
     return renderer

@@ -31,7 +31,22 @@ Scheduling policy
   inside the IM; anything that still escapes a session's drain is
   contained at the session boundary (``server.session_errors``,
   ``Session.last_error``) and the cycle moves on — one broken session
-  never stalls another.
+  never stalls another.  With a :class:`~repro.server.supervisor.
+  Supervisor` attached, containment is no longer terminal: the crash
+  climbs the supervision ladder (contain → restart-from-checkpoint →
+  sticky-dead) and slow slices feed the watchdog.
+* **Admission control.**  ``admission_limit`` caps the fleet; past it
+  :meth:`add_session` raises the *typed* :class:`AdmissionRefused`
+  (and counts ``server.admission_refused``) instead of degrading every
+  existing session — refusing late is the one thing a loaded server
+  must never do implicitly.  Supervisor restarts re-enter with
+  ``readmit=True``: a restarting session was already admitted.
+* **Graceful degradation.**  When total queued input crosses
+  ``degrade_high_water`` the loop enters degraded mode: remote
+  encoders stretch their keyframe interval (keyframes are the bursty
+  bytes) and the repaint budget tightens, trading fidelity headroom
+  for throughput *before* backpressure starts refusing events.
+  Hysteresis (``degrade_low_water``) keeps it from flapping.
 
 :meth:`ServerLoop.run` is the asyncio driver: it awaits between
 cycles, so producers submitting input from asyncio tasks (network
@@ -52,9 +67,10 @@ from .. import obs
 from ..core.im import InteractionManager
 from ..wm.base import WindowSystem
 from .session import DEFAULT_QUEUE_LIMIT, Session
+from .supervisor import Supervisor, supervise_from_env
 from .timerwheel import TimerHandle, TimerWheel
 
-__all__ = ["ServerLoop", "DEFAULT_SLICE_EVENTS"]
+__all__ = ["AdmissionRefused", "ServerLoop", "DEFAULT_SLICE_EVENTS"]
 
 #: Events a session may drain per scheduling slice.  Small enough that
 #: a cycle over a mostly-idle fleet is dominated by ready sessions;
@@ -62,13 +78,37 @@ __all__ = ["ServerLoop", "DEFAULT_SLICE_EVENTS"]
 #: lands in one or two slices.
 DEFAULT_SLICE_EVENTS = 8
 
+#: Exited-with-error sessions retained for ``fleet_stats`` (bounded so
+#: a crash storm cannot grow the ledger without limit).
+EXITED_LEDGER_LIMIT = 64
+
+
+class AdmissionRefused(RuntimeError):
+    """Typed refusal: the fleet is at its admission limit.
+
+    Carries the limit so the caller (a connection acceptor, a test)
+    can report or retry without parsing the message.
+    """
+
+    def __init__(self, session_id: str, limit: int) -> None:
+        self.session_id = session_id
+        self.limit = limit
+        super().__init__(
+            f"session {session_id!r} refused: fleet at admission "
+            f"limit {limit}")
+
 
 class ServerLoop:
     """Fair, cooperative scheduler for many sessions in one process."""
 
     def __init__(self, *, slice_events: int = DEFAULT_SLICE_EVENTS,
                  cycle_budget_ns: Optional[int] = None,
-                 wheel_slots: int = 256) -> None:
+                 wheel_slots: int = 256,
+                 admission_limit: Optional[int] = None,
+                 degrade_high_water: Optional[int] = None,
+                 degrade_low_water: Optional[int] = None,
+                 degrade_keyframe_factor: int = 4,
+                 degrade_budget_divisor: int = 2) -> None:
         self.slice_events = max(1, int(slice_events))
         self.cycle_budget_ns = cycle_budget_ns
         self.wheel = TimerWheel(wheel_slots)
@@ -76,6 +116,23 @@ class ServerLoop:
         self._rr: Deque[str] = collections.deque()
         self.cycles = 0
         self._serial = 0
+        self.admission_limit = admission_limit
+        self.degrade_high_water = degrade_high_water
+        self.degrade_low_water = (
+            degrade_low_water if degrade_low_water is not None
+            else (degrade_high_water // 2 if degrade_high_water else None))
+        self.degrade_keyframe_factor = max(1, degrade_keyframe_factor)
+        self.degrade_budget_divisor = max(1, degrade_budget_divisor)
+        self.degraded = False
+        #: Sessions removed while carrying an error (bounded ledger, so
+        #: a crashed session's last_error survives its removal).
+        self._exited: Deque[dict] = collections.deque(
+            maxlen=EXITED_LEDGER_LIMIT)
+        #: Set by :class:`~repro.server.supervisor.Supervisor` when one
+        #: attaches; ``ANDREW_SUPERVISE=1`` builds one automatically.
+        self.supervisor = None
+        if supervise_from_env():
+            Supervisor(self)
 
     # ------------------------------------------------------------------
     # Fleet management
@@ -89,8 +146,15 @@ class ServerLoop:
                     im: Optional[InteractionManager] = None,
                     window_system: Optional[WindowSystem] = None,
                     width: int = 80, height: int = 24,
-                    queue_limit: int = DEFAULT_QUEUE_LIMIT) -> Session:
-        """Register a session (or build one around ``im``/``window_system``)."""
+                    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                    readmit: bool = False) -> Session:
+        """Register a session (or build one around ``im``/``window_system``).
+
+        Past ``admission_limit`` the fleet refuses with the typed
+        :class:`AdmissionRefused` — unless ``readmit`` is set, which is
+        how supervisor restarts re-enter: that seat was already paid
+        for when the session was first admitted.
+        """
         if session is None:
             if session_id is None:
                 self._serial += 1
@@ -101,6 +165,14 @@ class ServerLoop:
             )
         if session.id in self._sessions:
             raise ValueError(f"duplicate session id {session.id!r}")
+        if (
+            self.admission_limit is not None and not readmit
+            and len(self._sessions) >= self.admission_limit
+        ):
+            if obs.metrics_on:
+                obs.registry.inc("server.admission_refused")
+            raise AdmissionRefused(session.id, self.admission_limit)
+        session.created_cycle = self.cycles
         self._sessions[session.id] = session
         self._rr.append(session.id)
         if obs.metrics_on:
@@ -114,6 +186,18 @@ class ServerLoop:
             self._rr.remove(session_id)
         except ValueError:
             pass
+        if session.last_error is not None or session.stats.errors:
+            # Keep the crashed session's post-mortem: close() releases
+            # the window, but the error, crash count and age must stay
+            # visible in fleet_stats after the session is gone.
+            self._exited.append({
+                "id": session.id,
+                "last_error": repr(session.last_error)
+                if session.last_error is not None else None,
+                "errors": session.stats.errors,
+                "age_cycles": self.cycles - session.created_cycle,
+                "events_processed": session.stats.events_processed,
+            })
         if close:
             session.close()
         if obs.metrics_on:
@@ -169,19 +253,25 @@ class ServerLoop:
         """
         self.cycles += 1
         self.wheel.advance(1)
+        self._update_pressure()
         order = list(self._rr)
         if self._rr:
             self._rr.rotate(-1)
         handled = 0
         deferred = 0
-        start = time.perf_counter_ns() if self.cycle_budget_ns else 0
+        budget = self.cycle_budget_ns
+        if budget is not None and self.degraded:
+            # Degraded mode also tightens the repaint budget: defer
+            # earlier, keep the cycle short, drain queues faster.
+            budget //= self.degrade_budget_divisor
+        start = time.perf_counter_ns() if budget else 0
         for session_id in order:
             session = self._sessions.get(session_id)
             if session is None or not session.ready:
                 continue
             if (
-                self.cycle_budget_ns is not None
-                and time.perf_counter_ns() - start >= self.cycle_budget_ns
+                budget is not None
+                and time.perf_counter_ns() - start >= budget
             ):
                 # Budget exhausted: the rest wait one cycle.  Rotation
                 # puts them at the head next time, so deferral spreads
@@ -198,22 +288,86 @@ class ServerLoop:
                 session.stats.errors += 1
                 if obs.metrics_on:
                     obs.registry.inc("server.session_errors")
+                if self.supervisor is not None:
+                    self.supervisor.on_crash(session, exc)
+            else:
+                if self.supervisor is not None:
+                    self.supervisor.note_slice(
+                        session, session.stats.last_slice_ns)
         if obs.metrics_on:
             obs.registry.inc("server.cycles")
             if deferred:
                 obs.registry.inc("server.cycle_deferred", deferred)
+            if self.degraded:
+                obs.registry.inc("server.degraded_cycles")
         return handled
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (load shedding that starts with fidelity)
+    # ------------------------------------------------------------------
+
+    def queued_events(self) -> int:
+        """Total input waiting across the fleet (the pressure signal)."""
+        return sum(s.queue_depth() for s in self._sessions.values())
+
+    def _update_pressure(self) -> None:
+        if self.degrade_high_water is None:
+            return
+        depth = self.queued_events()
+        if not self.degraded and depth >= self.degrade_high_water:
+            self.degraded = True
+            self._stretch_encoders()
+            if obs.metrics_on:
+                obs.registry.inc("server.degrade_entered")
+                obs.registry.gauge("server.degraded", 1)
+        elif self.degraded and depth <= (self.degrade_low_water or 0):
+            self.degraded = False
+            self._restore_encoders()
+            if obs.metrics_on:
+                obs.registry.gauge("server.degraded", 0)
+
+    def _remote_encoders(self):
+        for session in self._sessions.values():
+            encoder = getattr(session.im.window, "_encoder", None)
+            if encoder is not None:
+                yield encoder
+
+    def _stretch_encoders(self) -> None:
+        # Keyframes are the bursty bytes on the wire; under pressure a
+        # longer keyframe interval sheds bandwidth before any event is
+        # refused.  Sessions on local backends have no encoder and are
+        # naturally unaffected.
+        for encoder in self._remote_encoders():
+            encoder.stretch_keyframes(self.degrade_keyframe_factor)
+
+    def _restore_encoders(self) -> None:
+        for encoder in self._remote_encoders():
+            encoder.restore_keyframes()
+
+    def _supervision_pending(self) -> bool:
+        """True while the supervisor owes the fleet work: a session
+        waiting out a restart backoff or a watchdog suspension will
+        become ready again only if cycles keep running."""
+        if self.supervisor is None:
+            return False
+        return any(
+            entry.state in ("restarting", "suspended")
+            for entry in self.supervisor._entries.values()
+        )
 
     def run_until_idle(self, max_cycles: Optional[int] = None) -> int:
         """Synchronous drain: cycle until no session is ready.
 
         Deterministic (no clock, no asyncio) — the conformance matrix
         drives single sessions through this to prove byte-identity with
-        the standalone loop.  Returns total events handled.
+        the standalone loop.  Cycles also continue while the supervisor
+        has sessions mid-restart or suspended (both states resolve in a
+        bounded number of cycles).  Returns total events handled.
         """
         total = 0
         cycles = 0
-        while any(s.ready for s in self._sessions.values()):
+        while (any(s.ready for s in self._sessions.values())
+               or self._supervision_pending()):
             total += self.run_cycle()
             cycles += 1
             if max_cycles is not None and cycles >= max_cycles:
@@ -242,7 +396,8 @@ class ServerLoop:
             cycles += 1
             if max_cycles is not None and cycles >= max_cycles:
                 break
-            if handled or any(s.ready for s in self._sessions.values()):
+            if (handled or any(s.ready for s in self._sessions.values())
+                    or self._supervision_pending()):
                 idle = 0
             else:
                 idle += 1
@@ -263,6 +418,11 @@ class ServerLoop:
         of the worst session's p95 slice latency to the fleet median —
         1.0 is perfect fairness, and a busy neighbour blowing up the
         tail shows here long before users file tickets.
+
+        ``health`` is the per-session report (state, error, crash
+        count, age); ``exited`` retains the post-mortems of sessions
+        that were removed while carrying an error, so a crash is never
+        silently erased by its own cleanup.
         """
         sessions = list(self._sessions.values())
         p95s = sorted(
@@ -288,7 +448,41 @@ class ServerLoop:
             "frame_p95_ns_median": p95s[len(p95s) // 2] if p95s else 0,
             "frame_p95_ns_worst": p95s[-1] if p95s else 0,
             "frame_p95_spread": round(spread, 2),
+            "degraded": self.degraded,
+            "health": self.session_health(),
+            "exited": list(self._exited),
         }
+
+    def session_health(self) -> Dict[str, dict]:
+        """Per-session health: scheduler view merged with the ladder's.
+
+        Supervised sessions report their supervision state and strike
+        counts; bare sessions still report error, age and queue depth —
+        the satellite fix for crashes that used to vanish with
+        ``remove_session``.
+        """
+        supervised = (
+            self.supervisor.health() if self.supervisor is not None else {})
+        report: Dict[str, dict] = {}
+        for session in self._sessions.values():
+            entry = {
+                "state": "suspended" if session.suspended else (
+                    "closed" if session.closed else "running"),
+                "errors": session.stats.errors,
+                "last_error": repr(session.last_error)
+                if session.last_error is not None else None,
+                "age_cycles": self.cycles - session.created_cycle,
+                "queue": session.queue_depth(),
+            }
+            if session.id in supervised:
+                entry.update(supervised[session.id])
+            report[session.id] = entry
+        # Supervised sessions currently out of the fleet (restarting
+        # after backoff, or sticky-dead) still belong in the report.
+        for sid, ladder in supervised.items():
+            if sid not in report:
+                report[sid] = dict(ladder)
+        return report
 
     def close(self) -> None:
         """Close every session and empty the fleet."""

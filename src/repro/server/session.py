@@ -35,6 +35,7 @@ from typing import Deque, Optional
 from .. import obs
 from ..core.im import InteractionManager
 from ..obs.metrics import TimerStat
+from ..testing import faultinject
 from ..wm.base import WindowSystem
 from ..wm.events import Event, KeyEvent
 
@@ -53,7 +54,7 @@ class SessionStats:
 
     __slots__ = (
         "events_in", "events_dropped", "events_processed",
-        "slices", "errors", "frame_ns",
+        "slices", "errors", "frame_ns", "last_slice_ns",
     )
 
     def __init__(self) -> None:
@@ -65,6 +66,8 @@ class SessionStats:
         #: Slice latency distribution (same TimerStat the registry uses;
         #: p95 of this is the session's frame latency).
         self.frame_ns = TimerStat("session.frame_ns")
+        #: Duration of the most recent slice (the watchdog's input).
+        self.last_slice_ns = 0
 
     def as_dict(self) -> dict:
         return {
@@ -100,6 +103,12 @@ class Session:
         self._inbox: Deque[Event] = collections.deque()
         self.stats = SessionStats()
         self.closed = False
+        #: Watchdog suspension: a suspended session is never ready, so
+        #: the scheduler skips it until the supervisor resumes it.
+        self.suspended = False
+        #: The server-loop cycle this session was registered on (set by
+        #: ``ServerLoop.add_session``; ages in ``fleet_stats`` health).
+        self.created_cycle = 0
         #: Last exception the server loop contained at this session's
         #: boundary (quarantine handles per-view faults below this).
         self.last_error: Optional[BaseException] = None
@@ -150,7 +159,7 @@ class Session:
     def ready(self) -> bool:
         """True when a slice would do work: queued input (here or in the
         window) or damage awaiting a flush."""
-        if self.closed:
+        if self.closed or self.suspended:
             return False
         return bool(
             self._inbox
@@ -168,6 +177,11 @@ class Session:
         slice is timed into :attr:`SessionStats.frame_ns` and the
         shared registry (``server.frame_ns``).
         """
+        if faultinject.enabled:
+            # The ``server.pump`` seam: a session's own application
+            # code dying at slice time.  Before the transfer loop, so
+            # queued input survives the crash for the restarted session.
+            faultinject.maybe_raise("server.pump")
         window = self.im.window
         moved = 0
         while self._inbox and (budget is None or moved < budget):
@@ -179,6 +193,7 @@ class Session:
         finally:
             elapsed = time.perf_counter_ns() - start
             self.stats.slices += 1
+            self.stats.last_slice_ns = elapsed
             self.stats.frame_ns.observe(elapsed)
             if obs.metrics_on:
                 obs.registry.observe_ns("server.frame_ns", elapsed)

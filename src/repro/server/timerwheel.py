@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from .. import obs
+
 __all__ = ["TimerHandle", "TimerWheel"]
 
 
@@ -60,6 +62,10 @@ class TimerWheel:
         self.now = 0
         #: Live (scheduled, not yet fired or cancelled) timer count.
         self.scheduled = 0
+        #: Callbacks that raised (contained, never past ``advance``).
+        self.errors = 0
+        #: The most recent contained callback exception, for reporting.
+        self.last_error: Optional[BaseException] = None
 
     def __len__(self) -> int:
         return self.scheduled
@@ -93,6 +99,13 @@ class TimerWheel:
         Returns the number of callbacks fired.  A callback scheduling a
         new zero-delay timer sees it fire on the *next* tick, never
         within the same one — no tick can loop forever.
+
+        A raising callback is *contained*: the exception is counted
+        (``server.timer_errors``, :attr:`errors`, :attr:`last_error`),
+        the remaining due timers still fire, and a periodic timer
+        re-arms exactly as if its callback had returned — one bad tick
+        must not silently unschedule a heartbeat (the supervision layer
+        runs its watchdog and checkpoint cadence on this wheel).
         """
         fired = 0
         for _ in range(ticks):
@@ -115,7 +128,13 @@ class TimerWheel:
                     self.scheduled += 1
                     continue
                 fired += 1
-                handle.callback()
+                try:
+                    handle.callback()
+                except Exception as exc:
+                    self.errors += 1
+                    self.last_error = exc
+                    if obs.metrics_on:
+                        obs.registry.inc("server.timer_errors")
                 if handle.interval > 0 and not handle._cancelled:
                     self._place(handle, handle.interval - 1)
         return fired

@@ -26,6 +26,15 @@ Seams (each names the third-party code it stands in for):
     a dropped or short-written frame instead of an exception
     (:func:`repro.remote.transport.faulty_send`), and the chaos suite
     proves the renderer resynchronizes at the next keyframe.
+``remote.connect``
+    A remote transport (re)connect attempt dying — the peer is down,
+    the route is gone (:meth:`repro.remote.reconnect.ReconnectingSink.
+    _try_connect`); the reconnect layer backs off and retries.
+``server.pump``
+    A session's application code dying at slice time, before any event
+    moves (:meth:`repro.server.session.Session.pump`); the server loop
+    contains it at the session boundary and the supervisor's crash
+    ladder (contain → restart-from-checkpoint → sticky-dead) engages.
 
 Switched on by ``ANDREW_FAULTS=<seed>:<rate>`` (e.g. ``1234:0.05``) or
 at run time with :func:`configure`.  The schedule is a function of the
@@ -58,7 +67,7 @@ FAULTS_ENV = "ANDREW_FAULTS"
 
 #: The instrumented seams, for validation and reporting.
 SEAMS = ("view.draw", "wm.device", "observer.notify", "datastream.read",
-         "remote.send")
+         "remote.send", "remote.connect", "server.pump")
 
 
 class InjectedFault(RuntimeError):

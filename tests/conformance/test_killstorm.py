@@ -1,0 +1,221 @@
+"""The kill-storm: a supervised fleet under seeded crash + drop chaos.
+
+Two storms over an 8-session fleet, both driven by the suite's seeded
+RNG (``ANDREW_TEST_SEED`` replays a failure exactly):
+
+* **kill storm** — the ``server.pump`` seam fires at rate across the
+  fleet while users keep typing.  Every crash escalates through the
+  supervisor (contain_strikes=0), restarts ride the timer wheel with
+  deterministic backoff, and documents round-trip through crash-time
+  checkpoints.  The promises: the fleet converges (every session ends
+  ``running``), **zero characters are lost** (the seam fires before
+  the inbox transfer, and crash-time checkpoints capture everything
+  already applied), the checkpoint files on disk stay parseable and
+  identical to the in-memory copies, and the counters conserve —
+  ``server.restarts == server.crash_escalations`` once the storm
+  drains, with no dead sessions and no restart errors.
+
+* **drop storm** — remote viewers are yanked mid-stream and rejoin via
+  the seq-resume handshake while frames keep flowing.  The promises:
+  every rejoined replica ends **byte-identical** to a viewer that
+  never disconnected, and the counters conserve —
+  ``remote.resumes`` equals the number of rejoin handshakes and splits
+  exactly into ``remote.resume_replays + remote.resume_keyframes``.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro import obs
+from repro.components.text.textdata import TextData
+from repro.components.text.textview import TextView
+from repro.core import read_document
+from repro.remote import RemoteRenderer, RendererSink
+from repro.server import (
+    DocumentBinding,
+    ServerLoop,
+    Session,
+    Supervisor,
+    SupervisorPolicy,
+    add_remote_session,
+    session_window,
+)
+from repro.testing import faultinject
+from repro.wm.ascii_ws import AsciiWindowSystem
+from tests.randutil import describe_seed, seeded_rng
+
+FLEET = 8
+KILL_STEPS = 200
+KILL_RATE = 0.05
+KILL_SEED_OFFSET = 8800
+DROP_STEPS = 120
+DROP_SEED_OFFSET = 8900
+
+
+@pytest.fixture
+def metrics():
+    was = obs.metrics_enabled()
+    obs.configure(metrics=True, reset_data=True)
+    yield obs.registry
+    obs.configure(metrics=was, reset_data=True)
+
+
+def _count(name):
+    return obs.registry.snapshot()["counters"].get(name, 0)
+
+
+def test_kill_storm_converges_with_zero_loss(metrics, tmp_path):
+    context = describe_seed(KILL_SEED_OFFSET)
+    rng = seeded_rng(KILL_SEED_OFFSET)
+    loop = ServerLoop()
+    sup = Supervisor(loop, checkpoint_dir=tmp_path, policy=SupervisorPolicy(
+        contain_strikes=0, max_strikes=10 ** 6,  # never sticky-dead
+        backoff_base=1, backoff_cap=4, jitter_span=1,
+        checkpoint_interval=8))
+    entries = {}
+    typed = collections.defaultdict(collections.Counter)
+    for index in range(FLEET):
+        sid = f"k{index}"
+        ws = AsciiWindowSystem()
+        session = loop.add_session(session_id=sid, window_system=ws,
+                                   width=40, height=10)
+        session.im.set_child(TextView(TextData("")))
+        session.im.process_events()
+
+        def build(sid=sid, ws=ws):
+            fresh = Session(sid, window_system=ws, width=40, height=10)
+            fresh.im.set_child(TextView(TextData("")))
+            return fresh
+
+        entries[sid] = sup.supervise(
+            session, build=build,
+            documents=[DocumentBinding(
+                "doc",
+                get=lambda s: s.im.child.data,
+                install=lambda s, obj: s.im.set_child(TextView(obj)),
+            )])
+
+    faultinject.configure(seeded_rng(KILL_SEED_OFFSET + 1).randrange(2 ** 31),
+                          KILL_RATE, seams=("server.pump",))
+    try:
+        for _ in range(KILL_STEPS):
+            # A couple of users type each cycle — only into sessions
+            # currently admitted (a restarting session has no live
+            # inbox; its pre-crash queue rides the restart).
+            for sid in rng.sample(sorted(entries), 2):
+                live = loop._sessions.get(sid)  # absent while restarting
+                if live is not None and not live.closed:
+                    char = chr(rng.randrange(ord("a"), ord("z") + 1))
+                    if live.submit_key(char):
+                        typed[sid][char] += 1
+            loop.run_cycle()
+    finally:
+        faultinject.configure(None)
+    loop.run_until_idle(max_cycles=5000)
+
+    # The storm actually stormed, and the fleet converged anyway.
+    crashes = _count("server.crashes")
+    assert crashes > 0, f"kill storm injected nothing; {context}"
+    states = {sid: entry.state for sid, entry in entries.items()}
+    assert set(states.values()) == {"running"}, f"{states}; {context}"
+    assert len(loop) == FLEET
+
+    # Counter conservation: every escalated crash became exactly one
+    # completed restart — nothing died, nothing failed to rebuild,
+    # nothing is still pending after the drain.
+    assert _count("server.crash_escalations") == crashes, context
+    assert _count("server.restarts") == crashes, context
+    assert _count("server.restart_errors") == 0, context
+    assert _count("server.sessions_dead") == 0, context
+    assert sum(e.restarts for e in entries.values()) == crashes, context
+
+    # Zero character loss: the pump seam fires before the inbox
+    # transfer and crash-time checkpoints capture applied state, so
+    # every accepted keystroke is in the final document.
+    for sid, entry in entries.items():
+        text = entry.session.im.child.data.text()
+        assert collections.Counter(text) == typed[sid], (
+            f"{sid} lost input across {entry.restarts} restarts; {context}"
+        )
+
+    # Checkpoint integrity: one more checkpoint round, then every
+    # on-disk file parses and matches the in-memory copy exactly.
+    for sid, entry in entries.items():
+        sup.checkpoint(sid)
+        path = tmp_path / f"{sid}.doc.ad"
+        assert path.exists(), f"{sid} never checkpointed; {context}"
+        on_disk = path.read_text(encoding="ascii")
+        assert on_disk == entry.checkpoints["doc"], context
+        restored = read_document(on_disk)
+        assert restored.text() == entry.session.im.child.data.text(), context
+
+
+def test_drop_storm_resumed_viewers_match_uninterrupted(metrics):
+    context = describe_seed(DROP_SEED_OFFSET)
+    rng = seeded_rng(DROP_SEED_OFFSET)
+    loop = ServerLoop()
+    sessions, stayed, roaming = [], {}, {}
+    dropped = {}   # sid -> detached RendererSink awaiting resume
+    for index in range(FLEET):
+        sid = f"d{index}"
+        viewer = RemoteRenderer()
+        session = add_remote_session(loop, session_id=sid,
+                                     keyframe_interval=8, renderer=viewer,
+                                     width=30, height=6)
+        session.im.set_child(TextView(TextData("")))
+        session.im.process_events()
+        sessions.append(session)
+        stayed[sid] = viewer
+        roamer = RemoteRenderer()
+        sink = RendererSink(roamer)
+        session_window(session).attach_sink(sink)
+        roaming[sid] = (roamer, sink)
+    loop.run_until_idle()
+
+    resumes = 0
+    for step in range(DROP_STEPS):
+        for session in rng.sample(sessions, 3):
+            session.submit_key(chr(rng.randrange(ord("a"), ord("z") + 1)))
+        if step % 9 == 4:
+            # Yank a connected roamer mid-stream.
+            sid = rng.choice([s.id for s in sessions if s.id not in dropped])
+            roamer, sink = roaming[sid]
+            session_window(loop.session(sid)).detach_sink(sink)
+            dropped[sid] = roamer
+        if step % 13 == 11 and dropped:
+            # One of the dropped viewers comes back and resumes.
+            sid = rng.choice(sorted(dropped))
+            roamer = dropped.pop(sid)
+            window = session_window(loop.session(sid))
+            roaming[sid] = (roamer, window.resume_renderer(roamer))
+            resumes += 1
+        loop.run_cycle()
+    for sid in sorted(dropped):  # everyone rejoins before the check
+        roamer = dropped.pop(sid)
+        window = session_window(loop.session(sid))
+        roaming[sid] = (roamer, window.resume_renderer(roamer))
+        resumes += 1
+    loop.run_until_idle(max_cycles=2000)
+
+    assert resumes > 0, f"drop storm never dropped; {context}"
+    # Every rejoined replica converged byte-identically to the viewer
+    # that never disconnected — and to the server's own surface.
+    for session in sessions:
+        window = session_window(session)
+        roamer, _ = roaming[session.id]
+        keeper = stayed[session.id]
+        assert keeper.synchronized and roamer.synchronized, context
+        assert roamer.surface.lines() == keeper.surface.lines(), (
+            f"{session.id} diverged after resume; {context}"
+        )
+        assert keeper.surface.lines() == window.surface.lines(), context
+
+    # Counter conservation: every rejoin handshake is one resume, and
+    # each resume took exactly one of the two paths.
+    assert _count("remote.resumes") == resumes, context
+    assert _count("remote.resumes") == (
+        _count("remote.resume_replays") + _count("remote.resume_keyframes")
+    ), context

@@ -331,6 +331,49 @@ class TestInjector:
         with pytest.raises(InjectedFault):
             injector.maybe_raise("view.draw")
 
+    def test_seam_registry_covers_every_instrumented_layer(self):
+        # The supervision PR added the connect-time and slice-time
+        # seams; the registry (and therefore the default injector) must
+        # know them or seeded chaos runs silently skip those layers.
+        assert faultinject.SEAMS == (
+            "view.draw", "wm.device", "observer.notify",
+            "datastream.read", "remote.send", "remote.connect",
+            "server.pump",
+        )
+        injector = FaultInjector(3, 1.0)
+        for seam in faultinject.SEAMS:
+            with pytest.raises(InjectedFault):
+                injector.maybe_raise(seam)
+
+    def test_server_pump_seam_preserves_queued_input(self):
+        # The seam fires before the transfer loop, so input queued at
+        # crash time survives for the restarted session to replay.
+        from repro.server import Session
+        from repro.wm import AsciiWindowSystem
+
+        ws = AsciiWindowSystem()
+        im = InteractionManager(ws, "pump-seam", width=20, height=4)
+        im.set_child(View())
+        session = Session("s-pump", im)
+        session.submit_text("abc")
+        faultinject.configure(21, 1.0, seams=("server.pump",))
+        try:
+            with pytest.raises(InjectedFault):
+                session.pump()
+        finally:
+            faultinject.configure(None)
+        assert session.queue_depth() == 3  # nothing was consumed
+        assert session.pump() >= 3  # healthy again: the input drains
+        assert session.queue_depth() == 0
+        session.close()
+
+    def test_remote_connect_seam_fires_in_injector(self):
+        injector = FaultInjector(4, 1.0, seams=("remote.connect",))
+        with pytest.raises(InjectedFault):
+            injector.maybe_raise("remote.connect")
+        injector.maybe_raise("remote.send")  # restricted set: inert
+        assert injector.fired == 1
+
     def test_parse_spec(self):
         assert parse_spec("1234:0.05") == (1234, 0.05)
         assert parse_spec(" 7:1.0 ") == (7, 1.0)

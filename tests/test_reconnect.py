@@ -1,0 +1,435 @@
+"""Tests for resumable remote connections (``repro.remote.reconnect``).
+
+The v2 control frames (ping/hello), the reconnecting sink's clockless
+backoff over the ``remote.connect`` seam, and the seq-resume handshake
+— including the byte-identity proof that a resumed viewer converges to
+exactly the replica of one that never disconnected.
+"""
+
+import socket
+
+import pytest
+
+from repro.core.im import InteractionManager
+from repro.core.view import View
+from repro.remote import (
+    FrameEncoder,
+    Hello,
+    Ping,
+    ReconnectingSink,
+    RemoteRenderer,
+    RemoteWindowSystem,
+    RendererSink,
+    SocketSink,
+    WireError,
+    decode_frame,
+    encode_hello,
+    encode_ping,
+)
+from repro.remote.reconnect import reconnect_from_env, resume_viewer
+
+
+class _Canvas(View):
+    """A one-string view the tests repaint by mutating ``text``."""
+
+    atk_register = False
+
+    def __init__(self, text="") -> None:
+        super().__init__()
+        self.text = text
+
+    def draw(self, graphic) -> None:
+        graphic.clear()
+        graphic.draw_string(0, 0, self.text)
+
+    def show(self, text) -> None:
+        self.text = text
+        self.want_update()
+
+
+def remote_im(width=24, height=4, **ws_kwargs):
+    ws = RemoteWindowSystem("ascii", **ws_kwargs)
+    im = InteractionManager(ws, "reconnect", width=width, height=height)
+    view = _Canvas("start")
+    im.set_child(view)
+    im.flush_updates()
+    return im, view
+
+
+class _ListSink:
+    """Minimal in-memory sink for the reconnect wrapper tests."""
+
+    def __init__(self) -> None:
+        self.sent = []
+        self.alive = True
+        self.closed = False
+
+    def send(self, data) -> None:
+        self.sent.append(data)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+# ---------------------------------------------------------------------------
+# Wire v2 control frames
+# ---------------------------------------------------------------------------
+
+class TestControlFrames:
+    def test_ping_round_trip(self):
+        frame, offset = decode_frame(encode_ping(41))
+        assert frame == Ping(41)
+        assert offset == len(encode_ping(41))
+
+    def test_hello_round_trip_including_fresh(self):
+        for last_seq in (-1, 0, 7, 100000):
+            frame, _ = decode_frame(encode_hello(last_seq))
+            assert frame == Hello(last_seq)
+
+    def test_invalid_values_are_typed_errors(self):
+        with pytest.raises(WireError):
+            encode_ping(-1)
+        with pytest.raises(WireError):
+            encode_hello(-2)
+
+    def test_control_frames_interleave_with_display_frames(self):
+        im, view = remote_im()
+        renderer = RemoteRenderer()
+        im.window.attach_renderer(renderer)
+        im.redraw()
+        assert renderer.synchronized
+        seq_before = renderer.last_seq
+        # A ping mid-stream must not break the delta seq chain.
+        renderer.feed(encode_ping(seq_before))
+        assert renderer.pings_received == 1
+        assert renderer.last_ping_seq == seq_before
+        assert renderer.last_seq == seq_before
+        view.show("after ping")
+        im.flush_updates()
+        assert renderer.synchronized
+        assert renderer.frames_skipped == 0
+        # A misdirected hello is ignored, not corruption.
+        renderer.feed(encode_hello(3))
+        assert renderer.resyncs == 0 and renderer.synchronized
+
+    def test_renderer_hello_reports_last_applied_seq(self):
+        im, view = remote_im()
+        renderer = RemoteRenderer()
+        assert decode_frame(renderer.hello())[0] == Hello(-1)  # fresh
+        im.window.attach_renderer(renderer)
+        im.redraw()
+        frame, _ = decode_frame(renderer.hello())
+        assert frame == Hello(renderer.last_seq)
+
+
+# ---------------------------------------------------------------------------
+# ReconnectingSink
+# ---------------------------------------------------------------------------
+
+class TestReconnectingSink:
+    def test_connects_lazily_and_delivers(self):
+        inner = _ListSink()
+        sink = ReconnectingSink(lambda: inner)
+        assert not sink.connected  # nothing until the first send
+        sink.send(b"one")
+        assert sink.connected and inner.sent == [b"one"]
+        assert sink.connects == 1
+
+    def test_backoff_is_capped_exponential_in_send_attempts(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(len(attempts))
+            raise OSError("down")
+
+        sink = ReconnectingSink(flaky, backoff_base=1, backoff_cap=4,
+                                jitter_span=0)
+        for _ in range(20):
+            sink.send(b"x")
+        # Attempt, then 1 dropped; attempt, 2 dropped; attempt, 4; 4...
+        # 20 sends = (1+1) + (1+2) + (1+4) + (1+4) + (1+4) => 5 attempts.
+        assert len(attempts) == 5
+        assert sink.frames_lost == 20
+        assert sink.connect_errors == 5
+        assert isinstance(sink.last_error, OSError)
+
+    def test_backoff_jitter_is_deterministic(self):
+        def build():
+            calls = []
+
+            def flaky():
+                calls.append(1)
+                raise OSError("down")
+
+            sink = ReconnectingSink(flaky, name="viewer-3", jitter_span=2)
+            for _ in range(40):
+                sink.send(b"x")
+            return len(calls)
+
+        assert build() == build()  # no live RNG anywhere
+
+    def test_recovery_fires_on_connect_and_counts_reconnects(self):
+        from repro import obs
+        state = {"up": False, "built": 0}
+
+        def factory():
+            if not state["up"]:
+                raise OSError("down")
+            state["built"] += 1
+            return _ListSink()
+
+        seen = []
+        sink = ReconnectingSink(factory, jitter_span=0, backoff_base=1,
+                                on_connect=seen.append)
+        was_metrics = obs.metrics_enabled()
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            state["up"] = True
+            sink.send(b"a")           # first connect
+            assert seen == [sink]
+            state["up"] = False
+            sink.sink = None          # transport died
+            state["up"] = True
+            sink.send(b"b")           # reconnect (no backoff owed)
+            assert len(seen) == 2
+            assert obs.registry.counter("remote.connects") == 2
+            assert obs.registry.counter("remote.reconnects") == 1
+        finally:
+            obs.configure(metrics=was_metrics, reset_data=True)
+
+    def test_connect_seam_injects_failures(self):
+        from repro.testing import faultinject
+        sink = ReconnectingSink(_ListSink, jitter_span=0, backoff_base=1)
+        faultinject.configure(11, 1.0, seams=("remote.connect",))
+        try:
+            sink.send(b"x")
+            assert not sink.connected
+            assert isinstance(sink.last_error, faultinject.InjectedFault)
+        finally:
+            faultinject.configure(None)
+        sink.send(b"y")  # backing off: no attempt
+        sink.send(b"z")  # injection off: connects and delivers
+        assert sink.connected
+        assert sink.sink.sent == [b"z"]
+        assert sink.frames_lost == 2
+
+    def test_broken_socket_routes_back_to_wrapper(self):
+        s1, s2 = socket.socketpair()
+        built = []
+
+        def factory():
+            built.append(SocketSink(sock=s1 if len(built) == 0 else s2))
+            return built[-1]
+
+        sink = ReconnectingSink(factory, jitter_span=0)
+        s1.close()  # the transport dies under the sink
+        sink.send(b"x")
+        assert built[0].send_errors == 1
+        assert not sink.connected  # on_broken flowed back
+        s2.close()
+
+    def test_close_is_terminal(self):
+        inner = _ListSink()
+        sink = ReconnectingSink(lambda: inner)
+        sink.send(b"a")
+        sink.close()
+        sink.send(b"b")
+        assert inner.sent == [b"a"] and inner.closed
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv("ANDREW_RECONNECT", raising=False)
+        assert not reconnect_from_env()
+        monkeypatch.setenv("ANDREW_RECONNECT", "1")
+        assert reconnect_from_env()
+        monkeypatch.setenv("ANDREW_RECONNECT", "off")
+        assert not reconnect_from_env()
+
+    def test_from_env_wraps_socket_sink(self, monkeypatch):
+        monkeypatch.setenv("ANDREW_REMOTE_ADDR", "127.0.0.1:1")
+        monkeypatch.setenv("ANDREW_RECONNECT", "1")
+        ws = RemoteWindowSystem.from_env()  # lazy: no connect attempt yet
+        assert len(ws._seed_sinks) == 1
+        assert isinstance(ws._seed_sinks[0], ReconnectingSink)
+        assert ws.ping_every == RemoteWindowSystem.DEFAULT_PING_EVERY
+        im = InteractionManager(ws, "t", width=10, height=2)
+        # The window wired the sink's on_connect to its own keyframe.
+        assert ws._seed_sinks[0].on_connect is not None
+        im.close()
+
+
+# ---------------------------------------------------------------------------
+# SocketSink send-error accounting (the silent-loss fix)
+# ---------------------------------------------------------------------------
+
+class TestSocketSinkErrors:
+    def test_first_failure_counts_closes_and_notifies(self):
+        from repro import obs
+        s1, s2 = socket.socketpair()
+        broken = []
+        sink = SocketSink(sock=s1, on_broken=broken.append)
+        was_metrics = obs.metrics_enabled()
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            s1.close()
+            sink.send(b"x")
+            assert sink.send_errors == 1
+            assert not sink.alive
+            assert isinstance(sink.last_error, OSError)
+            assert broken == [sink]
+            assert obs.registry.counter("remote.send_errors") == 1
+            sink.send(b"y")  # dead: dropped without another syscall
+            assert sink.send_errors == 1
+        finally:
+            obs.configure(metrics=was_metrics, reset_data=True)
+            s2.close()
+
+
+# ---------------------------------------------------------------------------
+# Seq-based resume
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_encoder_history_serves_recent_gaps(self):
+        im, view = remote_im()
+        renderer = RemoteRenderer()
+        im.window.attach_renderer(renderer)
+        im.redraw()
+        for i in range(4):
+            view.show(f"frame {i}")
+            im.flush_updates()
+        encoder = im.window._encoder
+        assert encoder.resume_frames(encoder.last_seq) == []
+        missed = encoder.resume_frames(encoder.last_seq - 2)
+        assert missed is not None and len(missed) == 2
+        assert encoder.resume_frames(-1) is None  # fresh: keyframe path
+
+    def test_resumed_viewer_is_byte_identical_to_uninterrupted(self):
+        im, view = remote_im()
+        window = im.window
+        stayed = RemoteRenderer()
+        window.attach_renderer(stayed)
+        im.redraw()
+        dropped = RemoteRenderer()
+        sink = RendererSink(dropped)
+        window.attach_sink(sink)
+        view.show("both viewers see this")
+        im.flush_updates()
+        window.detach_sink(sink)  # the connection dies
+        for i in range(5):
+            view.show(f"missed update {i}")
+            im.flush_updates()
+        assert dropped.last_seq < stayed.last_seq
+        resume_viewer(window, dropped)
+        assert dropped.synchronized
+        assert dropped.last_seq == stayed.last_seq
+        assert dropped.surface.lines() == stayed.surface.lines()
+        assert dropped.surface._inverse == stayed.surface._inverse
+        assert dropped.surface._bold == stayed.surface._bold
+        # And the resumed viewer keeps tracking live updates.
+        view.show("after resume")
+        im.flush_updates()
+        assert dropped.surface.lines() == stayed.surface.lines()
+
+    def test_out_of_window_gap_falls_back_to_keyframe(self):
+        from repro import obs
+        im, view = remote_im(resume_window=2)
+        window = im.window
+        window.attach_renderer(RemoteRenderer())  # keeps frames flowing
+        renderer = RemoteRenderer()
+        sink = RendererSink(renderer)
+        window.attach_sink(sink)
+        im.redraw()
+        window.detach_sink(sink)
+        for i in range(8):  # far more frames than the history holds
+            view.show(f"gap {i}")
+            im.flush_updates()
+        assert window._encoder.resume_frames(renderer.last_seq) is None
+        was_metrics = obs.metrics_enabled()
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            resume_viewer(window, renderer)
+            im.flush_updates()  # the fallback keyframe ships here
+            assert obs.registry.counter("remote.resumes") == 1
+            assert obs.registry.counter("remote.resume_keyframes") == 1
+            assert obs.registry.counter("remote.resume_replays") == 0
+        finally:
+            obs.configure(metrics=was_metrics, reset_data=True)
+        assert renderer.synchronized
+        assert renderer.surface.lines() == window.surface.lines()
+
+    def test_resume_counters_balance(self):
+        from repro import obs
+        im, view = remote_im()
+        window = im.window
+        was_metrics = obs.metrics_enabled()
+        obs.configure(metrics=True, reset_data=True)
+        try:
+            renderers = []
+            for i in range(3):
+                renderer = RemoteRenderer()
+                sink = RendererSink(renderer)
+                window.attach_sink(sink)
+                view.show(f"join {i}")
+                im.flush_updates()
+                window.detach_sink(sink)
+                renderers.append(renderer)
+            view.show("while everyone is away")
+            im.flush_updates()
+            for renderer in renderers:
+                resume_viewer(window, renderer)
+            resumes = obs.registry.counter("remote.resumes")
+            assert resumes == 3
+            assert resumes == (
+                obs.registry.counter("remote.resume_replays")
+                + obs.registry.counter("remote.resume_keyframes")
+            )
+        finally:
+            obs.configure(metrics=was_metrics, reset_data=True)
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats
+# ---------------------------------------------------------------------------
+
+class TestHeartbeat:
+    def test_quiet_flushes_emit_pings(self):
+        im, view = remote_im(ping_every=2)
+        window = im.window
+        renderer = RemoteRenderer()
+        window.attach_renderer(renderer)
+        im.redraw()
+        assert window.ping_every == 2
+        for _ in range(6):  # nothing changes: encoder ships None
+            window.flush()
+        assert window.pings_sent == 3
+        assert renderer.pings_received == 3
+        assert renderer.last_ping_seq == window._encoder.last_seq
+        assert renderer.synchronized  # heartbeats never desync
+        view.show("real update")
+        im.flush_updates()
+        assert renderer.surface.lines() == window.surface.lines()
+
+    def test_no_pings_without_cadence_or_before_first_frame(self):
+        im, _ = remote_im()  # ping_every defaults to None
+        for _ in range(5):
+            im.window.flush()
+        assert im.window.pings_sent == 0
+        im2, _ = remote_im(ping_every=1)
+        window = im2.window
+        window.attach_renderer(RemoteRenderer())
+        # Encoder has sent nothing yet (attach before any flush):
+        # a ping would advertise seq -1, so none may be sent.
+        window._encoder.request_keyframe()
+        assert window.pings_sent == 0
+
+
+def test_stretch_restore_keyframes_round_trip():
+    encoder = FrameEncoder("ascii", 8, 2, keyframe_interval=16)
+    encoder.stretch_keyframes(4)
+    assert encoder.keyframe_interval == 64
+    encoder.stretch_keyframes(4)  # idempotent: no compounding
+    assert encoder.keyframe_interval == 64
+    encoder.restore_keyframes()
+    assert encoder.keyframe_interval == 16
+    encoder.restore_keyframes()  # harmless when not stretched
+    assert encoder.keyframe_interval == 16

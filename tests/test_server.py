@@ -101,6 +101,72 @@ class TestTimerWheel:
         wheel.schedule(2, lambda: None)
         assert wheel.next_due_in() == 3  # delay 2 => third advance fires
 
+    def test_cancelling_a_later_timer_while_firing(self):
+        # Two timers due on the same tick; the first one's callback
+        # cancels the second mid-slot.  The cancel must win even though
+        # the slot list was already being walked.
+        wheel = TimerWheel(slots=8)
+        fired = []
+        handles = {}
+
+        def first():
+            fired.append("first")
+            handles["second"].cancel()
+
+        wheel.schedule(2, first)
+        handles["second"] = wheel.schedule(
+            2, lambda: fired.append("second"))
+        assert wheel.advance(3) == 1
+        assert fired == ["first"]
+        assert len(wheel) == 0
+
+    def test_periodic_callback_cancelling_itself_stops_re_arm(self):
+        wheel = TimerWheel(slots=4)
+        fired = []
+        handle = {}
+
+        def tick():
+            fired.append(wheel.now)
+            if len(fired) == 2:
+                handle["h"].cancel()
+
+        handle["h"] = wheel.schedule(1, tick, interval=2)
+        wheel.advance(12)
+        assert fired == [2, 4]       # self-cancel from inside the firing
+        assert len(wheel) == 0       # no ghost re-arm
+
+    def test_periodic_callback_raising_stays_armed_and_is_counted(self):
+        # A raising periodic callback must be contained (other timers
+        # still fire), counted, and re-armed as if it had returned —
+        # the supervisor's checkpoint cadence rides on this.
+        wheel = TimerWheel(slots=4)
+        fired = []
+
+        def bad():
+            fired.append(wheel.now)
+            if len(fired) < 3:
+                raise RuntimeError("checkpoint failed")
+
+        other = []
+        wheel.schedule(1, bad, interval=2)
+        wheel.schedule(1, lambda: other.append(wheel.now), interval=2)
+        wheel.advance(6)
+        assert fired == [2, 4, 6]    # re-armed through two raises
+        assert other == [2, 4, 6]    # neighbour timers unaffected
+        assert wheel.errors == 2
+        assert isinstance(wheel.last_error, RuntimeError)
+
+    def test_one_shot_callback_raising_is_contained(self):
+        wheel = TimerWheel(slots=4)
+
+        def bad():
+            raise ValueError("one bad shot")
+
+        wheel.schedule(0, bad)
+        assert wheel.advance(1) == 1  # fired (and contained)
+        assert wheel.errors == 1
+        assert len(wheel) == 0        # one-shot: not re-armed
+
 
 # ---------------------------------------------------------------------------
 # Session: bounded queue + backpressure
@@ -371,10 +437,11 @@ class TestIsolation:
 class TestChaosFleet:
     def test_injected_faults_never_cross_sessions(self, ascii_ws):
         """The ``ANDREW_FAULTS`` arm at fleet scale: seeded injection
-        over every seam while eight sessions type.  Faults quarantine
-        views inside their own session; every session still processes
-        its entire input stream, and the fleet heals once injection
-        stops."""
+        over every *view-level* seam while eight sessions type.  Faults
+        quarantine views inside their own session; every session still
+        processes its entire input stream, and the fleet heals once
+        injection stops.  (The ``server.pump`` seam is session-fatal by
+        design — the supervision kill-storm tests own that one.)"""
         from repro import obs
         from repro.testing import faultinject
 
@@ -386,7 +453,9 @@ class TestChaosFleet:
             loop = ServerLoop(slice_events=4)
             fleet = [make_text_session(loop, ascii_ws, doc="seed text\n")
                      for _ in range(8)]
-            faultinject.configure(20260807, 0.05)
+            faultinject.configure(20260807, 0.05, seams=(
+                "view.draw", "wm.device", "observer.notify",
+                "datastream.read"))
             try:
                 for index, (session, _) in enumerate(fleet):
                     assert session.submit_text(

@@ -1,0 +1,458 @@
+"""Tests for the session supervision layer (``repro.server.supervisor``).
+
+The ladder (contain → restart-from-checkpoint → sticky-dead), the
+slice watchdog, checkpoint/restore through the atomic-save machinery,
+admission control and graceful degradation.  The seeded kill-storm
+integration lives in ``tests/conformance/test_killstorm.py``.
+"""
+
+import pytest
+
+from repro.components.text.textdata import TextData
+from repro.components.text.textview import TextView
+from repro.server import (
+    AdmissionRefused,
+    DocumentBinding,
+    ServerLoop,
+    Session,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.wm.ascii_ws import AsciiWindowSystem
+
+
+@pytest.fixture
+def ascii_ws():
+    return AsciiWindowSystem()
+
+
+def text_binding():
+    """The standard one-document binding for a TextView session."""
+    return DocumentBinding(
+        "doc",
+        get=lambda session: session.im.child.data,
+        install=lambda session, obj: session.im.set_child(TextView(obj)),
+    )
+
+
+def make_text_session(loop, ws, doc="", session_id=None, **kwargs):
+    session = loop.add_session(session_id=session_id, window_system=ws,
+                               width=40, height=10, **kwargs)
+    session.im.set_child(TextView(TextData(doc)))
+    session.im.process_events()
+    return session
+
+
+def supervised_text_session(loop, sup, ws, doc="", session_id="s1",
+                            **supervise_kwargs):
+    session = make_text_session(loop, ws, doc, session_id=session_id)
+
+    def build(sid=session_id):
+        fresh = Session(sid, window_system=ws, width=40, height=10)
+        fresh.im.set_child(TextView(TextData("")))
+        return fresh
+
+    entry = sup.supervise(session, build=build, documents=[text_binding()],
+                          **supervise_kwargs)
+    return session, entry
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+class TestPolicy:
+    def test_restart_delay_is_capped_exponential(self):
+        policy = SupervisorPolicy(backoff_base=2, backoff_cap=16,
+                                  jitter_span=0)
+        delays = [policy.restart_delay("s", n) for n in range(6)]
+        assert delays == [2, 4, 8, 16, 16, 16]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = SupervisorPolicy(backoff_base=2, backoff_cap=16,
+                                  jitter_span=3)
+        a = [policy.restart_delay("s1", n) for n in range(5)]
+        b = [policy.restart_delay("s1", n) for n in range(5)]
+        assert a == b  # same session, same ordinals: identical
+        base = SupervisorPolicy(backoff_base=2, backoff_cap=16,
+                                jitter_span=0)
+        for n, delay in enumerate(a):
+            plain = base.restart_delay("s1", n)
+            assert plain <= delay <= plain + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(contain_strikes=3, max_strikes=3)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_base=0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(checkpoint_interval=0)
+
+
+# ---------------------------------------------------------------------------
+# Crash ladder
+# ---------------------------------------------------------------------------
+
+class TestCrashLadder:
+    def test_first_crashes_are_contained_in_place(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=2, max_strikes=5))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        for _ in range(2):
+            assert sup.on_crash(session, RuntimeError("x")) == "running"
+        assert entry.crashes == 2
+        assert entry.session is session  # same object: no restart yet
+
+    def test_escalation_restarts_after_backoff(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=5,
+            backoff_base=2, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        assert sup.on_crash(session, RuntimeError("x")) == "restarting"
+        assert "s1" not in [s.id for s in loop.sessions]
+        loop.run_cycle()  # backoff cycle 1
+        loop.run_cycle()  # backoff cycle 2
+        assert entry.state == "restarting"
+        loop.run_cycle()  # delay elapsed: restart fires
+        assert entry.state == "running"
+        assert entry.restarts == 1
+        assert entry.session is not session
+        assert loop.session("s1") is entry.session
+
+    def test_sticky_dead_after_max_strikes_and_revive(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=2,
+            backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        sup.on_crash(session, RuntimeError("1"))
+        for _ in range(4):
+            loop.run_cycle()
+        assert entry.state == "running"
+        assert sup.on_crash(entry.session, RuntimeError("2")) == "dead"
+        for _ in range(10):
+            loop.run_cycle()
+        assert entry.state == "dead"           # sticky: no auto-restart
+        assert "s1" not in [s.id for s in loop.sessions]
+        revived = sup.revive("s1")
+        assert revived is not None and entry.state == "running"
+        assert entry.crashes == 0              # ladder resets
+        assert loop.session("s1") is revived
+
+    def test_unsupervised_sessions_keep_bare_containment(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop)
+        session = make_text_session(loop, ascii_ws)
+        assert sup.on_crash(session, RuntimeError("x")) == "running"
+        assert session.id in [s.id for s in loop.sessions]
+
+    def test_no_factory_means_no_restart(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=3))
+        session = make_text_session(loop, ascii_ws)
+        entry = sup.supervise(session)
+        assert sup.on_crash(session, RuntimeError("1")) == "running"
+        assert sup.on_crash(session, RuntimeError("2")) == "running"
+        assert sup.on_crash(session, RuntimeError("3")) == "dead"
+        assert sup.revive(session.id) is None  # nothing to rebuild from
+        assert entry.state == "dead"
+
+    def test_pending_input_survives_the_restart(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=5,
+            backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("abc")
+        sup.on_crash(session, RuntimeError("x"))
+        for _ in range(3):
+            loop.run_cycle()
+        loop.run_until_idle()
+        assert entry.state == "running"
+        assert entry.session.im.child.data.text() == "abc"
+
+    def test_failing_restart_factory_is_a_dead_session(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=5,
+            backoff_base=1, jitter_span=0))
+        session = make_text_session(loop, ascii_ws)
+
+        def bad_build():
+            raise OSError("cannot rebuild")
+
+        entry = sup.supervise(session, build=bad_build)
+        sup.on_crash(session, RuntimeError("x"))
+        for _ in range(4):
+            loop.run_cycle()
+        assert entry.state == "dead"
+        assert isinstance(entry.last_error, OSError)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore
+# ---------------------------------------------------------------------------
+
+class TestCheckpointRestore:
+    def test_restart_restores_document_with_zero_loss(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=9,
+            backoff_base=1, jitter_span=0, checkpoint_interval=4))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("hello world")
+        loop.run_until_idle()
+        # Edits since the last periodic checkpoint are captured by the
+        # crash-time checkpoint: zero document loss.
+        sup.on_crash(session, RuntimeError("boom"))
+        for _ in range(3):
+            loop.run_cycle()
+        assert entry.state == "running"
+        assert entry.session.im.child.data.text() == "hello world"
+
+    def test_periodic_checkpoints_fire_on_the_wheel(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            checkpoint_interval=3))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        first = entry.checkpoint_count  # supervise() takes one up front
+        assert first == 1
+        for _ in range(9):
+            loop.run_cycle()
+        assert entry.checkpoint_count == first + 3
+
+    def test_checkpoint_files_are_atomic_and_restorable(self, ascii_ws,
+                                                       tmp_path):
+        loop = ServerLoop()
+        sup = Supervisor(loop, checkpoint_dir=tmp_path,
+                         policy=SupervisorPolicy(
+                             contain_strikes=0, max_strikes=9,
+                             backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws,
+                                                 doc="seed\n")
+        path = tmp_path / "s1.doc.ad"
+        assert path.exists()  # the up-front checkpoint wrote it
+        on_disk = path.read_text(encoding="ascii")
+        assert "seed" in on_disk
+        session.submit_text("more")
+        loop.run_until_idle()
+        sup.checkpoint("s1")
+        assert path.read_text(encoding="ascii") != on_disk
+        assert path.with_name(path.name + ".bak").exists()
+        # A fresh supervisor (new process) restores from disk alone.
+        entry.checkpoints.clear()
+        sup.on_crash(session, RuntimeError("die"))
+        for _ in range(3):
+            loop.run_cycle()
+        assert "more" in entry.session.im.child.data.text()
+
+    def test_string_checkpoint_dir_assigned_post_hoc_works(self, ascii_ws,
+                                                           tmp_path):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=9,
+            backoff_base=1, jitter_span=0))
+        sup.checkpoint_dir = str(tmp_path)  # plain str, not Path
+        session, entry = supervised_text_session(loop, sup, ascii_ws,
+                                                 doc="str dir")
+        sup.checkpoint("s1")
+        assert (tmp_path / "s1.doc.ad").exists()
+        sup.on_crash(session, RuntimeError("x"))
+        for _ in range(3):
+            loop.run_cycle()
+        assert entry.state == "running"
+        assert "str dir" in entry.session.im.child.data.text()
+
+    def test_corrupt_checkpoint_file_does_not_kill_the_restart(self,
+                                                               ascii_ws,
+                                                               tmp_path):
+        loop = ServerLoop()
+        sup = Supervisor(loop, checkpoint_dir=tmp_path,
+                         policy=SupervisorPolicy(
+                             contain_strikes=0, max_strikes=9,
+                             backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws,
+                                                 doc="good")
+        sup.on_crash(session, RuntimeError("x"))
+        # Corrupt the snapshot while the backoff timer runs: wipe the
+        # in-memory copy and leave a truncated file on disk.
+        entry.checkpoints.clear()
+        (tmp_path / "s1.doc.ad").write_bytes(b"\xff\xfenot a datastream")
+        for _ in range(3):
+            loop.run_cycle()
+        # Restore was contained: the session restarted with its seed
+        # state instead of going sticky-dead on the bad file.
+        assert entry.state == "running"
+        assert entry.restarts == 1
+        assert entry.session.im.child.data.text() == ""
+        assert entry.last_error is not None
+
+    def test_checkpoint_failure_keeps_previous_good_one(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=9,
+            backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws,
+                                                 doc="good")
+        good = dict(entry.checkpoints)
+        entry.documents[0] = DocumentBinding(
+            "doc",
+            get=lambda s: (_ for _ in ()).throw(RuntimeError("no get")),
+            install=lambda s, o: None,
+        )
+        assert sup.checkpoint("s1") == 0
+        assert entry.checkpoints == good
+
+
+# ---------------------------------------------------------------------------
+# Watchdog
+# ---------------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_chronic_slow_session_is_suspended_then_resumed(self, ascii_ws):
+        loop = ServerLoop()
+        # watchdog_ns=0: every real slice is "over deadline".
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            watchdog_ns=0, watchdog_strikes=3, suspend_cycles=4))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("x" * 40)
+        cycles_until_suspend = 0
+        while entry.state == "running" and cycles_until_suspend < 20:
+            loop.run_cycle()
+            cycles_until_suspend += 1
+        assert entry.state == "suspended"
+        assert session.suspended and not session.ready
+        assert cycles_until_suspend == 3  # exactly the strike count
+        depth_at_suspend = session.queue_depth()
+        for _ in range(4):
+            loop.run_cycle()
+            assert session.queue_depth() == depth_at_suspend  # skipped
+        loop.run_cycle()  # suspend_cycles elapsed: resumed
+        assert entry.state == "running" and not session.suspended
+        loop.run_until_idle(max_cycles=200)
+        assert session.im.child.data.text().count("x") == 40
+
+    def test_fast_slices_reset_the_streak(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            watchdog_ns=10 ** 12, watchdog_strikes=2))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("abcdef")
+        loop.run_until_idle()
+        assert entry.state == "running"
+        assert entry.slow_streak == 0
+
+    def test_watchdog_off_by_default(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop)
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("abc")
+        loop.run_until_idle()
+        assert entry.state == "running"
+
+
+# ---------------------------------------------------------------------------
+# Admission control + degradation + health surfacing
+# ---------------------------------------------------------------------------
+
+class TestAdmissionAndDegradation:
+    def test_admission_refusal_is_typed_and_carries_the_limit(self,
+                                                              ascii_ws):
+        loop = ServerLoop(admission_limit=2)
+        make_text_session(loop, ascii_ws)
+        make_text_session(loop, ascii_ws)
+        with pytest.raises(AdmissionRefused) as exc_info:
+            loop.add_session(window_system=ascii_ws)
+        assert exc_info.value.limit == 2
+        assert len(loop) == 2
+
+    def test_supervisor_restart_bypasses_admission(self, ascii_ws):
+        loop = ServerLoop(admission_limit=1)
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=9,
+            backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        sup.on_crash(session, RuntimeError("x"))
+        for _ in range(3):
+            loop.run_cycle()
+        assert entry.state == "running"  # readmitted despite the limit
+
+    def test_degradation_hysteresis_and_keyframe_stretch(self):
+        from repro.server import add_remote_session
+        loop = ServerLoop(degrade_high_water=8, degrade_low_water=2,
+                          degrade_keyframe_factor=4)
+        session = add_remote_session(loop, keyframe_interval=16)
+        encoder = session.im.window._encoder
+        session.im.set_child(TextView(TextData("")))
+        session.im.process_events()
+        assert session.submit_text("a" * 12) == 12
+        loop.run_cycle()
+        assert loop.degraded
+        assert encoder.keyframe_interval == 64  # 16 * 4
+        loop.run_until_idle(max_cycles=100)
+        loop.run_cycle()
+        assert not loop.degraded               # drained past low water
+        assert encoder.keyframe_interval == 16
+
+    def test_fleet_stats_surface_health_and_exited_errors(self, ascii_ws):
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=2, max_strikes=5))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        other = make_text_session(loop, ascii_ws, session_id="bare")
+        other.last_error = RuntimeError("bare crash")
+        other.stats.errors = 1
+        sup.on_crash(session, RuntimeError("contained"))
+        stats = loop.fleet_stats()
+        health = stats["health"]
+        assert health["s1"]["crashes"] == 1
+        assert health["s1"]["state"] == "running"
+        assert "contained" in health["s1"]["last_error"]
+        assert health["bare"]["errors"] == 1
+        # Removal must not erase the crashed session's post-mortem.
+        loop.remove_session("bare")
+        exited = loop.fleet_stats()["exited"]
+        assert len(exited) == 1
+        assert exited[0]["id"] == "bare"
+        assert "bare crash" in exited[0]["last_error"]
+        assert exited[0]["errors"] == 1
+        assert exited[0]["age_cycles"] == 0
+
+    def test_env_var_enables_supervision(self, ascii_ws, monkeypatch):
+        monkeypatch.setenv("ANDREW_SUPERVISE", "1")
+        monkeypatch.setenv("ANDREW_CHECKPOINT_INTERVAL", "7")
+        loop = ServerLoop()
+        assert isinstance(loop.supervisor, Supervisor)
+        assert loop.supervisor.policy.checkpoint_interval == 7
+        monkeypatch.setenv("ANDREW_SUPERVISE", "0")
+        assert ServerLoop().supervisor is None
+
+
+# ---------------------------------------------------------------------------
+# Loop integration: crashes escalate through run_cycle itself
+# ---------------------------------------------------------------------------
+
+class TestLoopIntegration:
+    def test_pump_crash_climbs_the_ladder_via_run_cycle(self, ascii_ws):
+        from repro.testing import faultinject
+        loop = ServerLoop()
+        sup = Supervisor(loop, policy=SupervisorPolicy(
+            contain_strikes=0, max_strikes=9,
+            backoff_base=1, jitter_span=0))
+        session, entry = supervised_text_session(loop, sup, ascii_ws)
+        session.submit_text("abc")
+        faultinject.configure(7, 1.0, seams=("server.pump",))
+        try:
+            loop.run_cycle()  # pump raises, supervisor escalates
+        finally:
+            faultinject.configure(None)
+        assert entry.state == "restarting"
+        assert entry.crashes == 1
+        loop.run_until_idle(max_cycles=50)
+        assert entry.state == "running"
+        # The seam fires before the transfer loop, so the queued input
+        # survived the crash and the restarted session typed it.
+        assert entry.session.im.child.data.text() == "abc"
